@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Microarchitecture ablations beyond the paper's figures, validating
+ * the design choices DESIGN.md calls out:
+ *  - FRM reorder-window depth sweep (the paper picks 16, Sec 5.1);
+ *  - BUM buffer-size and timeout sweeps (the paper picks 16 entries);
+ *  - bank-count sensitivity of FRM utilization;
+ *  - hash pi-constant ablation: with pi1 != 1 the intra-group locality
+ *    of Eq. 3 disappears and the clustered access pattern changes.
+ */
+
+#include <cstdio>
+
+#include "accel/bum.hh"
+#include "accel/frm.hh"
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace instant3d;
+using namespace instant3d::bench;
+
+namespace {
+
+std::vector<uint32_t>
+levelAddresses(const std::vector<GridAccess> &accesses, uint16_t level)
+{
+    std::vector<uint32_t> out;
+    for (const auto &a : accesses)
+        if (a.level == level)
+            out.push_back(a.address);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Microarchitecture ablations (beyond the paper)");
+
+    SmallScale scale;
+    CapturedTrace trace = captureSceneTrace("lego", scale);
+    auto reads = levelAddresses(trace.reads, 3);  // finest level
+    auto writes = levelAddresses(trace.writes, 3);
+
+    // --- FRM window-depth sweep -----------------------------------
+    Table wt({"FRM window depth", "Cycles", "Utilization (8 banks)"});
+    for (int depth : {1, 2, 4, 8, 16, 32, 64}) {
+        SramArray sram(8, 4, 1 << 20, 1 << 12);
+        FrmUnit frm(sram, depth);
+        FrmStats s = frm.process(reads);
+        wt.row()
+            .cell(static_cast<long long>(depth))
+            .cell(static_cast<long long>(s.cycles))
+            .cell(s.utilization(8), 3);
+    }
+    wt.print();
+    std::printf("Design point: depth 16 captures nearly all the gain "
+                "(Sec 5.1).\n\n");
+
+    // --- BUM buffer-size sweep -------------------------------------
+    Table bt({"BUM entries", "Merge ratio", "SRAM writes"});
+    for (int entries : {2, 4, 8, 16, 32, 64}) {
+        BumUnit bum({.numEntries = entries, .timeoutCycles = 64});
+        for (uint32_t a : writes)
+            bum.pushUpdate(a, 1.0f);
+        bum.flushAll();
+        bt.row()
+            .cell(static_cast<long long>(entries))
+            .cell(bum.stats().mergeRatio(), 3)
+            .cell(static_cast<long long>(bum.stats().sramWrites));
+    }
+    bt.print();
+    std::printf("Design point: 16 entries; larger buffers add CAM area "
+                "for little extra merging.\n\n");
+
+    // --- BUM timeout sweep -------------------------------------------
+    Table tt({"BUM timeout (cycles)", "Merge ratio"});
+    for (int timeout : {4, 16, 64, 256, 1024}) {
+        BumUnit bum({.numEntries = 16, .timeoutCycles = timeout});
+        for (uint32_t a : writes)
+            bum.pushUpdate(a, 1.0f);
+        bum.flushAll();
+        tt.row()
+            .cell(static_cast<long long>(timeout))
+            .cell(bum.stats().mergeRatio(), 3);
+    }
+    tt.print();
+    std::printf("\n");
+
+    // --- Bank-count sensitivity --------------------------------------
+    Table kt({"Banks", "FRM util", "In-order util", "FRM gain"});
+    for (int banks : {8, 16, 32}) {
+        double f = trace.calibration.utilization(banks, true);
+        double io = trace.calibration.utilization(banks, false);
+        kt.row()
+            .cell(static_cast<long long>(banks))
+            .cell(f, 3)
+            .cell(io, 3)
+            .cell(formatDouble(f / io, 2) + "x");
+    }
+    kt.print();
+    std::printf("\n");
+
+    // --- Hash pi-constant ablation ------------------------------------
+    // Re-hash the captured vertex stream with pi1 = large prime: the
+    // x-neighbour locality that the FRM exploits disappears.
+    GroupDistanceStats eq3 = analyzeVertexGroups(trace.reads);
+    std::printf("Hash-constant ablation (Eq. 3 pi1 = 1 vs pi1 = "
+                "2971215073):\n");
+    std::printf("  Eq. 3    : intra-group mean |d| = %.2f, within "
+                "[-5,5] = %.1f %%\n",
+                eq3.intraGroupAbs.mean(),
+                100.0 * eq3.fractionWithin(5.0));
+    // Synthetic re-hash: x and x+1 with the alternative constant.
+    Rng r(5);
+    RunningStats alt;
+    Histogram alt_hist(-20.5, 20.5, 41);
+    for (int i = 0; i < 20000; i++) {
+        uint32_t x = r.nextU32(1 << 18);
+        uint32_t y = r.nextU32(1 << 18);
+        uint32_t z = r.nextU32(1 << 18);
+        auto h = [](uint32_t xx, uint32_t yy, uint32_t zz) {
+            return ((xx * 2971215073u) ^ (yy * 2654435761u) ^
+                    (zz * 805459861u)) & ((1u << 12) - 1);
+        };
+        double d = static_cast<double>(h(x + 1, y, z)) - h(x, y, z);
+        alt.add(std::fabs(d));
+        alt_hist.add(d);
+    }
+    std::printf("  pi1 large: intra-group mean |d| = %.2f, within "
+                "[-5,5] = %.1f %%\n",
+                alt.mean(), 100.0 * alt_hist.fractionInRange(-5, 5));
+    std::printf("The FRM/BUM co-design depends on Eq. 3's pi1 = 1 "
+                "locality; a generic hash destroys it.\n");
+    return 0;
+}

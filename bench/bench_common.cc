@@ -1,0 +1,113 @@
+#include "bench_common.hh"
+
+#include "common/logging.hh"
+
+namespace instant3d {
+namespace bench {
+
+Dataset
+makeSceneDataset(const std::string &scene_name, const SmallScale &scale)
+{
+    ScenePtr scene;
+    if (scene_name.rfind("silvr", 0) == 0)
+        scene = makeSilvrScene(0);
+    else if (scene_name.rfind("scannet", 0) == 0)
+        scene = makeScanNetScene(0);
+    else
+        scene = makeSyntheticScene(scene_name);
+
+    DatasetConfig cfg;
+    cfg.numTrainViews = scale.trainViews;
+    cfg.numTestViews = scale.testViews;
+    cfg.imageWidth = scale.imageSize;
+    cfg.imageHeight = scale.imageSize;
+    cfg.renderOpts.numSteps = scale.gtSteps;
+    return makeDataset(scene, cfg);
+}
+
+HashEncodingConfig
+benchBaseGrid(const SmallScale &scale)
+{
+    HashEncodingConfig grid;
+    grid.numLevels = scale.gridLevels;
+    grid.featuresPerEntry = 2;
+    grid.log2TableSize = scale.log2Table;
+    grid.baseResolution = 8;
+    grid.growthFactor = 1.6f;
+    return grid;
+}
+
+namespace {
+
+TrainConfig
+benchTrainConfig(const SmallScale &scale)
+{
+    TrainConfig tcfg;
+    tcfg.raysPerBatch = scale.raysPerBatch;
+    tcfg.samplesPerRay = scale.samplesPerRay;
+    tcfg.adam.lr = 1e-2f;
+    tcfg.seed = scale.seed;
+    return tcfg;
+}
+
+} // namespace
+
+double
+trainNgpPsnr(const Dataset &dataset, const SmallScale &scale,
+             int iterations)
+{
+    FieldConfig fcfg = FieldConfig::ngpBaseline(benchBaseGrid(scale));
+    fcfg.hiddenDim = scale.hiddenDim;
+    Trainer trainer(dataset, fcfg, benchTrainConfig(scale));
+    for (int i = 0; i < iterations; i++)
+        trainer.trainIteration();
+    return trainer.evalPsnr();
+}
+
+double
+trainInstant3dPsnr(const Dataset &dataset, const SmallScale &scale,
+                   const Instant3dConfig &config, int iterations)
+{
+    FieldConfig fcfg = config.makeFieldConfig(benchBaseGrid(scale));
+    fcfg.hiddenDim = scale.hiddenDim;
+    TrainConfig tcfg = benchTrainConfig(scale);
+    config.applyTo(tcfg);
+    Trainer trainer(dataset, fcfg, tcfg);
+    for (int i = 0; i < iterations; i++)
+        trainer.trainIteration();
+    return trainer.evalPsnr();
+}
+
+CapturedTrace
+captureSceneTrace(const std::string &scene_name, const SmallScale &scale,
+                  int warmup)
+{
+    Dataset dataset = makeSceneDataset(scene_name, scale);
+
+    FieldConfig fcfg = FieldConfig::instant3dDefault(
+        benchBaseGrid(scale));
+    fcfg.hiddenDim = scale.hiddenDim;
+    TrainConfig tcfg = benchTrainConfig(scale);
+    tcfg.samplesPerRay = 48;
+    // Per-scene pixel-sampling stream: traces must reflect each
+    // scene's own ray/occlusion structure, not one shared schedule.
+    for (char ch : scene_name)
+        tcfg.seed = tcfg.seed * 131 + static_cast<unsigned char>(ch);
+    Trainer trainer(dataset, fcfg, tcfg);
+    for (int i = 0; i < warmup; i++)
+        trainer.trainIteration();
+
+    MemTraceCollector collector;
+    trainer.field().densityGrid().setTraceSink(&collector);
+    trainer.trainIteration();
+    trainer.field().densityGrid().setTraceSink(nullptr);
+
+    CapturedTrace out;
+    out.reads = batchMajorOrder(collector.reads(), tcfg.samplesPerRay);
+    out.writes = collector.writes();
+    out.calibration = calibrateFromTrace(out.reads, out.writes);
+    return out;
+}
+
+} // namespace bench
+} // namespace instant3d

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries: reduced-
+ * scale training runs (fast enough for one CPU core), trace capture,
+ * and per-scene calibration of the accelerator model.
+ *
+ * Scale note: quality numbers (PSNR) come from *real training* at
+ * reduced resolution; runtime/energy numbers come from the calibrated
+ * device models and the accelerator simulator at paper scale. See
+ * DESIGN.md ("Training-at-scale vs training-in-CI").
+ */
+
+#ifndef INSTANT3D_BENCH_COMMON_HH
+#define INSTANT3D_BENCH_COMMON_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/calibration.hh"
+#include "core/instant3d_config.hh"
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+#include "trace/pattern.hh"
+
+namespace instant3d {
+namespace bench {
+
+/** Reduced-scale experiment knobs shared by the training benches. */
+struct SmallScale
+{
+    int imageSize = 20;
+    int trainViews = 6;
+    int testViews = 2;
+    int gtSteps = 64;        //!< Ground-truth ray-march steps.
+    int raysPerBatch = 96;
+    int samplesPerRay = 32;
+    int gridLevels = 4;
+    uint32_t log2Table = 12; //!< Baseline (NGP) table size.
+    int hiddenDim = 16;
+    uint64_t seed = 42;
+};
+
+/** Build a dataset for a named scene ("lego", "silvr", "scannet"...). */
+Dataset makeSceneDataset(const std::string &scene_name,
+                         const SmallScale &scale);
+
+/** The baseline grid config at bench scale. */
+HashEncodingConfig benchBaseGrid(const SmallScale &scale);
+
+/**
+ * Train an Instant-NGP-style coupled field; returns final test PSNR.
+ */
+double trainNgpPsnr(const Dataset &dataset, const SmallScale &scale,
+                    int iterations);
+
+/**
+ * Train a decoupled Instant-3D field under the given algorithm config;
+ * returns final test PSNR.
+ */
+double trainInstant3dPsnr(const Dataset &dataset,
+                          const SmallScale &scale,
+                          const Instant3dConfig &config, int iterations);
+
+/** A captured density-grid trace from a short training run. */
+struct CapturedTrace
+{
+    std::vector<GridAccess> reads;  //!< Batch-major (hardware) order.
+    std::vector<GridAccess> writes; //!< Compositing (arrival) order.
+    TraceCalibration calibration;
+};
+
+/**
+ * Train `warmup` iterations on the scene, then capture one iteration's
+ * density-grid accesses and calibrate the FRM/BUM models from them.
+ */
+CapturedTrace captureSceneTrace(const std::string &scene_name,
+                                const SmallScale &scale,
+                                int warmup = 60);
+
+} // namespace bench
+} // namespace instant3d
+
+#endif // INSTANT3D_BENCH_COMMON_HH

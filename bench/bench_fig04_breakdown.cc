@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 4: Instant-NGP training-runtime breakdown on Jetson Nano,
+ * Jetson TX2, and Xavier NX. The paper's observation: Step 3-1 (grid
+ * interpolation) plus its back-propagation dominates (~80%) on every
+ * device.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "devices/registry.hh"
+
+using namespace instant3d;
+
+int
+main()
+{
+    printBanner("Figure 4: Instant-NGP runtime breakdown per device");
+
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+
+    Table t({"Step", "Jetson Nano", "Jetson TX2", "Xavier NX"});
+    std::vector<StepBreakdown> bds;
+    for (const auto *dev : baselineDevices())
+        bds.push_back(dev->breakdown(w));
+
+    for (auto step : allPipelineSteps()) {
+        auto &row = t.row().cell(pipelineStepName(step));
+        for (const auto &bd : bds)
+            row.cell(formatDouble(100.0 * bd.fraction(step), 1) + " %");
+    }
+    t.print();
+
+    std::printf("\nStep 3-1 + its BP share of total runtime:\n");
+    size_t i = 0;
+    for (const auto *dev : baselineDevices()) {
+        std::printf("  %-12s %.1f %%  (total training %.0f s)\n",
+                    dev->spec().name.c_str(),
+                    100.0 * bds[i].gridShare(),
+                    dev->trainingSeconds(w));
+        i++;
+    }
+    std::printf("\nPaper: ~80%% on all three devices.\n");
+    return 0;
+}

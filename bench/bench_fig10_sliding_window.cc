@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 10: unique accessed addresses within a sliding window of 1000
+ * contiguous accesses, feed-forward vs back-propagation. FF reads
+ * stream in batch-parallel order (coordinate buffer); BP updates
+ * arrive in compositing order, where occluded samples are skipped and
+ * surface cells repeat -- far fewer unique addresses.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace instant3d;
+using namespace instant3d::bench;
+
+int
+main()
+{
+    printBanner("Figure 10: unique addresses per 1000-access window");
+
+    SmallScale scale;
+    const int window = 1000;
+
+    Table t({"Scene", "FF mean unique", "BP mean unique",
+             "BP sharing factor"});
+    for (const auto &scene : {"lego", "ficus", "materials", "ship"}) {
+        CapturedTrace trace = captureSceneTrace(scene, scale);
+        SlidingWindowStats ff =
+            uniqueAddressWindows(trace.reads, window);
+        SlidingWindowStats bp =
+            uniqueAddressWindows(trace.writes, window);
+        t.row()
+            .cell(scene)
+            .cell(ff.meanUnique(), 1)
+            .cell(bp.meanUnique(), 1)
+            .cell(meanSharingFactor(bp), 2);
+    }
+    t.print();
+
+    std::printf("\nPaper shape: FF windows are ~all-unique; BP windows "
+                "show ~200 unique per 1000 accesses (shared embeddings "
+                "mergeable by the BUM).\n");
+    return 0;
+}

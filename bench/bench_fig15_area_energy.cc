@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 15: accelerator specifications and area/energy breakdowns.
+ * Paper: 28 nm, 6.8 mm^2, 1 V, 800 MHz, 1.5 MB SRAM, 1.9 W; area 78%
+ * grid cores / 22% MLP; energy 81% / 19%.
+ */
+
+#include <cstdio>
+
+#include "accel/energy_model.hh"
+#include "common/table.hh"
+#include "devices/registry.hh"
+
+using namespace instant3d;
+
+int
+main()
+{
+    printBanner("Figure 15: accelerator specs, area & energy breakdown");
+
+    AcceleratorConfig cfg;
+    Accelerator accel(cfg, TraceCalibration::defaults());
+    TrainingWorkload w = makeInstant3dWorkload(
+        "NeRF-Synthetic", instant3dShippedConfig());
+    AcceleratorResult res = accel.simulate(w);
+    EnergyReport er = EnergyModel().report(res, w.iterations);
+    AreaReport ar = areaReport(cfg);
+
+    const DeviceSpec &spec = instant3dAcceleratorSpec();
+    Table specs({"Spec", "Value", "Paper"});
+    specs.row().cell("Technology").cell("28 nm").cell("28 nm");
+    specs.row()
+        .cell("Area")
+        .cell(formatDouble(ar.totalMm2, 2) + " mm2")
+        .cell("6.8 mm2");
+    specs.row()
+        .cell("Frequency")
+        .cell(formatDouble(spec.frequencyGHz * 1000, 0) + " MHz")
+        .cell("800 MHz");
+    specs.row()
+        .cell("SRAM (hash banks + buffers)")
+        .cell(formatDouble(spec.sramMB, 1) + " MB")
+        .cell("1.5 MB");
+    specs.row()
+        .cell("Average power")
+        .cell(formatDouble(er.avgPowerWatts, 2) + " W")
+        .cell("1.9 W");
+    specs.print();
+
+    Table brk({"Component", "Area share", "Energy share"});
+    brk.row()
+        .cell("Grid cores (SRAM, FRM, BUM, interp)")
+        .cell(formatDouble(100.0 * ar.gridFraction(), 1) + " %")
+        .cell(formatDouble(100.0 * er.gridFraction, 1) + " %");
+    brk.row()
+        .cell("MLP units (systolic + adder tree)")
+        .cell(formatDouble(100.0 * ar.mlpFraction(), 1) + " %")
+        .cell(formatDouble(100.0 * er.mlpFraction, 1) + " %");
+    std::printf("\n");
+    brk.print();
+
+    std::printf("\nScheduling-logic detail: FRM %.2f mm2, BUM %.2f mm2; "
+                "FRM+BUM dynamic-energy slice %.1f %%.\n",
+                ar.frmMm2, ar.bumMm2, 100.0 * er.frmBumFraction);
+    std::printf("Paper: area 78 %% / 22 %%, energy 81 %% / 19 %%.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 16: normalized speedup and energy efficiency of the Instant-3D
+ * accelerator over Jetson Nano / Jetson TX2 / Xavier NX on the eight
+ * NeRF-Synthetic scenes. Per-scene accelerator runtimes use per-scene
+ * trace calibrations (captured from real reduced-scale training);
+ * baselines run Instant-NGP on the calibrated GPU models.
+ *
+ * Paper: average 224x / 132x / 45x speedup and 1198x / 1089x / 479x
+ * energy efficiency vs Nano / TX2 / NX.
+ */
+
+#include <cstdio>
+
+#include "accel/energy_model.hh"
+#include "accel/accelerator.hh"
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "devices/registry.hh"
+
+using namespace instant3d;
+using namespace instant3d::bench;
+
+int
+main()
+{
+    printBanner("Figure 16: per-scene speedup & energy efficiency");
+
+    SmallScale scale;
+    TrainingWorkload ngp = makeNgpWorkload("NeRF-Synthetic");
+    TrainingWorkload i3d = makeInstant3dWorkload(
+        "NeRF-Synthetic", instant3dShippedConfig());
+
+    Table t({"Scene", "Instant-3D (s)", "vs Nano", "vs TX2", "vs NX",
+             "E-eff vs Nano", "E-eff vs TX2", "E-eff vs NX"});
+
+    double sum_t = 0.0, sum_sp[3] = {}, sum_ee[3] = {};
+    int n = 0;
+    for (const auto &scene : syntheticSceneNames()) {
+        CapturedTrace trace = captureSceneTrace(scene, scale);
+        Accelerator accel(AcceleratorConfig{}, trace.calibration);
+        AcceleratorResult res = accel.simulate(i3d);
+        EnergyReport er = EnergyModel().report(res, i3d.iterations);
+
+        auto &row = t.row().cell(scene).cell(res.totalSeconds, 2);
+        int d = 0;
+        double sp[3], ee[3];
+        for (const auto *dev : baselineDevices()) {
+            sp[d] = dev->trainingSeconds(ngp) / res.totalSeconds;
+            ee[d] = dev->trainingEnergyJoules(ngp) / er.totalJoules;
+            d++;
+        }
+        for (int i = 0; i < 3; i++)
+            row.cell(formatDouble(sp[i], 0) + "x");
+        for (int i = 0; i < 3; i++)
+            row.cell(formatDouble(ee[i], 0) + "x");
+
+        sum_t += res.totalSeconds;
+        for (int i = 0; i < 3; i++) {
+            sum_sp[i] += sp[i];
+            sum_ee[i] += ee[i];
+        }
+        n++;
+    }
+    auto &avg = t.row().cell("AVERAGE").cell(sum_t / n, 2);
+    for (int i = 0; i < 3; i++)
+        avg.cell(formatDouble(sum_sp[i] / n, 0) + "x");
+    for (int i = 0; i < 3; i++)
+        avg.cell(formatDouble(sum_ee[i] / n, 0) + "x");
+    t.print();
+
+    std::printf("\nPaper averages: speedup 224x / 132x / 45x; energy "
+                "efficiency 1198x / 1089x / 479x (Nano / TX2 / NX).\n");
+    return 0;
+}

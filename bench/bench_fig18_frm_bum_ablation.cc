@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 18: per-scene runtime of the Instant-3D accelerator without
+ * the FRM unit and/or the BUM unit, normalized to the no-FRM/no-BUM
+ * configuration. Uses per-scene trace calibrations.
+ *
+ * Paper: the FRM alone trims runtime 31.1% on average; FRM + BUM
+ * together trim 68.6%.
+ */
+
+#include <cstdio>
+
+#include "accel/accelerator.hh"
+#include "bench_common.hh"
+#include "common/table.hh"
+
+using namespace instant3d;
+using namespace instant3d::bench;
+
+int
+main()
+{
+    printBanner("Figure 18: FRM / BUM ablation per scene");
+
+    SmallScale scale;
+    TrainingWorkload i3d = makeInstant3dWorkload(
+        "NeRF-Synthetic", instant3dShippedConfig());
+
+    AcceleratorConfig none, frm_only, full;
+    none.enableFrm = false;
+    none.enableBum = false;
+    frm_only.enableBum = false;
+
+    Table t({"Scene", "w/o FRM & BUM (s)", "w/ FRM (s)",
+             "w/ FRM + BUM (s)", "FRM cut", "FRM+BUM cut"});
+    double sum_frm = 0.0, sum_full = 0.0;
+    int n = 0;
+    for (const auto &scene : syntheticSceneNames()) {
+        CapturedTrace trace = captureSceneTrace(scene, scale);
+        double t_none =
+            Accelerator(none, trace.calibration).trainingSeconds(i3d);
+        double t_frm = Accelerator(frm_only, trace.calibration)
+                           .trainingSeconds(i3d);
+        double t_full =
+            Accelerator(full, trace.calibration).trainingSeconds(i3d);
+        double frm_cut = 1.0 - t_frm / t_none;
+        double full_cut = 1.0 - t_full / t_none;
+        sum_frm += frm_cut;
+        sum_full += full_cut;
+        n++;
+        t.row()
+            .cell(scene)
+            .cell(t_none, 2)
+            .cell(t_frm, 2)
+            .cell(t_full, 2)
+            .cell(formatDouble(100.0 * frm_cut, 1) + " %")
+            .cell(formatDouble(100.0 * full_cut, 1) + " %");
+    }
+    t.print();
+
+    std::printf("\nAverage runtime reduction: FRM %.1f %%, FRM+BUM "
+                "%.1f %%.\nPaper: 31.1 %% and 68.6 %%.\n",
+                100.0 * sum_frm / n, 100.0 * sum_full / n);
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the core kernels: hash-grid
+ * encoding forward/backward, MLP forward/backward, the full field
+ * query, volume rendering, FRM scheduling throughput, and BUM merge
+ * throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/bum.hh"
+#include "accel/frm.hh"
+#include "common/rng.hh"
+#include "nerf/renderer.hh"
+
+namespace instant3d {
+namespace {
+
+HashEncodingConfig
+benchGrid()
+{
+    HashEncodingConfig cfg;
+    cfg.numLevels = 8;
+    cfg.log2TableSize = 16;
+    cfg.baseResolution = 16;
+    return cfg;
+}
+
+void
+BM_HashEncodeForward(benchmark::State &state)
+{
+    HashEncoding enc(benchGrid(), 1);
+    std::vector<float> out(enc.outputDim());
+    Rng r(2);
+    for (auto _ : state) {
+        Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+        enc.encode(p, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashEncodeForward);
+
+void
+BM_HashEncodeBackward(benchmark::State &state)
+{
+    HashEncoding enc(benchGrid(), 1);
+    std::vector<float> out(enc.outputDim());
+    std::vector<float> grad(enc.outputDim(), 1.0f);
+    EncodeRecord rec;
+    enc.encode({0.4f, 0.5f, 0.6f}, out.data(), &rec);
+    for (auto _ : state)
+        enc.backward(rec, grad.data());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashEncodeBackward);
+
+void
+BM_MlpForward(benchmark::State &state)
+{
+    Mlp mlp({32, 64, 64, 16}, OutputActivation::None, 3);
+    std::vector<float> in(32, 0.1f), out(16);
+    for (auto _ : state) {
+        mlp.forward(in.data(), out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * mlp.macsPerForward());
+}
+BENCHMARK(BM_MlpForward);
+
+void
+BM_MlpBackward(benchmark::State &state)
+{
+    Mlp mlp({32, 64, 64, 16}, OutputActivation::None, 3);
+    std::vector<float> in(32, 0.1f), out(16), d_out(16, 1.0f), d_in(32);
+    MlpRecord rec;
+    mlp.forward(in.data(), out.data(), &rec);
+    for (auto _ : state) {
+        mlp.backward(rec, d_out.data(), d_in.data());
+        benchmark::DoNotOptimize(d_in.data());
+    }
+    state.SetItemsProcessed(state.iterations() * mlp.macsPerForward());
+}
+BENCHMARK(BM_MlpBackward);
+
+void
+BM_FieldQuery(benchmark::State &state)
+{
+    FieldConfig cfg = FieldConfig::instant3dDefault(benchGrid());
+    NerfField field(cfg, 7);
+    Rng r(8);
+    for (auto _ : state) {
+        Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+        FieldSample s = field.query(p, {0, 0, 1});
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FieldQuery);
+
+void
+BM_RenderRay(benchmark::State &state)
+{
+    FieldConfig cfg = FieldConfig::instant3dDefault(benchGrid());
+    NerfField field(cfg, 9);
+    RendererConfig rcfg;
+    rcfg.samplesPerRay = static_cast<int>(state.range(0));
+    VolumeRenderer renderer(rcfg);
+    Ray ray{{0.5f, 0.5f, -0.5f}, {0.0f, 0.0f, 1.0f}};
+    for (auto _ : state) {
+        RayResult res = renderer.renderRay(field, ray);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RenderRay)->Arg(16)->Arg(48)->Arg(128);
+
+void
+BM_FrmSchedule(benchmark::State &state)
+{
+    Rng r(10);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 4096; i++)
+        addrs.push_back(r.nextU32(1 << 14));
+    for (auto _ : state) {
+        SramArray sram(static_cast<int>(state.range(0)), 4, 1 << 20,
+                       1 << 14);
+        FrmUnit frm(sram, 16);
+        FrmStats s = frm.process(addrs);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_FrmSchedule)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_BumMerge(benchmark::State &state)
+{
+    Rng r(11);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 4096; i++)
+        addrs.push_back(r.nextU32(static_cast<uint32_t>(state.range(0))));
+    for (auto _ : state) {
+        BumUnit bum({.numEntries = 16, .timeoutCycles = 64});
+        for (uint32_t a : addrs)
+            bum.pushUpdate(a, 1.0f);
+        bum.flushAll();
+        benchmark::DoNotOptimize(bum.stats());
+    }
+    state.SetItemsProcessed(state.iterations() * addrs.size());
+}
+BENCHMARK(BM_BumMerge)->Arg(64)->Arg(1024)->Arg(65536);
+
+} // namespace
+} // namespace instant3d
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 3: summary of the considered devices' specifications.
+ */
+
+#include "common/table.hh"
+#include "devices/registry.hh"
+
+using namespace instant3d;
+
+int
+main()
+{
+    printBanner("Table 3: Device specifications");
+
+    Table t({"Device", "Technology", "SRAM", "Area", "Frequency", "DRAM",
+             "Bandwidth", "Typical Power"});
+    auto add = [&t](const DeviceSpec &s) {
+        t.row()
+            .cell(s.name)
+            .cell(std::to_string(s.technologyNm) + " nm")
+            .cell(formatDouble(s.sramMB, 1) + " MB")
+            .cell(s.areaMm2 > 0 ? formatDouble(s.areaMm2, 1) + " mm2"
+                                : std::string("N/A"))
+            .cell(formatDouble(s.frequencyGHz, 1) + " GHz")
+            .cell(s.dramType)
+            .cell(formatDouble(s.dramBandwidthGBs, 1) + " GB/s")
+            .cell(formatDouble(s.typicalPowerW, 1) + " W");
+    };
+    for (const auto *dev : baselineDevices())
+        add(dev->spec());
+    add(instant3dAcceleratorSpec());
+    t.print();
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Trace inspector: trains a scene briefly, captures the embedding-grid
+ * memory trace, and prints the Sec 4.2 pattern analyses plus the
+ * FRM/BUM calibration the accelerator model would use -- a debugging
+ * window into the co-design.
+ *
+ * Run: ./build/examples/trace_inspector [scene]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "accel/calibration.hh"
+#include "core/instant3d_config.hh"
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+#include "trace/pattern.hh"
+
+using namespace instant3d;
+
+int
+main(int argc, char **argv)
+{
+    std::string scene_name = argc > 1 ? argv[1] : "ficus";
+
+    DatasetConfig dcfg;
+    dcfg.numTrainViews = 5;
+    dcfg.numTestViews = 1;
+    dcfg.imageWidth = 20;
+    dcfg.imageHeight = 20;
+    Dataset dataset = makeDataset(makeSyntheticScene(scene_name), dcfg);
+
+    HashEncodingConfig grid;
+    grid.numLevels = 4;
+    grid.log2TableSize = 14;
+    grid.baseResolution = 16;
+    FieldConfig fcfg = FieldConfig::instant3dDefault(grid);
+    fcfg.hiddenDim = 16;
+    TrainConfig tcfg;
+    tcfg.raysPerBatch = 96;
+    tcfg.samplesPerRay = 48;
+
+    Trainer trainer(dataset, fcfg, tcfg);
+    std::printf("warming up 40 iterations on '%s'...\n",
+                scene_name.c_str());
+    for (int i = 0; i < 40; i++)
+        trainer.trainIteration();
+
+    MemTraceCollector collector;
+    trainer.field().densityGrid().setTraceSink(&collector);
+    trainer.trainIteration();
+    trainer.field().densityGrid().setTraceSink(nullptr);
+
+    auto reads = batchMajorOrder(collector.reads(),
+                                 tcfg.samplesPerRay);
+    auto writes = collector.writes();
+    std::printf("captured %zu reads, %zu writes\n\n", reads.size(),
+                writes.size());
+
+    // Fig 8 / Fig 9 analyses.
+    GroupDistanceStats groups = analyzeVertexGroups(reads);
+    std::printf("vertex groups (Fig 8/9):\n");
+    std::printf("  intra-group |distance| mean: %.2f\n",
+                groups.intraGroupAbs.mean());
+    std::printf("  inter-group |distance| mean: %.0f\n",
+                groups.interGroupAbs.mean());
+    std::printf("  within [-5, 5]: %.1f %%\n\n",
+                100.0 * groups.fractionWithin(5.0));
+    std::printf("%s\n", groups.intraHistogram.toAscii(40).c_str());
+
+    // Fig 10 analysis.
+    SlidingWindowStats ff = uniqueAddressWindows(reads, 1000);
+    SlidingWindowStats bp = uniqueAddressWindows(writes, 1000);
+    std::printf("sliding 1000-access windows (Fig 10):\n");
+    std::printf("  FF unique: %.1f   BP unique: %.1f   BP sharing "
+                "factor: %.2f\n\n",
+                ff.meanUnique(), bp.meanUnique(),
+                meanSharingFactor(bp));
+
+    // FRM/BUM calibration.
+    TraceCalibration calib = calibrateFromTrace(reads, writes);
+    std::printf("accelerator calibration from this trace:\n");
+    std::printf("  FRM util (8/16/32 banks):      %.3f / %.3f / %.3f\n",
+                calib.frmUtil8, calib.frmUtil16, calib.frmUtil32);
+    std::printf("  in-order util (8/16/32 banks): %.3f / %.3f / %.3f\n",
+                calib.inOrderUtil8, calib.inOrderUtil16,
+                calib.inOrderUtil32);
+    std::printf("  BUM merge ratio:               %.3f\n",
+                calib.bumMergeRatio);
+    return 0;
+}

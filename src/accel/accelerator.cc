@@ -1,0 +1,205 @@
+#include "accel/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+Accelerator::Accelerator(const AcceleratorConfig &config,
+                         const TraceCalibration &calibration)
+    : cfg(config), calib(calibration)
+{
+    fatalIf(cfg.numGridCores < 1, "accelerator needs grid cores");
+    fatalIf(cfg.frequencyGHz <= 0.0, "frequency must be positive");
+}
+
+std::vector<uint64_t>
+Accelerator::levelTableBytes(const BranchWorkload &b) const
+{
+    // Instant-NGP growth schedule: N_l = N_min * g^l with the growth
+    // factor spanning base..2048-ish over the level count; coarse
+    // levels are dense ((N+1)^3 vertices) and only fine levels saturate
+    // the hash-table budget.
+    constexpr double base_res = 16.0;
+    constexpr double growth = 1.45;
+    std::vector<uint64_t> bytes(b.levels);
+    for (int l = 0; l < b.levels; l++) {
+        double res = base_res * std::pow(growth, l);
+        double dense = std::pow(res + 1.0, 3.0);
+        double entries = std::min(
+            dense, static_cast<double>(b.tableEntries));
+        bytes[l] = static_cast<uint64_t>(entries) *
+                   b.featuresPerEntry * 2;
+    }
+    return bytes;
+}
+
+BranchCycleReport
+Accelerator::simulateBranch(const BranchWorkload &b,
+                            double points_per_iter) const
+{
+    BranchCycleReport rep;
+    rep.branchName = b.name;
+
+    auto table_bytes = levelTableBytes(b);
+    const double reads_per_level = points_per_iter * 8.0;
+    const double updates_per_level = reads_per_level * b.updateRate;
+    const double bytes_per_entry = b.featuresPerEntry * 2.0;
+
+    // DRAM random-access service rate (entries/cycle) for spills.
+    const double dram_rand_entries_per_cycle =
+        cfg.dramBandwidthGBs * 1e9 * cfg.dramRandomEff / bytes_per_entry /
+        (cfg.frequencyGHz * 1e9);
+
+    // Aggregate BUM intake (updates/cycle) across all cores.
+    const double bum_intake =
+        cfg.bumIntakePerCorePerCycle * cfg.numGridCores;
+
+    // Accumulate per-fusion-mode cycle demands so clusters of the same
+    // mode run different levels in parallel.
+    std::map<int, std::pair<double, double>> mode_cycles; // clusters ->
+                                                          // (ff, bp)
+    double ff_spill = 0.0, bp_spill = 0.0;
+
+    for (uint64_t tb : table_bytes) {
+        FusionMode mode = fusionForTable(tb, cfg.sramBytesPerCore,
+                                         cfg.numGridCores,
+                                         cfg.banksPerCore,
+                                         cfg.enableFusion);
+        rep.levelModes.push_back(mode.level);
+        rep.sramReads += static_cast<uint64_t>(reads_per_level);
+
+        double merge = cfg.enableBum ? calib.bumMergeRatio : 0.0;
+        double writebacks = updates_per_level * (1.0 - merge);
+        // Each write-back is a read-modify-write: two bank operations.
+        double write_ops = 2.0 * writebacks;
+        rep.sramWriteOps += static_cast<uint64_t>(write_ops);
+
+        if (mode.level == FusionLevel::DramSpill) {
+            rep.dramSpillAccesses += static_cast<uint64_t>(
+                reads_per_level + writebacks);
+            ff_spill += reads_per_level / dram_rand_entries_per_cycle;
+            bp_spill += std::max(
+                updates_per_level / bum_intake,
+                write_ops / dram_rand_entries_per_cycle);
+            continue;
+        }
+
+        // SRAM-resident level: FRM-scheduled reads.
+        double read_util =
+            calib.utilization(mode.banksPerCluster, cfg.enableFrm);
+        double ff = reads_per_level /
+                    (read_util * mode.banksPerCluster);
+
+        // BP: intake-bound or write-issue-bound. Buffered (BUM) write-
+        // backs can be scheduled collision-free; raw gradient write-
+        // backs issue in order.
+        double write_util =
+            calib.utilization(mode.banksPerCluster, cfg.enableBum);
+        double bp = std::max(updates_per_level / bum_intake,
+                             write_ops /
+                                 (write_util * mode.banksPerCluster));
+
+        auto &slot = mode_cycles[mode.numClusters];
+        slot.first += ff;
+        slot.second += bp;
+
+        // Table streamed in before FF and dirty data written back.
+        rep.dramStreamBytes += tb;
+        if (b.updateRate > 0.0)
+            rep.dramStreamBytes += static_cast<uint64_t>(
+                tb * b.updateRate);
+    }
+
+    double ff_total = ff_spill, bp_total = bp_spill;
+    for (const auto &[clusters, cyc] : mode_cycles) {
+        ff_total += cyc.first / clusters;
+        bp_total += cyc.second / clusters;
+    }
+    rep.ffCycles = static_cast<uint64_t>(ff_total);
+    rep.bpCycles = static_cast<uint64_t>(bp_total);
+    return rep;
+}
+
+AcceleratorResult
+Accelerator::simulate(const TrainingWorkload &w) const
+{
+    AcceleratorResult res;
+    const double freq = cfg.frequencyGHz * 1e9;
+    MlpUnitModel mlp(cfg.mlp);
+
+    // ---- Grid cores (Step 3-1 FF + BP) ----
+    double grid_ff_cycles = 0.0, grid_bp_cycles = 0.0;
+    double dram_bytes = 0.0;
+    for (const auto &b : w.branches) {
+        BranchCycleReport rep = simulateBranch(b, w.pointsPerIter);
+        grid_ff_cycles += static_cast<double>(rep.ffCycles);
+        grid_bp_cycles += static_cast<double>(rep.bpCycles);
+        dram_bytes += static_cast<double>(rep.dramStreamBytes) +
+                      static_cast<double>(rep.dramSpillAccesses) *
+                          b.featuresPerEntry * 2.0;
+        res.sramReadsPerIter += static_cast<double>(rep.sramReads);
+        res.sramWriteOpsPerIter +=
+            static_cast<double>(rep.sramWriteOps);
+        res.branches.push_back(std::move(rep));
+    }
+
+    // ---- MLP units (Step 3-2 FF + BP) ----
+    // Paper MLP shapes: density head 32->64->64->16, color head
+    // 32->64->64->3 (Sec 2.1 "3 layers with 64 hidden units").
+    const std::vector<int> density_dims = {32, 64, 64, 16};
+    const std::vector<int> color_dims = {32, 64, 64, 3};
+    auto batch = static_cast<uint64_t>(w.pointsPerIter);
+
+    double color_bp_rate = 1.0;
+    if (w.branches.size() >= 2)
+        color_bp_rate = w.branches.back().updateRate;
+
+    res.mlpFfCycles = mlp.forwardCycles(batch, density_dims) +
+                      mlp.forwardCycles(batch, color_dims);
+    res.mlpBpCycles = mlp.backwardCycles(batch, density_dims) +
+                      static_cast<uint64_t>(
+                          mlp.backwardCycles(batch, color_dims) *
+                          color_bp_rate);
+    // FF plus ~2x-forward BP: three forward-equivalents of MAC work.
+    res.macsPerIter = 3.0 * w.mlpMacsPerPoint * w.pointsPerIter;
+
+    // ---- Compose the iteration ----
+    res.gridSeconds = (grid_ff_cycles + grid_bp_cycles) / freq;
+    res.mlpSeconds =
+        static_cast<double>(res.mlpFfCycles + res.mlpBpCycles) / freq;
+
+    // Grid cores and MLP units pipeline across batch chunks; DRAM
+    // table streaming overlaps roughly half.
+    double dram_seconds =
+        dram_bytes / (cfg.dramBandwidthGBs * 1e9 * cfg.dramStreamEff);
+    res.dramBytesPerIter = dram_bytes;
+    double compute = std::max(res.gridSeconds, res.mlpSeconds) *
+                     (1.0 + cfg.pipelineOverhead);
+    double iter_seconds = compute + 0.5 * dram_seconds +
+                          cfg.hostSecondsPerIter;
+    res.secondsPerIter = iter_seconds;
+    res.totalSeconds = iter_seconds * w.iterations;
+
+    // ---- Attribute to pipeline steps (scaled to the real total) ----
+    StepBreakdown &bd = res.breakdown;
+    bd[PipelineStep::SampleAndRays] = 0.45 * cfg.hostSecondsPerIter;
+    bd[PipelineStep::RenderAndLoss] = 0.55 * cfg.hostSecondsPerIter;
+    bd[PipelineStep::GridInterpFF] =
+        grid_ff_cycles / freq + 0.5 * dram_seconds;
+    bd[PipelineStep::GridInterpBP] = grid_bp_cycles / freq;
+    bd[PipelineStep::MlpFF] = static_cast<double>(res.mlpFfCycles) / freq;
+    bd[PipelineStep::MlpBP] = static_cast<double>(res.mlpBpCycles) / freq;
+    double raw_total = bd.totalPerIter();
+    if (raw_total > 0.0) {
+        double scale = iter_seconds / raw_total;
+        for (auto s : allPipelineSteps())
+            bd[s] *= scale;
+    }
+    return res;
+}
+
+} // namespace instant3d

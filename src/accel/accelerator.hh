@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Instant-3D accelerator (Sec 4.3 / Fig 11): four grid cores with
+ * FRM units, per-core BUM units, the multi-core-fusion reconfigurable
+ * scheme, FP16 MLP units (systolic array + multiplier-adder tree), and
+ * an LPDDR4 DRAM interface, orchestrated with the host SoC exactly as
+ * in the paper (steps 1-2 and 4-5 on the host, step 3 + its BP on the
+ * accelerator).
+ *
+ * Runtime composition: per-access issue efficiencies and BUM merge
+ * ratios are *measured* by replaying captured training traces through
+ * the FrmUnit/BumUnit models (accel/calibration.hh); the Accelerator
+ * scales those costs to the paper-scale workload, schedules each grid
+ * level onto a fusion mode by its table size, overlaps grid cores with
+ * MLP units, and accounts DRAM table streaming.
+ */
+
+#ifndef INSTANT3D_ACCEL_ACCELERATOR_HH
+#define INSTANT3D_ACCEL_ACCELERATOR_HH
+
+#include <vector>
+
+#include "accel/calibration.hh"
+#include "accel/fusion.hh"
+#include "accel/mlp_unit.hh"
+#include "core/workload.hh"
+#include "devices/device.hh"
+
+namespace instant3d {
+
+/** Microarchitectural configuration (defaults = the paper's design). */
+struct AcceleratorConfig
+{
+    int numGridCores = 4;
+    int banksPerCore = 8;
+    uint64_t sramBytesPerCore = 256 * 1024;
+    int frmWindowDepth = 16;    //!< Sec 5.1: reorder depth 16.
+    int bumEntries = 16;        //!< Sec 5.1: BUM buffer 16 entries.
+    int bumTimeoutCycles = 64;
+    double bumIntakePerCorePerCycle = 8.0; //!< Updates absorbed/cycle.
+    MlpUnitConfig mlp;
+    double frequencyGHz = 0.8;  //!< Tab 3 / Fig 15: 800 MHz.
+    double dramBandwidthGBs = 59.7; //!< LPDDR4-1866 (Sec 5.1).
+    double dramStreamEff = 0.8; //!< Sequential table-DMA efficiency.
+    double dramRandomEff = 0.08; //!< Random access on SRAM spill.
+    double pipelineOverhead = 0.05; //!< Fill/sync fraction.
+    double hostSecondsPerIter = 3e-4; //!< Host-SoC steps 1-2, 4-5.
+
+    // Ablation switches (Fig 17 / Fig 18 / Tab 5).
+    bool enableFrm = true;
+    bool enableBum = true;
+    bool enableFusion = true;
+};
+
+/** Per-branch grid-step simulation detail, for reporting. */
+struct BranchCycleReport
+{
+    std::string branchName;
+    uint64_t ffCycles = 0;
+    uint64_t bpCycles = 0;
+    uint64_t sramReads = 0;
+    uint64_t sramWriteOps = 0;   //!< Read-modify-write bank operations.
+    uint64_t dramStreamBytes = 0;
+    uint64_t dramSpillAccesses = 0;
+    std::vector<FusionLevel> levelModes; //!< Fusion mode per level.
+};
+
+/** Full per-iteration simulation result. */
+struct AcceleratorResult
+{
+    StepBreakdown breakdown;       //!< Seconds/iter per pipeline step.
+    double secondsPerIter = 0.0;   //!< After grid/MLP overlap.
+    double totalSeconds = 0.0;     //!< All iterations.
+    std::vector<BranchCycleReport> branches;
+    uint64_t mlpFfCycles = 0;
+    uint64_t mlpBpCycles = 0;
+    double gridSeconds = 0.0;      //!< Grid-core pipeline time/iter.
+    double mlpSeconds = 0.0;       //!< MLP-unit pipeline time/iter.
+
+    // Per-iteration energy-relevant activity counts.
+    double sramReadsPerIter = 0.0;
+    double sramWriteOpsPerIter = 0.0;
+    double dramBytesPerIter = 0.0;
+    double macsPerIter = 0.0;
+};
+
+/**
+ * Analytic + trace-calibrated model of the Instant-3D accelerator.
+ */
+class Accelerator
+{
+  public:
+    Accelerator(const AcceleratorConfig &config,
+                const TraceCalibration &calibration);
+
+    const AcceleratorConfig &config() const { return cfg; }
+    const TraceCalibration &calibration() const { return calib; }
+
+    /** Simulate one training workload end to end. */
+    AcceleratorResult simulate(const TrainingWorkload &workload) const;
+
+    /** Convenience: total training seconds. */
+    double trainingSeconds(const TrainingWorkload &workload) const
+    { return simulate(workload).totalSeconds; }
+
+    /** Total SRAM capacity across grid cores (bytes). */
+    uint64_t totalSramBytes() const
+    { return cfg.sramBytesPerCore * cfg.numGridCores; }
+
+  private:
+    /** Grid-level resolutions of a branch (NGP growth schedule). */
+    std::vector<uint64_t> levelTableBytes(const BranchWorkload &b) const;
+
+    BranchCycleReport simulateBranch(const BranchWorkload &b,
+                                     double points_per_iter) const;
+
+    AcceleratorConfig cfg;
+    TraceCalibration calib;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_ACCELERATOR_HH

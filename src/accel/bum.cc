@@ -1,0 +1,82 @@
+#include "accel/bum.hh"
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+BumUnit::BumUnit(const BumConfig &config)
+    : cfg(config)
+{
+    fatalIf(cfg.numEntries < 1, "BUM needs at least one entry");
+    fatalIf(cfg.timeoutCycles < 1, "BUM timeout must be positive");
+    buffer.reserve(cfg.numEntries);
+}
+
+void
+BumUnit::writeBack(size_t idx)
+{
+    sram[buffer[idx].address] += buffer[idx].value;
+    wbOrder.push_back(buffer[idx].address);
+    bumStats.sramWrites++;
+    buffer.erase(buffer.begin() + static_cast<long>(idx));
+}
+
+void
+BumUnit::tick()
+{
+    cycle++;
+    // Flush entries idle past the timeout (Fig 13: "no updates for N
+    // cycles, write to SRAM").
+    for (size_t i = 0; i < buffer.size();) {
+        if (cycle - buffer[i].lastTouch >=
+            static_cast<uint64_t>(cfg.timeoutCycles)) {
+            writeBack(i);
+        } else {
+            i++;
+        }
+    }
+}
+
+void
+BumUnit::pushUpdate(uint64_t address, float gradient)
+{
+    tick();
+    bumStats.updatesIn++;
+    double scaled = static_cast<double>(gradient) * cfg.learningRate;
+
+    // One-to-All-Match (Fig 13b).
+    for (auto &e : buffer) {
+        if (e.address == address) {
+            e.value += scaled;
+            e.lastTouch = cycle;
+            bumStats.merges++;
+            return;
+        }
+    }
+
+    // Match failed: allocate, evicting the least-recently-merged entry
+    // (the buffer tail in Fig 13a) when full.
+    if (buffer.size() >= static_cast<size_t>(cfg.numEntries)) {
+        size_t oldest = 0;
+        for (size_t i = 1; i < buffer.size(); i++)
+            if (buffer[i].lastTouch < buffer[oldest].lastTouch)
+                oldest = i;
+        writeBack(oldest);
+    }
+    buffer.push_back({address, scaled, cycle});
+}
+
+void
+BumUnit::idleCycle()
+{
+    tick();
+}
+
+void
+BumUnit::flushAll()
+{
+    while (!buffer.empty())
+        writeBack(buffer.size() - 1);
+}
+
+} // namespace instant3d

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Back-Propagation Update Merger (BUM, Sec 4.5 / Fig 13).
+ *
+ * During back-propagation, multiple gradient updates target the same
+ * hash-table entry within a short time window (Fig 10). The BUM holds a
+ * small CAM-indexed buffer (16 entries, Sec 5.1); each incoming update
+ * either merges into a matching entry (accumulating the scaled
+ * gradient) or allocates a new one, evicting the least-recently-merged
+ * entry when full. Entries idle for N cycles flush to SRAM. The effect
+ * is one SRAM write for many logical updates, with bit-identical final
+ * table contents (addition is the merge operator).
+ */
+
+#ifndef INSTANT3D_ACCEL_BUM_HH
+#define INSTANT3D_ACCEL_BUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace instant3d {
+
+/** Static configuration of one BUM unit. */
+struct BumConfig
+{
+    int numEntries = 16;     //!< CAM buffer capacity (Sec 5.1).
+    int timeoutCycles = 64;  //!< Idle cycles before write-back.
+    float learningRate = 1.0f; //!< Pre-scale applied to gradients.
+};
+
+/** Throughput/traffic statistics of a BUM run. */
+struct BumStats
+{
+    uint64_t updatesIn = 0;  //!< Logical gradient updates received.
+    uint64_t sramWrites = 0; //!< Physical write-backs issued.
+    uint64_t merges = 0;     //!< Updates absorbed into live entries.
+
+    /** Fraction of updates that did not become SRAM writes. */
+    double
+    mergeRatio() const
+    {
+        if (updatesIn == 0)
+            return 0.0;
+        return 1.0 -
+               static_cast<double>(sramWrites) / updatesIn;
+    }
+};
+
+/**
+ * Cycle-approximate functional model of the BUM.
+ */
+class BumUnit
+{
+  public:
+    explicit BumUnit(const BumConfig &config);
+
+    const BumConfig &config() const { return cfg; }
+
+    /**
+     * Push one gradient update (one cycle). The value is multiplied by
+     * the configured learning rate before accumulation (Fig 13b).
+     */
+    void pushUpdate(uint64_t address, float gradient);
+
+    /** Advance one idle cycle (ages buffered entries). */
+    void idleCycle();
+
+    /** Flush every live entry to SRAM (end of back-propagation pass). */
+    void flushAll();
+
+    const BumStats &stats() const { return bumStats; }
+
+    /**
+     * Accumulated value committed to each address so far (SRAM-side
+     * view; used to verify merge correctness).
+     */
+    const std::unordered_map<uint64_t, double> &committed() const
+    { return sram; }
+
+    /** Number of currently buffered (un-flushed) entries. */
+    size_t liveEntries() const { return buffer.size(); }
+
+    /** Addresses in the order their write-backs were issued. */
+    const std::vector<uint64_t> &writebackOrder() const
+    { return wbOrder; }
+
+  private:
+    struct Entry
+    {
+        uint64_t address;
+        double value;
+        uint64_t lastTouch; //!< Cycle of the last merge.
+    };
+
+    void tick();
+    void writeBack(size_t idx);
+
+    BumConfig cfg;
+    std::vector<Entry> buffer;
+    std::unordered_map<uint64_t, double> sram;
+    std::vector<uint64_t> wbOrder;
+    BumStats bumStats;
+    uint64_t cycle = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_BUM_HH

@@ -1,0 +1,157 @@
+#include "accel/calibration.hh"
+
+#include "accel/bum.hh"
+#include "accel/frm.hh"
+#include "common/logging.hh"
+
+namespace instant3d {
+
+double
+TraceCalibration::utilization(int banks, bool frm_enabled) const
+{
+    fatalIf(banks < 1, "bank count must be positive");
+    double u8 = frm_enabled ? frmUtil8 : inOrderUtil8;
+    double u16 = frm_enabled ? frmUtil16 : inOrderUtil16;
+    double u32 = frm_enabled ? frmUtil32 : inOrderUtil32;
+    if (banks <= 8)
+        return u8;
+    if (banks == 16)
+        return u16;
+    if (banks == 32)
+        return u32;
+    if (banks < 16) {
+        // Log-linear interpolation between the measured widths.
+        double t = (banks - 8) / 8.0;
+        return u8 + t * (u16 - u8);
+    }
+    if (banks < 32) {
+        double t = (banks - 16) / 16.0;
+        return u16 + t * (u32 - u16);
+    }
+    // Wider than measured: utilization keeps falling with width at the
+    // measured 16->32 trend.
+    double decay = u32 / std::max(u16, 1e-9);
+    double u = u32;
+    for (int w = 64; w <= banks; w *= 2)
+        u *= decay;
+    return u;
+}
+
+TraceCalibration
+TraceCalibration::defaults()
+{
+    // Measured on lego-scene traces (see test_calibration.cc, which
+    // checks real measurements stay in the neighbourhood of these).
+    TraceCalibration c;
+    c.frmUtil8 = 0.65;
+    c.frmUtil16 = 0.59;
+    c.frmUtil32 = 0.50;
+    c.inOrderUtil8 = 0.22;
+    c.inOrderUtil16 = 0.12;
+    c.inOrderUtil32 = 0.06;
+    c.bumMergeRatio = 0.48;
+    return c;
+}
+
+namespace {
+
+/**
+ * Split accesses into per-level address streams: the grid core
+ * processes one level's SRAM-resident table per pass (Sec 4.3), so the
+ * FRM/BUM only ever see one level's stream at a time.
+ */
+std::vector<std::vector<uint32_t>>
+perLevelStreams(const std::vector<GridAccess> &accesses)
+{
+    uint16_t max_level = 0;
+    for (const auto &a : accesses)
+        max_level = std::max(max_level, a.level);
+    std::vector<std::vector<uint32_t>> out(max_level + 1);
+    for (const auto &a : accesses)
+        out[a.level].push_back(a.address);
+    return out;
+}
+
+/** Smallest power of two >= the largest address + 1. */
+uint64_t
+inferTableEntries(const std::vector<uint32_t> &addrs)
+{
+    uint32_t max_addr = 0;
+    for (uint32_t a : addrs)
+        max_addr = std::max(max_addr, a);
+    uint64_t entries = 64;
+    while (entries <= max_addr)
+        entries <<= 1;
+    return entries;
+}
+
+double
+measureUtil(const std::vector<std::vector<uint32_t>> &streams, int banks,
+            bool frm, int window_depth)
+{
+    // The fused FRM's reorder window scales with the number of fused
+    // bank groups (a B32 FRM fronts four cores' pipelines).
+    int depth = window_depth * std::max(1, banks / 8);
+    uint64_t requests = 0, cycles = 0;
+    for (const auto &addrs : streams) {
+        if (addrs.empty())
+            continue;
+        SramArray sram(banks, 4, 1ull << 20, inferTableEntries(addrs));
+        FrmStats stats;
+        if (frm) {
+            FrmUnit unit(sram, depth);
+            stats = unit.process(addrs);
+        } else {
+            stats = FrmUnit::processInOrder(sram, addrs);
+        }
+        requests += stats.requests;
+        cycles += stats.cycles;
+    }
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(requests) /
+           (static_cast<double>(cycles) * banks);
+}
+
+} // namespace
+
+TraceCalibration
+calibrateFromTrace(const std::vector<GridAccess> &reads,
+                   const std::vector<GridAccess> &writes,
+                   int frm_window_depth, int bum_entries, int bum_timeout)
+{
+    fatalIf(reads.empty(), "calibration needs a read trace");
+    TraceCalibration c;
+
+    auto streams = perLevelStreams(reads);
+    c.frmUtil8 = measureUtil(streams, 8, true, frm_window_depth);
+    c.frmUtil16 = measureUtil(streams, 16, true, frm_window_depth);
+    c.frmUtil32 = measureUtil(streams, 32, true, frm_window_depth);
+    c.inOrderUtil8 = measureUtil(streams, 8, false, frm_window_depth);
+    c.inOrderUtil16 = measureUtil(streams, 16, false, frm_window_depth);
+    c.inOrderUtil32 = measureUtil(streams, 32, false, frm_window_depth);
+
+    if (!writes.empty()) {
+        // One BUM per level pass; aggregate the traffic reduction.
+        uint64_t updates = 0, sram_writes = 0;
+        for (const auto &stream : perLevelStreams(writes)) {
+            if (stream.empty())
+                continue;
+            BumConfig bcfg;
+            bcfg.numEntries = bum_entries;
+            bcfg.timeoutCycles = bum_timeout;
+            BumUnit bum(bcfg);
+            for (uint32_t addr : stream)
+                bum.pushUpdate(addr, 1.0f);
+            bum.flushAll();
+            updates += bum.stats().updatesIn;
+            sram_writes += bum.stats().sramWrites;
+        }
+        if (updates > 0)
+            c.bumMergeRatio =
+                1.0 - static_cast<double>(sram_writes) / updates;
+    }
+    return c;
+}
+
+} // namespace instant3d

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace-derived calibration of the grid-core datapath.
+ *
+ * The cycle cost of the embedding-grid steps depends on how well the
+ * FRM fills the SRAM banks and how much update traffic the BUM merges,
+ * both of which are properties of the *address stream*, not closed-form
+ * constants. TraceCalibration measures them by replaying a captured
+ * training trace (src/trace) through the actual FrmUnit / BumUnit
+ * models at every bank width, and the Accelerator scales those
+ * per-access costs up to the paper-scale workload.
+ */
+
+#ifndef INSTANT3D_ACCEL_CALIBRATION_HH
+#define INSTANT3D_ACCEL_CALIBRATION_HH
+
+#include <vector>
+
+#include "trace/mem_trace.hh"
+
+namespace instant3d {
+
+/** Measured issue efficiencies and merge behaviour of a trace. */
+struct TraceCalibration
+{
+    /** FRM read utilization (requests/bank/cycle) at 8/16/32 banks. */
+    double frmUtil8 = 0.0;
+    double frmUtil16 = 0.0;
+    double frmUtil32 = 0.0;
+
+    /** In-order (no FRM) utilization at 8/16/32 banks. */
+    double inOrderUtil8 = 0.0;
+    double inOrderUtil16 = 0.0;
+    double inOrderUtil32 = 0.0;
+
+    /** Fraction of BP updates absorbed by the BUM (Sec 4.5). */
+    double bumMergeRatio = 0.0;
+
+    /** Utilization lookup for a given bank count and issue policy. */
+    double utilization(int banks, bool frm_enabled) const;
+
+    /**
+     * Representative constants measured from lego-scene training
+     * traces with the shipped configuration; used by unit tests and
+     * quick examples that do not want to capture a trace first.
+     */
+    static TraceCalibration defaults();
+};
+
+/**
+ * Measure a calibration by replaying a captured trace.
+ *
+ * @param reads            FF read accesses in hardware (batch-major)
+ *                         order -- see batchMajorOrder().
+ * @param writes           BP update accesses in arrival order.
+ * @param frm_window_depth Reorder window depth (paper: 16).
+ * @param bum_entries      BUM buffer capacity (paper: 16).
+ * @param bum_timeout      BUM idle-flush threshold in cycles.
+ */
+TraceCalibration calibrateFromTrace(const std::vector<GridAccess> &reads,
+                                    const std::vector<GridAccess> &writes,
+                                    int frm_window_depth = 16,
+                                    int bum_entries = 16,
+                                    int bum_timeout = 64);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_CALIBRATION_HH

@@ -1,0 +1,74 @@
+#include "accel/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+EnergyModel::EnergyModel(const EnergyParams &params)
+    : energyParams(params)
+{
+}
+
+EnergyReport
+EnergyModel::report(const AcceleratorResult &result, int iterations) const
+{
+    fatalIf(iterations < 1, "energy report needs iterations");
+    const auto &p = energyParams;
+
+    double grid_j = (result.sramReadsPerIter * p.sramReadPj +
+                     result.sramWriteOpsPerIter * p.sramWriteOpPj) *
+                    1e-12 * iterations;
+    double dram_j =
+        result.dramBytesPerIter * p.dramPjPerByte * 1e-12 * iterations;
+    double mlp_j = result.macsPerIter * p.macPj * 1e-12 * iterations;
+    double static_j = p.staticWatts * result.totalSeconds;
+
+    EnergyReport rep;
+    // Static power apportioned by area-like shares (grid cores
+    // dominate the floorplan, Fig 15): 78% grid side, 22% MLP.
+    double grid_total = grid_j + dram_j + 0.78 * static_j;
+    double mlp_total = mlp_j + 0.22 * static_j;
+    rep.totalJoules = grid_total + mlp_total;
+    rep.avgPowerWatts =
+        result.totalSeconds > 0.0 ? rep.totalJoules / result.totalSeconds
+                                  : 0.0;
+    rep.gridFraction = grid_total / rep.totalJoules;
+    rep.mlpFraction = mlp_total / rep.totalJoules;
+    // The FRM/BUM scheduling slice of grid-core energy: CAM matches and
+    // collision checks, a fixed fraction of per-access energy.
+    rep.frmBumFraction = 0.30 * grid_j / rep.totalJoules;
+    return rep;
+}
+
+AreaReport
+areaReport(const AcceleratorConfig &config, const AreaParams &params)
+{
+    AreaReport rep;
+
+    double sram_kb = static_cast<double>(config.sramBytesPerCore) *
+                     config.numGridCores / 1024.0 + params.otherSramKb;
+    double sram = sram_kb * params.sramMm2PerKb;
+    double core_logic = params.coreLogicMm2 * config.numGridCores;
+
+    // FRM units: one B8 per core, one B16 per pair, one B32 overall
+    // (Fig 11): total banks-worth of scheduling logic.
+    int frm_banks = config.numGridCores * config.banksPerCore // B8 x4
+                    + 2 * (2 * config.banksPerCore)           // B16 x2
+                    + config.numGridCores * config.banksPerCore; // B32
+    rep.frmMm2 = frm_banks * params.frmMm2PerBank;
+    rep.bumMm2 = config.numGridCores * config.bumEntries *
+                 params.bumMm2PerEntry;
+
+    rep.gridCoresMm2 = sram + core_logic + rep.frmMm2 + rep.bumMm2;
+
+    double macs = static_cast<double>(config.mlp.systolicRows) *
+                      config.mlp.systolicCols +
+                  static_cast<double>(config.mlp.adderTreeLanes) *
+                      config.mlp.numAdderTrees;
+    rep.mlpMm2 = macs * params.macMm2 + params.mlpBufferMm2;
+
+    rep.totalMm2 = rep.gridCoresMm2 + rep.mlpMm2;
+    return rep;
+}
+
+} // namespace instant3d

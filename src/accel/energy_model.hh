@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Area and energy models of the Instant-3D accelerator (Fig 15).
+ *
+ * The paper reports post-layout numbers from Synopsys DC + Cadence
+ * Innovus at 28 nm (6.8 mm^2, 1.9 W, area 78% grid cores / 22% MLP,
+ * energy 81% / 19%). Without the commercial flow we use per-component
+ * 28-nm constants (pJ per SRAM/DRAM access, pJ per fp16 MAC, mm^2 per
+ * KB of SRAM and per MAC) chosen to land on the published totals; the
+ * models then scale correctly when the microarchitecture is changed
+ * (bank counts, buffer sizes, MLP unit shape), which is what the
+ * ablation benches exercise.
+ */
+
+#ifndef INSTANT3D_ACCEL_ENERGY_MODEL_HH
+#define INSTANT3D_ACCEL_ENERGY_MODEL_HH
+
+#include "accel/accelerator.hh"
+
+namespace instant3d {
+
+/** 28-nm energy constants. */
+struct EnergyParams
+{
+    double sramReadPj = 25.0;    //!< One 4 B hash-table read + interp.
+    double sramWriteOpPj = 28.0; //!< One bank op of a write-back RMW.
+    double dramPjPerByte = 100.0; //!< LPDDR4 access energy.
+    double macPj = 0.16;         //!< One fp16 MAC (incl. local regs).
+    double staticWatts = 0.75;   //!< Leakage + clock tree.
+};
+
+/** Energy report for one workload run. */
+struct EnergyReport
+{
+    double totalJoules = 0.0;
+    double avgPowerWatts = 0.0;
+    double gridFraction = 0.0; //!< Grid cores incl. SRAM + DRAM share.
+    double mlpFraction = 0.0;
+    double frmBumFraction = 0.0; //!< Scheduling-logic slice (in grid).
+};
+
+/** Area report of one accelerator configuration. */
+struct AreaReport
+{
+    double totalMm2 = 0.0;
+    double gridCoresMm2 = 0.0; //!< SRAM banks + grid-core logic.
+    double mlpMm2 = 0.0;
+    double frmMm2 = 0.0;       //!< Included in gridCoresMm2.
+    double bumMm2 = 0.0;       //!< Included in gridCoresMm2.
+
+    double gridFraction() const
+    { return totalMm2 > 0.0 ? gridCoresMm2 / totalMm2 : 0.0; }
+    double mlpFraction() const
+    { return totalMm2 > 0.0 ? mlpMm2 / totalMm2 : 0.0; }
+};
+
+/**
+ * Energy model: converts AcceleratorResult activity counts to joules.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams());
+
+    const EnergyParams &params() const { return energyParams; }
+
+    /** Energy of a full training run. */
+    EnergyReport report(const AcceleratorResult &result,
+                        int iterations) const;
+
+  private:
+    EnergyParams energyParams;
+};
+
+/** 28-nm area constants. */
+struct AreaParams
+{
+    double sramMm2PerKb = 2.6e-3;   //!< Dense 28-nm SRAM macro.
+    double otherSramKb = 512.0;     //!< Coordinate/address buffers
+                                    //!< (Tab 3's 1.5 MB total SRAM).
+    double coreLogicMm2 = 0.09;     //!< Hash/interp/gradient per core.
+    double frmMm2PerBank = 0.004;   //!< Collision detector + mux slice.
+    double bumMm2PerEntry = 0.009;  //!< CAM entry + accumulator.
+    double macMm2 = 2.9e-4;         //!< One fp16 MAC PE.
+    double mlpBufferMm2 = 0.24;     //!< Activation/weight buffers.
+};
+
+/** Compute the silicon area of an accelerator configuration. */
+AreaReport areaReport(const AcceleratorConfig &config,
+                      const AreaParams &params = AreaParams());
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_ENERGY_MODEL_HH

@@ -1,0 +1,80 @@
+#include "accel/frm.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+FrmUnit::FrmUnit(SramArray &sram, int window_depth)
+    : array(sram), depth(window_depth)
+{
+    fatalIf(window_depth < 1, "FRM window depth must be positive");
+}
+
+FrmStats
+FrmUnit::process(const std::vector<uint32_t> &addresses)
+{
+    FrmStats stats;
+    stats.requests = addresses.size();
+
+    std::deque<uint32_t> window;
+    size_t next = 0;
+    std::vector<uint32_t> issue;
+    issue.reserve(array.numBanks());
+
+    while (next < addresses.size() || !window.empty()) {
+        // Refill the reorder window.
+        while (window.size() < static_cast<size_t>(depth) &&
+               next < addresses.size())
+            window.push_back(addresses[next++]);
+
+        // Greedily map one request per free bank, oldest first (the
+        // Bank Collision Detector + Read Commit Unit of Fig 12b).
+        uint64_t busy = 0;
+        issue.clear();
+        for (auto it = window.begin(); it != window.end();) {
+            uint64_t bit = 1ull << array.bankOf(*it);
+            if (!(busy & bit) &&
+                issue.size() < static_cast<size_t>(array.numBanks())) {
+                busy |= bit;
+                issue.push_back(*it);
+                it = window.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        array.serveReads(issue);
+        stats.cycles++;
+    }
+    return stats;
+}
+
+FrmStats
+FrmUnit::processInOrder(SramArray &sram,
+                        const std::vector<uint32_t> &addresses)
+{
+    FrmStats stats;
+    stats.requests = addresses.size();
+
+    size_t next = 0;
+    std::vector<uint32_t> issue;
+    while (next < addresses.size()) {
+        uint64_t busy = 0;
+        issue.clear();
+        // Issue the longest collision-free prefix this cycle.
+        while (next < addresses.size() &&
+               issue.size() < static_cast<size_t>(sram.numBanks())) {
+            uint64_t bit = 1ull << sram.bankOf(addresses[next]);
+            if (busy & bit)
+                break;
+            busy |= bit;
+            issue.push_back(addresses[next++]);
+        }
+        sram.serveReads(issue);
+        stats.cycles++;
+    }
+    return stats;
+}
+
+} // namespace instant3d

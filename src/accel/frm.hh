@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Feed-Forward Read Mapper (FRM, Sec 4.4 / Fig 12).
+ *
+ * SRAM read requests arrive in program order; without reordering, a
+ * cycle can only issue the next run of requests until the first bank
+ * collision (the paper's 25-50% utilization problem). The FRM keeps a
+ * reorder window (pipeline depth 16, Sec 5.1) and each cycle maps any
+ * collision-free subset of buffered requests onto the banks, raising
+ * utilization toward one request per bank per cycle.
+ */
+
+#ifndef INSTANT3D_ACCEL_FRM_HH
+#define INSTANT3D_ACCEL_FRM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/sram.hh"
+
+namespace instant3d {
+
+/** Result of streaming a read sequence through an issue policy. */
+struct FrmStats
+{
+    uint64_t requests = 0; //!< Total read requests served.
+    uint64_t cycles = 0;   //!< Cycles needed to serve them all.
+
+    /** Requests per bank per cycle (1.0 = perfect). */
+    double
+    utilization(int num_banks) const
+    {
+        if (cycles == 0 || num_banks == 0)
+            return 0.0;
+        return static_cast<double>(requests) /
+               (static_cast<double>(cycles) * num_banks);
+    }
+
+    /** Mean requests mapped into each multi-bank transaction. */
+    double
+    requestsPerCycle() const
+    {
+        return cycles ? static_cast<double>(requests) / cycles : 0.0;
+    }
+};
+
+/**
+ * The FRM unit: bank-collision-aware request scheduler.
+ */
+class FrmUnit
+{
+  public:
+    /**
+     * @param sram          Bank configuration to schedule against.
+     * @param window_depth  Reorder window depth (paper: 16).
+     */
+    FrmUnit(SramArray &sram, int window_depth);
+
+    int windowDepth() const { return depth; }
+
+    /**
+     * Stream a read-address sequence through the reorder window and
+     * return the cycle count (the FRM issue policy).
+     */
+    FrmStats process(const std::vector<uint32_t> &addresses);
+
+    /**
+     * Baseline without the FRM: strictly in-order issue that stops at
+     * the first bank collision each cycle.
+     */
+    static FrmStats processInOrder(SramArray &sram,
+                                   const std::vector<uint32_t> &addresses);
+
+  private:
+    SramArray &array;
+    int depth;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_FRM_HH

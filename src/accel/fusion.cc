@@ -1,0 +1,61 @@
+#include "accel/fusion.hh"
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+std::string
+FusionMode::name() const
+{
+    switch (level) {
+      case FusionLevel::Level0:
+        return "Level 0 standalone (8 banks)";
+      case FusionLevel::Level1:
+        return "Level 1 fusion (16 banks)";
+      case FusionLevel::Level2:
+        return "Level 2 fusion (32 banks)";
+      case FusionLevel::DramSpill:
+        return "DRAM spill (no SRAM residency)";
+    }
+    panic("unreachable fusion level");
+}
+
+FusionMode
+fusionForTable(uint64_t table_bytes, uint64_t bytes_per_core,
+               int num_cores, int banks_per_core, bool fusion_enabled)
+{
+    fatalIf(num_cores < 1 || banks_per_core < 1,
+            "fusion needs cores and banks");
+
+    FusionMode mode;
+    if (table_bytes <= bytes_per_core) {
+        mode.level = FusionLevel::Level0;
+        mode.banksPerCluster = banks_per_core;
+        mode.numClusters = num_cores;
+        return mode;
+    }
+    if (!fusion_enabled) {
+        mode.level = FusionLevel::DramSpill;
+        mode.banksPerCluster = banks_per_core;
+        mode.numClusters = num_cores;
+        return mode;
+    }
+    if (table_bytes <= 2 * bytes_per_core && num_cores >= 2) {
+        mode.level = FusionLevel::Level1;
+        mode.banksPerCluster = 2 * banks_per_core;
+        mode.numClusters = num_cores / 2;
+        return mode;
+    }
+    if (table_bytes <= static_cast<uint64_t>(num_cores) * bytes_per_core) {
+        mode.level = FusionLevel::Level2;
+        mode.banksPerCluster = num_cores * banks_per_core;
+        mode.numClusters = 1;
+        return mode;
+    }
+    mode.level = FusionLevel::DramSpill;
+    mode.banksPerCluster = banks_per_core;
+    mode.numClusters = num_cores;
+    return mode;
+}
+
+} // namespace instant3d

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Multi-core-fusion reconfigurable scheme (Sec 4.6 / Fig 14).
+ *
+ * Each of the four grid cores owns 8 SRAM banks (256 KB). Hash tables
+ * are mapped by size:
+ *   - <= 256 KB: Level 0 standalone -- four cores run independent
+ *     levels, each behind its own 8-bank FRM.
+ *   - <= 512 KB: Level 1 fusion -- cores fuse in pairs; a 16-bank FRM
+ *     schedules the pair's banks.
+ *   - <= 1 MB:  Level 2 fusion -- all four cores fuse behind the
+ *     32-bank FRM.
+ * Tables larger than 1 MB cannot be SRAM-resident and fall back to
+ * DRAM (this is what the reconfigurable scheme exists to avoid).
+ */
+
+#ifndef INSTANT3D_ACCEL_FUSION_HH
+#define INSTANT3D_ACCEL_FUSION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace instant3d {
+
+/** Operating mode of the grid-core cluster for one hash table. */
+enum class FusionLevel
+{
+    Level0,     //!< 4 standalone cores, 8 banks each.
+    Level1,     //!< 2 fused pairs, 16 banks each.
+    Level2,     //!< 1 fused cluster, 32 banks.
+    DramSpill,  //!< Table exceeds total SRAM; served from DRAM.
+};
+
+/** Geometry of a fusion mode. */
+struct FusionMode
+{
+    FusionLevel level = FusionLevel::Level0;
+    int banksPerCluster = 8;  //!< FRM width of one cluster.
+    int numClusters = 4;      //!< Independent clusters working in
+                              //!< parallel (on different grid levels).
+
+    /** Aggregate banks across clusters. */
+    int totalBanks() const { return banksPerCluster * numClusters; }
+
+    std::string name() const;
+};
+
+/**
+ * Select the fusion mode for a hash table of `table_bytes`, given the
+ * per-core SRAM capacity (256 KB) and core count (4).
+ *
+ * @param fusion_enabled  When false (ablation), only Level 0 is
+ *                        available and larger tables spill to DRAM.
+ */
+FusionMode fusionForTable(uint64_t table_bytes,
+                          uint64_t bytes_per_core = 256 * 1024,
+                          int num_cores = 4, int banks_per_core = 8,
+                          bool fusion_enabled = true);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_FUSION_HH

@@ -1,0 +1,122 @@
+#include "accel/grid_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+const char *
+GridCoreResult::bottleneck() const
+{
+    uint64_t peak = std::max({sramBoundCycles, hashBoundCycles,
+                              interpBoundCycles});
+    if (peak == sramBoundCycles)
+        return "sram";
+    if (peak == hashBoundCycles)
+        return "hash";
+    return "interp";
+}
+
+GridCore::GridCore(const GridCoreConfig &config)
+    : cfg(config)
+{
+    fatalIf(cfg.banks < 1, "grid core needs banks");
+    fatalIf(cfg.hashAddressesPerCycle < 1,
+            "hash unit throughput must be positive");
+    fatalIf(cfg.interpPointsPerCycle < 1,
+            "interpolation throughput must be positive");
+}
+
+GridCoreResult
+GridCore::processLevelPass(
+    const std::vector<std::array<uint32_t, 8>> &points) const
+{
+    GridCoreResult res;
+    if (points.empty())
+        return res;
+
+    // Flatten into the SRAM request stream.
+    std::vector<uint32_t> addrs;
+    addrs.reserve(points.size() * 8);
+    for (const auto &p : points)
+        addrs.insert(addrs.end(), p.begin(), p.end());
+
+    SramArray sram(cfg.banks, 4, 4ull << 20, cfg.tableEntries);
+    if (cfg.enableFrm) {
+        FrmUnit frm(sram, cfg.frmWindowDepth);
+        res.frm = frm.process(addrs);
+    } else {
+        res.frm = FrmUnit::processInOrder(sram, addrs);
+    }
+    res.sramBoundCycles = res.frm.cycles;
+
+    uint64_t n = points.size();
+    res.hashBoundCycles =
+        (n * 8 + cfg.hashAddressesPerCycle - 1) /
+        cfg.hashAddressesPerCycle;
+    res.interpBoundCycles =
+        (n + cfg.interpPointsPerCycle - 1) / cfg.interpPointsPerCycle;
+
+    res.cycles = std::max({res.sramBoundCycles, res.hashBoundCycles,
+                           res.interpBoundCycles}) +
+                 cfg.pipelineLatency;
+    return res;
+}
+
+GridCore::BackpropResult
+GridCore::processBackpropPass(
+    const std::vector<std::array<uint32_t, 8>> &points) const
+{
+    BackpropResult res;
+    if (points.empty())
+        return res;
+    res.updates = points.size() * 8;
+
+    // Stage 1: gradient updates stream through the BUM (or bypass it).
+    std::vector<uint64_t> writebacks;
+    if (cfg.enableBum) {
+        BumUnit bum(cfg.bum);
+        for (const auto &p : points)
+            for (uint32_t a : p)
+                bum.pushUpdate(a, 1.0f);
+        bum.flushAll();
+        res.bum = bum.stats();
+        writebacks = bum.writebackOrder();
+    } else {
+        writebacks.reserve(res.updates);
+        for (const auto &p : points)
+            for (uint32_t a : p)
+                writebacks.push_back(a);
+        res.bum.updatesIn = res.updates;
+        res.bum.sramWrites = res.updates;
+    }
+    res.writeBacks = writebacks.size();
+
+    // Stage 2: each write-back is a read-modify-write -- two bank
+    // operations on the same bank, modelled as duplicated requests.
+    std::vector<uint32_t> ops;
+    ops.reserve(2 * writebacks.size());
+    for (uint64_t a : writebacks) {
+        ops.push_back(static_cast<uint32_t>(a));
+        ops.push_back(static_cast<uint32_t>(a));
+    }
+    SramArray sram(cfg.banks, 4, 4ull << 20, cfg.tableEntries);
+    FrmStats issue;
+    if (cfg.enableBum) {
+        // Buffered write-backs are schedulable, like FRM reads.
+        FrmUnit frm(sram, cfg.frmWindowDepth);
+        issue = frm.process(ops);
+    } else {
+        issue = FrmUnit::processInOrder(sram, ops);
+    }
+
+    uint64_t intake_cycles =
+        (res.updates + cfg.bumIntakePerCycle - 1) /
+        cfg.bumIntakePerCycle;
+    res.cycles = std::max(issue.cycles, intake_cycles) +
+                 cfg.pipelineLatency;
+    return res;
+}
+
+} // namespace instant3d

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Grid-core pipeline model (Fig 11, "Grid Core Design"): one level
+ * pass flows through
+ *
+ *   3D Coordinate Buffer -> Interpolation Coord. Pre-Compute Unit ->
+ *   Hash Function Compute Unit -> Interpolation Address Multi-Output
+ *   Double Buffer -> FRM -> Hash Table SRAM Banks -> Interpolation
+ *   Unit (or Gradient Compute Unit during BP).
+ *
+ * Every stage is pipelined; steady-state throughput is set by the
+ * slowest stage. The hash unit emits all 8 vertex addresses of one
+ * point per cycle and the interpolation unit retires one point per
+ * cycle, so the SRAM issue stage (FRM or in-order) is the bottleneck
+ * whenever its utilization drops below 8/banks -- which is exactly the
+ * regime the FRM exists to fix.
+ */
+
+#ifndef INSTANT3D_ACCEL_GRID_CORE_HH
+#define INSTANT3D_ACCEL_GRID_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "accel/bum.hh"
+#include "accel/frm.hh"
+
+namespace instant3d {
+
+/** Static configuration of one grid core (or fused cluster). */
+struct GridCoreConfig
+{
+    int banks = 8;
+    uint64_t tableEntries = 1ull << 16;
+    int frmWindowDepth = 16;
+    bool enableFrm = true;
+
+    /** Fill/drain latency of the whole pipeline, cycles. */
+    int pipelineLatency = 12;
+
+    /** Addresses the hash unit can produce per cycle (one point). */
+    int hashAddressesPerCycle = 8;
+
+    /** Points the interpolation unit retires per cycle. */
+    int interpPointsPerCycle = 1;
+
+    /** BUM geometry for the back-propagation pass. */
+    BumConfig bum;
+    bool enableBum = true;
+
+    /** Gradient updates the BUM front-end absorbs per cycle. */
+    int bumIntakePerCycle = 8;
+};
+
+/** Result of simulating one level pass through the core. */
+struct GridCoreResult
+{
+    uint64_t cycles = 0;        //!< Total pass cycles incl. fill.
+    uint64_t sramBoundCycles = 0; //!< Cycles demanded by SRAM issue.
+    uint64_t hashBoundCycles = 0; //!< Cycles demanded by hashing.
+    uint64_t interpBoundCycles = 0; //!< Cycles demanded by interp.
+    FrmStats frm;               //!< SRAM issue statistics.
+
+    /** Which stage set the pass length. */
+    const char *bottleneck() const;
+};
+
+/**
+ * Cycle model of one grid core processing a stream of interpolation
+ * requests (8 vertex addresses per point) for one level pass.
+ */
+class GridCore
+{
+  public:
+    explicit GridCore(const GridCoreConfig &config);
+
+    const GridCoreConfig &config() const { return cfg; }
+
+    /**
+     * Feed-forward pass: each element holds one point's 8 vertex
+     * addresses, in program order.
+     */
+    GridCoreResult processLevelPass(
+        const std::vector<std::array<uint32_t, 8>> &points) const;
+
+    /** Result of one back-propagation pass. */
+    struct BackpropResult
+    {
+        uint64_t cycles = 0;
+        uint64_t updates = 0;     //!< Logical gradient updates in.
+        uint64_t writeBacks = 0;  //!< Physical RMW write-backs out.
+        BumStats bum;
+    };
+
+    /**
+     * Back-propagation pass: the per-point gradient updates stream
+     * through the BUM (when enabled); surviving write-backs are
+     * read-modify-writes issued against the banks.
+     */
+    BackpropResult processBackpropPass(
+        const std::vector<std::array<uint32_t, 8>> &points) const;
+
+  private:
+    GridCoreConfig cfg;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_GRID_CORE_HH

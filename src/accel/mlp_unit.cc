@@ -1,0 +1,79 @@
+#include "accel/mlp_unit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+MlpUnitModel::MlpUnitModel(const MlpUnitConfig &config)
+    : cfg(config)
+{
+    fatalIf(cfg.systolicRows < 1 || cfg.systolicCols < 1,
+            "systolic array dims must be positive");
+    fatalIf(cfg.adderTreeLanes < 1, "adder tree needs lanes");
+}
+
+MlpLayerCost
+MlpUnitModel::layerCost(uint64_t batch, int in_dim, int out_dim) const
+{
+    fatalIf(in_dim < 1 || out_dim < 1, "layer dims must be positive");
+    MlpLayerCost cost;
+    cost.macs = batch * static_cast<uint64_t>(in_dim) * out_dim;
+
+    if (out_dim <= cfg.smallChannelCutoff) {
+        // Multiplier-adder tree: reduces `adderTreeLanes` products per
+        // cycle; one output scalar needs ceil(in/lanes) cycles.
+        cost.unit = MlpUnitKind::MulAddTree;
+        uint64_t cycles_per_out =
+            (static_cast<uint64_t>(in_dim) + cfg.adderTreeLanes - 1) /
+            cfg.adderTreeLanes;
+        uint64_t scalar_outputs = batch * static_cast<uint64_t>(out_dim);
+        cost.cycles = (scalar_outputs * cycles_per_out +
+                       cfg.numAdderTrees - 1) / cfg.numAdderTrees;
+    } else {
+        // Systolic array: tile the weight matrix over the PE grid; each
+        // tile streams the batch through at one row per cycle.
+        cost.unit = MlpUnitKind::SystolicArray;
+        uint64_t row_tiles =
+            (static_cast<uint64_t>(in_dim) + cfg.systolicRows - 1) /
+            cfg.systolicRows;
+        uint64_t col_tiles =
+            (static_cast<uint64_t>(out_dim) + cfg.systolicCols - 1) /
+            cfg.systolicCols;
+        double ideal = static_cast<double>(row_tiles) * col_tiles *
+                       static_cast<double>(batch);
+        cost.cycles = static_cast<uint64_t>(
+            ideal / cfg.systolicEfficiency) + cfg.systolicRows;
+    }
+    return cost;
+}
+
+uint64_t
+MlpUnitModel::forwardCycles(uint64_t batch,
+                            const std::vector<int> &dims) const
+{
+    fatalIf(dims.size() < 2, "MLP needs at least two dims");
+    uint64_t total = 0;
+    for (size_t l = 0; l + 1 < dims.size(); l++)
+        total += layerCost(batch, dims[l], dims[l + 1]).cycles;
+    return total;
+}
+
+uint64_t
+MlpUnitModel::backwardCycles(uint64_t batch,
+                             const std::vector<int> &dims) const
+{
+    // dL/dW (batch outer products) + dL/dx (transposed matvec): two
+    // matrix passes of the forward shape.
+    return 2 * forwardCycles(batch, dims);
+}
+
+double
+MlpUnitModel::peakMacsPerCycle() const
+{
+    return static_cast<double>(cfg.systolicRows) * cfg.systolicCols +
+           static_cast<double>(cfg.adderTreeLanes) * cfg.numAdderTrees;
+}
+
+} // namespace instant3d

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * MLP compute units (Sec 4.3, "MLP Unit Design"): an FP16 systolic
+ * array for matrix multiplications with large output channels, and an
+ * FP16 multiplier-adder tree for small output channels (<= 3), where a
+ * systolic array would idle most of its columns (the paper's design
+ * point, after [14, 33]).
+ */
+
+#ifndef INSTANT3D_ACCEL_MLP_UNIT_HH
+#define INSTANT3D_ACCEL_MLP_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace instant3d {
+
+/** Sizing of the two MLP compute units. */
+struct MlpUnitConfig
+{
+    int systolicRows = 64;    //!< PE rows (input-channel dimension).
+    int systolicCols = 64;    //!< PE columns (output-channel dimension).
+    int adderTreeLanes = 64;  //!< MACs per tree.
+    int numAdderTrees = 4;    //!< Parallel trees (small-channel unit).
+    int smallChannelCutoff = 3; //!< <= this output width -> tree unit.
+    double systolicEfficiency = 0.85; //!< Fill/drain and skew losses.
+};
+
+/** Which unit a layer was scheduled on. */
+enum class MlpUnitKind { SystolicArray, MulAddTree };
+
+/** Cycle estimate for one layer of one batch. */
+struct MlpLayerCost
+{
+    MlpUnitKind unit;
+    uint64_t cycles = 0;
+    uint64_t macs = 0;
+
+    double
+    utilization(const MlpUnitConfig &cfg) const
+    {
+        double peak = unit == MlpUnitKind::SystolicArray
+                          ? static_cast<double>(cfg.systolicRows) *
+                                cfg.systolicCols
+                          : static_cast<double>(cfg.adderTreeLanes) *
+                                cfg.numAdderTrees;
+        if (cycles == 0 || peak <= 0.0)
+            return 0.0;
+        return static_cast<double>(macs) / (cycles * peak);
+    }
+};
+
+/**
+ * Analytic cycle model of the two MLP units.
+ */
+class MlpUnitModel
+{
+  public:
+    explicit MlpUnitModel(const MlpUnitConfig &config);
+
+    const MlpUnitConfig &config() const { return cfg; }
+
+    /**
+     * Cycles for a dense layer: batch x in_dim -> batch x out_dim.
+     * Layers with out_dim <= smallChannelCutoff go to the tree unit.
+     */
+    MlpLayerCost layerCost(uint64_t batch, int in_dim, int out_dim) const;
+
+    /**
+     * Total cycles for a full MLP given its layer dims [in, h..., out],
+     * forward direction.
+     */
+    uint64_t forwardCycles(uint64_t batch,
+                           const std::vector<int> &dims) const;
+
+    /** Backward pass: ~2x the forward matrix work. */
+    uint64_t backwardCycles(uint64_t batch,
+                            const std::vector<int> &dims) const;
+
+    /** Peak MACs per cycle across both units. */
+    double peakMacsPerCycle() const;
+
+  private:
+    MlpUnitConfig cfg;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_MLP_UNIT_HH

@@ -1,0 +1,48 @@
+#include "accel/sram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+SramArray::SramArray(int num_banks, int bytes_per_entry,
+                     uint64_t capacity_bytes, uint64_t table_entries)
+    : banks(num_banks), entryBytes(bytes_per_entry),
+      capacity(capacity_bytes)
+{
+    fatalIf(num_banks < 1 || (num_banks & (num_banks - 1)) != 0,
+            "SRAM bank count must be a power of two");
+    fatalIf(bytes_per_entry < 1, "entry payload must be positive");
+    if (table_entries == 0)
+        table_entries = capacity_bytes / bytes_per_entry;
+    bankEntries = std::max<uint64_t>(
+        1, (table_entries + banks - 1) / banks);
+}
+
+bool
+SramArray::conflictFree(std::span<const uint32_t> addresses) const
+{
+    uint64_t used = 0;
+    for (uint32_t a : addresses) {
+        uint64_t bit = 1ull << bankOf(a);
+        if (used & bit)
+            return false;
+        used |= bit;
+    }
+    return true;
+}
+
+void
+SramArray::serveReads(std::span<const uint32_t> addresses)
+{
+    reads += addresses.size();
+}
+
+void
+SramArray::serveWrites(std::span<const uint32_t> addresses)
+{
+    writes += addresses.size();
+}
+
+} // namespace instant3d

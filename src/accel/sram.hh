@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-bank SRAM array model (the "Hash Table SRAM Banks" of Fig 11).
+ *
+ * The 1D hash table is interleaved across `numBanks` single-ported
+ * banks; each bank can serve one access per cycle. A set of addresses
+ * can be served in the same cycle iff no two map to the same bank
+ * (Sec 4.4). The model tracks access counts for the energy model.
+ */
+
+#ifndef INSTANT3D_ACCEL_SRAM_HH
+#define INSTANT3D_ACCEL_SRAM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace instant3d {
+
+/**
+ * A banked SRAM array. Addresses are entry indices into the hash
+ * table, which is "divided into banks equally" (Sec 4.4): bank b holds
+ * the b-th contiguous block of entries. This block partitioning is why
+ * the paper's clustered vertex groups occupy only 2-4 banks -- the two
+ * x-neighbour addresses of a group (distance ~1) land in the same
+ * bank, and only the 4 group bases spread.
+ */
+class SramArray
+{
+  public:
+    /**
+     * @param num_banks       Power-of-two bank count (8/16/32).
+     * @param bytes_per_entry Entry payload (2 fp16 features = 4 B).
+     * @param capacity_bytes  Total array capacity.
+     * @param table_entries   Entries of the resident hash table
+     *                        (0: derive from capacity).
+     */
+    SramArray(int num_banks, int bytes_per_entry, uint64_t capacity_bytes,
+              uint64_t table_entries = 0);
+
+    int numBanks() const { return banks; }
+    uint64_t capacityBytes() const { return capacity; }
+    int bytesPerEntry() const { return entryBytes; }
+    uint64_t entriesPerBank() const { return bankEntries; }
+
+    /** Bank index holding the given entry address. */
+    int
+    bankOf(uint32_t address) const
+    {
+        uint64_t b = address / bankEntries;
+        if (b >= static_cast<uint64_t>(banks))
+            b = banks - 1;
+        return static_cast<int>(b);
+    }
+
+    /** True iff all addresses hit distinct banks (one-cycle service). */
+    bool conflictFree(std::span<const uint32_t> addresses) const;
+
+    /** Record a read of each address (energy accounting). */
+    void serveReads(std::span<const uint32_t> addresses);
+
+    /** Record a write of each address. */
+    void serveWrites(std::span<const uint32_t> addresses);
+
+    uint64_t readCount() const { return reads; }
+    uint64_t writeCount() const { return writes; }
+
+    /** Whether a hash table of the given size fits this array. */
+    bool fits(uint64_t table_bytes) const
+    { return table_bytes <= capacity; }
+
+  private:
+    int banks;
+    int entryBytes;
+    uint64_t capacity;
+    uint64_t bankEntries;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_ACCEL_SRAM_HH

@@ -1,0 +1,146 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    n++;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &o)
+{
+    if (o.n == 0)
+        return;
+    if (n == 0) {
+        *this = o;
+        return;
+    }
+    double delta = o.mu - mu;
+    uint64_t total = n + o.n;
+    double nf = static_cast<double>(n);
+    double of = static_cast<double>(o.n);
+    double tf = static_cast<double>(total);
+    m2 += o.m2 + delta * delta * nf * of / tf;
+    mu += delta * of / tf;
+    lo = std::min(lo, o.lo);
+    hi = std::max(hi, o.hi);
+    n = total;
+}
+
+Histogram::Histogram(double lo_bound, double hi_bound, int num_bins)
+    : lo(lo_bound), hi(hi_bound)
+{
+    panicIf(num_bins < 1, "Histogram needs at least one bin");
+    panicIf(hi_bound <= lo_bound, "Histogram interval is empty");
+    bins.assign(static_cast<size_t>(num_bins), 0);
+    width = (hi - lo) / num_bins;
+}
+
+void
+Histogram::add(double x)
+{
+    total++;
+    if (x < lo) {
+        underflow++;
+        return;
+    }
+    if (x > hi) {
+        overflow++;
+        return;
+    }
+    auto bin = static_cast<size_t>((x - lo) / width);
+    if (bin >= bins.size())
+        bin = bins.size() - 1;
+    bins[bin]++;
+}
+
+double
+Histogram::binLeft(int bin) const
+{
+    return lo + width * bin;
+}
+
+double
+Histogram::fractionInRange(double a, double b) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t inside = 0;
+    for (int i = 0; i < numBins(); i++) {
+        double center = binLeft(i) + 0.5 * width;
+        if (center >= a && center <= b)
+            inside += bins[i];
+    }
+    return static_cast<double>(inside) / static_cast<double>(total);
+}
+
+std::string
+Histogram::toAscii(int bar_width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : bins)
+        peak = std::max(peak, c);
+
+    std::ostringstream out;
+    for (int i = 0; i < numBins(); i++) {
+        double left = binLeft(i);
+        int len = static_cast<int>(
+            static_cast<double>(bins[i]) / static_cast<double>(peak) *
+            bar_width);
+        out << "  [" << left << ", " << left + width << ")  ";
+        for (int j = 0; j < len; j++)
+            out << '#';
+        out << "  " << bins[i] << "\n";
+    }
+    return out.str();
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    panicIf(samples.empty(), "percentile() on empty sample set");
+    std::sort(samples.begin(), samples.end());
+    if (p <= 0.0)
+        return samples.front();
+    if (p >= 100.0)
+        return samples.back();
+    double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    auto idx = static_cast<size_t>(rank);
+    double frac = rank - static_cast<double>(idx);
+    if (idx + 1 >= samples.size())
+        return samples.back();
+    return samples[idx] * (1.0 - frac) + samples[idx + 1] * frac;
+}
+
+} // namespace instant3d

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the trace analyzer and the
+ * accelerator simulator: running mean/variance, fixed-bin histograms,
+ * and percentile extraction.
+ */
+
+#ifndef INSTANT3D_COMMON_STATS_HH
+#define INSTANT3D_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace instant3d {
+
+/**
+ * Welford running mean/variance accumulator.
+ * Numerically stable for long traces (hundreds of millions of samples).
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    uint64_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+    double stddev() const;
+
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &o);
+
+  private:
+    uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Fixed-width-bin histogram over a closed interval [lo, hi]; samples
+ * outside the interval land in saturating under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo_bound  Left edge of the tracked interval.
+     * @param hi_bound  Right edge of the tracked interval.
+     * @param num_bins  Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo_bound, double hi_bound, int num_bins);
+
+    void add(double x);
+
+    uint64_t totalCount() const { return total; }
+    uint64_t underflowCount() const { return underflow; }
+    uint64_t overflowCount() const { return overflow; }
+    uint64_t binCount(int bin) const { return bins.at(bin); }
+    int numBins() const { return static_cast<int>(bins.size()); }
+
+    /** Left edge of the given bin. */
+    double binLeft(int bin) const;
+    double binWidth() const { return width; }
+
+    /**
+     * Fraction of all samples (including out-of-range ones in the
+     * denominator) falling inside [a, b], counting every bin whose
+     * center lies in the interval.
+     */
+    double fractionInRange(double a, double b) const;
+
+    /** Render a fixed-width ASCII bar chart, one row per bin. */
+    std::string toAscii(int bar_width = 40) const;
+
+  private:
+    double lo, hi, width;
+    std::vector<uint64_t> bins;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    uint64_t total = 0;
+};
+
+/**
+ * Exact percentile over a buffered sample set (sorts on demand).
+ * Suitable for the bounded-size samples used in the benches.
+ */
+class PercentileTracker
+{
+  public:
+    void add(double x) { samples.push_back(x); }
+
+    /** p in [0, 100]; linear interpolation between order statistics. */
+    double percentile(double p) const;
+
+    size_t count() const { return samples.size(); }
+
+  private:
+    mutable std::vector<double> samples;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_COMMON_STATS_HH

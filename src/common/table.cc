@@ -1,0 +1,122 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{
+    panicIf(header.empty(), "Table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    panicIf(rows.empty(), "cell() before row()");
+    panicIf(rows.back().size() >= header.size(),
+            "more cells than columns in table row");
+    rows.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(header.size(), 0);
+    for (size_t c = 0; c < header.size(); c++)
+        widths[c] = header[c].size();
+    for (const auto &r : rows)
+        for (size_t c = 0; c < r.size(); c++)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &r,
+                        std::ostringstream &out) {
+        for (size_t c = 0; c < header.size(); c++) {
+            std::string v = c < r.size() ? r[c] : "";
+            out << "  " << v;
+            for (size_t pad = v.size(); pad < widths[c]; pad++)
+                out << ' ';
+        }
+        out << "\n";
+    };
+
+    std::ostringstream out;
+    emit_row(header, out);
+    out << "  ";
+    size_t line = 0;
+    for (size_t c = 0; c < header.size(); c++)
+        line += widths[c] + 2;
+    for (size_t i = 0; i + 2 < line; i++)
+        out << '-';
+    out << "\n";
+    for (const auto &r : rows)
+        emit_row(r, out);
+    return out.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream out;
+    for (size_t c = 0; c < header.size(); c++)
+        out << (c ? "," : "") << header[c];
+    out << "\n";
+    for (const auto &r : rows) {
+        for (size_t c = 0; c < r.size(); c++)
+            out << (c ? "," : "") << r[c];
+        out << "\n";
+    }
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+} // namespace instant3d

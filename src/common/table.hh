@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Aligned-console-table and CSV emission for the bench harness.
+ *
+ * Every bench binary reproduces one paper table or figure; TablePrinter
+ * gives them a uniform "rows and series" output format so EXPERIMENTS.md
+ * can quote the results verbatim.
+ */
+
+#ifndef INSTANT3D_COMMON_TABLE_HH
+#define INSTANT3D_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace instant3d {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric helpers
+ * format with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> column_names);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    Table &cell(const std::string &value);
+    Table &cell(const char *value);
+    Table &cell(double value, int precision = 2);
+    Table &cell(long long value);
+    Table &cell(int value) { return cell(static_cast<long long>(value)); }
+
+    /** Render with padded columns and a header underline. */
+    std::string toString() const;
+
+    /** Render as RFC-4180-ish CSV (no quoting of commas needed here). */
+    std::string toCsv() const;
+
+    /** Convenience: print toString() to stdout. */
+    void print() const;
+
+    size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with fixed precision (helper shared by benches). */
+std::string formatDouble(double value, int precision);
+
+/**
+ * Print a labelled single-figure banner so the bench output reads like
+ * the paper: "==== Figure 16: ... ====".
+ */
+void printBanner(const std::string &title);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_COMMON_TABLE_HH

@@ -1,0 +1,71 @@
+#include "core/instant3d_config.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace instant3d {
+
+int
+Instant3dConfig::periodFromRate(float rate)
+{
+    fatalIf(rate <= 0.0f || rate > 1.0f,
+            "update rate must be in (0, 1]");
+    return std::max(1, static_cast<int>(std::lround(1.0f / rate)));
+}
+
+std::string
+Instant3dConfig::label() const
+{
+    return "S_D:S_C = " + formatDouble(densitySizeRatio, 2) + ":" +
+           formatDouble(colorSizeRatio, 2) + ", F_D:F_C = " +
+           formatDouble(densityUpdateRate, 1) + ":" +
+           formatDouble(colorUpdateRate, 1);
+}
+
+FieldConfig
+Instant3dConfig::makeFieldConfig(const HashEncodingConfig &ngp_base) const
+{
+    FieldConfig cfg;
+    cfg.mode = FieldMode::Decoupled;
+    // The baseline grid decomposes into two branch tables of half the
+    // baseline share each (total storage preserved at 1:1), then each
+    // branch scales by its own size ratio.
+    cfg.densityGrid = ngp_base.scaledBy(0.5f * densitySizeRatio);
+    cfg.colorGrid = ngp_base.scaledBy(0.5f * colorSizeRatio);
+    return cfg;
+}
+
+void
+Instant3dConfig::applyTo(TrainConfig &train) const
+{
+    train.densityUpdatePeriod = periodFromRate(densityUpdateRate);
+    train.colorUpdatePeriod = periodFromRate(colorUpdateRate);
+}
+
+std::vector<Instant3dConfig>
+instant3dGridSearchSpace()
+{
+    std::vector<Instant3dConfig> space;
+    for (float s : {0.125f, 0.25f, 0.5f, 0.75f}) {
+        for (float f : {0.5f, 1.0f}) {
+            Instant3dConfig cfg;
+            cfg.colorSizeRatio = s;
+            cfg.colorUpdateRate = f;
+            space.push_back(cfg);
+        }
+    }
+    return space;
+}
+
+Instant3dConfig
+instant3dShippedConfig()
+{
+    Instant3dConfig cfg;
+    cfg.colorSizeRatio = 0.25f;  // S_D : S_C = 1 : 0.25
+    cfg.colorUpdateRate = 0.5f;  // F_D : F_C = 1 : 0.5
+    return cfg;
+}
+
+} // namespace instant3d

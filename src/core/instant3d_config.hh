@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Instant-3D algorithm configuration (paper Sec 3): the decomposed
+ * color/density embedding grids with per-branch grid-size ratios
+ * (S_D : S_C, Sec 3.2) and update-frequency ratios (F_D : F_C, Sec 3.3),
+ * plus the Sec 5.1 grid-search helper used to select the shipped
+ * configuration (S_D : S_C = 1 : 0.25, F_D : F_C = 1 : 0.5).
+ */
+
+#ifndef INSTANT3D_CORE_INSTANT3D_CONFIG_HH
+#define INSTANT3D_CORE_INSTANT3D_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "nerf/field.hh"
+#include "nerf/trainer.hh"
+
+namespace instant3d {
+
+/**
+ * The algorithm-level knobs of Instant-3D. Ratios are expressed
+ * relative to the density branch (the paper always keeps the density
+ * branch at full size/frequency in the shipped configuration).
+ */
+struct Instant3dConfig
+{
+    /** S_C / S_D: color-grid size relative to the density grid. */
+    float colorSizeRatio = 0.25f;
+
+    /** S_D scale relative to the baseline branch share (1 = full). */
+    float densitySizeRatio = 1.0f;
+
+    /** F_C / F_D as a rate: 0.5 means color updates every 2nd iter. */
+    float colorUpdateRate = 0.5f;
+
+    /** Density update rate (1 = every iteration). */
+    float densityUpdateRate = 1.0f;
+
+    /**
+     * Update period in iterations from a rate F (Sec 4.6: "skipping one
+     * back-propagation process every 1/(1-F) iteration"); a rate of
+     * 1/k maps to a period of k iterations.
+     */
+    static int periodFromRate(float rate);
+
+    /** Human-readable "S_D:S_C = 1:x, F_D:F_C = 1:y" string. */
+    std::string label() const;
+
+    /**
+     * Build the field configuration for this algorithm config from a
+     * baseline (Instant-NGP) grid: the baseline table is decomposed
+     * into two per-branch tables, each half the baseline share, then
+     * scaled by the per-branch size ratios.
+     */
+    FieldConfig makeFieldConfig(const HashEncodingConfig &ngp_base) const;
+
+    /** Fill a TrainConfig's update periods from the rates. */
+    void applyTo(TrainConfig &train) const;
+};
+
+/**
+ * The Sec 5.1 grid-search space over color ratios
+ * {1:0.125, 1:0.25, 1:0.5, 1:0.75} crossed with update rates.
+ */
+std::vector<Instant3dConfig> instant3dGridSearchSpace();
+
+/** The configuration shipped in the paper (1:0.25 and 1:0.5). */
+Instant3dConfig instant3dShippedConfig();
+
+} // namespace instant3d
+
+#endif // INSTANT3D_CORE_INSTANT3D_CONFIG_HH

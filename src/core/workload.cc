@@ -1,0 +1,172 @@
+#include "core/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+namespace {
+
+/** Baseline Instant-NGP per-level table: 2^19 entries x 2 features. */
+constexpr uint64_t ngpTableEntries = 1ull << 19;
+constexpr int gridLevels = 16;
+constexpr int gridFeatures = 2;
+
+/** Dataset scale relative to NeRF-Synthetic (see DESIGN.md). */
+struct DatasetScale
+{
+    const char *name;
+    double pointScale;
+};
+
+constexpr DatasetScale datasetScales[] = {
+    {"NeRF-Synthetic", 1.0},
+    {"SILVR", 1.875},   // large-volume scenes: more samples per ray
+    {"ScanNet", 1.167}, // real rooms: more views, moderate volume
+};
+
+double
+datasetPointScale(const std::string &dataset)
+{
+    for (const auto &d : datasetScales)
+        if (dataset == d.name)
+            return d.pointScale;
+    fatal("unknown dataset: " + dataset);
+}
+
+} // namespace
+
+std::string
+pipelineStepName(PipelineStep step)
+{
+    switch (step) {
+      case PipelineStep::SampleAndRays:
+        return "Steps 1-2 (sample pixels, map to rays)";
+      case PipelineStep::GridInterpFF:
+        return "Step 3-1 (grid interpolation, FF)";
+      case PipelineStep::MlpFF:
+        return "Step 3-2 (MLP inference, FF)";
+      case PipelineStep::RenderAndLoss:
+        return "Steps 4-5 (volume render + loss)";
+      case PipelineStep::MlpBP:
+        return "Step 3-2 BP (MLP)";
+      case PipelineStep::GridInterpBP:
+        return "Step 3-1 BP (grid update)";
+    }
+    panic("unreachable pipeline step");
+}
+
+const std::vector<PipelineStep> &
+allPipelineSteps()
+{
+    static const std::vector<PipelineStep> steps = {
+        PipelineStep::SampleAndRays, PipelineStep::GridInterpFF,
+        PipelineStep::MlpFF,         PipelineStep::RenderAndLoss,
+        PipelineStep::MlpBP,         PipelineStep::GridInterpBP,
+    };
+    return steps;
+}
+
+double
+TrainingWorkload::gridReadBytesPerIter() const
+{
+    double bytes = 0.0;
+    for (const auto &b : branches) {
+        bytes += b.costShare * pointsPerIter * b.accessesPerPoint() *
+                 b.featuresPerEntry * 2.0;
+    }
+    return bytes;
+}
+
+double
+TrainingWorkload::gridWriteBytesPerIter() const
+{
+    double bytes = 0.0;
+    for (const auto &b : branches) {
+        bytes += b.costShare * b.updateRate * pointsPerIter *
+                 b.accessesPerPoint() * b.featuresPerEntry * 2.0;
+    }
+    return bytes;
+}
+
+const std::vector<std::string> &
+workloadDatasetNames()
+{
+    static const std::vector<std::string> names = {
+        "NeRF-Synthetic", "SILVR", "ScanNet",
+    };
+    return names;
+}
+
+TrainingWorkload
+makeNgpWorkload(const std::string &dataset)
+{
+    TrainingWorkload w;
+    w.datasetName = dataset;
+    w.algorithmName = "Instant-NGP";
+    w.pointsPerIter = 2.0e5 * datasetPointScale(dataset);
+
+    BranchWorkload unified;
+    unified.name = "unified";
+    unified.costShare = 1.0;
+    unified.tableEntries = ngpTableEntries;
+    unified.levels = gridLevels;
+    unified.featuresPerEntry = gridFeatures;
+    unified.updateRate = 1.0;
+    w.branches.push_back(unified);
+    return w;
+}
+
+double
+VanillaNerfCost::daysOnV100(double peak_flops, double utilization) const
+{
+    fatalIf(peak_flops <= 0.0 || utilization <= 0.0,
+            "V100 model needs positive peak and utilization");
+    double seconds = totalFlops() / (peak_flops * utilization);
+    return seconds / 86400.0;
+}
+
+TrainingWorkload
+makeInstant3dWorkload(const std::string &dataset,
+                      const Instant3dConfig &config)
+{
+    TrainingWorkload w = makeNgpWorkload(dataset);
+    w.algorithmName = "Instant-3D";
+    w.branches.clear();
+
+    auto scaled_entries = [](double ratio) {
+        // Decomposition gives each branch half the baseline table,
+        // scaled by its ratio and snapped to a power of two.
+        double target = static_cast<double>(ngpTableEntries) * 0.5 *
+                        ratio;
+        uint64_t e = 64;
+        while (static_cast<double>(e * 2) <= target)
+            e *= 2;
+        if (target - e > 2.0 * e - target)
+            e *= 2;
+        return e;
+    };
+
+    // Each decomposed branch carries half the baseline grid payload
+    // (access count is independent of table size; smaller tables win
+    // through locality, which the device/accelerator models capture).
+    BranchWorkload density;
+    density.name = "density";
+    density.costShare = 0.5;
+    density.tableEntries = scaled_entries(config.densitySizeRatio);
+    density.levels = gridLevels;
+    density.featuresPerEntry = gridFeatures;
+    density.updateRate = config.densityUpdateRate;
+
+    BranchWorkload color = density;
+    color.name = "color";
+    color.tableEntries = scaled_entries(config.colorSizeRatio);
+    color.updateRate = config.colorUpdateRate;
+
+    w.branches.push_back(density);
+    w.branches.push_back(color);
+    return w;
+}
+
+} // namespace instant3d

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Paper-scale workload accounting.
+ *
+ * A TrainingWorkload captures, per training iteration, the operation and
+ * byte counts of every step of the six-step pipeline (Sec 2.1) for a
+ * given algorithm configuration and dataset. Device models (src/devices)
+ * and the accelerator simulator (src/accel) consume these counts to
+ * produce runtimes; nothing downstream hard-codes a runtime.
+ *
+ * Scale anchors (documented in DESIGN.md): ~200,000 embedding-grid
+ * point queries per iteration (Sec 1), Instant-NGP per-level hash table
+ * of 2^19 entries x 2 fp16 features, and the Instant-3D decomposition
+ * into a 2^18-entry density table (1 MB) and a 2^16-entry color table
+ * (256 KB) (Sec 5.1).
+ */
+
+#ifndef INSTANT3D_CORE_WORKLOAD_HH
+#define INSTANT3D_CORE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instant3d_config.hh"
+
+namespace instant3d {
+
+/** Pipeline phases used for runtime breakdowns (Fig 4 / Fig 7). */
+enum class PipelineStep
+{
+    SampleAndRays,  //!< Steps 1-2 on the host.
+    GridInterpFF,   //!< Step 3-1 feed-forward.
+    MlpFF,          //!< Step 3-2 feed-forward.
+    RenderAndLoss,  //!< Steps 4-5.
+    MlpBP,          //!< Back-propagation through the small MLPs.
+    GridInterpBP,   //!< Back-propagation into the embedding grid.
+};
+
+/** Display name of a pipeline step. */
+std::string pipelineStepName(PipelineStep step);
+
+/** All steps in pipeline order. */
+const std::vector<PipelineStep> &allPipelineSteps();
+
+/** One embedding-grid branch of the workload. */
+struct BranchWorkload
+{
+    std::string name;          //!< "unified", "density", or "color".
+    double costShare = 1.0;    //!< Fraction of baseline grid payload.
+    uint64_t tableEntries = 0; //!< Per-level hash-table entries.
+    int levels = 16;           //!< Multiresolution levels L.
+    int featuresPerEntry = 2;  //!< F.
+    double updateRate = 1.0;   //!< Fraction of iterations with BP.
+
+    /** Per-level hash-table bytes (fp16 features). */
+    uint64_t tableBytes() const
+    { return tableEntries * featuresPerEntry * 2; }
+
+    /** Grid accesses per queried point (8 vertices per level). */
+    uint64_t accessesPerPoint() const
+    { return static_cast<uint64_t>(levels) * 8; }
+};
+
+/** Full per-iteration workload of one training configuration. */
+struct TrainingWorkload
+{
+    std::string datasetName;
+    std::string algorithmName; //!< "Instant-NGP" or "Instant-3D".
+    double pointsPerIter = 2.0e5;
+    int iterations = 256;
+    std::vector<BranchWorkload> branches;
+    double mlpMacsPerPoint = 13500.0; //!< Step 3-2 MACs per point.
+    double hostFlopsPerIter = 4.0e6;  //!< Steps 1-2 and 4-5 combined.
+
+    /** Feed-forward grid bytes touched per iteration, all branches. */
+    double gridReadBytesPerIter() const;
+
+    /** BP grid bytes written per iteration (update-rate weighted). */
+    double gridWriteBytesPerIter() const;
+
+    /** Step 3-2 flops per iteration (forward). */
+    double mlpFlopsPerIterFF() const
+    { return 2.0 * mlpMacsPerPoint * pointsPerIter; }
+
+    /** Step 3-2 back-propagation flops per iteration (~2x forward). */
+    double mlpFlopsPerIterBP() const { return 2.0 * mlpFlopsPerIterFF(); }
+};
+
+/** Names of the three evaluation datasets. */
+const std::vector<std::string> &workloadDatasetNames();
+
+/**
+ * The Instant-NGP baseline workload on a dataset: one unified grid of
+ * 2^19 entries/level. Dataset scale factors reflect scene volume and
+ * view counts (SILVR largest, ScanNet middle).
+ */
+TrainingWorkload makeNgpWorkload(const std::string &dataset);
+
+/**
+ * The Instant-3D algorithm workload: the unified grid decomposes into
+ * density/color branches (half the baseline payload each), scaled by
+ * the config's size ratios, with per-branch update rates.
+ */
+TrainingWorkload makeInstant3dWorkload(const std::string &dataset,
+                                       const Instant3dConfig &config);
+
+/**
+ * Sec 2.1's vanilla-NeRF training cost: ~150,000 iterations per scene
+ * at a batch of 786,432 points (192 points/pixel x 4,096 pixels), each
+ * executing a 1-MFLOP MLP -- "the required total training FLOPs is as
+ * large as 353,895 trillion", "> 1 day of training time on one V100".
+ */
+struct VanillaNerfCost
+{
+    double pointsPerIter = 192.0 * 4096.0; //!< 786,432.
+    int iterations = 150000;
+    double flopsPerPointForward = 1.0e6;   //!< 10x256 MLP.
+
+    /** Total training FLOPs including BP (~2x forward). */
+    double totalFlops() const
+    {
+        return 3.0 * flopsPerPointForward * pointsPerIter * iterations;
+    }
+
+    /**
+     * Training days on a V100-class GPU.
+     * @param peak_flops   Sustainable peak (default fp32 15.7 TFLOPS).
+     * @param utilization  Achieved fraction on this workload.
+     */
+    double daysOnV100(double peak_flops = 15.7e12,
+                      double utilization = 0.15) const;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_CORE_WORKLOAD_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Device specifications (paper Tab 3) and the per-step runtime breakdown
+ * container shared by the GPU device models and the accelerator.
+ */
+
+#ifndef INSTANT3D_DEVICES_DEVICE_HH
+#define INSTANT3D_DEVICES_DEVICE_HH
+
+#include <array>
+#include <string>
+
+#include "core/workload.hh"
+
+namespace instant3d {
+
+/** Static hardware specification of one evaluated device (Tab 3). */
+struct DeviceSpec
+{
+    std::string name;
+    int technologyNm = 0;
+    double sramMB = 0.0;
+    double areaMm2 = 0.0;     //!< 0 when unpublished (TX2).
+    double frequencyGHz = 0.0;
+    std::string dramType;
+    double dramBandwidthGBs = 0.0;
+    double typicalPowerW = 0.0;
+    double peakFp16Gflops = 0.0;
+};
+
+/**
+ * Seconds per training iteration attributed to each pipeline step.
+ */
+class StepBreakdown
+{
+  public:
+    double &operator[](PipelineStep s)
+    { return seconds[static_cast<size_t>(s)]; }
+    double operator[](PipelineStep s) const
+    { return seconds[static_cast<size_t>(s)]; }
+
+    /** Sum over all steps, seconds per iteration. */
+    double totalPerIter() const;
+
+    /** Fraction of the iteration spent in the given step. */
+    double fraction(PipelineStep s) const;
+
+    /** Fraction spent in Step 3-1 plus its back-propagation (Fig 4). */
+    double gridShare() const;
+
+  private:
+    std::array<double, 6> seconds{};
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_DEVICES_DEVICE_HH

@@ -1,0 +1,108 @@
+#include "devices/gpu_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+double
+StepBreakdown::totalPerIter() const
+{
+    double total = 0.0;
+    for (double s : seconds)
+        total += s;
+    return total;
+}
+
+double
+StepBreakdown::fraction(PipelineStep s) const
+{
+    double total = totalPerIter();
+    if (total <= 0.0)
+        return 0.0;
+    return (*this)[s] / total;
+}
+
+double
+StepBreakdown::gridShare() const
+{
+    double total = totalPerIter();
+    if (total <= 0.0)
+        return 0.0;
+    return ((*this)[PipelineStep::GridInterpFF] +
+            (*this)[PipelineStep::GridInterpBP]) / total;
+}
+
+GpuDeviceModel::GpuDeviceModel(const DeviceSpec &spec,
+                               const GpuModelParams &params)
+    : deviceSpec(spec), modelParams(params)
+{
+    fatalIf(spec.dramBandwidthGBs <= 0.0, "device needs DRAM bandwidth");
+    fatalIf(spec.peakFp16Gflops <= 0.0, "device needs peak flops");
+}
+
+double
+GpuDeviceModel::tableLocalityBoost(double bytes) const
+{
+    fatalIf(bytes <= 0.0, "table bytes must be positive");
+    // Smaller tables cache better; boost saturates below 64 KB (the
+    // table then lives entirely in L2/shared memory).
+    double ratio = modelParams.refTableBytes / bytes;
+    ratio = std::min(ratio, 32.0);
+    return std::pow(ratio, modelParams.cacheAlpha);
+}
+
+StepBreakdown
+GpuDeviceModel::breakdown(const TrainingWorkload &w) const
+{
+    StepBreakdown out;
+    const double bw = deviceSpec.dramBandwidthGBs * 1e9;
+    const double peak = deviceSpec.peakFp16Gflops * 1e9;
+
+    // Steps 1-2 and 4-5: launch overheads plus light per-ray math,
+    // split between the two host phases.
+    double host_flops_time =
+        w.hostFlopsPerIter / (peak * modelParams.mlpUtilization);
+    out[PipelineStep::SampleAndRays] =
+        0.45 * modelParams.hostSecondsPerIter + 0.5 * host_flops_time;
+    out[PipelineStep::RenderAndLoss] =
+        0.55 * modelParams.hostSecondsPerIter + 0.5 * host_flops_time;
+
+    // Step 3-1 and its BP: random-access memory bound, per branch.
+    double ff = 0.0, bp = 0.0;
+    for (const auto &b : w.branches) {
+        double boost = tableLocalityBoost(
+            static_cast<double>(b.tableBytes()));
+        double read_bytes = b.costShare * w.pointsPerIter *
+                            b.accessesPerPoint() * b.featuresPerEntry *
+                            2.0;
+        ff += read_bytes / (bw * modelParams.randReadEff * boost);
+        bp += b.updateRate * read_bytes /
+              (bw * modelParams.atomicWriteEff * boost);
+    }
+    out[PipelineStep::GridInterpFF] = ff;
+    out[PipelineStep::GridInterpBP] = bp;
+
+    // Step 3-2: compute-bound tiny MLPs.
+    out[PipelineStep::MlpFF] =
+        w.mlpFlopsPerIterFF() / (peak * modelParams.mlpUtilization);
+    out[PipelineStep::MlpBP] =
+        w.mlpFlopsPerIterBP() / (peak * modelParams.mlpUtilization);
+
+    return out;
+}
+
+double
+GpuDeviceModel::trainingSeconds(const TrainingWorkload &w) const
+{
+    return breakdown(w).totalPerIter() * w.iterations;
+}
+
+double
+GpuDeviceModel::trainingEnergyJoules(const TrainingWorkload &w) const
+{
+    return trainingSeconds(w) * deviceSpec.typicalPowerW;
+}
+
+} // namespace instant3d

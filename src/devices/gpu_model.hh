@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic roofline model of NeRF training on a commercial edge GPU.
+ *
+ * Each pipeline step is modelled as the slower of its compute and memory
+ * demands with per-device efficiency factors. The embedding-grid steps
+ * are memory-bound random accesses whose effective bandwidth improves
+ * when the (per-level) hash table is small enough to cache well; the
+ * locality exponent and base efficiencies are calibrated once, against
+ * the paper's published Instant-NGP anchors (see DESIGN.md substitution
+ * table), and every other number in the benches is derived.
+ */
+
+#ifndef INSTANT3D_DEVICES_GPU_MODEL_HH
+#define INSTANT3D_DEVICES_GPU_MODEL_HH
+
+#include "devices/device.hh"
+
+namespace instant3d {
+
+/** Calibration constants of one device's execution model. */
+struct GpuModelParams
+{
+    double randReadEff = 0.01;    //!< Grid-read bandwidth efficiency.
+    double atomicWriteEff = 0.02; //!< Grid-update bandwidth efficiency.
+    double mlpUtilization = 0.1;  //!< Fp16 utilization on tiny MLPs.
+    double hostSecondsPerIter = 0.01; //!< Steps 1-2 and 4-5 overhead.
+    double cacheAlpha = 0.125;    //!< Table-size locality exponent.
+    double refTableBytes = (1ull << 19) * 4.0; //!< NGP per-level table.
+};
+
+/**
+ * Runtime/energy model of one GPU device.
+ */
+class GpuDeviceModel
+{
+  public:
+    GpuDeviceModel(const DeviceSpec &spec, const GpuModelParams &params);
+
+    const DeviceSpec &spec() const { return deviceSpec; }
+    const GpuModelParams &params() const { return modelParams; }
+
+    /** Per-step seconds per training iteration for a workload. */
+    StepBreakdown breakdown(const TrainingWorkload &workload) const;
+
+    /** End-to-end training seconds (all iterations). */
+    double trainingSeconds(const TrainingWorkload &workload) const;
+
+    /** Training energy in joules (typical power x runtime). */
+    double trainingEnergyJoules(const TrainingWorkload &workload) const;
+
+  private:
+    /** Locality speedup factor for a per-level table of `bytes`. */
+    double tableLocalityBoost(double bytes) const;
+
+    DeviceSpec deviceSpec;
+    GpuModelParams modelParams;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_DEVICES_GPU_MODEL_HH

@@ -1,0 +1,115 @@
+#include "devices/registry.hh"
+
+namespace instant3d {
+
+/*
+ * Calibration notes (see DESIGN.md): the base efficiencies and host
+ * overheads below are fitted so that Instant-NGP training of the
+ * NeRF-Synthetic workload (200k point queries/iter, 256 iterations,
+ * 2^19-entry per-level tables) reproduces the paper's measured anchors:
+ * ~72 s on Xavier NX (Tab 1/4), with Step 3-1 + BP at ~80% of runtime
+ * on every device (Fig 4), and the Fig 16 device ordering
+ * (Nano ~358 s, TX2 ~211 s at 224x/132x vs the 1.6 s accelerator).
+ * Everything else (Tab 1, Tab 2, Tab 4, Tab 5, Fig 7) is derived by
+ * re-running the model on modified workloads.
+ */
+
+const GpuDeviceModel &
+jetsonNano()
+{
+    static const GpuDeviceModel model(
+        DeviceSpec{
+            .name = "Jetson Nano",
+            .technologyNm = 20,
+            .sramMB = 2.5,
+            .areaMm2 = 118.0,
+            .frequencyGHz = 0.9,
+            .dramType = "LPDDR4-1600",
+            .dramBandwidthGBs = 25.6,
+            .typicalPowerW = 10.0,
+            .peakFp16Gflops = 472.0,
+        },
+        GpuModelParams{
+            .randReadEff = 0.00513,
+            .atomicWriteEff = 0.01194,
+            .mlpUtilization = 0.1666,
+            .hostSecondsPerIter = 0.075,
+            .cacheAlpha = 0.125,
+        });
+    return model;
+}
+
+const GpuDeviceModel &
+jetsonTx2()
+{
+    static const GpuDeviceModel model(
+        DeviceSpec{
+            .name = "Jetson TX2",
+            .technologyNm = 16,
+            .sramMB = 5.0,
+            .areaMm2 = 0.0, // unpublished in Tab 3
+            .frequencyGHz = 1.4,
+            .dramType = "LPDDR4-1866",
+            .dramBandwidthGBs = 59.7,
+            .typicalPowerW = 15.0,
+            .peakFp16Gflops = 1330.0,
+        },
+        GpuModelParams{
+            .randReadEff = 0.003536,
+            .atomicWriteEff = 0.008246,
+            .mlpUtilization = 0.1,
+            .hostSecondsPerIter = 0.008,
+            .cacheAlpha = 0.125,
+        });
+    return model;
+}
+
+const GpuDeviceModel &
+xavierNx()
+{
+    static const GpuDeviceModel model(
+        DeviceSpec{
+            .name = "Xavier NX",
+            .technologyNm = 12,
+            .sramMB = 11.0,
+            .areaMm2 = 350.0,
+            .frequencyGHz = 1.1,
+            .dramType = "LPDDR4-1866",
+            .dramBandwidthGBs = 59.7,
+            .typicalPowerW = 20.0,
+            .peakFp16Gflops = 6000.0,
+        },
+        GpuModelParams{
+            .randReadEff = 0.01072,
+            .atomicWriteEff = 0.02486,
+            .mlpUtilization = 0.0794,
+            .hostSecondsPerIter = 0.0165,
+            .cacheAlpha = 0.125,
+        });
+    return model;
+}
+
+std::vector<const GpuDeviceModel *>
+baselineDevices()
+{
+    return {&jetsonNano(), &jetsonTx2(), &xavierNx()};
+}
+
+const DeviceSpec &
+instant3dAcceleratorSpec()
+{
+    static const DeviceSpec spec{
+        .name = "Instant-3D",
+        .technologyNm = 28,
+        .sramMB = 1.5,
+        .areaMm2 = 6.8,
+        .frequencyGHz = 0.8,
+        .dramType = "LPDDR4-1866",
+        .dramBandwidthGBs = 59.7,
+        .typicalPowerW = 1.9,
+        .peakFp16Gflops = 0.0, // set by the accelerator model
+    };
+    return spec;
+}
+
+} // namespace instant3d

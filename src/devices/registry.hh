@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The evaluated devices (paper Tab 3): Jetson Nano, Jetson TX2, Xavier
+ * NX — each with a calibrated GpuDeviceModel — and the Instant-3D
+ * accelerator's specification (its runtime comes from the cycle
+ * simulator in src/accel, not from a GPU model).
+ */
+
+#ifndef INSTANT3D_DEVICES_REGISTRY_HH
+#define INSTANT3D_DEVICES_REGISTRY_HH
+
+#include <vector>
+
+#include "devices/gpu_model.hh"
+
+namespace instant3d {
+
+/** Jetson Nano: 20 nm, 10 W, LPDDR4-1600 (25.6 GB/s). */
+const GpuDeviceModel &jetsonNano();
+
+/** Jetson TX2: 16 nm, 15 W, LPDDR4-1866 (59.7 GB/s). */
+const GpuDeviceModel &jetsonTx2();
+
+/** Xavier NX: 12 nm, 20 W, LPDDR4-1866 (59.7 GB/s). */
+const GpuDeviceModel &xavierNx();
+
+/** All three baseline GPU models, in Tab 3 order. */
+std::vector<const GpuDeviceModel *> baselineDevices();
+
+/**
+ * The Instant-3D accelerator's specification as published: 28 nm,
+ * 6.8 mm^2, 1 V, 800 MHz, 1.5 MB SRAM, 1.9 W, LPDDR4-1866.
+ */
+const DeviceSpec &instant3dAcceleratorSpec();
+
+} // namespace instant3d
+
+#endif // INSTANT3D_DEVICES_REGISTRY_HH

@@ -1,0 +1,35 @@
+#include "nerf/adam.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+Adam::Adam(size_t num_params, const AdamConfig &config)
+    : cfg(config)
+{
+    m.assign(num_params, 0.0f);
+    v.assign(num_params, 0.0f);
+}
+
+void
+Adam::step(std::vector<float> &params, const std::vector<float> &grads)
+{
+    panicIf(params.size() != m.size() || grads.size() != m.size(),
+            "Adam::step() size mismatch");
+    t++;
+    float bc1 = 1.0f - std::pow(cfg.beta1, static_cast<float>(t));
+    float bc2 = 1.0f - std::pow(cfg.beta2, static_cast<float>(t));
+
+    for (size_t i = 0; i < params.size(); i++) {
+        float g = grads[i] + cfg.l2Reg * params[i];
+        m[i] = cfg.beta1 * m[i] + (1.0f - cfg.beta1) * g;
+        v[i] = cfg.beta2 * v[i] + (1.0f - cfg.beta2) * g * g;
+        float mhat = m[i] / bc1;
+        float vhat = v[i] / bc2;
+        params[i] -= cfg.lr * mhat / (std::sqrt(vhat) + cfg.epsilon);
+    }
+}
+
+} // namespace instant3d

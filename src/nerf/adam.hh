@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Adam optimizer with first/second-moment state, operating in place on a
+ * parameter vector and its gradient accumulator. One Adam instance per
+ * parameter group lets the Instant-3D trainer step the density and color
+ * branches at different frequencies (Sec 3.3).
+ */
+
+#ifndef INSTANT3D_NERF_ADAM_HH
+#define INSTANT3D_NERF_ADAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace instant3d {
+
+/** Adam hyper-parameters. */
+struct AdamConfig
+{
+    float lr = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.99f;
+    float epsilon = 1e-10f;
+    float l2Reg = 0.0f; //!< Optional decoupled weight decay.
+};
+
+/**
+ * Adam state for one parameter group.
+ */
+class Adam
+{
+  public:
+    Adam(size_t num_params, const AdamConfig &config);
+
+    /**
+     * Apply one Adam step using the given gradients. params and grads
+     * must have the size passed at construction. Gradients are consumed
+     * as-is (the caller zeroes them afterward).
+     */
+    void step(std::vector<float> &params, const std::vector<float> &grads);
+
+    uint64_t stepCount() const { return t; }
+    const AdamConfig &config() const { return cfg; }
+    void setLearningRate(float lr) { cfg.lr = lr; }
+
+  private:
+    AdamConfig cfg;
+    std::vector<float> m;
+    std::vector<float> v;
+    uint64_t t = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_NERF_ADAM_HH

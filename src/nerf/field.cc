@@ -1,0 +1,348 @@
+#include "nerf/field.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+float
+softplus(float x)
+{
+    // Numerically stable softplus.
+    if (x > 15.0f)
+        return x;
+    if (x < -15.0f)
+        return std::exp(x);
+    return std::log1p(std::exp(x));
+}
+
+float
+softplusDerivative(float x)
+{
+    if (x > 15.0f)
+        return 1.0f;
+    if (x < -15.0f)
+        return std::exp(x);
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+FieldConfig
+FieldConfig::instant3dDefault(const HashEncodingConfig &base)
+{
+    FieldConfig cfg;
+    cfg.mode = FieldMode::Decoupled;
+    cfg.densityGrid = base;
+    cfg.colorGrid = base.scaledBy(0.25f); // S_D : S_C = 1 : 0.25
+    return cfg;
+}
+
+FieldConfig
+FieldConfig::ngpBaseline(const HashEncodingConfig &base)
+{
+    FieldConfig cfg;
+    cfg.mode = FieldMode::Coupled;
+    cfg.densityGrid = base;
+    cfg.colorGrid = base; // unused in coupled mode
+    return cfg;
+}
+
+FieldConfig
+FieldConfig::vanillaBaseline(int hidden, int layers)
+{
+    FieldConfig cfg;
+    cfg.mode = FieldMode::Vanilla;
+    cfg.hiddenDim = hidden;
+    cfg.vanillaHiddenLayers = layers;
+    return cfg;
+}
+
+void
+NerfField::encodePosition(const Vec3 &p, int frequencies, float *out)
+{
+    constexpr float pi = 3.14159265358979323846f;
+    out[0] = p.x;
+    out[1] = p.y;
+    out[2] = p.z;
+    int idx = 3;
+    float scale = pi;
+    for (int k = 0; k < frequencies; k++) {
+        for (int axis = 0; axis < 3; axis++) {
+            float v = scale * p[axis];
+            out[idx++] = std::sin(v);
+            out[idx++] = std::cos(v);
+        }
+        scale *= 2.0f;
+    }
+}
+
+void
+NerfField::encodeDirection(const Vec3 &d, float *out)
+{
+    Vec3 n = d.normalized();
+    out[0] = n.x;
+    out[1] = n.y;
+    out[2] = n.z;
+    out[3] = n.x * n.x;
+    out[4] = n.y * n.y;
+    out[5] = n.z * n.z;
+    out[6] = n.x * n.y;
+    out[7] = n.y * n.z;
+    out[8] = n.z * n.x;
+}
+
+NerfField::NerfField(const FieldConfig &config, uint64_t seed)
+    : cfg(config)
+{
+    if (cfg.mode == FieldMode::Vanilla) {
+        // No embedding grid: positional encoding straight into a
+        // deeper MLP stack (scaled-down vanilla NeRF).
+        std::vector<int> dens_dims = {cfg.posEncodingDim()};
+        for (int l = 0; l < cfg.vanillaHiddenLayers; l++)
+            dens_dims.push_back(cfg.hiddenDim);
+        dens_dims.push_back(1 + cfg.geoFeatureDim);
+        densityMlpPtr = std::make_unique<Mlp>(
+            dens_dims, OutputActivation::None, seed + 3);
+        colorMlpPtr = std::make_unique<Mlp>(
+            std::vector<int>{cfg.geoFeatureDim + dirEncodingDim,
+                             cfg.hiddenDim, 3},
+            OutputActivation::Sigmoid, seed + 4);
+        return;
+    }
+
+    densityGridPtr =
+        std::make_unique<HashEncoding>(cfg.densityGrid, seed + 1);
+
+    if (cfg.mode == FieldMode::Decoupled) {
+        colorGridPtr =
+            std::make_unique<HashEncoding>(cfg.colorGrid, seed + 2);
+        densityMlpPtr = std::make_unique<Mlp>(
+            std::vector<int>{densityGridPtr->outputDim(), cfg.hiddenDim,
+                             1},
+            OutputActivation::None, seed + 3);
+        colorMlpPtr = std::make_unique<Mlp>(
+            std::vector<int>{colorGridPtr->outputDim() + dirEncodingDim,
+                             cfg.hiddenDim, 3},
+            OutputActivation::Sigmoid, seed + 4);
+    } else {
+        densityMlpPtr = std::make_unique<Mlp>(
+            std::vector<int>{densityGridPtr->outputDim(), cfg.hiddenDim,
+                             1 + cfg.geoFeatureDim},
+            OutputActivation::None, seed + 3);
+        colorMlpPtr = std::make_unique<Mlp>(
+            std::vector<int>{cfg.geoFeatureDim + dirEncodingDim,
+                             cfg.hiddenDim, 3},
+            OutputActivation::Sigmoid, seed + 4);
+    }
+}
+
+FieldSample
+NerfField::query(const Vec3 &p, const Vec3 &d, FieldRecord *rec)
+{
+    queries++;
+    FieldSample out;
+
+    float dir_enc[dirEncodingDim];
+    encodeDirection(d, dir_enc);
+
+    if (cfg.mode == FieldMode::Vanilla) {
+        std::vector<float> pos_enc(cfg.posEncodingDim());
+        encodePosition(clamp(p, 0.0f, 1.0f), cfg.posEncFrequencies,
+                       pos_enc.data());
+        std::vector<float> dens_out(1 + cfg.geoFeatureDim);
+        densityMlpPtr->forward(pos_enc.data(), dens_out.data(),
+                               rec ? &rec->densityMlp : nullptr);
+        out.sigma = softplus(dens_out[0]);
+
+        std::vector<float> col_in(dens_out.begin() + 1, dens_out.end());
+        col_in.insert(col_in.end(), dir_enc, dir_enc + dirEncodingDim);
+        float rgb[3];
+        colorMlpPtr->forward(col_in.data(), rgb,
+                             rec ? &rec->colorMlp : nullptr);
+        out.rgb = {rgb[0], rgb[1], rgb[2]};
+        if (rec) {
+            rec->densityFeat = std::move(pos_enc);
+            rec->dirEnc.assign(dir_enc, dir_enc + dirEncodingDim);
+            rec->rawSigma = dens_out[0];
+            rec->densityOut = std::move(dens_out);
+        }
+        return out;
+    }
+
+    std::vector<float> dens_feat(densityGridPtr->outputDim());
+    densityGridPtr->encode(p, dens_feat.data(),
+                           rec ? &rec->densityEnc : nullptr);
+
+    if (cfg.mode == FieldMode::Decoupled) {
+        float sigma_raw = 0.0f;
+        densityMlpPtr->forward(dens_feat.data(), &sigma_raw,
+                               rec ? &rec->densityMlp : nullptr);
+        out.sigma = softplus(sigma_raw);
+
+        std::vector<float> col_feat(colorGridPtr->outputDim());
+        colorGridPtr->encode(p, col_feat.data(),
+                             rec ? &rec->colorEnc : nullptr);
+
+        std::vector<float> col_in(col_feat);
+        col_in.insert(col_in.end(), dir_enc, dir_enc + dirEncodingDim);
+        float rgb[3];
+        colorMlpPtr->forward(col_in.data(), rgb,
+                             rec ? &rec->colorMlp : nullptr);
+        out.rgb = {rgb[0], rgb[1], rgb[2]};
+
+        if (rec) {
+            rec->densityFeat = std::move(dens_feat);
+            rec->colorFeat = std::move(col_feat);
+            rec->dirEnc.assign(dir_enc, dir_enc + dirEncodingDim);
+            rec->rawSigma = sigma_raw;
+        }
+    } else {
+        std::vector<float> dens_out(1 + cfg.geoFeatureDim);
+        densityMlpPtr->forward(dens_feat.data(), dens_out.data(),
+                               rec ? &rec->densityMlp : nullptr);
+        out.sigma = softplus(dens_out[0]);
+
+        std::vector<float> col_in(dens_out.begin() + 1, dens_out.end());
+        col_in.insert(col_in.end(), dir_enc, dir_enc + dirEncodingDim);
+        float rgb[3];
+        colorMlpPtr->forward(col_in.data(), rgb,
+                             rec ? &rec->colorMlp : nullptr);
+        out.rgb = {rgb[0], rgb[1], rgb[2]};
+
+        if (rec) {
+            rec->densityFeat = std::move(dens_feat);
+            rec->dirEnc.assign(dir_enc, dir_enc + dirEncodingDim);
+            rec->rawSigma = dens_out[0];
+            rec->densityOut = std::move(dens_out);
+        }
+    }
+    return out;
+}
+
+void
+NerfField::backward(const FieldRecord &rec, float d_sigma,
+                    const Vec3 &d_rgb, bool update_density,
+                    bool update_color)
+{
+    float d_rgb_arr[3] = {d_rgb.x, d_rgb.y, d_rgb.z};
+
+    if (cfg.mode == FieldMode::Decoupled) {
+        if (update_color) {
+            std::vector<float> d_col_in(
+                colorGridPtr->outputDim() + dirEncodingDim);
+            colorMlpPtr->backward(rec.colorMlp, d_rgb_arr,
+                                  d_col_in.data());
+            colorGridPtr->backward(rec.colorEnc, d_col_in.data());
+        }
+        if (update_density) {
+            float d_raw = d_sigma * softplusDerivative(rec.rawSigma);
+            std::vector<float> d_feat(densityGridPtr->outputDim());
+            densityMlpPtr->backward(rec.densityMlp, &d_raw,
+                                    d_feat.data());
+            densityGridPtr->backward(rec.densityEnc, d_feat.data());
+        }
+        return;
+    }
+
+    // Coupled / vanilla modes: the color MLP must run backward to
+    // reach the shared trunk even when the color group is frozen.
+    std::vector<float> d_col_in(cfg.geoFeatureDim + dirEncodingDim);
+    colorMlpPtr->backward(rec.colorMlp, d_rgb_arr, d_col_in.data());
+
+    std::vector<float> d_dens_out(1 + cfg.geoFeatureDim, 0.0f);
+    d_dens_out[0] = d_sigma * softplusDerivative(rec.rawSigma);
+    for (int i = 0; i < cfg.geoFeatureDim; i++)
+        d_dens_out[1 + i] = d_col_in[i];
+
+    if (update_density) {
+        if (cfg.mode == FieldMode::Vanilla) {
+            // Positional encoding has no trainable parameters.
+            densityMlpPtr->backward(rec.densityMlp, d_dens_out.data(),
+                                    nullptr);
+        } else {
+            std::vector<float> d_feat(densityGridPtr->outputDim());
+            densityMlpPtr->backward(rec.densityMlp, d_dens_out.data(),
+                                    d_feat.data());
+            densityGridPtr->backward(rec.densityEnc, d_feat.data());
+        }
+    }
+}
+
+HashEncoding &
+NerfField::densityGrid()
+{
+    panicIf(!densityGridPtr, "field mode has no density grid");
+    return *densityGridPtr;
+}
+
+HashEncoding &
+NerfField::colorGrid()
+{
+    panicIf(!colorGridPtr, "field mode has no color grid");
+    return *colorGridPtr;
+}
+
+std::vector<float> &
+NerfField::groupParams(ParamGroupId id)
+{
+    switch (id) {
+      case ParamGroupId::DensityGrid:
+        panicIf(!densityGridPtr, "field mode has no density grid");
+        return densityGridPtr->params();
+      case ParamGroupId::ColorGrid:
+        panicIf(!colorGridPtr, "coupled field has no color grid");
+        return colorGridPtr->params();
+      case ParamGroupId::DensityMlp:
+        return densityMlpPtr->params();
+      case ParamGroupId::ColorMlp:
+        return colorMlpPtr->params();
+    }
+    panic("unreachable param group");
+}
+
+std::vector<float> &
+NerfField::groupGrads(ParamGroupId id)
+{
+    switch (id) {
+      case ParamGroupId::DensityGrid:
+        panicIf(!densityGridPtr, "field mode has no density grid");
+        return densityGridPtr->grads();
+      case ParamGroupId::ColorGrid:
+        panicIf(!colorGridPtr, "coupled field has no color grid");
+        return colorGridPtr->grads();
+      case ParamGroupId::DensityMlp:
+        return densityMlpPtr->grads();
+      case ParamGroupId::ColorMlp:
+        return colorMlpPtr->grads();
+    }
+    panic("unreachable param group");
+}
+
+std::vector<ParamGroupId>
+NerfField::paramGroups() const
+{
+    switch (cfg.mode) {
+      case FieldMode::Decoupled:
+        return {ParamGroupId::DensityGrid, ParamGroupId::ColorGrid,
+                ParamGroupId::DensityMlp, ParamGroupId::ColorMlp};
+      case FieldMode::Coupled:
+        return {ParamGroupId::DensityGrid, ParamGroupId::DensityMlp,
+                ParamGroupId::ColorMlp};
+      case FieldMode::Vanilla:
+        return {ParamGroupId::DensityMlp, ParamGroupId::ColorMlp};
+    }
+    panic("unreachable field mode");
+}
+
+void
+NerfField::zeroGrad()
+{
+    if (densityGridPtr)
+        densityGridPtr->zeroGrad();
+    if (colorGridPtr)
+        colorGridPtr->zeroGrad();
+    densityMlpPtr->zeroGrad();
+    colorMlpPtr->zeroGrad();
+}
+
+} // namespace instant3d

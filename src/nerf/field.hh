@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The radiance-field model (paper Fig. 3 and Fig. 6).
+ *
+ * Two architectures share one interface:
+ *
+ *  - Coupled (Instant-NGP baseline): a single embedding grid feeds a
+ *    density MLP that outputs sigma plus geometry features; the color
+ *    MLP consumes those features plus an encoded view direction.
+ *
+ *  - Decoupled (the Instant-3D algorithm, Sec 3): separate density and
+ *    color grids, each with its own MLP, enabling different grid sizes
+ *    (S_D > S_C) and update frequencies (F_D > F_C) per branch.
+ */
+
+#ifndef INSTANT3D_NERF_FIELD_HH
+#define INSTANT3D_NERF_FIELD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/vec3.hh"
+#include "nerf/hash_encoding.hh"
+#include "nerf/mlp.hh"
+
+namespace instant3d {
+
+/** Which architecture the field instantiates. */
+enum class FieldMode
+{
+    Coupled,    //!< Instant-NGP: one grid, chained MLPs.
+    Decoupled,  //!< Instant-3D: separate density and color branches.
+    Vanilla,    //!< Vanilla NeRF (Sec 2.1): no grid, positional
+                //!< encoding into a (scaled-down) pure-MLP model.
+};
+
+/** Identifies one trainable parameter group for the optimizer. */
+enum class ParamGroupId
+{
+    DensityGrid,
+    ColorGrid,
+    DensityMlp,
+    ColorMlp,
+};
+
+/** Full model configuration. */
+struct FieldConfig
+{
+    FieldMode mode = FieldMode::Decoupled;
+    HashEncodingConfig densityGrid;
+    HashEncodingConfig colorGrid;
+    int hiddenDim = 32;      //!< MLP hidden width.
+    int geoFeatureDim = 8;   //!< Coupled mode: features passed to color.
+    int vanillaHiddenLayers = 3; //!< Vanilla mode: hidden layer count
+                                 //!< (the paper's model uses 10x256;
+                                 //!< tests use a scaled-down version).
+    int posEncFrequencies = 4;   //!< Vanilla positional-encoding bands.
+
+    /**
+     * Build the paper's default Instant-3D configuration from a base
+     * grid config: S_D : S_C = 1 : 0.25 (color table 4x smaller).
+     */
+    static FieldConfig instant3dDefault(const HashEncodingConfig &base);
+
+    /** Instant-NGP baseline: one grid of the base size. */
+    static FieldConfig ngpBaseline(const HashEncodingConfig &base);
+
+    /**
+     * Vanilla-NeRF baseline (Sec 2.1): no embedding grid; a positional
+     * encoding feeds a deeper MLP. `hidden` and `layers` default to a
+     * CPU-trainable scale (the paper's 10x256 model is why vanilla
+     * NeRF takes > 1 day per scene; see VanillaNerfCost).
+     */
+    static FieldConfig vanillaBaseline(int hidden = 48, int layers = 3);
+
+    /** Positional-encoding output dimension for this config. */
+    int posEncodingDim() const { return 3 + 6 * posEncFrequencies; }
+};
+
+/** Density + color of one queried point (Step 3 output). */
+struct FieldSample
+{
+    float sigma = 0.0f;
+    Vec3 rgb;
+};
+
+/** Forward context of one field query, consumed by backward(). */
+struct FieldRecord
+{
+    EncodeRecord densityEnc;
+    EncodeRecord colorEnc;
+    MlpRecord densityMlp;
+    MlpRecord colorMlp;
+    std::vector<float> densityFeat; //!< Grid output, density branch.
+    std::vector<float> colorFeat;   //!< Grid output, color branch.
+    std::vector<float> dirEnc;      //!< Encoded view direction.
+    std::vector<float> densityOut;  //!< Raw density-MLP output.
+    float rawSigma = 0.0f;          //!< Pre-softplus density logit.
+};
+
+/**
+ * The trainable radiance field, either coupled or decoupled.
+ */
+class NerfField
+{
+  public:
+    NerfField(const FieldConfig &config, uint64_t seed);
+
+    const FieldConfig &config() const { return cfg; }
+    FieldMode mode() const { return cfg.mode; }
+
+    /**
+     * Query density and view-dependent color at p from direction d
+     * (Step 3: grid interpolation + MLP inference).
+     */
+    FieldSample query(const Vec3 &p, const Vec3 &d,
+                      FieldRecord *rec = nullptr);
+
+    /**
+     * Back-propagate one sample's output gradient.
+     *
+     * @param update_density  Propagate into the density branch.
+     * @param update_color    Propagate into the color branch. In
+     *        decoupled mode, skipping it skips all color-branch work
+     *        (the F_C < F_D runtime saving of Sec 3.3); in coupled mode
+     *        the color MLP must still run to reach the shared grid, but
+     *        its own gradients are discarded.
+     */
+    void backward(const FieldRecord &rec, float d_sigma,
+                  const Vec3 &d_rgb, bool update_density = true,
+                  bool update_color = true);
+
+    /** Density grid (panics in Vanilla mode, which has none). */
+    HashEncoding &densityGrid();
+    /** Color grid (panics unless in Decoupled mode). */
+    HashEncoding &colorGrid();
+    Mlp &densityMlp() { return *densityMlpPtr; }
+    Mlp &colorMlp() { return *colorMlpPtr; }
+
+    /** True when the mode owns the given grid. */
+    bool hasDensityGrid() const { return densityGridPtr != nullptr; }
+    bool hasColorGrid() const { return colorGridPtr != nullptr; }
+
+    /** Parameter/gradient vectors of one group (for the optimizer). */
+    std::vector<float> &groupParams(ParamGroupId id);
+    std::vector<float> &groupGrads(ParamGroupId id);
+
+    /** All groups present in this mode. */
+    std::vector<ParamGroupId> paramGroups() const;
+
+    void zeroGrad();
+
+    /** Dimension of the view-direction encoding. */
+    static constexpr int dirEncodingDim = 9;
+
+    /** Second-order direction encoding (components + quadratic terms). */
+    static void encodeDirection(const Vec3 &d, float *out);
+
+    /**
+     * NeRF positional encoding: [p, sin(2^k pi p), cos(2^k pi p)] for
+     * k in [0, frequencies); out must hold 3 + 6 * frequencies floats.
+     */
+    static void encodePosition(const Vec3 &p, int frequencies,
+                               float *out);
+
+    /** Total field queries served (workload accounting, all modes). */
+    uint64_t queryCount() const { return queries; }
+
+  private:
+    FieldConfig cfg;
+    std::unique_ptr<HashEncoding> densityGridPtr;
+    std::unique_ptr<HashEncoding> colorGridPtr;
+    std::unique_ptr<Mlp> densityMlpPtr;
+    std::unique_ptr<Mlp> colorMlpPtr;
+    uint64_t queries = 0;
+};
+
+/** Softplus density activation and its derivative. */
+float softplus(float x);
+float softplusDerivative(float x);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_NERF_FIELD_HH

@@ -1,0 +1,177 @@
+#include "nerf/hash_encoding.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/half.hh"
+#include "common/logging.hh"
+
+namespace instant3d {
+
+namespace {
+
+constexpr uint32_t pi1 = 1u;
+constexpr uint32_t pi2 = 2654435761u;
+constexpr uint32_t pi3 = 805459861u;
+
+} // namespace
+
+HashEncodingConfig
+HashEncodingConfig::scaledBy(float size_ratio) const
+{
+    fatalIf(size_ratio <= 0.0f, "grid size ratio must be positive");
+    HashEncodingConfig out = *this;
+    double target = static_cast<double>(tableSize()) * size_ratio;
+    uint32_t bits = 6;
+    while ((1ull << (bits + 1)) <= target && bits < 30)
+        bits++;
+    // Snap to the nearest power of two.
+    double lo = static_cast<double>(1ull << bits);
+    double hi = static_cast<double>(1ull << (bits + 1));
+    out.log2TableSize = (target - lo < hi - target) ? bits : bits + 1;
+    return out;
+}
+
+HashEncoding::HashEncoding(const HashEncodingConfig &config, uint64_t seed)
+    : cfg(config)
+{
+    fatalIf(cfg.numLevels < 1, "hash encoding needs >= 1 level");
+    fatalIf(cfg.featuresPerEntry < 1, "hash encoding needs >= 1 feature");
+    fatalIf(cfg.log2TableSize < 4 || cfg.log2TableSize > 30,
+            "hash table size out of supported range");
+
+    resolutions.resize(cfg.numLevels);
+    for (int l = 0; l < cfg.numLevels; l++) {
+        resolutions[l] = std::max(
+            2, static_cast<int>(std::floor(
+                   cfg.baseResolution *
+                   std::pow(cfg.growthFactor, static_cast<float>(l)))));
+    }
+
+    size_t n = static_cast<size_t>(cfg.numLevels) * cfg.tableSize() *
+               cfg.featuresPerEntry;
+    table.resize(n);
+    gradTable.assign(n, 0.0f);
+
+    // Instant-NGP initializes embeddings uniformly in [-1e-4, 1e-4].
+    Rng rng(seed, 0x9e3779b97f4a7c15ULL);
+    for (auto &v : table)
+        v = rng.nextFloat(-1e-4f, 1e-4f);
+}
+
+uint32_t
+HashEncoding::hashCoords(uint32_t x, uint32_t y, uint32_t z,
+                         uint32_t table_size)
+{
+    uint32_t h = (x * pi1) ^ (y * pi2) ^ (z * pi3);
+    return h & (table_size - 1u);
+}
+
+void
+HashEncoding::encode(const Vec3 &p, float *out, EncodeRecord *rec)
+{
+    Vec3 q = clamp(p, 0.0f, 1.0f);
+    const int fpe = cfg.featuresPerEntry;
+    const uint32_t point_id = nextPointId++;
+
+    if (rec) {
+        rec->addresses.assign(static_cast<size_t>(cfg.numLevels) * 8, 0);
+        rec->weights.assign(static_cast<size_t>(cfg.numLevels) * 8, 0.0f);
+    }
+
+    for (int l = 0; l < cfg.numLevels; l++) {
+        float res = static_cast<float>(resolutions[l]);
+        float fx = q.x * res;
+        float fy = q.y * res;
+        float fz = q.z * res;
+        uint32_t x0 = static_cast<uint32_t>(fx);
+        uint32_t y0 = static_cast<uint32_t>(fy);
+        uint32_t z0 = static_cast<uint32_t>(fz);
+        float wx = fx - static_cast<float>(x0);
+        float wy = fy - static_cast<float>(y0);
+        float wz = fz - static_cast<float>(z0);
+
+        for (int f = 0; f < fpe; f++)
+            out[l * fpe + f] = 0.0f;
+
+        for (int corner = 0; corner < 8; corner++) {
+            uint32_t cx = x0 + static_cast<uint32_t>(corner & 1);
+            uint32_t cy = y0 + static_cast<uint32_t>((corner >> 1) & 1);
+            uint32_t cz = z0 + static_cast<uint32_t>((corner >> 2) & 1);
+            uint32_t addr = hashCoords(cx, cy, cz, cfg.tableSize());
+            float w = ((corner & 1) ? wx : 1.0f - wx) *
+                      (((corner >> 1) & 1) ? wy : 1.0f - wy) *
+                      (((corner >> 2) & 1) ? wz : 1.0f - wz);
+
+            size_t off = entryOffset(l, addr);
+            for (int f = 0; f < fpe; f++)
+                out[l * fpe + f] += w * table[off + f];
+
+            reads++;
+            if (traceSink) {
+                traceSink->record({addr, static_cast<uint16_t>(l),
+                                   static_cast<uint8_t>(corner), false,
+                                   point_id});
+            }
+            if (rec) {
+                rec->addresses[static_cast<size_t>(l) * 8 + corner] = addr;
+                rec->weights[static_cast<size_t>(l) * 8 + corner] = w;
+            }
+        }
+    }
+}
+
+void
+HashEncoding::backward(const EncodeRecord &rec, const float *d_out)
+{
+    panicIf(rec.addresses.size() !=
+                static_cast<size_t>(cfg.numLevels) * 8,
+            "EncodeRecord does not match this encoding");
+    const int fpe = cfg.featuresPerEntry;
+
+    for (int l = 0; l < cfg.numLevels; l++) {
+        for (int corner = 0; corner < 8; corner++) {
+            size_t slot = static_cast<size_t>(l) * 8 + corner;
+            uint32_t addr = rec.addresses[slot];
+            float w = rec.weights[slot];
+            size_t off = entryOffset(l, addr);
+            for (int f = 0; f < fpe; f++)
+                gradTable[off + f] += w * d_out[l * fpe + f];
+
+            writes++;
+            if (traceSink) {
+                traceSink->record({addr, static_cast<uint16_t>(l),
+                                   static_cast<uint8_t>(corner), true,
+                                   0});
+            }
+        }
+    }
+}
+
+void
+HashEncoding::zeroGrad()
+{
+    std::fill(gradTable.begin(), gradTable.end(), 0.0f);
+}
+
+float
+HashEncoding::quantizeToHalf()
+{
+    float max_err = 0.0f;
+    for (auto &v : table) {
+        float q = halfBitsToFloat(floatToHalfBits(v));
+        max_err = std::max(max_err, std::fabs(q - v));
+        v = q;
+    }
+    return max_err;
+}
+
+size_t
+HashEncoding::storageBytes() const
+{
+    // fp16 entries on the accelerator: 2 bytes per feature.
+    return static_cast<size_t>(cfg.numLevels) * cfg.tableSize() *
+           cfg.featuresPerEntry * 2;
+}
+
+} // namespace instant3d

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multiresolution hash-grid embedding (Instant-NGP Step 3-1).
+ *
+ * Each level l has a virtual dense grid of resolution N_l whose vertex
+ * embeddings live in a 1D hash table of T entries x F features, indexed
+ * by the paper's Eq. 3 spatial hash:
+ *
+ *     h = (pi1*x XOR pi2*y XOR pi3*z) mod T,
+ *     pi1 = 1, pi2 = 2654435761, pi3 = 805459861.
+ *
+ * A query point is encoded by trilinear interpolation of its 8
+ * surrounding vertices at every level; the backward pass scatters the
+ * output gradient back to the same 8 entries. Both directions report
+ * every table access to an optional TraceSink.
+ */
+
+#ifndef INSTANT3D_NERF_HASH_ENCODING_HH
+#define INSTANT3D_NERF_HASH_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/vec3.hh"
+#include "nerf/trace_sink.hh"
+
+namespace instant3d {
+
+/** Static configuration of one hash-grid encoding. */
+struct HashEncodingConfig
+{
+    int numLevels = 8;            //!< L, multiresolution levels.
+    int featuresPerEntry = 2;     //!< F, features per hash-table entry.
+    uint32_t log2TableSize = 14;  //!< T = 2^log2TableSize entries/level.
+    int baseResolution = 16;      //!< N_min, coarsest grid resolution.
+    float growthFactor = 1.45f;   //!< b, per-level resolution growth.
+
+    uint32_t tableSize() const { return 1u << log2TableSize; }
+    int outputDim() const { return numLevels * featuresPerEntry; }
+
+    /**
+     * Scale the table size by the paper's S ratio (e.g. S_C = 0.25
+     * shrinks the color table 4x, i.e. two fewer address bits).
+     * Ratios are snapped to the nearest power of two >= 2^6.
+     */
+    HashEncodingConfig scaledBy(float size_ratio) const;
+};
+
+/**
+ * Per-point record of one forward encoding, kept so backward() can
+ * scatter gradients without re-deriving vertex addresses.
+ */
+struct EncodeRecord
+{
+    /** 8 table addresses per level (level-major, corner-minor). */
+    std::vector<uint32_t> addresses;
+    /** 8 trilinear weights per level, same layout. */
+    std::vector<float> weights;
+};
+
+/**
+ * One multiresolution hash-grid with trainable embeddings.
+ */
+class HashEncoding
+{
+  public:
+    HashEncoding(const HashEncodingConfig &config, uint64_t seed);
+
+    const HashEncodingConfig &config() const { return cfg; }
+    int outputDim() const { return cfg.outputDim(); }
+
+    /** Grid resolution N_l of the given level. */
+    int levelResolution(int level) const { return resolutions[level]; }
+
+    /**
+     * Eq. 3 spatial hash of a vertex coordinate into [0, table_size).
+     * table_size must be a power of two.
+     */
+    static uint32_t hashCoords(uint32_t x, uint32_t y, uint32_t z,
+                               uint32_t table_size);
+
+    /**
+     * Encode point p (clamped to [0,1]^3) into out[outputDim()].
+     * @param rec  If non-null, filled for a later backward().
+     */
+    void encode(const Vec3 &p, float *out, EncodeRecord *rec = nullptr);
+
+    /**
+     * Scatter dL/dout (length outputDim()) into the gradient table for
+     * the accesses recorded in rec.
+     */
+    void backward(const EncodeRecord &rec, const float *d_out);
+
+    /** Trainable parameters, length numLevels * T * F. */
+    std::vector<float> &params() { return table; }
+    const std::vector<float> &params() const { return table; }
+
+    /** Gradient accumulator, same shape as params(). */
+    std::vector<float> &grads() { return gradTable; }
+
+    void zeroGrad();
+
+    /** Bytes of embedding storage (fp16 entries, as on the accelerator). */
+    size_t storageBytes() const;
+
+    /**
+     * Round every stored embedding through IEEE-754 binary16, modelling
+     * the accelerator's 16-bit datapath (Sec 5.1: "16-bit half-
+     * precision floating-point arithmetic for all algorithm-related
+     * computations"). Returns the maximum absolute rounding error.
+     */
+    float quantizeToHalf();
+
+    /** Attach/detach a memory-access trace sink (nullptr detaches). */
+    void setTraceSink(TraceSink *sink) { traceSink = sink; }
+
+    /** Total reads/writes issued since construction (workload stats). */
+    uint64_t readCount() const { return reads; }
+    uint64_t writeCount() const { return writes; }
+
+  private:
+    /** Flat offset of (level, address, feature 0). */
+    size_t
+    entryOffset(int level, uint32_t address) const
+    {
+        return (static_cast<size_t>(level) * cfg.tableSize() + address) *
+               cfg.featuresPerEntry;
+    }
+
+    HashEncodingConfig cfg;
+    std::vector<int> resolutions;
+    std::vector<float> table;
+    std::vector<float> gradTable;
+    TraceSink *traceSink = nullptr;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint32_t nextPointId = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_NERF_HASH_ENCODING_HH

@@ -1,0 +1,167 @@
+#include "nerf/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+Mlp::Mlp(std::vector<int> layer_dims, OutputActivation out_act,
+         uint64_t seed)
+    : dims(std::move(layer_dims)), outAct(out_act)
+{
+    fatalIf(dims.size() < 2, "Mlp needs at least input and output dims");
+    for (int d : dims)
+        fatalIf(d < 1, "Mlp layer dims must be positive");
+
+    size_t total = 0;
+    for (int l = 0; l < numLayers(); l++) {
+        wOffsets.push_back(total);
+        total += static_cast<size_t>(dims[l]) * dims[l + 1];
+        bOffsets.push_back(total);
+        total += static_cast<size_t>(dims[l + 1]);
+    }
+    weights.resize(total);
+    gradWeights.assign(total, 0.0f);
+    maxDim = *std::max_element(dims.begin(), dims.end());
+
+    // He-uniform initialization scaled by fan-in.
+    Rng rng(seed, 0xb5297a4d3f512d17ULL);
+    for (int l = 0; l < numLayers(); l++) {
+        float bound = std::sqrt(6.0f / static_cast<float>(dims[l]));
+        size_t w0 = wOffsets[l];
+        size_t nw = static_cast<size_t>(dims[l]) * dims[l + 1];
+        for (size_t i = 0; i < nw; i++)
+            weights[w0 + i] = rng.nextFloat(-bound, bound);
+        size_t b0 = bOffsets[l];
+        for (int i = 0; i < dims[l + 1]; i++)
+            weights[b0 + i] = 0.0f;
+    }
+}
+
+void
+Mlp::forward(const float *in, float *out, MlpRecord *rec) const
+{
+    std::vector<float> cur(in, in + dims[0]);
+    std::vector<float> nxt;
+
+    if (rec) {
+        rec->activations.clear();
+        rec->preacts.clear();
+    }
+
+    for (int l = 0; l < numLayers(); l++) {
+        if (rec)
+            rec->activations.insert(rec->activations.end(), cur.begin(),
+                                    cur.end());
+        int n_in = dims[l];
+        int n_out = dims[l + 1];
+        nxt.assign(static_cast<size_t>(n_out), 0.0f);
+        const float *w = weights.data() + wOffsets[l];
+        const float *b = weights.data() + bOffsets[l];
+        for (int o = 0; o < n_out; o++) {
+            float acc = b[o];
+            const float *wrow = w + static_cast<size_t>(o) * n_in;
+            for (int i = 0; i < n_in; i++)
+                acc += wrow[i] * cur[i];
+            nxt[o] = acc;
+        }
+        if (rec)
+            rec->preacts.insert(rec->preacts.end(), nxt.begin(),
+                                nxt.end());
+
+        bool last = (l == numLayers() - 1);
+        if (!last) {
+            for (auto &v : nxt)
+                v = std::max(v, 0.0f);
+        } else if (outAct == OutputActivation::Sigmoid) {
+            for (auto &v : nxt)
+                v = 1.0f / (1.0f + std::exp(-v));
+        }
+        cur.swap(nxt);
+    }
+    std::copy(cur.begin(), cur.end(), out);
+}
+
+void
+Mlp::backward(const MlpRecord &rec, const float *d_out, float *d_in)
+{
+    // Reconstruct per-layer offsets into the flattened record.
+    std::vector<size_t> act_off(numLayers());
+    std::vector<size_t> pre_off(numLayers());
+    size_t a = 0, p = 0;
+    for (int l = 0; l < numLayers(); l++) {
+        act_off[l] = a;
+        a += static_cast<size_t>(dims[l]);
+        pre_off[l] = p;
+        p += static_cast<size_t>(dims[l + 1]);
+    }
+    panicIf(rec.activations.size() != a || rec.preacts.size() != p,
+            "MlpRecord does not match this Mlp");
+
+    std::vector<float> delta(d_out, d_out + dims.back());
+
+    // Output activation derivative.
+    if (outAct == OutputActivation::Sigmoid) {
+        int l = numLayers() - 1;
+        for (int o = 0; o < dims.back(); o++) {
+            float z = rec.preacts[pre_off[l] + o];
+            float s = 1.0f / (1.0f + std::exp(-z));
+            delta[o] *= s * (1.0f - s);
+        }
+    }
+
+    std::vector<float> prev_delta;
+    for (int l = numLayers() - 1; l >= 0; l--) {
+        int n_in = dims[l];
+        int n_out = dims[l + 1];
+        const float *act = rec.activations.data() + act_off[l];
+        float *gw = gradWeights.data() + wOffsets[l];
+        float *gb = gradWeights.data() + bOffsets[l];
+        const float *w = weights.data() + wOffsets[l];
+
+        prev_delta.assign(static_cast<size_t>(n_in), 0.0f);
+        for (int o = 0; o < n_out; o++) {
+            float d = delta[o];
+            if (d == 0.0f)
+                continue;
+            float *gwrow = gw + static_cast<size_t>(o) * n_in;
+            const float *wrow = w + static_cast<size_t>(o) * n_in;
+            for (int i = 0; i < n_in; i++) {
+                gwrow[i] += d * act[i];
+                prev_delta[i] += d * wrow[i];
+            }
+            gb[o] += d;
+        }
+
+        if (l > 0) {
+            // ReLU derivative on the previous layer's pre-activation.
+            const float *pre = rec.preacts.data() + pre_off[l - 1];
+            for (int i = 0; i < n_in; i++)
+                if (pre[i] <= 0.0f)
+                    prev_delta[i] = 0.0f;
+        }
+        delta.swap(prev_delta);
+    }
+
+    if (d_in)
+        std::copy(delta.begin(), delta.end(), d_in);
+}
+
+void
+Mlp::zeroGrad()
+{
+    std::fill(gradWeights.begin(), gradWeights.end(), 0.0f);
+}
+
+uint64_t
+Mlp::macsPerForward() const
+{
+    uint64_t macs = 0;
+    for (int l = 0; l < numLayers(); l++)
+        macs += static_cast<uint64_t>(dims[l]) * dims[l + 1];
+    return macs;
+}
+
+} // namespace instant3d

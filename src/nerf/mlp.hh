@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Small fully-connected network (Instant-NGP Step 3-2).
+ *
+ * Instant-NGP replaces the vanilla-NeRF 10x256 MLP with tiny MLPs
+ * (3 layers, 64 hidden units); this class implements exactly that shape
+ * range with ReLU hidden activations, an optional output activation,
+ * and explicit forward/backward passes suitable for per-sample training.
+ */
+
+#ifndef INSTANT3D_NERF_MLP_HH
+#define INSTANT3D_NERF_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace instant3d {
+
+/** Output nonlinearity applied after the last layer. */
+enum class OutputActivation
+{
+    None,       //!< Raw linear outputs.
+    Sigmoid,    //!< Per-channel sigmoid (RGB head).
+};
+
+/**
+ * Per-sample forward context retained for backward(): layer inputs and
+ * pre-activation values.
+ */
+struct MlpRecord
+{
+    std::vector<float> activations; //!< Concatenated layer inputs.
+    std::vector<float> preacts;     //!< Concatenated pre-activations.
+};
+
+/**
+ * A dense multilayer perceptron with ReLU hidden units.
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_dims  [in, hidden..., out]; at least {in, out}.
+     * @param out_act     Output activation.
+     * @param seed        Weight-init seed (He-uniform fan-in scaling).
+     */
+    Mlp(std::vector<int> layer_dims, OutputActivation out_act,
+        uint64_t seed);
+
+    int inputDim() const { return dims.front(); }
+    int outputDim() const { return dims.back(); }
+    int numLayers() const { return static_cast<int>(dims.size()) - 1; }
+
+    /**
+     * Forward pass for one sample.
+     * @param rec  If non-null, filled for a later backward().
+     */
+    void forward(const float *in, float *out, MlpRecord *rec = nullptr)
+        const;
+
+    /**
+     * Backward pass for one sample previously run through forward()
+     * with a record. Accumulates into the weight/bias gradients.
+     *
+     * @param d_out  dL/d(output), after the output activation.
+     * @param d_in   If non-null, receives dL/d(input).
+     */
+    void backward(const MlpRecord &rec, const float *d_out, float *d_in);
+
+    std::vector<float> &params() { return weights; }
+    const std::vector<float> &params() const { return weights; }
+    std::vector<float> &grads() { return gradWeights; }
+
+    void zeroGrad();
+
+    /** Multiply-accumulate count of one forward pass. */
+    uint64_t macsPerForward() const;
+
+  private:
+    size_t weightOffset(int layer) const { return wOffsets[layer]; }
+    size_t biasOffset(int layer) const { return bOffsets[layer]; }
+
+    std::vector<int> dims;
+    OutputActivation outAct;
+    std::vector<float> weights;      //!< All W then b, layer-major.
+    std::vector<float> gradWeights;
+    std::vector<size_t> wOffsets, bOffsets;
+    int maxDim = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_NERF_MLP_HH

@@ -1,0 +1,81 @@
+#include "nerf/occupancy_grid.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "nerf/field.hh"
+
+namespace instant3d {
+
+OccupancyGrid::OccupancyGrid(const OccupancyGridConfig &config)
+    : cfg(config)
+{
+    fatalIf(cfg.resolution < 1, "occupancy grid needs resolution >= 1");
+    fatalIf(cfg.decay <= 0.0f || cfg.decay >= 1.0f,
+            "occupancy decay must be in (0, 1)");
+    size_t n = static_cast<size_t>(cfg.resolution) * cfg.resolution *
+               cfg.resolution;
+    // Start optimistic: everything might contain matter.
+    density.assign(n, cfg.occupancyThreshold * 2.0f);
+}
+
+size_t
+OccupancyGrid::cellIndex(const Vec3 &p) const
+{
+    Vec3 q = clamp(p, 0.0f, 1.0f);
+    auto axis = [this](float v) {
+        int c = static_cast<int>(v * cfg.resolution);
+        return std::min(c, cfg.resolution - 1);
+    };
+    return (static_cast<size_t>(axis(q.z)) * cfg.resolution +
+            axis(q.y)) * cfg.resolution + axis(q.x);
+}
+
+bool
+OccupancyGrid::occupied(const Vec3 &p) const
+{
+    return density[cellIndex(p)] >= cfg.occupancyThreshold;
+}
+
+double
+OccupancyGrid::occupiedFraction() const
+{
+    size_t n = 0;
+    for (float d : density)
+        if (d >= cfg.occupancyThreshold)
+            n++;
+    return static_cast<double>(n) / static_cast<double>(density.size());
+}
+
+void
+OccupancyGrid::markAllOccupied()
+{
+    std::fill(density.begin(), density.end(),
+              cfg.occupancyThreshold * 2.0f);
+}
+
+void
+OccupancyGrid::update(NerfField &field, Rng &rng)
+{
+    const float cell = 1.0f / static_cast<float>(cfg.resolution);
+    size_t idx = 0;
+    for (int z = 0; z < cfg.resolution; z++) {
+        for (int y = 0; y < cfg.resolution; y++) {
+            for (int x = 0; x < cfg.resolution; x++, idx++) {
+                float fresh = 0.0f;
+                for (int s = 0; s < cfg.samplesPerCellUpdate; s++) {
+                    Vec3 p((x + rng.nextFloat()) * cell,
+                           (y + rng.nextFloat()) * cell,
+                           (z + rng.nextFloat()) * cell);
+                    fresh = std::max(
+                        fresh,
+                        field.query(p, {0.0f, 0.0f, 1.0f}).sigma);
+                }
+                density[idx] =
+                    std::max(density[idx] * cfg.decay, fresh);
+            }
+        }
+    }
+}
+
+} // namespace instant3d

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Occupancy grid for empty-space skipping.
+ *
+ * Instant-NGP maintains a coarse binary occupancy grid over the scene
+ * and skips ray samples in cells whose density has stayed negligible;
+ * this is part of the substrate the paper builds on (its host SoC
+ * performs ray marching against it in Steps 1-2). The grid is updated
+ * periodically from the trained field with an exponential-decay
+ * estimate, exactly like Instant-NGP's `density_grid` update.
+ */
+
+#ifndef INSTANT3D_NERF_OCCUPANCY_GRID_HH
+#define INSTANT3D_NERF_OCCUPANCY_GRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/vec3.hh"
+
+namespace instant3d {
+
+class NerfField;
+
+/** Configuration of the occupancy grid. */
+struct OccupancyGridConfig
+{
+    int resolution = 32;         //!< Cells per axis over [0,1]^3.
+    float decay = 0.95f;         //!< Per-update density EMA decay.
+    float occupancyThreshold = 0.5f; //!< Density above this = occupied.
+    int samplesPerCellUpdate = 1;    //!< Random probes per cell/update.
+};
+
+/**
+ * A coarse density cache with a binary occupancy view.
+ */
+class OccupancyGrid
+{
+  public:
+    explicit OccupancyGrid(const OccupancyGridConfig &config);
+
+    const OccupancyGridConfig &config() const { return cfg; }
+    int resolution() const { return cfg.resolution; }
+
+    /** Cell index containing p (clamped to the unit cube). */
+    size_t cellIndex(const Vec3 &p) const;
+
+    /** True if the cell containing p may contain matter. */
+    bool occupied(const Vec3 &p) const;
+
+    /** Fraction of cells currently marked occupied. */
+    double occupiedFraction() const;
+
+    /**
+     * Refresh the grid from the field: each cell's density estimate
+     * decays and is maxed with fresh point samples (Instant-NGP's
+     * update rule).
+     */
+    void update(NerfField &field, Rng &rng);
+
+    /**
+     * Mark every cell occupied (the safe initial state: nothing is
+     * skipped until evidence accumulates).
+     */
+    void markAllOccupied();
+
+    /** Direct density estimate of a cell (testing/inspection). */
+    float cellDensity(size_t index) const { return density.at(index); }
+
+    /** Force a cell's density estimate (testing/fault injection). */
+    void
+    setCellDensity(size_t index, float value)
+    {
+        density.at(index) = value;
+    }
+
+    size_t numCells() const { return density.size(); }
+
+  private:
+    OccupancyGridConfig cfg;
+    std::vector<float> density;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_NERF_OCCUPANCY_GRID_HH

@@ -1,0 +1,100 @@
+#include "nerf/renderer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+RayResult
+VolumeRenderer::renderRay(NerfField &field, const Ray &ray, Rng *jitter,
+                          RayRecord *rec) const
+{
+    const int n = cfg.samplesPerRay;
+    const float dt = (cfg.tFar - cfg.tNear) / static_cast<float>(n);
+
+    RayResult out;
+    float transmittance = 1.0f;
+
+    if (rec) {
+        rec->samples.clear();
+        rec->samples.reserve(n);
+    }
+
+    for (int k = 0; k < n; k++) {
+        float offset = jitter ? jitter->nextFloat() : 0.5f;
+        float t = cfg.tNear + (static_cast<float>(k) + offset) * dt;
+        Vec3 p = ray.at(t);
+
+        // Empty-space skipping: unoccupied cells contribute nothing.
+        if (occupancy && !occupancy->occupied(p))
+            continue;
+
+        FieldRecord *frec = nullptr;
+        RayRecord::Sample sample;
+        if (rec)
+            frec = &sample.field;
+        FieldSample fs = field.query(p, ray.direction, frec);
+
+        float alpha = 1.0f - std::exp(-fs.sigma * dt);
+        float weight = transmittance * alpha;
+        out.color += fs.rgb * weight;
+        out.depth += t * weight;
+
+        if (rec) {
+            sample.t = t;
+            sample.dt = dt;
+            sample.sigma = fs.sigma;
+            sample.alpha = alpha;
+            sample.transmittance = transmittance;
+            sample.rgb = fs.rgb;
+            rec->samples.push_back(std::move(sample));
+        }
+
+        transmittance *= 1.0f - alpha;
+        // Early termination only when not recording for backprop.
+        if (!rec && transmittance < cfg.earlyStopTransmittance)
+            break;
+    }
+
+    out.color += cfg.background * transmittance;
+    out.depth += cfg.tFar * transmittance;
+    out.opacity = 1.0f - transmittance;
+    if (rec)
+        rec->finalTransmittance = transmittance;
+    return out;
+}
+
+void
+VolumeRenderer::backwardRay(NerfField &field, const RayRecord &rec,
+                            const Vec3 &d_color, bool update_density,
+                            bool update_color) const
+{
+    // Suffix accumulator: S_k = sum_{j>k} w_j (c_j . g) + bg.g * T_final.
+    float suffix = cfg.background.dot(d_color) * rec.finalTransmittance;
+
+    for (int k = static_cast<int>(rec.samples.size()) - 1; k >= 0; k--) {
+        const auto &s = rec.samples[k];
+        float weight = s.transmittance * s.alpha;
+        float cg = s.rgb.dot(d_color);
+
+        // d alpha_k / d sigma_k = dt * (1 - alpha_k); the (1 - alpha_k)
+        // in the first term cancels the 1/(1 - alpha_k) in the suffix
+        // term, so no division is needed (robust for alpha -> 1).
+        float d_sigma =
+            s.dt * ((1.0f - s.alpha) * s.transmittance * cg - suffix);
+
+        Vec3 d_rgb = d_color * weight;
+        float mag = std::fabs(d_sigma) +
+                    std::fabs(d_rgb.x) + std::fabs(d_rgb.y) +
+                    std::fabs(d_rgb.z);
+        if (mag > cfg.gradientSkipThreshold) {
+            field.backward(s.field, d_sigma, d_rgb, update_density,
+                           update_color);
+        }
+
+        suffix += weight * cg;
+    }
+}
+
+} // namespace instant3d

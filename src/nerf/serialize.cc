@@ -1,0 +1,95 @@
+#include "nerf/serialize.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace instant3d {
+
+namespace {
+
+constexpr uint32_t magicWord = 0x49334446u; // "I3DF"
+constexpr uint32_t formatVersion = 1u;
+
+} // namespace
+
+bool
+saveField(NerfField &field, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+
+    auto groups = field.paramGroups();
+    uint32_t header[4] = {
+        magicWord, formatVersion,
+        static_cast<uint32_t>(field.mode() == FieldMode::Decoupled),
+        static_cast<uint32_t>(groups.size()),
+    };
+    bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
+
+    for (auto gid : groups) {
+        const auto &params = field.groupParams(gid);
+        uint64_t n = params.size();
+        ok = ok && std::fwrite(&n, sizeof(n), 1, f) == 1;
+        ok = ok && std::fwrite(params.data(), sizeof(float),
+                               params.size(), f) == params.size();
+    }
+    std::fclose(f);
+    return ok;
+}
+
+bool
+loadField(NerfField &field, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+
+    uint32_t header[4];
+    if (std::fread(header, sizeof(header), 1, f) != 1 ||
+        header[0] != magicWord || header[1] != formatVersion) {
+        std::fclose(f);
+        return false;
+    }
+    auto groups = field.paramGroups();
+    bool decoupled = field.mode() == FieldMode::Decoupled;
+    if (header[2] != static_cast<uint32_t>(decoupled) ||
+        header[3] != groups.size()) {
+        std::fclose(f);
+        return false;
+    }
+
+    // Stage into temporaries so a mid-file failure cannot leave the
+    // field half-loaded.
+    std::vector<std::vector<float>> staged(groups.size());
+    for (size_t g = 0; g < groups.size(); g++) {
+        uint64_t n = 0;
+        if (std::fread(&n, sizeof(n), 1, f) != 1 ||
+            n != field.groupParams(groups[g]).size()) {
+            std::fclose(f);
+            return false;
+        }
+        staged[g].resize(n);
+        if (std::fread(staged[g].data(), sizeof(float), n, f) != n) {
+            std::fclose(f);
+            return false;
+        }
+    }
+    std::fclose(f);
+
+    for (size_t g = 0; g < groups.size(); g++)
+        field.groupParams(groups[g]) = std::move(staged[g]);
+    return true;
+}
+
+size_t
+fieldStorageBytes(NerfField &field)
+{
+    size_t bytes = 0;
+    for (auto gid : field.paramGroups())
+        bytes += field.groupParams(gid).size() * sizeof(float);
+    return bytes;
+}
+
+} // namespace instant3d

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Model checkpointing. The paper's telepresence motivation (Sec 1)
+ * rests on shipping a reconstructed *model* (~20 MB) instead of raw
+ * captures (~120 MB); this module provides the binary save/load path
+ * for a trained NerfField and reports its wire size.
+ *
+ * Format: magic, version, field mode, per-group element counts, then
+ * raw little-endian float32 parameters, group by group.
+ */
+
+#ifndef INSTANT3D_NERF_SERIALIZE_HH
+#define INSTANT3D_NERF_SERIALIZE_HH
+
+#include <string>
+
+#include "nerf/field.hh"
+
+namespace instant3d {
+
+/** Serialize all trainable parameters. Returns false on I/O error. */
+bool saveField(NerfField &field, const std::string &path);
+
+/**
+ * Load parameters into a field constructed with the *same*
+ * configuration. Returns false on I/O error, bad magic, or any
+ * group-shape mismatch (the field is left unmodified in those cases).
+ */
+bool loadField(NerfField &field, const std::string &path);
+
+/** Total trainable-parameter bytes (float32 wire format). */
+size_t fieldStorageBytes(NerfField &field);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_NERF_SERIALIZE_HH

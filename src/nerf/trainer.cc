@@ -1,0 +1,168 @@
+#include "nerf/trainer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+Trainer::Trainer(const Dataset &dataset, const FieldConfig &field_config,
+                 const TrainConfig &train_config)
+    : data(dataset), cfg(train_config), rng(train_config.seed)
+{
+    fatalIf(data.trainViews.empty(), "Trainer needs training views");
+    fatalIf(cfg.raysPerBatch < 1, "raysPerBatch must be positive");
+    fatalIf(cfg.densityUpdatePeriod < 1 || cfg.colorUpdatePeriod < 1,
+            "update periods must be >= 1");
+
+    fieldPtr = std::make_unique<NerfField>(field_config, cfg.seed);
+
+    RendererConfig rcfg;
+    rcfg.tNear = data.renderOpts.tNear;
+    rcfg.tFar = data.renderOpts.tFar;
+    rcfg.samplesPerRay = cfg.samplesPerRay;
+    rcfg.background = data.renderOpts.background;
+    rendererPtr = std::make_unique<VolumeRenderer>(rcfg);
+
+    if (cfg.useOccupancyGrid) {
+        occupancyPtr = std::make_unique<OccupancyGrid>(cfg.occupancy);
+        rendererPtr->setOccupancyGrid(occupancyPtr.get());
+    }
+
+    groups = fieldPtr->paramGroups();
+    for (auto id : groups) {
+        AdamConfig acfg = cfg.adam;
+        optimizers.push_back(std::make_unique<Adam>(
+            fieldPtr->groupParams(id).size(), acfg));
+    }
+}
+
+bool
+Trainer::dueThisIteration(int period) const
+{
+    return iter % period == 0;
+}
+
+TrainStats
+Trainer::trainIteration()
+{
+    TrainStats stats;
+    stats.densityUpdated = dueThisIteration(cfg.densityUpdatePeriod);
+    stats.colorUpdated = dueThisIteration(cfg.colorUpdatePeriod);
+
+    // Periodic occupancy refresh (after an initial optimistic phase,
+    // so real surfaces exist before anything is skipped).
+    if (occupancyPtr && iter > 0 &&
+        iter % cfg.occupancyUpdatePeriod == 0) {
+        occupancyPtr->update(*fieldPtr, rng);
+    }
+
+    uint64_t points_before = fieldPtr->queryCount();
+
+    double loss_acc = 0.0;
+    float inv_batch = 1.0f / static_cast<float>(cfg.raysPerBatch);
+
+    for (int r = 0; r < cfg.raysPerBatch; r++) {
+        // Step 1: randomly sample a pixel from a random training view.
+        const View &view = data.trainViews[rng.nextU32(
+            static_cast<uint32_t>(data.trainViews.size()))];
+        int col = static_cast<int>(
+            rng.nextU32(static_cast<uint32_t>(view.camera.imageWidth())));
+        int row = static_cast<int>(
+            rng.nextU32(static_cast<uint32_t>(view.camera.imageHeight())));
+        Vec3 gt = view.rgb.at(col, row);
+
+        // Step 2: map the pixel to a ray (jittered inside the pixel).
+        Ray ray = view.camera.pixelRay(col, row, rng.nextFloat(),
+                                       rng.nextFloat());
+
+        // Steps 3-4: query the field along the ray and composite.
+        RayRecord rec;
+        RayResult result = rendererPtr->renderRay(*fieldPtr, ray, &rng,
+                                                  &rec);
+
+        // Step 5: squared-error loss.
+        Vec3 err = result.color - gt;
+        loss_acc += (err.x * err.x + err.y * err.y + err.z * err.z) / 3.0;
+
+        // Step 6: back-propagate dL/dC = 2 * err / (3 * batch).
+        Vec3 d_color = err * (2.0f / 3.0f * inv_batch);
+        rendererPtr->backwardRay(*fieldPtr, rec, d_color,
+                                 stats.densityUpdated,
+                                 stats.colorUpdated);
+    }
+
+    // Apply optimizer steps to the branches due this iteration.
+    for (size_t g = 0; g < groups.size(); g++) {
+        bool is_color = groups[g] == ParamGroupId::ColorGrid ||
+                        groups[g] == ParamGroupId::ColorMlp;
+        bool due = is_color ? stats.colorUpdated : stats.densityUpdated;
+        if (due) {
+            optimizers[g]->step(fieldPtr->groupParams(groups[g]),
+                                fieldPtr->groupGrads(groups[g]));
+        }
+    }
+    fieldPtr->zeroGrad();
+
+    stats.loss = loss_acc / cfg.raysPerBatch;
+    stats.pointsQueried = fieldPtr->queryCount() - points_before;
+    pointsTotal += stats.pointsQueried;
+
+    iter++;
+    return stats;
+}
+
+Image
+Trainer::renderImage(const Camera &camera)
+{
+    Image img(camera.imageWidth(), camera.imageHeight());
+    for (int row = 0; row < camera.imageHeight(); row++) {
+        for (int col = 0; col < camera.imageWidth(); col++) {
+            Ray ray = camera.pixelRay(col, row);
+            img.at(col, row) =
+                rendererPtr->renderRay(*fieldPtr, ray).color;
+        }
+    }
+    return img;
+}
+
+std::vector<float>
+Trainer::renderDepth(const Camera &camera)
+{
+    std::vector<float> depth(
+        static_cast<size_t>(camera.imageWidth()) * camera.imageHeight());
+    for (int row = 0; row < camera.imageHeight(); row++) {
+        for (int col = 0; col < camera.imageWidth(); col++) {
+            Ray ray = camera.pixelRay(col, row);
+            depth[static_cast<size_t>(row) * camera.imageWidth() + col] =
+                rendererPtr->renderRay(*fieldPtr, ray).depth;
+        }
+    }
+    return depth;
+}
+
+double
+Trainer::evalPsnr()
+{
+    fatalIf(data.testViews.empty(), "evalPsnr() needs test views");
+    double acc = 0.0;
+    for (const auto &view : data.testViews) {
+        Image img = renderImage(view.camera);
+        acc += psnr(img, view.rgb);
+    }
+    return acc / static_cast<double>(data.testViews.size());
+}
+
+double
+Trainer::evalDepthPsnr()
+{
+    fatalIf(data.testViews.empty(), "evalDepthPsnr() needs test views");
+    double acc = 0.0;
+    for (const auto &view : data.testViews) {
+        auto depth = renderDepth(view.camera);
+        acc += psnrScalar(depth, view.depth, data.renderOpts.tFar);
+    }
+    return acc / static_cast<double>(data.testViews.size());
+}
+
+} // namespace instant3d

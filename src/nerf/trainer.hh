@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The six-step NeRF training loop (paper Sec 2.1, Fig 2):
+ *   1. randomly sample pixels as a batch
+ *   2. map pixels to rays
+ *   3. query features of points along the rays (grid + MLP)
+ *   4. predict pixel colors by volume rendering
+ *   5. squared-error loss against ground truth
+ *   6. back-propagate and update
+ *
+ * The trainer owns the field, the per-group Adam states, and the
+ * update-frequency schedule (F_D : F_C) of the Instant-3D algorithm.
+ */
+
+#ifndef INSTANT3D_NERF_TRAINER_HH
+#define INSTANT3D_NERF_TRAINER_HH
+
+#include <memory>
+#include <vector>
+
+#include "nerf/adam.hh"
+#include "nerf/renderer.hh"
+#include "scene/dataset.hh"
+
+namespace instant3d {
+
+/** Training-loop configuration. */
+struct TrainConfig
+{
+    int raysPerBatch = 192;
+    int samplesPerRay = 48;
+    AdamConfig adam;
+
+    /**
+     * Update periods in iterations: the branch's parameters receive a
+     * back-propagated update every Nth iteration. F_D : F_C = 1 : 0.5
+     * means densityUpdatePeriod = 1, colorUpdatePeriod = 2 (the color
+     * grid "is updated every two iterations", Sec 5.1).
+     */
+    int densityUpdatePeriod = 1;
+    int colorUpdatePeriod = 1;
+
+    /** Enable Instant-NGP-style occupancy-grid empty-space skipping. */
+    bool useOccupancyGrid = false;
+    int occupancyUpdatePeriod = 16; //!< Grid refresh interval (iters).
+    OccupancyGridConfig occupancy;
+
+    uint64_t seed = 42;
+};
+
+/** Per-iteration statistics returned by trainIteration(). */
+struct TrainStats
+{
+    double loss = 0.0;          //!< Mean squared error of the batch.
+    uint64_t pointsQueried = 0; //!< Field queries this iteration.
+    bool densityUpdated = false;
+    bool colorUpdated = false;
+};
+
+/**
+ * Trains a NerfField against a ground-truth Dataset.
+ */
+class Trainer
+{
+  public:
+    Trainer(const Dataset &dataset, const FieldConfig &field_config,
+            const TrainConfig &train_config);
+
+    /** Run one full training iteration (Steps 1-6). */
+    TrainStats trainIteration();
+
+    int iteration() const { return iter; }
+    NerfField &field() { return *fieldPtr; }
+    const VolumeRenderer &renderer() const { return *rendererPtr; }
+
+    /** The occupancy grid, or nullptr when skipping is disabled. */
+    const OccupancyGrid *occupancyGrid() const
+    { return occupancyPtr.get(); }
+
+    /** Render an RGB image of the current field from a camera. */
+    Image renderImage(const Camera &camera);
+
+    /** Render a depth map of the current field from a camera. */
+    std::vector<float> renderDepth(const Camera &camera);
+
+    /** Average RGB PSNR over the dataset's test views. */
+    double evalPsnr();
+
+    /**
+     * Average depth-map PSNR over the test views (the paper's proxy for
+     * density quality, Fig 5); normalized by tFar.
+     */
+    double evalDepthPsnr();
+
+    /** Total field queries since construction (workload accounting). */
+    uint64_t totalPointsQueried() const { return pointsTotal; }
+
+  private:
+    bool dueThisIteration(int period) const;
+
+    const Dataset &data;
+    TrainConfig cfg;
+    std::unique_ptr<NerfField> fieldPtr;
+    std::unique_ptr<VolumeRenderer> rendererPtr;
+    std::unique_ptr<OccupancyGrid> occupancyPtr;
+    std::vector<std::unique_ptr<Adam>> optimizers;
+    std::vector<ParamGroupId> groups;
+    Rng rng;
+    int iter = 0;
+    uint64_t pointsTotal = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_NERF_TRAINER_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Pinhole camera model and ray generation (training-pipeline Step 2:
+ * "maps the pixels to rays", r = o + t d).
+ */
+
+#ifndef INSTANT3D_SCENE_CAMERA_HH
+#define INSTANT3D_SCENE_CAMERA_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/vec3.hh"
+
+namespace instant3d {
+
+/** A single ray r(t) = origin + t * direction (direction normalized). */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 direction;
+
+    Vec3 at(float t) const { return origin + direction * t; }
+};
+
+/**
+ * Pinhole camera looking at a target point. Pixel (i, j) with i the
+ * column and j the row maps to a ray through the image plane; the image
+ * spans a symmetric field of view around the optical axis.
+ */
+class Camera
+{
+  public:
+    /**
+     * @param eye         Camera position (world space, unit-cube scene).
+     * @param target      Look-at point.
+     * @param up_hint     Approximate up direction.
+     * @param vfov_deg    Vertical field of view in degrees.
+     * @param img_width   Image width in pixels.
+     * @param img_height  Image height in pixels.
+     */
+    Camera(const Vec3 &eye, const Vec3 &target, const Vec3 &up_hint,
+           float vfov_deg, int img_width, int img_height)
+        : position(eye), width(img_width), height(img_height)
+    {
+        forward = (target - eye).normalized();
+        right = forward.cross(up_hint).normalized();
+        up = right.cross(forward);
+        float vfov = vfov_deg * 3.14159265358979323846f / 180.0f;
+        tanHalfV = std::tan(0.5f * vfov);
+        tanHalfH = tanHalfV * static_cast<float>(width) /
+                   static_cast<float>(height);
+    }
+
+    int imageWidth() const { return width; }
+    int imageHeight() const { return height; }
+    const Vec3 &eye() const { return position; }
+
+    /**
+     * Ray through pixel (col, row); (u_off, v_off) in [0,1) jitters the
+     * sample inside the pixel footprint (0.5, 0.5 = pixel center).
+     */
+    Ray
+    pixelRay(int col, int row, float u_off = 0.5f, float v_off = 0.5f) const
+    {
+        float u = (static_cast<float>(col) + u_off) /
+                  static_cast<float>(width) * 2.0f - 1.0f;
+        float v = 1.0f - (static_cast<float>(row) + v_off) /
+                  static_cast<float>(height) * 2.0f;
+        Vec3 dir = forward + right * (u * tanHalfH) + up * (v * tanHalfV);
+        return {position, dir.normalized()};
+    }
+
+  private:
+    Vec3 position;
+    Vec3 forward, right, up;
+    float tanHalfV = 1.0f, tanHalfH = 1.0f;
+    int width, height;
+};
+
+/**
+ * Generate n_views cameras on a sphere of the given radius around the
+ * scene center (0.5, 0.5, 0.5), the standard inward-facing capture rig
+ * of NeRF-Synthetic. Uses a Fibonacci spiral restricted to the upper
+ * hemisphere band so views are well distributed.
+ */
+std::vector<Camera> makeOrbitCameras(int n_views, float radius,
+                                     int img_width, int img_height,
+                                     float vfov_deg = 45.0f);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SCENE_CAMERA_HH

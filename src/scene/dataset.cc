@@ -1,0 +1,115 @@
+#include "scene/dataset.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+std::vector<Camera>
+makeOrbitCameras(int n_views, float radius, int img_width, int img_height,
+                 float vfov_deg)
+{
+    fatalIf(n_views < 1, "makeOrbitCameras() needs at least one view");
+    const Vec3 center(0.5f, 0.5f, 0.5f);
+    std::vector<Camera> cams;
+    cams.reserve(n_views);
+    constexpr float golden = 2.39996322972865332f; // golden angle
+    for (int i = 0; i < n_views; i++) {
+        // Fibonacci spiral over an elevation band [10 deg, 55 deg].
+        float frac = (static_cast<float>(i) + 0.5f) /
+                     static_cast<float>(n_views);
+        float elev = (10.0f + 45.0f * frac) *
+                     3.14159265358979323846f / 180.0f;
+        float azim = golden * static_cast<float>(i);
+        Vec3 eye = center + Vec3(std::cos(azim) * std::cos(elev),
+                                 std::sin(elev),
+                                 std::sin(azim) * std::cos(elev)) * radius;
+        cams.emplace_back(eye, center, Vec3(0, 1, 0), vfov_deg,
+                          img_width, img_height);
+    }
+    return cams;
+}
+
+Vec3
+renderRayGroundTruth(const Scene &scene, const Ray &ray,
+                     const RenderOptions &opts, float *out_depth)
+{
+    float dt = (opts.tFar - opts.tNear) / static_cast<float>(opts.numSteps);
+    float transmittance = 1.0f;
+    Vec3 color;
+    float depth_acc = 0.0f;
+
+    for (int k = 0; k < opts.numSteps; k++) {
+        float t = opts.tNear + (static_cast<float>(k) + 0.5f) * dt;
+        Vec3 p = ray.at(t);
+        float sigma = scene.density(p);
+        if (sigma <= 0.0f)
+            continue;
+        float alpha = 1.0f - std::exp(-sigma * dt);
+        float weight = transmittance * alpha;
+        color += scene.color(p, ray.direction) * weight;
+        depth_acc += t * weight;
+        transmittance *= 1.0f - alpha;
+        if (transmittance < 1e-4f)
+            break;
+    }
+
+    color += opts.background * transmittance;
+    if (out_depth) {
+        // Rays that escape report the far plane, matching how depth
+        // images are visualized in the paper's Fig. 5.
+        *out_depth = depth_acc + transmittance * opts.tFar;
+    }
+    return color;
+}
+
+View
+renderViewGroundTruth(const Scene &scene, const Camera &camera,
+                      const RenderOptions &opts)
+{
+    View view{camera, Image(camera.imageWidth(), camera.imageHeight()), {}};
+    view.depth.assign(
+        static_cast<size_t>(camera.imageWidth()) * camera.imageHeight(),
+        0.0f);
+    for (int row = 0; row < camera.imageHeight(); row++) {
+        for (int col = 0; col < camera.imageWidth(); col++) {
+            float depth = 0.0f;
+            Ray ray = camera.pixelRay(col, row);
+            view.rgb.at(col, row) =
+                renderRayGroundTruth(scene, ray, opts, &depth);
+            view.depth[static_cast<size_t>(row) * camera.imageWidth() +
+                       col] = depth;
+        }
+    }
+    return view;
+}
+
+Dataset
+makeDataset(ScenePtr scene, const DatasetConfig &config)
+{
+    fatalIf(!scene, "makeDataset() needs a scene");
+    Dataset ds;
+    ds.scene = scene;
+    ds.renderOpts = config.renderOpts;
+
+    auto train_cams = makeOrbitCameras(
+        config.numTrainViews, config.cameraRadius, config.imageWidth,
+        config.imageHeight);
+    for (const auto &cam : train_cams)
+        ds.trainViews.push_back(
+            renderViewGroundTruth(*scene, cam, config.renderOpts));
+
+    // Test cameras sit between training azimuths (radius offset avoids
+    // exact duplication of any training pose).
+    auto test_cams = makeOrbitCameras(
+        config.numTestViews, config.cameraRadius * 1.04f,
+        config.imageWidth, config.imageHeight);
+    for (const auto &cam : test_cams)
+        ds.testViews.push_back(
+            renderViewGroundTruth(*scene, cam, config.renderOpts));
+
+    return ds;
+}
+
+} // namespace instant3d

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ground-truth dataset rendering: posed RGB (and depth) views of an
+ * analytic Scene produced by fine-step ray marching of the true radiance
+ * field with the classical volume-rendering integral (paper Eq. 1).
+ *
+ * These views stand in for the NeRF-Synthetic / SILVR / ScanNet captures
+ * (see DESIGN.md, substitution table).
+ */
+
+#ifndef INSTANT3D_SCENE_DATASET_HH
+#define INSTANT3D_SCENE_DATASET_HH
+
+#include <vector>
+
+#include "scene/camera.hh"
+#include "scene/image.hh"
+#include "scene/scene.hh"
+
+namespace instant3d {
+
+/** One posed view: camera, RGB image, and a per-pixel depth map. */
+struct View
+{
+    Camera camera;
+    Image rgb;
+    std::vector<float> depth; // expected ray distance, row-major
+};
+
+/** Options controlling ground-truth rendering. */
+struct RenderOptions
+{
+    float tNear = 0.05f;     //!< Ray-march start distance.
+    float tFar = 2.2f;       //!< Ray-march end distance.
+    int numSteps = 192;      //!< Uniform steps along each ray.
+    Vec3 background{0, 0, 0};//!< Composited behind transparent rays.
+};
+
+/**
+ * Volume-render one ray against the analytic scene.
+ *
+ * @param[out] out_depth  Expected termination distance (transmittance-
+ *                        weighted t), if non-null.
+ * @return Composited RGB.
+ */
+Vec3 renderRayGroundTruth(const Scene &scene, const Ray &ray,
+                          const RenderOptions &opts,
+                          float *out_depth = nullptr);
+
+/** Render a full view (image + depth) from a camera. */
+View renderViewGroundTruth(const Scene &scene, const Camera &camera,
+                           const RenderOptions &opts);
+
+/**
+ * A train/test split of ground-truth views of one scene, the shape the
+ * NeRF trainer consumes (paper Step 1 samples pixels from trainViews).
+ */
+struct Dataset
+{
+    ScenePtr scene;
+    std::vector<View> trainViews;
+    std::vector<View> testViews;
+    RenderOptions renderOpts;
+};
+
+/** Parameters for dataset generation. */
+struct DatasetConfig
+{
+    int numTrainViews = 12;
+    int numTestViews = 3;
+    int imageWidth = 40;
+    int imageHeight = 40;
+    float cameraRadius = 1.15f;
+    RenderOptions renderOpts;
+};
+
+/** Build a dataset by rendering orbit views of the scene. */
+Dataset makeDataset(ScenePtr scene, const DatasetConfig &config);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SCENE_DATASET_HH

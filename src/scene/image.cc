@@ -1,0 +1,124 @@
+#include "scene/image.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%d %d\n255\n", imgWidth, imgHeight);
+    for (const auto &p : pixels) {
+        Vec3 c = clamp(p, 0.0f, 1.0f);
+        unsigned char rgb[3] = {
+            static_cast<unsigned char>(c.x * 255.0f + 0.5f),
+            static_cast<unsigned char>(c.y * 255.0f + 0.5f),
+            static_cast<unsigned char>(c.z * 255.0f + 0.5f),
+        };
+        std::fwrite(rgb, 1, 3, f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+double
+mse(const Image &a, const Image &b)
+{
+    panicIf(a.width() != b.width() || a.height() != b.height(),
+            "mse() on images of different sizes");
+    panicIf(a.empty(), "mse() on empty images");
+    double acc = 0.0;
+    const auto &pa = a.data();
+    const auto &pb = b.data();
+    for (size_t i = 0; i < pa.size(); i++) {
+        Vec3 d = pa[i] - pb[i];
+        acc += d.x * d.x + d.y * d.y + d.z * d.z;
+    }
+    return acc / (3.0 * static_cast<double>(pa.size()));
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    double err = mse(a, b);
+    if (err <= 1e-12)
+        return 99.0;
+    return -10.0 * std::log10(err);
+}
+
+double
+ssim(const Image &a, const Image &b)
+{
+    panicIf(a.width() != b.width() || a.height() != b.height(),
+            "ssim() on images of different sizes");
+    panicIf(a.width() < 8 || a.height() < 8,
+            "ssim() needs at least 8x8 images");
+
+    constexpr double c1 = 0.01 * 0.01;
+    constexpr double c2 = 0.03 * 0.03;
+    constexpr int win = 8;
+
+    double total = 0.0;
+    int windows = 0;
+    for (int wy = 0; wy + win <= a.height(); wy += win) {
+        for (int wx = 0; wx + win <= a.width(); wx += win) {
+            for (int ch = 0; ch < 3; ch++) {
+                double mu_a = 0, mu_b = 0;
+                for (int y = 0; y < win; y++) {
+                    for (int x = 0; x < win; x++) {
+                        mu_a += a.at(wx + x, wy + y)[ch];
+                        mu_b += b.at(wx + x, wy + y)[ch];
+                    }
+                }
+                const double n = win * win;
+                mu_a /= n;
+                mu_b /= n;
+                double var_a = 0, var_b = 0, cov = 0;
+                for (int y = 0; y < win; y++) {
+                    for (int x = 0; x < win; x++) {
+                        double da = a.at(wx + x, wy + y)[ch] - mu_a;
+                        double db = b.at(wx + x, wy + y)[ch] - mu_b;
+                        var_a += da * da;
+                        var_b += db * db;
+                        cov += da * db;
+                    }
+                }
+                var_a /= n - 1;
+                var_b /= n - 1;
+                cov /= n - 1;
+                total += (2 * mu_a * mu_b + c1) * (2 * cov + c2) /
+                         ((mu_a * mu_a + mu_b * mu_b + c1) *
+                          (var_a + var_b + c2));
+                windows++;
+            }
+        }
+    }
+    panicIf(windows == 0, "ssim() produced no windows");
+    return total / windows;
+}
+
+double
+psnrScalar(const std::vector<float> &a, const std::vector<float> &b,
+           float peak)
+{
+    panicIf(a.size() != b.size() || a.empty(),
+            "psnrScalar() size mismatch");
+    panicIf(peak <= 0.0f, "psnrScalar() needs a positive peak");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); i++) {
+        double d = (static_cast<double>(a[i]) - b[i]) / peak;
+        acc += d * d;
+    }
+    double err = acc / static_cast<double>(a.size());
+    if (err <= 1e-12)
+        return 99.0;
+    return -10.0 * std::log10(err);
+}
+
+} // namespace instant3d

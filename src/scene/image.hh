@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Float RGB image container, PSNR metrics (the paper's reconstruction-
+ * quality measure), and PPM export for eyeballing results.
+ */
+
+#ifndef INSTANT3D_SCENE_IMAGE_HH
+#define INSTANT3D_SCENE_IMAGE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/vec3.hh"
+
+namespace instant3d {
+
+/** Row-major float RGB image with channels in [0, 1]. */
+class Image
+{
+  public:
+    Image() = default;
+    Image(int w, int h) : imgWidth(w), imgHeight(h)
+    { pixels.assign(static_cast<size_t>(w) * h, Vec3()); }
+
+    int width() const { return imgWidth; }
+    int height() const { return imgHeight; }
+    bool empty() const { return pixels.empty(); }
+
+    const Vec3 &at(int col, int row) const
+    { return pixels[static_cast<size_t>(row) * imgWidth + col]; }
+
+    Vec3 &
+    at(int col, int row)
+    {
+        return pixels[static_cast<size_t>(row) * imgWidth + col];
+    }
+
+    const std::vector<Vec3> &data() const { return pixels; }
+
+    /** Write an 8-bit binary PPM (P6). Returns false on I/O failure. */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    int imgWidth = 0;
+    int imgHeight = 0;
+    std::vector<Vec3> pixels;
+};
+
+/**
+ * Peak signal-to-noise ratio between two same-sized RGB images, peak 1.0:
+ * PSNR = -10 log10(MSE). Identical images return +inf-capped 99 dB.
+ */
+double psnr(const Image &a, const Image &b);
+
+/**
+ * PSNR between two scalar maps (e.g. depth images) normalized by the
+ * given peak value.
+ */
+double psnrScalar(const std::vector<float> &a, const std::vector<float> &b,
+                  float peak);
+
+/** Mean squared error over all channels of two same-sized images. */
+double mse(const Image &a, const Image &b);
+
+/**
+ * Structural similarity index (SSIM, Wang et al. 2004) between two
+ * same-sized RGB images, averaged over channels, computed with the
+ * standard 8x8 windows and K1 = 0.01, K2 = 0.03 at peak 1.0. Returns
+ * a value in [-1, 1]; 1 means identical.
+ */
+double ssim(const Image &a, const Image &b);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SCENE_IMAGE_HH

@@ -1,0 +1,394 @@
+#include "scene/scene.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+namespace {
+
+/**
+ * Signed-distance primitive with a base color. density() maps the signed
+ * distance through a smooth step so surfaces have a finite shell the
+ * trainer can actually learn at grid resolution.
+ */
+struct Primitive
+{
+    enum class Kind { Sphere, Box, Torus, Cylinder };
+
+    Kind kind = Kind::Sphere;
+    Vec3 center;
+    Vec3 halfExtent;      // box half-size / (major, minor, -) for torus
+    float radius = 0.1f;  // sphere/cylinder radius
+    Vec3 baseColor{0.5f, 0.5f, 0.5f};
+    float densityScale = 40.0f;
+
+    float
+    signedDistance(const Vec3 &p) const
+    {
+        Vec3 q = p - center;
+        switch (kind) {
+          case Kind::Sphere:
+            return q.norm() - radius;
+          case Kind::Box: {
+            Vec3 a{std::fabs(q.x) - halfExtent.x,
+                   std::fabs(q.y) - halfExtent.y,
+                   std::fabs(q.z) - halfExtent.z};
+            Vec3 outside{std::fmax(a.x, 0.0f), std::fmax(a.y, 0.0f),
+                         std::fmax(a.z, 0.0f)};
+            float inside = std::fmin(a.maxComponent(), 0.0f);
+            return outside.norm() + inside;
+          }
+          case Kind::Torus: {
+            float major = halfExtent.x;
+            float minor = halfExtent.y;
+            float ring = std::sqrt(q.x * q.x + q.z * q.z) - major;
+            return std::sqrt(ring * ring + q.y * q.y) - minor;
+          }
+          case Kind::Cylinder: {
+            float rad = std::sqrt(q.x * q.x + q.z * q.z) - radius;
+            float cap = std::fabs(q.y) - halfExtent.y;
+            float out = std::sqrt(
+                std::fmax(rad, 0.0f) * std::fmax(rad, 0.0f) +
+                std::fmax(cap, 0.0f) * std::fmax(cap, 0.0f));
+            return out + std::fmin(std::fmax(rad, cap), 0.0f);
+          }
+        }
+        return 1.0f;
+    }
+
+    /** Density falls off smoothly across a thin shell around the surface. */
+    float
+    density(const Vec3 &p) const
+    {
+        float d = signedDistance(p);
+        constexpr float shell = 0.02f;
+        if (d >= shell)
+            return 0.0f;
+        if (d <= 0.0f)
+            return densityScale;
+        float t = 1.0f - d / shell;
+        return densityScale * t * t;
+    }
+};
+
+/**
+ * A scene assembled from primitives. Density is the max over primitives;
+ * color is taken from the densest primitive with mild spatial patterning
+ * and a small view-dependent sheen so the color MLP has real work to do.
+ */
+class PrimitiveScene : public Scene
+{
+  public:
+    PrimitiveScene(std::string scene_name, std::vector<Primitive> prims,
+                   float pattern_freq = 9.0f, float sheen = 0.12f)
+        : sceneName(std::move(scene_name)), primitives(std::move(prims)),
+          patternFreq(pattern_freq), sheenStrength(sheen)
+    {
+        panicIf(primitives.empty(), "PrimitiveScene with no primitives");
+    }
+
+    std::string name() const override { return sceneName; }
+
+    float
+    density(const Vec3 &p) const override
+    {
+        if (p.minComponent() < 0.0f || p.maxComponent() > 1.0f)
+            return 0.0f;
+        float best = 0.0f;
+        for (const auto &prim : primitives)
+            best = std::fmax(best, prim.density(p));
+        return best;
+    }
+
+    Vec3
+    color(const Vec3 &p, const Vec3 &d) const override
+    {
+        const Primitive *winner = &primitives.front();
+        float best = -1.0f;
+        for (const auto &prim : primitives) {
+            float dens = prim.density(p);
+            if (dens > best) {
+                best = dens;
+                winner = &prim;
+            }
+        }
+        // Low-frequency spatial modulation of the base color.
+        float mod = 0.5f + 0.5f * std::sin(patternFreq * p.x) *
+                                  std::cos(patternFreq * p.y + 1.3f) *
+                                  std::sin(patternFreq * p.z + 0.7f);
+        Vec3 c = winner->baseColor * (0.75f + 0.25f * mod);
+        // A small view-dependent sheen toward a fixed "light" direction.
+        Vec3 light = Vec3(0.4f, 0.8f, 0.45f).normalized();
+        float sheen = std::fmax(0.0f, d.normalized().dot(light));
+        c += Vec3(sheenStrength) * sheen * sheen;
+        return clamp(c, 0.0f, 1.0f);
+    }
+
+  private:
+    std::string sceneName;
+    std::vector<Primitive> primitives;
+    float patternFreq;
+    float sheenStrength;
+};
+
+Primitive
+sphere(Vec3 c, float r, Vec3 col, float dens = 40.0f)
+{
+    Primitive p;
+    p.kind = Primitive::Kind::Sphere;
+    p.center = c;
+    p.radius = r;
+    p.baseColor = col;
+    p.densityScale = dens;
+    return p;
+}
+
+Primitive
+box(Vec3 c, Vec3 half, Vec3 col, float dens = 40.0f)
+{
+    Primitive p;
+    p.kind = Primitive::Kind::Box;
+    p.center = c;
+    p.halfExtent = half;
+    p.baseColor = col;
+    p.densityScale = dens;
+    return p;
+}
+
+Primitive
+torus(Vec3 c, float major, float minor, Vec3 col, float dens = 40.0f)
+{
+    Primitive p;
+    p.kind = Primitive::Kind::Torus;
+    p.center = c;
+    p.halfExtent = Vec3(major, minor, 0.0f);
+    p.baseColor = col;
+    p.densityScale = dens;
+    return p;
+}
+
+Primitive
+cylinder(Vec3 c, float r, float half_height, Vec3 col, float dens = 40.0f)
+{
+    Primitive p;
+    p.kind = Primitive::Kind::Cylinder;
+    p.center = c;
+    p.radius = r;
+    p.halfExtent = Vec3(0.0f, half_height, 0.0f);
+    p.baseColor = col;
+    p.densityScale = dens;
+    return p;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+syntheticSceneNames()
+{
+    static const std::vector<std::string> names = {
+        "chair", "drums", "ficus", "hotdog",
+        "lego", "materials", "mic", "ship",
+    };
+    return names;
+}
+
+ScenePtr
+makeSyntheticScene(const std::string &name)
+{
+    const Vec3 mid(0.5f, 0.5f, 0.5f);
+
+    if (name == "chair") {
+        // Seat, back, four legs.
+        std::vector<Primitive> prims = {
+            box({0.5f, 0.45f, 0.5f}, {0.16f, 0.02f, 0.16f},
+                {0.70f, 0.45f, 0.20f}),
+            box({0.5f, 0.60f, 0.36f}, {0.16f, 0.15f, 0.02f},
+                {0.72f, 0.48f, 0.22f}),
+            cylinder({0.38f, 0.33f, 0.38f}, 0.02f, 0.11f,
+                     {0.45f, 0.28f, 0.12f}),
+            cylinder({0.62f, 0.33f, 0.38f}, 0.02f, 0.11f,
+                     {0.45f, 0.28f, 0.12f}),
+            cylinder({0.38f, 0.33f, 0.62f}, 0.02f, 0.11f,
+                     {0.45f, 0.28f, 0.12f}),
+            cylinder({0.62f, 0.33f, 0.62f}, 0.02f, 0.11f,
+                     {0.45f, 0.28f, 0.12f}),
+        };
+        return std::make_shared<PrimitiveScene>("chair", prims, 7.0f);
+    }
+    if (name == "drums") {
+        std::vector<Primitive> prims = {
+            cylinder({0.40f, 0.46f, 0.45f}, 0.11f, 0.06f,
+                     {0.80f, 0.15f, 0.15f}),
+            cylinder({0.63f, 0.43f, 0.55f}, 0.09f, 0.05f,
+                     {0.15f, 0.20f, 0.75f}),
+            cylinder({0.52f, 0.40f, 0.33f}, 0.07f, 0.07f,
+                     {0.85f, 0.75f, 0.20f}),
+            sphere({0.35f, 0.62f, 0.60f}, 0.06f, {0.85f, 0.82f, 0.60f}),
+            sphere({0.68f, 0.60f, 0.38f}, 0.05f, {0.85f, 0.82f, 0.60f}),
+        };
+        return std::make_shared<PrimitiveScene>("drums", prims, 11.0f);
+    }
+    if (name == "ficus") {
+        // Pot, trunk, and a cloud of leaf spheres (fine structure).
+        std::vector<Primitive> prims = {
+            cylinder({0.5f, 0.30f, 0.5f}, 0.08f, 0.06f,
+                     {0.55f, 0.30f, 0.18f}),
+            cylinder({0.5f, 0.45f, 0.5f}, 0.015f, 0.12f,
+                     {0.40f, 0.26f, 0.13f}),
+        };
+        // Deterministic pseudo-random leaf cloud.
+        uint32_t s = 12345;
+        auto fr = [&s]() {
+            s = s * 1664525u + 1013904223u;
+            return static_cast<float>(s >> 8) * 0x1p-24f;
+        };
+        for (int i = 0; i < 24; i++) {
+            Vec3 c(0.5f + 0.16f * (fr() - 0.5f) * 2.0f,
+                   0.60f + 0.12f * (fr() - 0.5f) * 2.0f,
+                   0.5f + 0.16f * (fr() - 0.5f) * 2.0f);
+            prims.push_back(sphere(c, 0.020f + 0.015f * fr(),
+                                   {0.10f, 0.45f + 0.25f * fr(), 0.12f}));
+        }
+        return std::make_shared<PrimitiveScene>("ficus", prims, 13.0f);
+    }
+    if (name == "hotdog") {
+        std::vector<Primitive> prims = {
+            box({0.5f, 0.40f, 0.5f}, {0.20f, 0.02f, 0.12f},
+                {0.92f, 0.92f, 0.85f}),
+            cylinder({0.42f, 0.46f, 0.5f}, 0.035f, 0.14f,
+                     {0.80f, 0.35f, 0.12f}),
+            cylinder({0.58f, 0.46f, 0.5f}, 0.035f, 0.14f,
+                     {0.80f, 0.35f, 0.12f}),
+            torus({0.5f, 0.52f, 0.5f}, 0.05f, 0.012f,
+                  {0.95f, 0.85f, 0.20f}),
+        };
+        return std::make_shared<PrimitiveScene>("hotdog", prims, 8.0f);
+    }
+    if (name == "lego") {
+        // Studded brick assembly (boxy, sharp edges).
+        std::vector<Primitive> prims = {
+            box({0.5f, 0.40f, 0.5f}, {0.18f, 0.05f, 0.10f},
+                {0.85f, 0.70f, 0.10f}),
+            box({0.44f, 0.52f, 0.5f}, {0.10f, 0.05f, 0.08f},
+                {0.85f, 0.70f, 0.10f}),
+            box({0.60f, 0.52f, 0.46f}, {0.05f, 0.05f, 0.05f},
+                {0.30f, 0.30f, 0.32f}),
+        };
+        for (int i = 0; i < 4; i++) {
+            prims.push_back(cylinder(
+                {0.36f + 0.09f * i, 0.475f, 0.5f}, 0.02f, 0.012f,
+                {0.85f, 0.70f, 0.10f}));
+        }
+        return std::make_shared<PrimitiveScene>("lego", prims, 15.0f);
+    }
+    if (name == "materials") {
+        // A row of differently colored balls (the shiny-materials scene).
+        std::vector<Primitive> prims;
+        const Vec3 colors[6] = {
+            {0.85f, 0.15f, 0.12f}, {0.15f, 0.65f, 0.20f},
+            {0.15f, 0.25f, 0.85f}, {0.90f, 0.80f, 0.15f},
+            {0.75f, 0.20f, 0.75f}, {0.85f, 0.85f, 0.88f},
+        };
+        for (int i = 0; i < 6; i++) {
+            float fx = 0.28f + 0.088f * i;
+            float fz = (i % 2) ? 0.42f : 0.58f;
+            prims.push_back(sphere({fx, 0.42f, fz}, 0.055f, colors[i]));
+        }
+        return std::make_shared<PrimitiveScene>("materials", prims, 6.0f,
+                                                0.30f);
+    }
+    if (name == "mic") {
+        std::vector<Primitive> prims = {
+            sphere({0.5f, 0.62f, 0.5f}, 0.07f, {0.75f, 0.75f, 0.78f}),
+            cylinder({0.5f, 0.45f, 0.5f}, 0.018f, 0.12f,
+                     {0.35f, 0.35f, 0.38f}),
+            torus({0.5f, 0.33f, 0.5f}, 0.09f, 0.015f,
+                  {0.30f, 0.30f, 0.33f}),
+        };
+        return std::make_shared<PrimitiveScene>("mic", prims, 18.0f, 0.25f);
+    }
+    if (name == "ship") {
+        std::vector<Primitive> prims = {
+            box({0.5f, 0.38f, 0.5f}, {0.22f, 0.045f, 0.09f},
+                {0.50f, 0.32f, 0.18f}),
+            box({0.5f, 0.45f, 0.5f}, {0.12f, 0.03f, 0.06f},
+                {0.58f, 0.40f, 0.24f}),
+            cylinder({0.44f, 0.58f, 0.5f}, 0.012f, 0.12f,
+                     {0.35f, 0.25f, 0.15f}),
+            cylinder({0.58f, 0.55f, 0.5f}, 0.012f, 0.09f,
+                     {0.35f, 0.25f, 0.15f}),
+            box({0.44f, 0.58f, 0.5f}, {0.001f, 0.06f, 0.05f},
+                {0.90f, 0.88f, 0.80f}, 25.0f),
+        };
+        return std::make_shared<PrimitiveScene>("ship", prims, 10.0f);
+    }
+
+    fatal("unknown synthetic scene name: " + name);
+}
+
+ScenePtr
+makeSilvrScene(int variant)
+{
+    // Large-volume plenoptic content: objects distributed through most of
+    // the volume plus a thin enclosing shell (the environment).
+    std::vector<Primitive> prims;
+    uint32_t s = 777u + static_cast<uint32_t>(variant) * 9176u;
+    auto fr = [&s]() {
+        s = s * 1664525u + 1013904223u;
+        return static_cast<float>(s >> 8) * 0x1p-24f;
+    };
+    for (int i = 0; i < 14; i++) {
+        Vec3 c(0.12f + 0.76f * fr(), 0.12f + 0.76f * fr(),
+               0.12f + 0.76f * fr());
+        Vec3 col(0.25f + 0.7f * fr(), 0.25f + 0.7f * fr(),
+                 0.25f + 0.7f * fr());
+        if (i % 3 == 0)
+            prims.push_back(box(c, Vec3(0.03f + 0.05f * fr(),
+                                        0.03f + 0.05f * fr(),
+                                        0.03f + 0.05f * fr()), col));
+        else if (i % 3 == 1)
+            prims.push_back(sphere(c, 0.03f + 0.05f * fr(), col));
+        else
+            prims.push_back(cylinder(c, 0.02f + 0.03f * fr(),
+                                     0.04f + 0.06f * fr(), col));
+    }
+    // Environment shell: floor plane.
+    prims.push_back(box({0.5f, 0.06f, 0.5f}, {0.46f, 0.02f, 0.46f},
+                        {0.42f, 0.44f, 0.40f}, 30.0f));
+    return std::make_shared<PrimitiveScene>(
+        "silvr_" + std::to_string(variant), prims, 5.0f);
+}
+
+ScenePtr
+makeScanNetScene(int variant)
+{
+    // Indoor room: floor, two walls, furniture-scale boxes.
+    std::vector<Primitive> prims = {
+        box({0.5f, 0.08f, 0.5f}, {0.45f, 0.02f, 0.45f},
+            {0.55f, 0.50f, 0.45f}, 35.0f),
+        box({0.08f, 0.5f, 0.5f}, {0.02f, 0.42f, 0.45f},
+            {0.75f, 0.73f, 0.68f}, 35.0f),
+        box({0.5f, 0.5f, 0.08f}, {0.45f, 0.42f, 0.02f},
+            {0.72f, 0.70f, 0.66f}, 35.0f),
+    };
+    uint32_t s = 424u + static_cast<uint32_t>(variant) * 31337u;
+    auto fr = [&s]() {
+        s = s * 1664525u + 1013904223u;
+        return static_cast<float>(s >> 8) * 0x1p-24f;
+    };
+    for (int i = 0; i < 6; i++) {
+        Vec3 c(0.22f + 0.6f * fr(), 0.14f + 0.18f * fr(),
+               0.22f + 0.6f * fr());
+        Vec3 half(0.05f + 0.08f * fr(), 0.04f + 0.10f * fr(),
+                  0.05f + 0.08f * fr());
+        Vec3 col(0.35f + 0.4f * fr(), 0.30f + 0.35f * fr(),
+                 0.28f + 0.35f * fr());
+        prims.push_back(box(c, half, col));
+    }
+    return std::make_shared<PrimitiveScene>(
+        "scannet_" + std::to_string(variant), prims, 4.0f, 0.08f);
+}
+
+} // namespace instant3d

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytic volumetric scenes used as the ground-truth substitute for the
+ * NeRF-Synthetic / SILVR / ScanNet capture datasets.
+ *
+ * A Scene exposes the true radiance field: a density sigma(p) and a
+ * view-dependent color c(p, d) over the unit cube [0,1]^3. Ground-truth
+ * training/test views are rendered by ray-marching these fields directly
+ * (scene/dataset.hh), so the NeRF trainer consumes exactly the kind of
+ * posed RGB images the paper's datasets provide.
+ */
+
+#ifndef INSTANT3D_SCENE_SCENE_HH
+#define INSTANT3D_SCENE_SCENE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/vec3.hh"
+
+namespace instant3d {
+
+/**
+ * Abstract analytic radiance field over the unit cube.
+ */
+class Scene
+{
+  public:
+    virtual ~Scene() = default;
+
+    /** Dataset-style scene name ("lego", "ficus", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Volume density at p (non-negative; 0 means empty space).
+     * Positions outside [0,1]^3 must return 0.
+     */
+    virtual float density(const Vec3 &p) const = 0;
+
+    /**
+     * Emitted RGB color at p seen from direction d, each channel
+     * in [0, 1].
+     */
+    virtual Vec3 color(const Vec3 &p, const Vec3 &d) const = 0;
+};
+
+using ScenePtr = std::shared_ptr<Scene>;
+
+/**
+ * Factory for the eight NeRF-Synthetic-like procedural scenes
+ * ("chair", "drums", "ficus", "hotdog", "lego", "materials", "mic",
+ * "ship"); each is a distinct arrangement of primitive solids chosen so
+ * the occupancy statistics (fraction of the volume that is non-empty,
+ * fine structure vs. big blobs) vary the way the real scenes do.
+ *
+ * Throws via fatal() on an unknown name.
+ */
+ScenePtr makeSyntheticScene(const std::string &name);
+
+/** All eight NeRF-Synthetic-like scene names, in canonical order. */
+const std::vector<std::string> &syntheticSceneNames();
+
+/**
+ * SILVR-like large-volume plenoptic scene: content spread through a much
+ * larger fraction of the volume with an enclosing environment shell.
+ * @param variant selects one of several layouts (0..3).
+ */
+ScenePtr makeSilvrScene(int variant = 0);
+
+/**
+ * ScanNet-like indoor room: walls, floor, and furniture-scale boxes with
+ * low-saturation colors, mimicking a real capture of a room.
+ * @param variant selects one of several rooms (0..3).
+ */
+ScenePtr makeScanNetScene(int variant = 0);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SCENE_SCENE_HH

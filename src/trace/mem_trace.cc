@@ -1,0 +1,56 @@
+#include "trace/mem_trace.hh"
+
+namespace instant3d {
+
+void
+MemTraceCollector::record(const GridAccess &access)
+{
+    if (capacity != 0 && buffer.size() >= capacity) {
+        dropped++;
+        return;
+    }
+    buffer.push_back(access);
+}
+
+std::vector<GridAccess>
+MemTraceCollector::reads() const
+{
+    std::vector<GridAccess> out;
+    for (const auto &a : buffer)
+        if (!a.isWrite)
+            out.push_back(a);
+    return out;
+}
+
+std::vector<GridAccess>
+MemTraceCollector::writes() const
+{
+    std::vector<GridAccess> out;
+    for (const auto &a : buffer)
+        if (a.isWrite)
+            out.push_back(a);
+    return out;
+}
+
+std::vector<GridAccess>
+MemTraceCollector::levelSlice(uint16_t level) const
+{
+    std::vector<GridAccess> out;
+    for (const auto &a : buffer)
+        if (a.level == level)
+            out.push_back(a);
+    return out;
+}
+
+ScopedTrace::ScopedTrace(HashEncoding &encoding, TraceSink &sink)
+    : enc(encoding)
+{
+    enc.setTraceSink(&sink);
+}
+
+ScopedTrace::~ScopedTrace()
+{
+    enc.setTraceSink(nullptr);
+}
+
+} // namespace instant3d

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Memory-trace capture for the embedding grid.
+ *
+ * MemTraceCollector attaches to a HashEncoding as a TraceSink and
+ * records every hash-table access in program order. Captured traces
+ * feed the pattern analyses of Figs 8-10 (src/trace/pattern.hh) and
+ * drive the accelerator's FRM/BUM cycle simulation (src/accel).
+ */
+
+#ifndef INSTANT3D_TRACE_MEM_TRACE_HH
+#define INSTANT3D_TRACE_MEM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nerf/hash_encoding.hh"
+#include "nerf/trace_sink.hh"
+
+namespace instant3d {
+
+/**
+ * Buffers grid accesses up to an optional capacity cap.
+ */
+class MemTraceCollector : public TraceSink
+{
+  public:
+    /** @param max_accesses 0 means unbounded. */
+    explicit MemTraceCollector(size_t max_accesses = 0)
+        : capacity(max_accesses)
+    {}
+
+    void record(const GridAccess &access) override;
+
+    const std::vector<GridAccess> &accesses() const { return buffer; }
+
+    /** Reads (feed-forward interpolation fetches), in order. */
+    std::vector<GridAccess> reads() const;
+
+    /** Writes (back-propagation grid updates), in order. */
+    std::vector<GridAccess> writes() const;
+
+    /** Accesses of one multiresolution level only. */
+    std::vector<GridAccess> levelSlice(uint16_t level) const;
+
+    void clear() { buffer.clear(); dropped = 0; }
+
+    bool full() const
+    { return capacity != 0 && buffer.size() >= capacity; }
+
+    /** Accesses discarded after the capacity cap was reached. */
+    uint64_t droppedCount() const { return dropped; }
+
+  private:
+    std::vector<GridAccess> buffer;
+    size_t capacity;
+    uint64_t dropped = 0;
+};
+
+/**
+ * RAII helper that attaches a sink to an encoding for one scope.
+ */
+class ScopedTrace
+{
+  public:
+    ScopedTrace(HashEncoding &encoding, TraceSink &sink);
+    ~ScopedTrace();
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+  private:
+    HashEncoding &enc;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_TRACE_MEM_TRACE_HH

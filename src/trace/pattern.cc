@@ -1,0 +1,147 @@
+#include "trace/pattern.hh"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+GroupDistanceStats
+analyzeVertexGroups(const std::vector<GridAccess> &read_trace)
+{
+    GroupDistanceStats stats;
+
+    // Walk the trace in chunks of 8 corners belonging to one
+    // (point, level) interpolation.
+    size_t i = 0;
+    while (i + 8 <= read_trace.size()) {
+        // Validate the chunk: same point and level, corners 0..7.
+        bool valid = true;
+        for (int c = 0; c < 8; c++) {
+            const auto &a = read_trace[i + c];
+            if (a.isWrite || a.corner != c ||
+                a.pointId != read_trace[i].pointId ||
+                a.level != read_trace[i].level) {
+                valid = false;
+                break;
+            }
+        }
+        if (!valid) {
+            i++; // resynchronize
+            continue;
+        }
+
+        // Corners 2g and 2g+1 share (y, z) and differ in x (Fig 8).
+        double group_mean[4];
+        for (int g = 0; g < 4; g++) {
+            double lo = read_trace[i + 2 * g].address;
+            double hi = read_trace[i + 2 * g + 1].address;
+            double signed_dist = hi - lo;
+            stats.intraGroupAbs.add(std::fabs(signed_dist));
+            stats.intraHistogram.add(signed_dist);
+            group_mean[g] = 0.5 * (lo + hi);
+        }
+        for (int g = 0; g < 4; g++)
+            for (int h = g + 1; h < 4; h++)
+                stats.interGroupAbs.add(
+                    std::fabs(group_mean[g] - group_mean[h]));
+
+        stats.pointsAnalyzed++;
+        i += 8;
+    }
+    return stats;
+}
+
+double
+SlidingWindowStats::meanUnique() const
+{
+    if (uniquePerWindow.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double u : uniquePerWindow)
+        acc += u;
+    return acc / static_cast<double>(uniquePerWindow.size());
+}
+
+double
+SlidingWindowStats::minUnique() const
+{
+    if (uniquePerWindow.empty())
+        return 0.0;
+    double best = uniquePerWindow.front();
+    for (double u : uniquePerWindow)
+        best = std::min(best, u);
+    return best;
+}
+
+SlidingWindowStats
+uniqueAddressWindows(const std::vector<GridAccess> &trace,
+                     int window_size)
+{
+    fatalIf(window_size < 1, "window size must be positive");
+    SlidingWindowStats out;
+    out.windowSize = window_size;
+
+    size_t n_windows = trace.size() / window_size;
+    out.uniquePerWindow.reserve(n_windows);
+    for (size_t w = 0; w < n_windows; w++) {
+        std::unordered_set<uint64_t> seen;
+        for (int k = 0; k < window_size; k++) {
+            const auto &a = trace[w * window_size + k];
+            seen.insert((static_cast<uint64_t>(a.level) << 32) |
+                        a.address);
+        }
+        out.uniquePerWindow.push_back(
+            static_cast<double>(seen.size()));
+    }
+    return out;
+}
+
+double
+meanSharingFactor(const SlidingWindowStats &stats)
+{
+    double mu = stats.meanUnique();
+    if (mu <= 0.0)
+        return 0.0;
+    return static_cast<double>(stats.windowSize) / mu;
+}
+
+std::vector<GridAccess>
+batchMajorOrder(const std::vector<GridAccess> &reads,
+                int samples_per_ray)
+{
+    fatalIf(samples_per_ray < 1, "samples_per_ray must be positive");
+
+    // Split the trace into per-point chunks (runs of equal pointId).
+    struct Chunk { size_t begin, end; };
+    std::vector<Chunk> chunks;
+    size_t i = 0;
+    while (i < reads.size()) {
+        size_t j = i;
+        while (j < reads.size() &&
+               reads[j].pointId == reads[i].pointId && !reads[j].isWrite)
+            j++;
+        chunks.push_back({i, j});
+        i = j;
+    }
+
+    size_t n_rays = chunks.size() / samples_per_ray;
+    std::vector<GridAccess> out;
+    out.reserve(reads.size());
+    for (int s = 0; s < samples_per_ray; s++) {
+        for (size_t r = 0; r < n_rays; r++) {
+            const Chunk &c =
+                chunks[r * static_cast<size_t>(samples_per_ray) + s];
+            for (size_t k = c.begin; k < c.end; k++)
+                out.push_back(reads[k]);
+        }
+    }
+    // Leftover chunks (partial ray) keep their original order.
+    for (size_t c = n_rays * samples_per_ray; c < chunks.size(); c++)
+        for (size_t k = chunks[c].begin; k < chunks[c].end; k++)
+            out.push_back(reads[k]);
+    return out;
+}
+
+} // namespace instant3d

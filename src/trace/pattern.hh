@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Memory-access-pattern analyses of Sec 4.2:
+ *
+ *  - Fig 8: the 8 vertex addresses of each interpolation cluster into
+ *    4 groups (pairs sharing y and z); inter-group address distances
+ *    are huge (pi2/pi3 amplification), intra-group distances tiny
+ *    (pi1 = 1).
+ *  - Fig 9: the distribution of intra-group address distances (>90%
+ *    within [-5, 5] in the paper).
+ *  - Fig 10: unique-address counts within a sliding window of
+ *    contiguous accesses; back-propagation shows far fewer unique
+ *    addresses than feed-forward.
+ */
+
+#ifndef INSTANT3D_TRACE_PATTERN_HH
+#define INSTANT3D_TRACE_PATTERN_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "trace/mem_trace.hh"
+
+namespace instant3d {
+
+/** Results of the Fig 8 / Fig 9 vertex-group analysis. */
+struct GroupDistanceStats
+{
+    RunningStats intraGroupAbs;  //!< |addr(x+1) - addr(x)| per pair.
+    RunningStats interGroupAbs;  //!< Pairwise distances between groups.
+    Histogram intraHistogram;    //!< Signed intra-group distances.
+    uint64_t pointsAnalyzed = 0;
+
+    GroupDistanceStats() : intraHistogram(-20.5, 20.5, 41) {}
+
+    /** Fraction of intra-group distances within [-k, k]. */
+    double fractionWithin(double k) const
+    { return intraHistogram.fractionInRange(-k, k); }
+};
+
+/**
+ * Cluster each point's 8 read addresses into the 4 (y, z) groups and
+ * accumulate intra-/inter-group distance statistics.
+ *
+ * The input must be a read trace as emitted by HashEncoding: for every
+ * (point, level), 8 consecutive accesses with corner ids 0..7, where
+ * corners 2g and 2g+1 share (y, z).
+ */
+GroupDistanceStats analyzeVertexGroups(
+    const std::vector<GridAccess> &read_trace);
+
+/** Results of the Fig 10 sliding-window analysis. */
+struct SlidingWindowStats
+{
+    std::vector<double> uniquePerWindow; //!< One entry per window.
+    int windowSize = 0;
+
+    double meanUnique() const;
+    double minUnique() const;
+};
+
+/**
+ * Count unique (level, address) pairs within consecutive windows of
+ * `window_size` accesses.
+ */
+SlidingWindowStats uniqueAddressWindows(
+    const std::vector<GridAccess> &trace, int window_size);
+
+/**
+ * Mean number of updates sharing the same address within windows
+ * (window_size / unique); >1 means mergeable traffic for the BUM.
+ */
+double meanSharingFactor(const SlidingWindowStats &stats);
+
+/**
+ * Reorder a read trace from ray-sequential order (how the CPU trainer
+ * emits it) into batch-parallel order (how the GPU and the Instant-3D
+ * accelerator consume the coordinate buffer during feed-forward):
+ * sample 0 of every ray, then sample 1 of every ray, and so on.
+ *
+ * Back-propagation keeps its ray-sequential order because compositing
+ * gradients are produced sample-after-sample along each ray, which is
+ * exactly why Fig 10 sees many shared addresses during BP and almost
+ * none during FF.
+ *
+ * @param reads            Read trace: consecutive 8-access chunks per
+ *                         (point, level), points grouped by ray.
+ * @param samples_per_ray  Points per ray in the trace.
+ */
+std::vector<GridAccess> batchMajorOrder(
+    const std::vector<GridAccess> &reads, int samples_per_ray);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_TRACE_PATTERN_HH

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests of the MLP units, fusion scheme, trace calibration, top-level
+ * accelerator model, and energy/area models against the paper's
+ * published numbers (Figs 15-18, Tab 3, Tab 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/energy_model.hh"
+#include "devices/registry.hh"
+
+namespace instant3d {
+namespace {
+
+// ---- MLP units -------------------------------------------------------
+
+TEST(MlpUnitTest, SmallChannelsGoToTree)
+{
+    MlpUnitModel model(MlpUnitConfig{});
+    EXPECT_EQ(model.layerCost(100, 64, 3).unit,
+              MlpUnitKind::MulAddTree);
+    EXPECT_EQ(model.layerCost(100, 64, 64).unit,
+              MlpUnitKind::SystolicArray);
+}
+
+TEST(MlpUnitTest, TreeBeatsSystolicOnTinyOutputs)
+{
+    // The design rationale (Sec 4.3): for out <= 3 the tree wins.
+    MlpUnitConfig cfg;
+    MlpUnitModel model(cfg);
+    MlpLayerCost tree = model.layerCost(10000, 64, 3);
+    // Force the same layer onto the systolic array for comparison.
+    MlpUnitConfig no_tree = cfg;
+    no_tree.smallChannelCutoff = 0;
+    MlpUnitModel forced(no_tree);
+    MlpLayerCost systolic = forced.layerCost(10000, 64, 3);
+    EXPECT_GT(tree.utilization(cfg),
+              systolic.utilization(no_tree) * 2.0);
+}
+
+TEST(MlpUnitTest, CyclesScaleWithBatch)
+{
+    MlpUnitModel model(MlpUnitConfig{});
+    std::vector<int> dims = {32, 64, 64, 16};
+    uint64_t c1 = model.forwardCycles(1000, dims);
+    uint64_t c2 = model.forwardCycles(2000, dims);
+    EXPECT_GT(c2, static_cast<uint64_t>(1.8 * c1));
+    EXPECT_EQ(model.backwardCycles(1000, dims), 2 * c1);
+}
+
+// ---- Fusion ----------------------------------------------------------
+
+TEST(FusionTest, ModeSelectionByTableSize)
+{
+    // Fig 11: 256 KB -> Level 0, 512 KB -> Level 1, 1 MB -> Level 2.
+    EXPECT_EQ(fusionForTable(256 * 1024).level, FusionLevel::Level0);
+    EXPECT_EQ(fusionForTable(512 * 1024).level, FusionLevel::Level1);
+    EXPECT_EQ(fusionForTable(1024 * 1024).level, FusionLevel::Level2);
+    EXPECT_EQ(fusionForTable(2 * 1024 * 1024).level,
+              FusionLevel::DramSpill);
+}
+
+TEST(FusionTest, BankAndClusterGeometry)
+{
+    FusionMode l0 = fusionForTable(100 * 1024);
+    EXPECT_EQ(l0.banksPerCluster, 8);
+    EXPECT_EQ(l0.numClusters, 4);
+    FusionMode l1 = fusionForTable(400 * 1024);
+    EXPECT_EQ(l1.banksPerCluster, 16);
+    EXPECT_EQ(l1.numClusters, 2);
+    FusionMode l2 = fusionForTable(900 * 1024);
+    EXPECT_EQ(l2.banksPerCluster, 32);
+    EXPECT_EQ(l2.numClusters, 1);
+    EXPECT_EQ(l0.totalBanks(), l2.totalBanks());
+}
+
+TEST(FusionTest, DisabledFusionSpillsLargeTables)
+{
+    FusionMode m = fusionForTable(512 * 1024, 256 * 1024, 4, 8,
+                                  /*fusion_enabled=*/false);
+    EXPECT_EQ(m.level, FusionLevel::DramSpill);
+    // Small tables still run standalone.
+    EXPECT_EQ(fusionForTable(100 * 1024, 256 * 1024, 4, 8, false).level,
+              FusionLevel::Level0);
+}
+
+// ---- Calibration defaults --------------------------------------------
+
+TEST(CalibrationTest, DefaultsAreOrdered)
+{
+    TraceCalibration c = TraceCalibration::defaults();
+    // FRM always beats in-order issue; narrower FRMs fill easier.
+    EXPECT_GT(c.frmUtil8, c.inOrderUtil8);
+    EXPECT_GT(c.frmUtil16, c.inOrderUtil16);
+    EXPECT_GT(c.frmUtil32, c.inOrderUtil32);
+    EXPECT_GE(c.frmUtil8, c.frmUtil16);
+    EXPECT_GE(c.frmUtil16, c.frmUtil32);
+    EXPECT_GT(c.bumMergeRatio, 0.3);
+    EXPECT_LT(c.bumMergeRatio, 0.9);
+    EXPECT_DOUBLE_EQ(c.utilization(8, true), c.frmUtil8);
+    EXPECT_DOUBLE_EQ(c.utilization(32, false), c.inOrderUtil32);
+}
+
+// ---- Top-level accelerator -------------------------------------------
+
+class AcceleratorFixture : public ::testing::Test
+{
+  protected:
+    AcceleratorFixture()
+        : calib(TraceCalibration::defaults()),
+          accel(AcceleratorConfig{}, calib),
+          i3dWorkload(makeInstant3dWorkload("NeRF-Synthetic",
+                                            instant3dShippedConfig())),
+          ngpWorkload(makeNgpWorkload("NeRF-Synthetic"))
+    {}
+
+    TraceCalibration calib;
+    Accelerator accel;
+    TrainingWorkload i3dWorkload;
+    TrainingWorkload ngpWorkload;
+};
+
+TEST_F(AcceleratorFixture, InstantReconstructionAround1Point6Seconds)
+{
+    // The headline claim: 1.6 s per scene on NeRF-Synthetic.
+    double t = accel.trainingSeconds(i3dWorkload);
+    EXPECT_GT(t, 1.0);
+    EXPECT_LT(t, 2.2);
+    // "Instant" means < 5 seconds (Sec 1).
+    EXPECT_LT(t, 5.0);
+}
+
+TEST_F(AcceleratorFixture, SpeedupOverXavierNxAround45x)
+{
+    double xavier = xavierNx().trainingSeconds(ngpWorkload);
+    double ours = accel.trainingSeconds(i3dWorkload);
+    double speedup = xavier / ours;
+    EXPECT_GT(speedup, 35.0);
+    EXPECT_LT(speedup, 60.0);
+}
+
+TEST_F(AcceleratorFixture, Fig18FrmAndBumAblation)
+{
+    AcceleratorConfig none, frm_only;
+    none.enableFrm = false;
+    none.enableBum = false;
+    frm_only.enableBum = false;
+
+    double t_none = Accelerator(none, calib).trainingSeconds(i3dWorkload);
+    double t_frm =
+        Accelerator(frm_only, calib).trainingSeconds(i3dWorkload);
+    double t_full = accel.trainingSeconds(i3dWorkload);
+
+    // Paper: FRM alone trims ~31%, FRM+BUM ~68.6%.
+    double frm_cut = 1.0 - t_frm / t_none;
+    double full_cut = 1.0 - t_full / t_none;
+    EXPECT_GT(frm_cut, 0.15);
+    EXPECT_LT(frm_cut, 0.45);
+    EXPECT_GT(full_cut, 0.55);
+    EXPECT_LT(full_cut, 0.92);
+    EXPECT_GT(full_cut, frm_cut);
+}
+
+TEST_F(AcceleratorFixture, FusionRequiredForLargeTables)
+{
+    AcceleratorConfig no_fusion;
+    no_fusion.enableFusion = false;
+    double t_no = Accelerator(no_fusion, calib)
+                      .trainingSeconds(i3dWorkload);
+    double t_full = accel.trainingSeconds(i3dWorkload);
+    // Fig 17: scheduling contributes a ~5x factor.
+    EXPECT_GT(t_no / t_full, 3.0);
+    EXPECT_LT(t_no / t_full, 12.0);
+}
+
+TEST_F(AcceleratorFixture, NgpWorkloadSpillsWithoutDecomposition)
+{
+    // The undecomposed 2 MB NGP table cannot be SRAM-resident: the
+    // co-design matters (Tab 5).
+    auto res = accel.simulate(ngpWorkload);
+    bool spilled = false;
+    for (auto mode : res.branches[0].levelModes)
+        spilled |= mode == FusionLevel::DramSpill;
+    EXPECT_TRUE(spilled);
+    EXPECT_GT(accel.trainingSeconds(ngpWorkload),
+              2.0 * accel.trainingSeconds(i3dWorkload));
+}
+
+TEST_F(AcceleratorFixture, Tab5NormalizedRuntimeAround2Percent)
+{
+    for (const auto &ds : workloadDatasetNames()) {
+        double ngp = xavierNx().trainingSeconds(makeNgpWorkload(ds));
+        double ours = accel.trainingSeconds(
+            makeInstant3dWorkload(ds, instant3dShippedConfig()));
+        double normalized = ours / ngp;
+        EXPECT_GT(normalized, 0.01) << ds; // paper: 2.3-3.4%
+        EXPECT_LT(normalized, 0.06) << ds;
+    }
+}
+
+TEST_F(AcceleratorFixture, BreakdownSumsToTotal)
+{
+    auto res = accel.simulate(i3dWorkload);
+    EXPECT_NEAR(res.breakdown.totalPerIter(), res.secondsPerIter, 1e-9);
+    EXPECT_NEAR(res.totalSeconds,
+                res.secondsPerIter * i3dWorkload.iterations, 1e-6);
+}
+
+TEST_F(AcceleratorFixture, ColorBranchUsesLevel0DensityUsesLevel2)
+{
+    auto res = accel.simulate(i3dWorkload);
+    ASSERT_EQ(res.branches.size(), 2u);
+    // Density branch (1 MB fine tables) needs Level 2 fusion.
+    bool density_l2 = false;
+    for (auto m : res.branches[0].levelModes)
+        density_l2 |= m == FusionLevel::Level2;
+    EXPECT_TRUE(density_l2);
+    // Color branch (256 KB) never needs fusion.
+    for (auto m : res.branches[1].levelModes)
+        EXPECT_EQ(m, FusionLevel::Level0);
+}
+
+// ---- Energy & area (Fig 15) ------------------------------------------
+
+TEST_F(AcceleratorFixture, Fig15PowerNear1Point9W)
+{
+    EnergyModel em;
+    auto res = accel.simulate(i3dWorkload);
+    EnergyReport er = em.report(res, i3dWorkload.iterations);
+    EXPECT_GT(er.avgPowerWatts, 1.4);
+    EXPECT_LT(er.avgPowerWatts, 2.4);
+    // Fig 15: grid cores ~81% of energy, MLP ~19%.
+    EXPECT_GT(er.gridFraction, 0.70);
+    EXPECT_LT(er.gridFraction, 0.90);
+    EXPECT_NEAR(er.gridFraction + er.mlpFraction, 1.0, 1e-9);
+}
+
+TEST_F(AcceleratorFixture, Fig15AreaNear6Point8mm2)
+{
+    AreaReport ar = areaReport(AcceleratorConfig{});
+    EXPECT_GT(ar.totalMm2, 6.0);
+    EXPECT_LT(ar.totalMm2, 7.6);
+    // Fig 15: area 78% grid cores / 22% MLP.
+    EXPECT_NEAR(ar.gridFraction(), 0.78, 0.06);
+    EXPECT_NEAR(ar.mlpFraction(), 0.22, 0.06);
+}
+
+TEST_F(AcceleratorFixture, Fig16EnergyEfficiencyRatios)
+{
+    EnergyModel em;
+    auto res = accel.simulate(i3dWorkload);
+    double our_j = em.report(res, i3dWorkload.iterations).totalJoules;
+    // Paper: 1198x / 1089x / 479x over Nano / TX2 / Xavier NX.
+    double nano = jetsonNano().trainingEnergyJoules(ngpWorkload) / our_j;
+    double tx2 = jetsonTx2().trainingEnergyJoules(ngpWorkload) / our_j;
+    double xavier = xavierNx().trainingEnergyJoules(ngpWorkload) / our_j;
+    EXPECT_NEAR(nano, 1198.0, 350.0);
+    EXPECT_NEAR(tx2, 1089.0, 300.0);
+    EXPECT_NEAR(xavier, 479.0, 150.0);
+    EXPECT_GT(nano, tx2);
+    EXPECT_GT(tx2, xavier);
+}
+
+TEST_F(AcceleratorFixture, AreaScalesWithConfiguration)
+{
+    AcceleratorConfig big;
+    big.sramBytesPerCore *= 2;
+    EXPECT_GT(areaReport(big).totalMm2,
+              areaReport(AcceleratorConfig{}).totalMm2);
+    AcceleratorConfig small;
+    small.mlp.systolicRows = 16;
+    small.mlp.systolicCols = 16;
+    EXPECT_LT(areaReport(small).mlpMm2,
+              areaReport(AcceleratorConfig{}).mlpMm2);
+}
+
+TEST_F(AcceleratorFixture, SramCapacityMatchesTab3)
+{
+    // 4 cores x 256 KB = 1 MB of hash-table SRAM (plus buffers = the
+    // 1.5 MB of Tab 3, accounted in the area model).
+    EXPECT_EQ(accel.totalSramBytes(), 1024u * 1024u);
+}
+
+} // namespace
+} // namespace instant3d

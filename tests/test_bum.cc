@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests of the Back-Propagation Update Merger: functional correctness
+ * (committed sums equal input sums regardless of merge schedule),
+ * merge/eviction/timeout behaviour, and traffic reduction on shared-
+ * address streams (the Fig 10 workload).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "accel/bum.hh"
+#include "common/rng.hh"
+
+namespace instant3d {
+namespace {
+
+TEST(BumTest, MergesRepeatedAddress)
+{
+    BumUnit bum({.numEntries = 16, .timeoutCycles = 100});
+    for (int i = 0; i < 10; i++)
+        bum.pushUpdate(42, 1.0f);
+    bum.flushAll();
+    EXPECT_EQ(bum.stats().updatesIn, 10u);
+    EXPECT_EQ(bum.stats().sramWrites, 1u);
+    EXPECT_EQ(bum.stats().merges, 9u);
+    EXPECT_DOUBLE_EQ(bum.committed().at(42), 10.0);
+    EXPECT_NEAR(bum.stats().mergeRatio(), 0.9, 1e-12);
+}
+
+TEST(BumTest, DistinctAddressesAllocateEntries)
+{
+    BumUnit bum({.numEntries = 16, .timeoutCycles = 1000});
+    for (uint64_t a = 0; a < 10; a++)
+        bum.pushUpdate(a, 2.0f);
+    EXPECT_EQ(bum.liveEntries(), 10u);
+    bum.flushAll();
+    EXPECT_EQ(bum.stats().sramWrites, 10u);
+    EXPECT_DOUBLE_EQ(bum.stats().mergeRatio(), 0.0);
+}
+
+TEST(BumTest, EvictsOldestWhenFull)
+{
+    BumUnit bum({.numEntries = 4, .timeoutCycles = 1000});
+    for (uint64_t a = 0; a < 5; a++)
+        bum.pushUpdate(a, 1.0f);
+    // Entry 0 (least recently merged) must have been written back.
+    EXPECT_EQ(bum.liveEntries(), 4u);
+    EXPECT_EQ(bum.stats().sramWrites, 1u);
+    ASSERT_TRUE(bum.committed().count(0));
+    EXPECT_DOUBLE_EQ(bum.committed().at(0), 1.0);
+}
+
+TEST(BumTest, TimeoutFlushesIdleEntries)
+{
+    BumUnit bum({.numEntries = 16, .timeoutCycles = 5});
+    bum.pushUpdate(7, 3.0f);
+    for (int i = 0; i < 10; i++)
+        bum.idleCycle();
+    EXPECT_EQ(bum.liveEntries(), 0u);
+    EXPECT_EQ(bum.stats().sramWrites, 1u);
+    EXPECT_DOUBLE_EQ(bum.committed().at(7), 3.0);
+}
+
+TEST(BumTest, LearningRatePreScalesGradients)
+{
+    BumUnit bum({.numEntries = 4, .timeoutCycles = 100,
+                 .learningRate = 0.5f});
+    bum.pushUpdate(1, 4.0f);
+    bum.pushUpdate(1, 4.0f);
+    bum.flushAll();
+    EXPECT_DOUBLE_EQ(bum.committed().at(1), 4.0);
+}
+
+/**
+ * Property: for any update stream and any buffer geometry, the final
+ * committed accumulation per address equals the plain sum -- merging
+ * only changes traffic, never results.
+ */
+TEST(BumTest, CommittedSumsAlwaysExact)
+{
+    Rng r(17);
+    for (int trial = 0; trial < 15; trial++) {
+        BumConfig cfg;
+        cfg.numEntries = 1 + static_cast<int>(r.nextU32(31));
+        cfg.timeoutCycles = 1 + static_cast<int>(r.nextU32(100));
+        BumUnit bum(cfg);
+
+        std::map<uint64_t, double> expect;
+        int n = 500 + static_cast<int>(r.nextU32(1500));
+        for (int i = 0; i < n; i++) {
+            uint64_t addr = r.nextU32(64); // heavy sharing
+            float v = r.nextFloat(-1.0f, 1.0f);
+            expect[addr] += v;
+            bum.pushUpdate(addr, v);
+        }
+        bum.flushAll();
+
+        EXPECT_EQ(bum.stats().updatesIn, static_cast<uint64_t>(n));
+        EXPECT_EQ(bum.stats().sramWrites + bum.stats().merges,
+                  static_cast<uint64_t>(n));
+        for (const auto &[addr, sum] : expect) {
+            ASSERT_TRUE(bum.committed().count(addr)) << addr;
+            EXPECT_NEAR(bum.committed().at(addr), sum, 1e-6)
+                << "addr " << addr << " trial " << trial;
+        }
+    }
+}
+
+TEST(BumTest, SharedStreamsMergeMoreThanScatteredOnes)
+{
+    // Fig 10's point: BP streams with shared addresses benefit; FF-like
+    // unique streams would not.
+    Rng r(29);
+    BumUnit shared({.numEntries = 16, .timeoutCycles = 64});
+    BumUnit scattered({.numEntries = 16, .timeoutCycles = 64});
+    for (int i = 0; i < 5000; i++) {
+        shared.pushUpdate(r.nextU32(50), 1.0f);       // ~50 hot lines
+        scattered.pushUpdate(r.nextU32(1 << 20), 1.0f); // all unique
+    }
+    shared.flushAll();
+    scattered.flushAll();
+    EXPECT_GT(shared.stats().mergeRatio(), 0.25);
+    EXPECT_LT(scattered.stats().mergeRatio(), 0.05);
+}
+
+class BumCapacityTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BumCapacityTest, LargerBuffersNeverMergeLess)
+{
+    // Compare capacity N against capacity 2N on the same stream.
+    Rng r(41);
+    std::vector<std::pair<uint64_t, float>> stream;
+    for (int i = 0; i < 4000; i++)
+        stream.push_back({r.nextU32(200), 1.0f});
+
+    BumUnit small({.numEntries = GetParam(), .timeoutCycles = 64});
+    BumUnit big({.numEntries = 2 * GetParam(), .timeoutCycles = 64});
+    for (auto &[a, v] : stream) {
+        small.pushUpdate(a, v);
+        big.pushUpdate(a, v);
+    }
+    small.flushAll();
+    big.flushAll();
+    EXPECT_GE(big.stats().mergeRatio() + 1e-9,
+              small.stats().mergeRatio());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BumCapacityTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace instant3d

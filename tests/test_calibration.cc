@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Integration test: capture a real training trace, calibrate the
+ * FRM/BUM models from it, and check the measurements agree with the
+ * shipped defaults and the paper's qualitative claims (Sec 4.4-4.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/calibration.hh"
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+#include "trace/pattern.hh"
+
+namespace instant3d {
+namespace {
+
+class CalibrationFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto scene = makeSyntheticScene("lego");
+        DatasetConfig dcfg;
+        dcfg.numTrainViews = 4;
+        dcfg.numTestViews = 1;
+        dcfg.imageWidth = 16;
+        dcfg.imageHeight = 16;
+        dcfg.renderOpts.numSteps = 48;
+        dataset = makeDataset(scene, dcfg);
+
+        HashEncodingConfig grid;
+        grid.numLevels = 4;
+        grid.log2TableSize = 14;
+        grid.baseResolution = 16;
+        FieldConfig fcfg = FieldConfig::instant3dDefault(grid);
+        fcfg.hiddenDim = 16;
+
+        TrainConfig tcfg;
+        tcfg.raysPerBatch = 64;
+        tcfg.samplesPerRay = 48;
+        trainer = std::make_unique<Trainer>(dataset, fcfg, tcfg);
+        for (int i = 0; i < 25; i++)
+            trainer->trainIteration();
+
+        MemTraceCollector collector;
+        trainer->field().densityGrid().setTraceSink(&collector);
+        trainer->trainIteration();
+        trainer->field().densityGrid().setTraceSink(nullptr);
+
+        reads = batchMajorOrder(collector.reads(), 48);
+        writes = collector.writes();
+        calib = calibrateFromTrace(reads, writes);
+    }
+
+    Dataset dataset;
+    std::unique_ptr<Trainer> trainer;
+    std::vector<GridAccess> reads, writes;
+    TraceCalibration calib;
+};
+
+TEST_F(CalibrationFixture, FrmBeatsInOrderOnRealTraces)
+{
+    EXPECT_GT(calib.frmUtil8, 1.3 * calib.inOrderUtil8);
+    EXPECT_GT(calib.frmUtil16, 1.5 * calib.inOrderUtil16);
+    EXPECT_GT(calib.frmUtil32, 1.5 * calib.inOrderUtil32);
+}
+
+TEST_F(CalibrationFixture, MeasurementsNearShippedDefaults)
+{
+    TraceCalibration d = TraceCalibration::defaults();
+    EXPECT_NEAR(calib.frmUtil8, d.frmUtil8, 0.15);
+    EXPECT_NEAR(calib.frmUtil16, d.frmUtil16, 0.15);
+    EXPECT_NEAR(calib.frmUtil32, d.frmUtil32, 0.20);
+    EXPECT_NEAR(calib.inOrderUtil8, d.inOrderUtil8, 0.20);
+    EXPECT_NEAR(calib.bumMergeRatio, d.bumMergeRatio, 0.25);
+}
+
+TEST_F(CalibrationFixture, BumMergesRealBackpropTraffic)
+{
+    // Sec 4.5: shared embeddings make BP traffic mergeable.
+    EXPECT_GT(calib.bumMergeRatio, 0.25);
+    EXPECT_LT(calib.bumMergeRatio, 0.95);
+}
+
+TEST_F(CalibrationFixture, EndToEndAcceleratorWithMeasuredCalibration)
+{
+    // The full pipeline with measured (not default) calibration still
+    // achieves instant reconstruction.
+    Accelerator accel(AcceleratorConfig{}, calib);
+    TrainingWorkload w = makeInstant3dWorkload(
+        "NeRF-Synthetic", instant3dShippedConfig());
+    double t = accel.trainingSeconds(w);
+    EXPECT_GT(t, 0.8);
+    EXPECT_LT(t, 5.0); // instant (Sec 1)
+}
+
+TEST_F(CalibrationFixture, InOrderUtilizationInPaperRange)
+{
+    // Sec 4.4: without the FRM the clustered groups occupy 2-4 of 8
+    // banks -> 25-50% utilization.
+    EXPECT_GT(calib.inOrderUtil8, 0.15);
+    EXPECT_LT(calib.inOrderUtil8, 0.65);
+}
+
+} // namespace
+} // namespace instant3d

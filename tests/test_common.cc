@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for src/common: Vec3 algebra, PCG RNG, half-precision
+ * arithmetic, statistics containers, and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/half.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/vec3.hh"
+
+namespace instant3d {
+namespace {
+
+TEST(Vec3Test, BasicAlgebra)
+{
+    Vec3 a(1, 2, 3), b(4, 5, 6);
+    Vec3 s = a + b;
+    EXPECT_FLOAT_EQ(s.x, 5);
+    EXPECT_FLOAT_EQ(s.y, 7);
+    EXPECT_FLOAT_EQ(s.z, 9);
+    EXPECT_FLOAT_EQ(a.dot(b), 32.0f);
+    Vec3 c = a.cross(b);
+    EXPECT_FLOAT_EQ(c.x, -3);
+    EXPECT_FLOAT_EQ(c.y, 6);
+    EXPECT_FLOAT_EQ(c.z, -3);
+}
+
+TEST(Vec3Test, CrossIsOrthogonal)
+{
+    Vec3 a(0.3f, -1.2f, 2.0f), b(1.0f, 0.5f, -0.7f);
+    Vec3 c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0f, 1e-5f);
+    EXPECT_NEAR(c.dot(b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3Test, NormalizedHasUnitLength)
+{
+    Vec3 v(3, 4, 12);
+    EXPECT_NEAR(v.normalized().norm(), 1.0f, 1e-6f);
+    // Degenerate zero vector falls back to a unit axis.
+    EXPECT_NEAR(Vec3(0.0f).normalized().norm(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3Test, ClampAndLerp)
+{
+    Vec3 v(-1.0f, 0.5f, 2.0f);
+    Vec3 c = clamp(v, 0.0f, 1.0f);
+    EXPECT_FLOAT_EQ(c.x, 0.0f);
+    EXPECT_FLOAT_EQ(c.y, 0.5f);
+    EXPECT_FLOAT_EQ(c.z, 1.0f);
+    Vec3 m = lerp(Vec3(0.0f), Vec3(2.0f), 0.25f);
+    EXPECT_FLOAT_EQ(m.x, 0.5f);
+}
+
+TEST(Vec3Test, IndexAccessors)
+{
+    Vec3 v(7, 8, 9);
+    EXPECT_FLOAT_EQ(v[0], 7);
+    EXPECT_FLOAT_EQ(v[1], 8);
+    EXPECT_FLOAT_EQ(v[2], 9);
+    v[1] = -2.0f;
+    EXPECT_FLOAT_EQ(v.y, -2.0f);
+    EXPECT_FLOAT_EQ(v.maxComponent(), 9.0f);
+    EXPECT_FLOAT_EQ(v.minComponent(), -2.0f);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, FloatInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++) {
+        float f = r.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(RngTest, BoundedIsUniformish)
+{
+    Rng r(99);
+    int counts[10] = {};
+    const int draws = 100000;
+    for (int i = 0; i < draws; i++)
+        counts[r.nextU32(10)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, draws / 10 * 0.9);
+        EXPECT_LT(c, draws / 10 * 1.1);
+    }
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng r(5);
+    RunningStats s;
+    for (int i = 0; i < 50000; i++)
+        s.add(r.nextGaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(HalfTest, RoundTripExactValues)
+{
+    // Values exactly representable in binary16 round-trip exactly.
+    for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f,
+                    65504.0f}) {
+        EXPECT_FLOAT_EQ(Half(f).toFloat(), f) << f;
+    }
+}
+
+TEST(HalfTest, RoundingError)
+{
+    // binary16 has 11 significand bits: relative error <= 2^-11.
+    Rng r(3);
+    for (int i = 0; i < 1000; i++) {
+        float f = r.nextFloat(-100.0f, 100.0f);
+        float back = Half(f).toFloat();
+        EXPECT_NEAR(back, f, std::fabs(f) * 0x1p-10f + 1e-7f);
+    }
+}
+
+TEST(HalfTest, OverflowToInfinity)
+{
+    EXPECT_TRUE(std::isinf(Half(1e6f).toFloat()));
+    EXPECT_TRUE(std::isinf(Half(-1e6f).toFloat()));
+    EXPECT_LT(Half(-1e6f).toFloat(), 0.0f);
+}
+
+TEST(HalfTest, SubnormalsRepresented)
+{
+    float tiny = 1e-5f; // below the binary16 normal range (6.1e-5)
+    float back = Half(tiny).toFloat();
+    EXPECT_GT(back, 0.0f);
+    EXPECT_NEAR(back, tiny, 1e-6f);
+}
+
+TEST(HalfTest, ArithmeticRoundsPerOperation)
+{
+    Half a(0.1f), b(0.2f);
+    float exact = a.toFloat() + b.toFloat();
+    EXPECT_NEAR((a + b).toFloat(), exact, std::fabs(exact) * 0x1p-10f);
+    // fp16 addition is not exact in general.
+    Half big(2048.0f), one(1.0f);
+    EXPECT_FLOAT_EQ((big + one).toFloat(), 2048.0f);
+}
+
+TEST(RunningStatsTest, MeanVarianceMinMax)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential)
+{
+    Rng r(11);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; i++) {
+        double x = r.nextGaussian() * 3.0 + 1.0;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(HistogramTest, BinningAndRange)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; i++)
+        h.add(i + 0.5);
+    h.add(-1.0);
+    h.add(11.0);
+    EXPECT_EQ(h.totalCount(), 12u);
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(h.binCount(i), 1u);
+    EXPECT_NEAR(h.fractionInRange(0.0, 5.0), 5.0 / 12.0, 1e-12);
+}
+
+TEST(HistogramTest, AsciiRenders)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    std::string art = h.toAscii(10);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(PercentileTest, KnownQuantiles)
+{
+    PercentileTracker p;
+    for (int i = 1; i <= 100; i++)
+        p.add(i);
+    EXPECT_NEAR(p.percentile(0), 1.0, 1e-12);
+    EXPECT_NEAR(p.percentile(100), 100.0, 1e-12);
+    EXPECT_NEAR(p.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(p.percentile(90), 90.1, 1e-9);
+}
+
+TEST(TableTest, AlignmentAndCsv)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 1);
+    t.row().cell("b").cell(static_cast<long long>(42));
+    std::string s = t.toString();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("name,value"), std::string::npos);
+    EXPECT_NE(csv.find("b,42"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TableTest, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(-0.5, 0), "-0");
+}
+
+} // namespace
+} // namespace instant3d

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the calibrated GPU device models against the paper's
+ * published anchors: Instant-NGP totals (Tab 4 / Fig 16 consistency),
+ * the ~80% Step 3-1 share (Fig 4), the Instant-3D algorithm savings
+ * (Tab 1 / Tab 2 / Tab 5), and device specs (Tab 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "devices/registry.hh"
+
+namespace instant3d {
+namespace {
+
+TEST(DeviceSpecTest, Tab3Specifications)
+{
+    EXPECT_EQ(jetsonNano().spec().technologyNm, 20);
+    EXPECT_DOUBLE_EQ(jetsonNano().spec().typicalPowerW, 10.0);
+    EXPECT_DOUBLE_EQ(jetsonNano().spec().dramBandwidthGBs, 25.6);
+
+    EXPECT_EQ(jetsonTx2().spec().technologyNm, 16);
+    EXPECT_DOUBLE_EQ(jetsonTx2().spec().typicalPowerW, 15.0);
+
+    EXPECT_EQ(xavierNx().spec().technologyNm, 12);
+    EXPECT_DOUBLE_EQ(xavierNx().spec().typicalPowerW, 20.0);
+    EXPECT_DOUBLE_EQ(xavierNx().spec().dramBandwidthGBs, 59.7);
+
+    const DeviceSpec &accel = instant3dAcceleratorSpec();
+    EXPECT_EQ(accel.technologyNm, 28);
+    EXPECT_DOUBLE_EQ(accel.areaMm2, 6.8);
+    EXPECT_DOUBLE_EQ(accel.sramMB, 1.5);
+    EXPECT_DOUBLE_EQ(accel.typicalPowerW, 1.9);
+    EXPECT_DOUBLE_EQ(accel.frequencyGHz, 0.8);
+
+    EXPECT_EQ(baselineDevices().size(), 3u);
+}
+
+TEST(GpuModelTest, XavierNgpAnchor72s)
+{
+    // Tab 1 / Tab 4: Instant-NGP on Xavier NX, NeRF-Synthetic: 72 s.
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    double total = xavierNx().trainingSeconds(w);
+    EXPECT_NEAR(total, 72.0, 3.0);
+}
+
+TEST(GpuModelTest, NgpAnchorsAcrossDatasets)
+{
+    // Tab 4: 72 / 135 / 84 seconds on the three datasets.
+    EXPECT_NEAR(xavierNx().trainingSeconds(
+                    makeNgpWorkload("NeRF-Synthetic")), 72.0, 3.0);
+    EXPECT_NEAR(xavierNx().trainingSeconds(makeNgpWorkload("SILVR")),
+                135.0, 8.0);
+    EXPECT_NEAR(xavierNx().trainingSeconds(makeNgpWorkload("ScanNet")),
+                84.0, 5.0);
+}
+
+TEST(GpuModelTest, NanoAndTx2Ordering)
+{
+    // Fig 16 consistency: Nano ~358 s, TX2 ~211 s (224x / 132x over a
+    // 1.6 s accelerator run).
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    EXPECT_NEAR(jetsonNano().trainingSeconds(w), 358.0, 20.0);
+    EXPECT_NEAR(jetsonTx2().trainingSeconds(w), 211.0, 12.0);
+    EXPECT_GT(jetsonNano().trainingSeconds(w),
+              jetsonTx2().trainingSeconds(w));
+    EXPECT_GT(jetsonTx2().trainingSeconds(w),
+              xavierNx().trainingSeconds(w));
+}
+
+TEST(GpuModelTest, GridStepDominatesFig4)
+{
+    // Fig 4: Step 3-1 + its BP is ~80% of runtime on every device.
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    for (const auto *dev : baselineDevices()) {
+        double share = dev->breakdown(w).gridShare();
+        EXPECT_GT(share, 0.70) << dev->spec().name;
+        EXPECT_LT(share, 0.90) << dev->spec().name;
+    }
+}
+
+TEST(GpuModelTest, Tab1GridSizeRatios)
+{
+    // Tab 1 on Xavier NX: 1:0.25 keeps runtime lower at ~63 s.
+    Instant3dConfig cfg;
+    cfg.colorSizeRatio = 0.25f;
+    cfg.colorUpdateRate = 1.0f; // isolate the size effect
+    double t = xavierNx().trainingSeconds(
+        makeInstant3dWorkload("NeRF-Synthetic", cfg));
+    EXPECT_NEAR(t, 63.0, 3.5);
+
+    // Reduction relative to the 72 s baseline: paper says 12.5%.
+    double base = xavierNx().trainingSeconds(
+        makeNgpWorkload("NeRF-Synthetic"));
+    double reduction = 1.0 - t / base;
+    EXPECT_GT(reduction, 0.07);
+    EXPECT_LT(reduction, 0.18);
+}
+
+TEST(GpuModelTest, Tab2UpdateFrequencyRatios)
+{
+    // Tab 2 on Xavier NX: F_D:F_C = 1:0.5 at ~65 s (9.7% saving).
+    Instant3dConfig cfg;
+    cfg.colorSizeRatio = 1.0f; // isolate the frequency effect
+    cfg.colorUpdateRate = 0.5f;
+    double t = xavierNx().trainingSeconds(
+        makeInstant3dWorkload("NeRF-Synthetic", cfg));
+    double base = xavierNx().trainingSeconds(
+        makeNgpWorkload("NeRF-Synthetic"));
+    double reduction = 1.0 - t / base;
+    EXPECT_GT(reduction, 0.05);
+    EXPECT_LT(reduction, 0.16);
+}
+
+TEST(GpuModelTest, Tab5AlgorithmNormalizedRuntime)
+{
+    // Tab 5: Instant-3D algorithm @ Xavier NX is 83.3 / 82.2 / 85.7 %
+    // of Instant-NGP on the three datasets.
+    for (const auto &ds : workloadDatasetNames()) {
+        double ngp = xavierNx().trainingSeconds(makeNgpWorkload(ds));
+        double i3d = xavierNx().trainingSeconds(
+            makeInstant3dWorkload(ds, instant3dShippedConfig()));
+        double normalized = i3d / ngp;
+        EXPECT_GT(normalized, 0.76) << ds;
+        EXPECT_LT(normalized, 0.90) << ds;
+    }
+}
+
+TEST(GpuModelTest, EnergyIsPowerTimesTime)
+{
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    double t = xavierNx().trainingSeconds(w);
+    EXPECT_DOUBLE_EQ(xavierNx().trainingEnergyJoules(w), 20.0 * t);
+}
+
+TEST(GpuModelTest, SmallerTablesNeverSlower)
+{
+    // Locality monotonicity: shrinking the color table can only help.
+    Instant3dConfig big, small;
+    big.colorSizeRatio = 0.5f;
+    small.colorSizeRatio = 0.125f;
+    big.colorUpdateRate = small.colorUpdateRate = 1.0f;
+    double t_big = xavierNx().trainingSeconds(
+        makeInstant3dWorkload("NeRF-Synthetic", big));
+    double t_small = xavierNx().trainingSeconds(
+        makeInstant3dWorkload("NeRF-Synthetic", small));
+    EXPECT_LT(t_small, t_big);
+}
+
+TEST(GpuModelTest, BreakdownFractionsSumToOne)
+{
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    StepBreakdown b = xavierNx().breakdown(w);
+    double total = 0.0;
+    for (auto s : allPipelineSteps())
+        total += b.fraction(s);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace instant3d

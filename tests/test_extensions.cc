@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Tests of the substrate extensions: occupancy-grid empty-space
+ * skipping, fp16 table quantization (the accelerator's datapath),
+ * SSIM, model serialization, the grid-core pipeline model, and the
+ * Sec 2.1 vanilla-NeRF cost claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "accel/grid_core.hh"
+#include "core/workload.hh"
+#include "nerf/serialize.hh"
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+
+namespace instant3d {
+namespace {
+
+FieldConfig
+tinyField()
+{
+    HashEncodingConfig grid;
+    grid.numLevels = 4;
+    grid.log2TableSize = 12;
+    grid.baseResolution = 8;
+    grid.growthFactor = 1.6f;
+    FieldConfig cfg = FieldConfig::instant3dDefault(grid);
+    cfg.hiddenDim = 16;
+    return cfg;
+}
+
+Dataset
+tinyDataset()
+{
+    DatasetConfig cfg;
+    cfg.numTrainViews = 6;
+    cfg.numTestViews = 2;
+    cfg.imageWidth = 20;
+    cfg.imageHeight = 20;
+    cfg.renderOpts.numSteps = 64;
+    return makeDataset(makeSyntheticScene("materials"), cfg);
+}
+
+// ---- Occupancy grid ---------------------------------------------------
+
+TEST(OccupancyGridTest, StartsFullyOccupied)
+{
+    OccupancyGrid grid(OccupancyGridConfig{});
+    EXPECT_DOUBLE_EQ(grid.occupiedFraction(), 1.0);
+    EXPECT_TRUE(grid.occupied({0.5f, 0.5f, 0.5f}));
+    EXPECT_EQ(grid.numCells(), 32u * 32 * 32);
+}
+
+TEST(OccupancyGridTest, CellIndexingCoversVolume)
+{
+    OccupancyGridConfig cfg;
+    cfg.resolution = 4;
+    OccupancyGrid grid(cfg);
+    EXPECT_EQ(grid.cellIndex({0.0f, 0.0f, 0.0f}), 0u);
+    EXPECT_EQ(grid.cellIndex({0.99f, 0.99f, 0.99f}),
+              grid.numCells() - 1);
+    // Clamping: out-of-range points map to boundary cells.
+    EXPECT_EQ(grid.cellIndex({-1.0f, 0.0f, 0.0f}), 0u);
+}
+
+TEST(OccupancyGridTest, DecayEmptiesUnsupportedCells)
+{
+    OccupancyGridConfig cfg;
+    cfg.resolution = 8;
+    cfg.decay = 0.5f;
+    // A fresh field sits at sigma = softplus(0) ~ 0.69 everywhere;
+    // anything below 1.0 is "no real surface" for this test.
+    cfg.occupancyThreshold = 1.0f;
+    OccupancyGrid grid(cfg);
+    NerfField field(tinyField(), 7);
+    Rng rng(3);
+    for (int i = 0; i < 12; i++)
+        grid.update(field, rng);
+    EXPECT_LT(grid.occupiedFraction(), 0.2);
+}
+
+TEST(OccupancyGridTest, DenseFieldStaysOccupied)
+{
+    OccupancyGridConfig cfg;
+    cfg.resolution = 8;
+    OccupancyGrid grid(cfg);
+    NerfField field(tinyField(), 8);
+    for (auto &p : field.groupParams(ParamGroupId::DensityGrid))
+        p = 1.0f; // strongly positive embeddings everywhere
+    Rng rng(4);
+    for (int i = 0; i < 6; i++)
+        grid.update(field, rng);
+    EXPECT_GT(grid.occupiedFraction(), 0.9);
+}
+
+TEST(OccupancyGridTest, SkippingReducesFieldQueries)
+{
+    Dataset ds = tinyDataset();
+    TrainConfig base;
+    base.raysPerBatch = 32;
+    base.samplesPerRay = 32;
+
+    TrainConfig skipping = base;
+    skipping.useOccupancyGrid = true;
+    skipping.occupancyUpdatePeriod = 4;
+    skipping.occupancy.resolution = 16;
+    skipping.occupancy.decay = 0.6f;
+
+    Trainer plain(ds, tinyField(), base);
+    Trainer skip(ds, tinyField(), skipping);
+    uint64_t plain_points = 0, skip_points = 0;
+    for (int i = 0; i < 30; i++) {
+        plain_points += plain.trainIteration().pointsQueried;
+        skip_points += skip.trainIteration().pointsQueried;
+    }
+    EXPECT_LT(skip_points, plain_points)
+        << "occupancy skipping must reduce Step 3-1 traffic";
+    // Quality must not collapse.
+    EXPECT_GT(skip.evalPsnr(), 10.0);
+}
+
+// ---- fp16 quantization -------------------------------------------------
+
+TEST(QuantizationTest, RoundingErrorBounded)
+{
+    HashEncodingConfig cfg;
+    cfg.numLevels = 2;
+    cfg.log2TableSize = 10;
+    HashEncoding enc(cfg, 5);
+    // Init range is [-1e-4, 1e-4]; binary16 resolves that scale.
+    float max_err = enc.quantizeToHalf();
+    EXPECT_LT(max_err, 1e-7f);
+    // Quantization is idempotent.
+    EXPECT_EQ(enc.quantizeToHalf(), 0.0f);
+}
+
+TEST(QuantizationTest, TrainedFieldSurvivesFp16)
+{
+    // Sec 5.1: fp16 "ensures minimal rendering quality degradation".
+    Dataset ds = tinyDataset();
+    TrainConfig tcfg;
+    tcfg.raysPerBatch = 96;
+    tcfg.samplesPerRay = 32;
+    Trainer trainer(ds, tinyField(), tcfg);
+    for (int i = 0; i < 120; i++)
+        trainer.trainIteration();
+    double psnr_fp32 = trainer.evalPsnr();
+
+    trainer.field().densityGrid().quantizeToHalf();
+    trainer.field().colorGrid().quantizeToHalf();
+    double psnr_fp16 = trainer.evalPsnr();
+
+    EXPECT_GT(psnr_fp32, 20.0);
+    EXPECT_NEAR(psnr_fp16, psnr_fp32, 0.1)
+        << "fp16 tables must not degrade quality materially";
+}
+
+// ---- SSIM ---------------------------------------------------------------
+
+TEST(SsimTest, IdenticalImagesScoreOne)
+{
+    Image img(16, 16);
+    Rng r(9);
+    for (int y = 0; y < 16; y++)
+        for (int x = 0; x < 16; x++)
+            img.at(x, y) = Vec3(r.nextFloat(), r.nextFloat(),
+                                r.nextFloat());
+    EXPECT_NEAR(ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(SsimTest, NoiseLowersScore)
+{
+    Image a(16, 16), b(16, 16);
+    Rng r(10);
+    for (int y = 0; y < 16; y++) {
+        for (int x = 0; x < 16; x++) {
+            Vec3 v(r.nextFloat(), r.nextFloat(), r.nextFloat());
+            a.at(x, y) = v;
+            b.at(x, y) = clamp(
+                v + Vec3(r.nextFloat() - 0.5f, r.nextFloat() - 0.5f,
+                         r.nextFloat() - 0.5f) * 0.6f,
+                0.0f, 1.0f);
+        }
+    }
+    double s = ssim(a, b);
+    EXPECT_LT(s, 0.9);
+    EXPECT_GT(s, -1.0);
+}
+
+TEST(SsimTest, RanksDistortionsLikePsnr)
+{
+    Image clean(16, 16), mild(16, 16), harsh(16, 16);
+    Rng r(11);
+    for (int y = 0; y < 16; y++) {
+        for (int x = 0; x < 16; x++) {
+            Vec3 v(0.5f + 0.4f * std::sin(0.7f * x),
+                   0.5f + 0.4f * std::cos(0.5f * y), 0.5f);
+            clean.at(x, y) = v;
+            mild.at(x, y) = clamp(v + Vec3(0.02f), 0.0f, 1.0f);
+            harsh.at(x, y) =
+                clamp(v + Vec3(0.3f * (r.nextFloat() - 0.5f)), 0.0f,
+                      1.0f);
+        }
+    }
+    EXPECT_GT(ssim(clean, mild), ssim(clean, harsh));
+}
+
+// ---- Serialization -------------------------------------------------------
+
+TEST(SerializeTest, RoundTripsExactly)
+{
+    NerfField field(tinyField(), 21);
+    std::string path = ::testing::TempDir() + "/i3d_field.bin";
+    ASSERT_TRUE(saveField(field, path));
+
+    NerfField loaded(tinyField(), 99); // different init
+    ASSERT_TRUE(loadField(loaded, path));
+    for (auto gid : field.paramGroups()) {
+        const auto &a = field.groupParams(gid);
+        const auto &b = loaded.groupParams(gid);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); i++)
+            ASSERT_FLOAT_EQ(a[i], b[i]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMismatchedArchitecture)
+{
+    NerfField decoupled(tinyField(), 1);
+    std::string path = ::testing::TempDir() + "/i3d_field2.bin";
+    ASSERT_TRUE(saveField(decoupled, path));
+
+    HashEncodingConfig grid;
+    grid.numLevels = 4;
+    grid.log2TableSize = 12;
+    grid.baseResolution = 8;
+    FieldConfig coupled_cfg = FieldConfig::ngpBaseline(grid);
+    coupled_cfg.hiddenDim = 16;
+    NerfField coupled(coupled_cfg, 1);
+    EXPECT_FALSE(loadField(coupled, path));
+
+    // Same mode but different table size: also rejected.
+    HashEncodingConfig other = grid;
+    other.log2TableSize = 10;
+    FieldConfig small_cfg = FieldConfig::instant3dDefault(other);
+    small_cfg.hiddenDim = 16;
+    NerfField small(small_cfg, 1);
+    EXPECT_FALSE(loadField(small, path));
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, FailureInjectionTruncatedFile)
+{
+    NerfField field(tinyField(), 2);
+    std::string path = ::testing::TempDir() + "/i3d_field3.bin";
+    ASSERT_TRUE(saveField(field, path));
+
+    // Truncate the file and confirm the load fails without modifying
+    // the destination field.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+    NerfField victim(tinyField(), 3);
+    auto snapshot = victim.groupParams(ParamGroupId::DensityMlp);
+    EXPECT_FALSE(loadField(victim, path));
+    const auto &after = victim.groupParams(ParamGroupId::DensityMlp);
+    for (size_t i = 0; i < snapshot.size(); i++)
+        ASSERT_FLOAT_EQ(snapshot[i], after[i]);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFailsGracefully)
+{
+    NerfField field(tinyField(), 4);
+    EXPECT_FALSE(loadField(field, "/nonexistent/i3d.bin"));
+}
+
+TEST(SerializeTest, ModelSmallerThanImages)
+{
+    // The Sec 1 telepresence argument: ship the model, not the pixels.
+    NerfField field(tinyField(), 5);
+    size_t model = fieldStorageBytes(field);
+    EXPECT_GT(model, 0u);
+    // At paper scale (2^18 + 2^16 entries x 2 features) the model is
+    // ~2.6 MB of embeddings -- far below the 120 MB of captures.
+    HashEncodingConfig paper_grid;
+    paper_grid.numLevels = 1;
+    paper_grid.log2TableSize = 18;
+    FieldConfig paper_cfg = FieldConfig::instant3dDefault(paper_grid);
+    NerfField paper_field(paper_cfg, 6);
+    EXPECT_LT(fieldStorageBytes(paper_field), 20u * 1024 * 1024);
+}
+
+// ---- Grid-core pipeline ---------------------------------------------------
+
+TEST(GridCoreTest, SramIsTheBottleneckOnClusteredPatterns)
+{
+    GridCoreConfig cfg;
+    cfg.tableEntries = 1 << 12;
+    GridCore core(cfg);
+
+    Rng r(31);
+    std::vector<std::array<uint32_t, 8>> points(2000);
+    for (auto &p : points) {
+        for (int g = 0; g < 4; g++) {
+            uint32_t base = r.nextU32((1 << 12) - 2);
+            p[2 * g] = base;
+            p[2 * g + 1] = base + 1;
+        }
+    }
+    GridCoreResult res = core.processLevelPass(points);
+    EXPECT_STREQ(res.bottleneck(), "sram");
+    EXPECT_GT(res.cycles, points.size()); // > 1 point/cycle is ideal
+    EXPECT_EQ(res.frm.requests, points.size() * 8);
+}
+
+TEST(GridCoreTest, FrmShortensThePass)
+{
+    GridCoreConfig with, without;
+    with.tableEntries = without.tableEntries = 1 << 12;
+    without.enableFrm = false;
+
+    Rng r(32);
+    std::vector<std::array<uint32_t, 8>> points(1500);
+    for (auto &p : points)
+        for (auto &a : p)
+            a = r.nextU32(1 << 12);
+
+    uint64_t c_with = GridCore(with).processLevelPass(points).cycles;
+    uint64_t c_without =
+        GridCore(without).processLevelPass(points).cycles;
+    EXPECT_LT(c_with, c_without);
+}
+
+TEST(GridCoreTest, EmptyPassIsFree)
+{
+    GridCore core(GridCoreConfig{});
+    EXPECT_EQ(core.processLevelPass({}).cycles, 0u);
+}
+
+TEST(GridCoreTest, PipelineLatencyAdded)
+{
+    GridCoreConfig cfg;
+    cfg.pipelineLatency = 100;
+    cfg.tableEntries = 1 << 12;
+    GridCore core(cfg);
+    std::vector<std::array<uint32_t, 8>> one_point(1);
+    // One point: 8 strided addresses, conflict-free in one cycle.
+    for (int i = 0; i < 8; i++)
+        one_point[0][i] = static_cast<uint32_t>(i * 512);
+    GridCoreResult res = core.processLevelPass(one_point);
+    EXPECT_EQ(res.cycles, 101u);
+}
+
+// ---- Vanilla field mode (Sec 2.1 baseline) ---------------------------------
+
+TEST(VanillaFieldTest, PositionalEncodingShape)
+{
+    FieldConfig cfg = FieldConfig::vanillaBaseline();
+    EXPECT_EQ(cfg.posEncodingDim(), 3 + 6 * cfg.posEncFrequencies);
+    std::vector<float> enc(cfg.posEncodingDim());
+    NerfField::encodePosition({0.0f, 0.0f, 0.0f},
+                              cfg.posEncFrequencies, enc.data());
+    EXPECT_FLOAT_EQ(enc[0], 0.0f);
+    EXPECT_FLOAT_EQ(enc[3], 0.0f); // sin(0)
+    EXPECT_FLOAT_EQ(enc[4], 1.0f); // cos(0)
+}
+
+TEST(VanillaFieldTest, QueriesAndParamGroups)
+{
+    NerfField field(FieldConfig::vanillaBaseline(24, 2), 3);
+    EXPECT_FALSE(field.hasDensityGrid());
+    EXPECT_FALSE(field.hasColorGrid());
+    EXPECT_EQ(field.paramGroups().size(), 2u);
+    FieldSample s = field.query({0.4f, 0.5f, 0.6f}, {0, 0, 1});
+    EXPECT_GE(s.sigma, 0.0f);
+    EXPECT_LE(s.rgb.maxComponent(), 1.0f);
+    EXPECT_EQ(field.queryCount(), 1u);
+}
+
+TEST(VanillaFieldTest, GradientsReachBothMlps)
+{
+    NerfField field(FieldConfig::vanillaBaseline(24, 2), 5);
+    FieldRecord rec;
+    field.query({0.3f, 0.7f, 0.2f}, {0, 1, 0}, &rec);
+    field.zeroGrad();
+    field.backward(rec, 1.0f, {1.0f, 1.0f, 1.0f});
+    double dens = 0.0, col = 0.0;
+    for (float g : field.groupGrads(ParamGroupId::DensityMlp))
+        dens += std::fabs(g);
+    for (float g : field.groupGrads(ParamGroupId::ColorMlp))
+        col += std::fabs(g);
+    EXPECT_GT(dens, 0.0);
+    EXPECT_GT(col, 0.0);
+}
+
+TEST(VanillaFieldTest, TrainsButSlowerThanGrid)
+{
+    // The paper's motivation: at matched iteration budgets, hash-grid
+    // training reaches far better quality than a pure MLP.
+    Dataset ds = tinyDataset();
+    TrainConfig tcfg;
+    tcfg.raysPerBatch = 64;
+    tcfg.samplesPerRay = 32;
+
+    FieldConfig vanilla = FieldConfig::vanillaBaseline(24, 2);
+    Trainer mlp_trainer(ds, vanilla, tcfg);
+    Trainer grid_trainer(ds, tinyField(), tcfg);
+
+    double mlp_first = mlp_trainer.evalPsnr();
+    for (int i = 0; i < 100; i++) {
+        mlp_trainer.trainIteration();
+        grid_trainer.trainIteration();
+    }
+    // The vanilla model still learns...
+    EXPECT_GT(mlp_trainer.evalPsnr(), mlp_first);
+    // ...but the grid model is clearly ahead at the same budget.
+    EXPECT_GT(grid_trainer.evalPsnr(), mlp_trainer.evalPsnr() + 1.0);
+}
+
+TEST(VanillaFieldTest, GridAccessorsPanic)
+{
+    NerfField field(FieldConfig::vanillaBaseline(16, 1), 6);
+    EXPECT_DEATH(field.densityGrid(), "no density grid");
+    EXPECT_DEATH(field.colorGrid(), "no color grid");
+}
+
+// ---- Grid-core back-propagation pass ----------------------------------------
+
+TEST(GridCoreBackpropTest, BumReducesWritebacksAndCycles)
+{
+    GridCoreConfig with, without;
+    with.tableEntries = without.tableEntries = 1 << 12;
+    without.enableBum = false;
+
+    // Shared-address update stream (the Fig 10 regime).
+    Rng r(41);
+    std::vector<std::array<uint32_t, 8>> points(1000);
+    uint32_t base = r.nextU32(1 << 11);
+    for (auto &p : points) {
+        if (r.nextFloat() < 0.3f)
+            base = r.nextU32(1 << 11); // move to a new region sometimes
+        for (int i = 0; i < 8; i++)
+            p[i] = base + static_cast<uint32_t>(i & 1);
+    }
+
+    auto merged = GridCore(with).processBackpropPass(points);
+    auto raw = GridCore(without).processBackpropPass(points);
+    EXPECT_EQ(merged.updates, raw.updates);
+    EXPECT_LT(merged.writeBacks, raw.writeBacks / 2);
+    EXPECT_LT(merged.cycles, raw.cycles);
+}
+
+TEST(GridCoreBackpropTest, UniqueStreamGainsNothing)
+{
+    GridCoreConfig cfg;
+    cfg.tableEntries = 1 << 20;
+    GridCore core(cfg);
+    Rng r(42);
+    std::vector<std::array<uint32_t, 8>> points(500);
+    for (auto &p : points)
+        for (auto &a : p)
+            a = r.nextU32(1 << 20); // effectively no sharing
+    auto res = core.processBackpropPass(points);
+    EXPECT_GT(res.writeBacks, res.updates * 9 / 10);
+}
+
+TEST(GridCoreBackpropTest, EmptyPassIsFree)
+{
+    GridCore core(GridCoreConfig{});
+    EXPECT_EQ(core.processBackpropPass({}).cycles, 0u);
+}
+
+// ---- Vanilla NeRF cost (Sec 2.1) ------------------------------------------
+
+TEST(VanillaNerfTest, TotalFlopsMatchSec21)
+{
+    VanillaNerfCost cost;
+    // "the required total training FLOPs is as large as 353,895
+    // trillion FLOPs"
+    EXPECT_NEAR(cost.totalFlops(), 353895e12, 1e15);
+}
+
+TEST(VanillaNerfTest, MoreThanOneDayOnV100)
+{
+    VanillaNerfCost cost;
+    EXPECT_GT(cost.daysOnV100(), 1.0);
+    // ...but not absurdly long either (sanity bound).
+    EXPECT_LT(cost.daysOnV100(), 10.0);
+}
+
+TEST(VanillaNerfTest, InstantNgpIsOrdersOfMagnitudeCheaper)
+{
+    VanillaNerfCost vanilla;
+    TrainingWorkload ngp = makeNgpWorkload("NeRF-Synthetic");
+    double ngp_flops =
+        (ngp.mlpFlopsPerIterFF() + ngp.mlpFlopsPerIterBP()) *
+        ngp.iterations;
+    EXPECT_GT(vanilla.totalFlops() / ngp_flops, 1e4);
+}
+
+} // namespace
+} // namespace instant3d

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests of the SRAM bank model and the Feed-Forward Read Mapper:
+ * conflict detection, issue-policy correctness (every request served
+ * exactly once), utilization improvement over in-order issue on the
+ * paper's access patterns, and window-depth behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "accel/frm.hh"
+#include "common/rng.hh"
+
+namespace instant3d {
+namespace {
+
+TEST(SramTest, BlockPartitionedBankMapping)
+{
+    // 1024-entry table over 8 banks: 128 entries per bank block.
+    SramArray sram(8, 4, 256 * 1024, 1024);
+    EXPECT_EQ(sram.numBanks(), 8);
+    EXPECT_EQ(sram.entriesPerBank(), 128u);
+    EXPECT_EQ(sram.bankOf(0), 0);
+    EXPECT_EQ(sram.bankOf(127), 0);
+    EXPECT_EQ(sram.bankOf(128), 1);
+    EXPECT_EQ(sram.bankOf(1023), 7);
+
+    // Neighbouring addresses share a bank (the Sec 4.4 collision
+    // problem); block-strided ones do not.
+    std::vector<uint32_t> clash = {100, 101};
+    EXPECT_FALSE(sram.conflictFree(clash));
+    std::vector<uint32_t> ok = {0, 128, 256, 384, 512, 640, 768, 896};
+    EXPECT_TRUE(sram.conflictFree(ok));
+    EXPECT_TRUE(sram.fits(256 * 1024));
+    EXPECT_FALSE(sram.fits(256 * 1024 + 1));
+}
+
+TEST(SramTest, AccessCounting)
+{
+    SramArray sram(8, 4, 1 << 20);
+    std::vector<uint32_t> addrs = {1, 2, 3};
+    sram.serveReads(addrs);
+    sram.serveWrites(addrs);
+    sram.serveReads(addrs);
+    EXPECT_EQ(sram.readCount(), 6u);
+    EXPECT_EQ(sram.writeCount(), 3u);
+}
+
+/** All requests must be served in exactly `requests` total. */
+TEST(FrmTest, ServesEveryRequestOnce)
+{
+    SramArray sram(8, 4, 1 << 20, 1 << 14);
+    FrmUnit frm(sram, 16);
+    Rng r(1);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 5000; i++)
+        addrs.push_back(r.nextU32(1 << 14));
+    FrmStats stats = frm.process(addrs);
+    EXPECT_EQ(stats.requests, addrs.size());
+    EXPECT_EQ(sram.readCount(), addrs.size());
+    EXPECT_GE(stats.cycles, addrs.size() / 8); // can't beat 8/cycle
+}
+
+TEST(FrmTest, PerfectStreamReachesFullUtilization)
+{
+    // Addresses striding bank blocks: one request per bank per cycle.
+    SramArray sram(8, 4, 1 << 20, 1024);
+    FrmUnit frm(sram, 16);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 800; i++)
+        addrs.push_back(static_cast<uint32_t>((i % 8) * 128 + i / 8));
+    FrmStats stats = frm.process(addrs);
+    EXPECT_EQ(stats.cycles, 100u);
+    EXPECT_DOUBLE_EQ(stats.utilization(8), 1.0);
+}
+
+TEST(FrmTest, WorstCaseSingleBank)
+{
+    // Every address in the same bank block: one request per cycle,
+    // both policies.
+    SramArray sram(8, 4, 1 << 20, 1024);
+    FrmUnit frm(sram, 16);
+    std::vector<uint32_t> addrs(64, 8u); // inside block 0
+    EXPECT_EQ(frm.process(addrs).cycles, 64u);
+    SramArray sram2(8, 4, 1 << 20, 1024);
+    EXPECT_EQ(FrmUnit::processInOrder(sram2, addrs).cycles, 64u);
+}
+
+/**
+ * The paper's motivating pattern (Sec 4.4): each point's 8 requests
+ * land in 4 or 2 distinct banks -> 25-50% in-order utilization; the
+ * FRM interleaves requests from several points to fill all banks.
+ */
+TEST(FrmTest, BeatsInOrderOnClusteredPattern)
+{
+    Rng r(7);
+    std::vector<uint32_t> addrs;
+    for (int p = 0; p < 2000; p++) {
+        // 4 groups of 2: group base scattered, pair adjacent (x+1).
+        for (int g = 0; g < 4; g++) {
+            uint32_t base = r.nextU32((1 << 14) - 2);
+            addrs.push_back(base);
+            addrs.push_back(base + 1);
+        }
+    }
+    SramArray s1(8, 4, 1 << 20, 1 << 14);
+    SramArray s2(8, 4, 1 << 20, 1 << 14);
+    FrmUnit frm(s1, 16);
+    FrmStats mapped = frm.process(addrs);
+    FrmStats in_order = FrmUnit::processInOrder(s2, addrs);
+
+    EXPECT_LT(mapped.cycles, in_order.cycles);
+    EXPECT_GT(mapped.utilization(8), 0.60);
+    // Pairs share a bank block: at most 4 of 8 banks per point
+    // (the paper's 50% / 25% utilization observation).
+    EXPECT_LE(in_order.utilization(8), 0.51);
+    // The paper quotes ~2-4x utilization headroom on this pattern.
+    EXPECT_GT(mapped.utilization(8) / in_order.utilization(8), 1.4);
+}
+
+class FrmWindowDepthTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FrmWindowDepthTest, DeeperWindowsNeverHurt)
+{
+    Rng r(21);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 4000; i++)
+        addrs.push_back(r.nextU32(1 << 12));
+
+    SramArray shallow_sram(8, 4, 1 << 20, 1 << 12);
+    SramArray deep_sram(8, 4, 1 << 20, 1 << 12);
+    FrmUnit shallow(shallow_sram, 1);
+    FrmUnit deep(deep_sram, GetParam());
+    uint64_t c1 = shallow.process(addrs).cycles;
+    uint64_t c2 = deep.process(addrs).cycles;
+    EXPECT_LE(c2, c1) << "window depth " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FrmWindowDepthTest,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+class FrmBankCountTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FrmBankCountTest, UtilizationWithinBounds)
+{
+    int banks = GetParam();
+    Rng r(33);
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < 8000; i++)
+        addrs.push_back(r.nextU32(1 << 16));
+    SramArray sram(banks, 4, 1 << 20, 1 << 16);
+    FrmUnit frm(sram, 16);
+    FrmStats stats = frm.process(addrs);
+    EXPECT_GT(stats.utilization(banks), 0.0);
+    EXPECT_LE(stats.utilization(banks), 1.0);
+    EXPECT_EQ(stats.requests, addrs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, FrmBankCountTest,
+                         ::testing::Values(8, 16, 32));
+
+TEST(FrmTest, RandomStreamsPropertyCheck)
+{
+    // Property: for arbitrary address streams, (a) all requests served,
+    // (b) reordered issue never takes more cycles than in-order.
+    Rng r(55);
+    for (int trial = 0; trial < 20; trial++) {
+        int n = 100 + static_cast<int>(r.nextU32(900));
+        uint32_t span = 1u << (4 + r.nextU32(12));
+        std::vector<uint32_t> addrs;
+        for (int i = 0; i < n; i++)
+            addrs.push_back(r.nextU32(span));
+        SramArray s1(16, 4, 1 << 22, span);
+        SramArray s2(16, 4, 1 << 22, span);
+        FrmUnit frm(s1, 16);
+        FrmStats mapped = frm.process(addrs);
+        FrmStats in_order = FrmUnit::processInOrder(s2, addrs);
+        EXPECT_EQ(mapped.requests, static_cast<uint64_t>(n));
+        EXPECT_LE(mapped.cycles, in_order.cycles) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace instant3d

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Consistency checks between the detailed GridCore pipeline model and
+ * the calibration-based composition the Accelerator uses: the two
+ * paths must agree on utilization for the same trace, and the BP pass
+ * must preserve gradient sums end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/calibration.hh"
+#include "accel/grid_core.hh"
+#include "common/rng.hh"
+
+namespace instant3d {
+namespace {
+
+/** Build a clustered point stream (4 groups of x-pairs per point). */
+std::vector<std::array<uint32_t, 8>>
+clusteredPoints(int n, uint32_t span, uint64_t seed)
+{
+    Rng r(seed);
+    std::vector<std::array<uint32_t, 8>> points(n);
+    for (auto &p : points) {
+        for (int g = 0; g < 4; g++) {
+            uint32_t base = r.nextU32(span - 2);
+            p[2 * g] = base;
+            p[2 * g + 1] = base + 1;
+        }
+    }
+    return points;
+}
+
+/** Flatten points into the GridAccess shape the calibrator expects. */
+std::vector<GridAccess>
+toAccesses(const std::vector<std::array<uint32_t, 8>> &points)
+{
+    std::vector<GridAccess> out;
+    uint32_t id = 0;
+    for (const auto &p : points) {
+        for (int c = 0; c < 8; c++)
+            out.push_back({p[c], 0, static_cast<uint8_t>(c), false,
+                           id});
+        id++;
+    }
+    return out;
+}
+
+TEST(GridCoreConsistencyTest, UtilizationMatchesCalibrator)
+{
+    auto points = clusteredPoints(3000, 1 << 12, 7);
+    auto accesses = toAccesses(points);
+
+    // Path A: the calibrator's measurement.
+    TraceCalibration calib = calibrateFromTrace(accesses, {});
+
+    // Path B: the GridCore pipeline on the same stream.
+    GridCoreConfig cfg;
+    cfg.tableEntries = 1 << 12;
+    GridCoreResult res = GridCore(cfg).processLevelPass(points);
+    double core_util = res.frm.utilization(cfg.banks);
+
+    EXPECT_NEAR(core_util, calib.frmUtil8, 0.02);
+}
+
+TEST(GridCoreConsistencyTest, InOrderUtilizationMatchesCalibrator)
+{
+    auto points = clusteredPoints(3000, 1 << 12, 8);
+    auto accesses = toAccesses(points);
+    TraceCalibration calib = calibrateFromTrace(accesses, {});
+
+    GridCoreConfig cfg;
+    cfg.tableEntries = 1 << 12;
+    cfg.enableFrm = false;
+    GridCoreResult res = GridCore(cfg).processLevelPass(points);
+    EXPECT_NEAR(res.frm.utilization(cfg.banks), calib.inOrderUtil8,
+                0.02);
+}
+
+TEST(GridCoreConsistencyTest, BackpropMergeMatchesBumModel)
+{
+    auto points = clusteredPoints(2000, 1 << 8, 9); // heavy sharing
+    GridCoreConfig cfg;
+    cfg.tableEntries = 1 << 8;
+    auto res = GridCore(cfg).processBackpropPass(points);
+
+    // Replaying the same stream through a bare BumUnit must agree.
+    BumUnit bum(cfg.bum);
+    for (const auto &p : points)
+        for (uint32_t a : p)
+            bum.pushUpdate(a, 1.0f);
+    bum.flushAll();
+    EXPECT_EQ(res.bum.sramWrites, bum.stats().sramWrites);
+    EXPECT_EQ(res.writeBacks, bum.stats().sramWrites);
+}
+
+TEST(GridCoreConsistencyTest, BackpropIntakeBoundKicksIn)
+{
+    // With an extremely slow intake, the BP pass is intake-bound:
+    // cycles ~ updates / intake.
+    GridCoreConfig cfg;
+    cfg.tableEntries = 1 << 12;
+    cfg.bumIntakePerCycle = 1;
+    auto points = clusteredPoints(500, 1 << 12, 10);
+    auto res = GridCore(cfg).processBackpropPass(points);
+    EXPECT_GE(res.cycles,
+              static_cast<uint64_t>(points.size()) * 8);
+}
+
+TEST(GridCoreConsistencyTest, FfCheaperThanUnmergedBp)
+{
+    // Each BP write-back is a 2-op RMW: an unmerged BP pass must cost
+    // more than the FF pass on the same stream.
+    GridCoreConfig cfg;
+    cfg.tableEntries = 1 << 12;
+    cfg.enableBum = false;
+    auto points = clusteredPoints(2000, 1 << 12, 11);
+    GridCore core(cfg);
+    EXPECT_GT(core.processBackpropPass(points).cycles,
+              core.processLevelPass(points).cycles);
+}
+
+} // namespace
+} // namespace instant3d

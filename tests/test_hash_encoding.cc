@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit and property tests for the multiresolution hash-grid encoding:
+ * Eq. 3 hash behaviour (locality in x, remoteness in y/z), trilinear
+ * partition of unity, forward/backward consistency (finite differences),
+ * trace-sink reporting, and table-size scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nerf/hash_encoding.hh"
+
+namespace instant3d {
+namespace {
+
+HashEncodingConfig
+smallConfig()
+{
+    HashEncodingConfig cfg;
+    cfg.numLevels = 4;
+    cfg.featuresPerEntry = 2;
+    cfg.log2TableSize = 10;
+    cfg.baseResolution = 8;
+    cfg.growthFactor = 1.5f;
+    return cfg;
+}
+
+TEST(HashFunctionTest, MatchesEq3Definition)
+{
+    // h = (x*1 XOR y*2654435761 XOR z*805459861) mod T, T = 2^14.
+    uint32_t t = 1u << 14;
+    uint32_t x = 12, y = 34, z = 56;
+    uint32_t expect = ((x * 1u) ^ (y * 2654435761u) ^ (z * 805459861u)) %
+                      t;
+    EXPECT_EQ(HashEncoding::hashCoords(x, y, z, t), expect);
+}
+
+TEST(HashFunctionTest, XNeighborsAreLocal)
+{
+    // pi1 = 1 means x-adjacent vertices hash to nearby addresses
+    // (paper Sec 4.2 "Case 2": locality). XOR with 1 flips only the
+    // low bit when x is even.
+    uint32_t t = 1u << 16;
+    Rng r(8);
+    int within5 = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; i++) {
+        uint32_t x = r.nextU32(1u << 18);
+        uint32_t y = r.nextU32(1u << 18);
+        uint32_t z = r.nextU32(1u << 18);
+        int64_t a = HashEncoding::hashCoords(x, y, z, t);
+        int64_t b = HashEncoding::hashCoords(x + 1, y, z, t);
+        if (std::llabs(a - b) <= 5)
+            within5++;
+    }
+    // The paper reports ~90% within [-5, 5]; we require a clear majority.
+    EXPECT_GT(within5, n * 7 / 10);
+}
+
+TEST(HashFunctionTest, YZNeighborsAreRemote)
+{
+    // pi2/pi3 amplify y/z differences ("Case 1": remoteness).
+    uint32_t t = 1u << 16;
+    Rng r(9);
+    double mean_dist = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; i++) {
+        uint32_t x = r.nextU32(1u << 18);
+        uint32_t y = r.nextU32(1u << 18);
+        uint32_t z = r.nextU32(1u << 18);
+        int64_t a = HashEncoding::hashCoords(x, y, z, t);
+        int64_t b = HashEncoding::hashCoords(x, y + 1, z, t);
+        mean_dist += static_cast<double>(std::llabs(a - b));
+    }
+    mean_dist /= n;
+    // Average distance should be a large fraction of the table.
+    EXPECT_GT(mean_dist, t / 8.0);
+}
+
+TEST(HashEncodingTest, OutputDimAndDeterminism)
+{
+    auto cfg = smallConfig();
+    HashEncoding enc1(cfg, 77), enc2(cfg, 77);
+    EXPECT_EQ(enc1.outputDim(), cfg.numLevels * cfg.featuresPerEntry);
+
+    std::vector<float> out1(enc1.outputDim()), out2(enc2.outputDim());
+    Vec3 p(0.3f, 0.6f, 0.9f);
+    enc1.encode(p, out1.data());
+    enc2.encode(p, out2.data());
+    for (int i = 0; i < enc1.outputDim(); i++)
+        EXPECT_FLOAT_EQ(out1[i], out2[i]);
+}
+
+TEST(HashEncodingTest, TrilinearWeightsPartitionUnity)
+{
+    auto cfg = smallConfig();
+    HashEncoding enc(cfg, 1);
+    Rng r(12);
+    for (int trial = 0; trial < 50; trial++) {
+        Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+        std::vector<float> out(enc.outputDim());
+        EncodeRecord rec;
+        enc.encode(p, out.data(), &rec);
+        for (int l = 0; l < cfg.numLevels; l++) {
+            float sum = 0.0f;
+            for (int c = 0; c < 8; c++)
+                sum += rec.weights[static_cast<size_t>(l) * 8 + c];
+            EXPECT_NEAR(sum, 1.0f, 1e-5f);
+        }
+    }
+}
+
+TEST(HashEncodingTest, InterpolationReproducesVertexValue)
+{
+    // Querying exactly at a grid vertex must return that vertex's
+    // embedding (one corner weight 1, others 0).
+    auto cfg = smallConfig();
+    cfg.numLevels = 1;
+    HashEncoding enc(cfg, 3);
+    int res = enc.levelResolution(0);
+
+    // Vertex (2, 3, 5) of level 0.
+    Vec3 p(2.0f / res, 3.0f / res, 5.0f / res);
+    uint32_t addr = HashEncoding::hashCoords(2, 3, 5, cfg.tableSize());
+
+    std::vector<float> out(enc.outputDim());
+    enc.encode(p, out.data());
+    for (int f = 0; f < cfg.featuresPerEntry; f++) {
+        float stored =
+            enc.params()[static_cast<size_t>(addr) *
+                         cfg.featuresPerEntry + f];
+        EXPECT_NEAR(out[f], stored, 1e-6f);
+    }
+}
+
+TEST(HashEncodingTest, EncodeIsContinuous)
+{
+    // Moving the query point by epsilon moves the encoding by O(eps).
+    auto cfg = smallConfig();
+    HashEncoding enc(cfg, 5);
+    Rng r(6);
+    for (int trial = 0; trial < 20; trial++) {
+        Vec3 p(r.nextFloat(0.1f, 0.9f), r.nextFloat(0.1f, 0.9f),
+               r.nextFloat(0.1f, 0.9f));
+        Vec3 q = p + Vec3(1e-5f, -1e-5f, 1e-5f);
+        std::vector<float> a(enc.outputDim()), b(enc.outputDim());
+        enc.encode(p, a.data());
+        enc.encode(q, b.data());
+        for (int i = 0; i < enc.outputDim(); i++)
+            EXPECT_NEAR(a[i], b[i], 1e-5f);
+    }
+}
+
+TEST(HashEncodingTest, BackwardMatchesFiniteDifference)
+{
+    auto cfg = smallConfig();
+    cfg.numLevels = 2;
+    HashEncoding enc(cfg, 10);
+    Vec3 p(0.37f, 0.52f, 0.81f);
+
+    std::vector<float> out(enc.outputDim());
+    EncodeRecord rec;
+    enc.encode(p, out.data(), &rec);
+
+    // Upstream gradient: all ones.
+    std::vector<float> d_out(enc.outputDim(), 1.0f);
+    enc.zeroGrad();
+    enc.backward(rec, d_out.data());
+
+    // Check d(sum of outputs)/d(param) for a few touched parameters.
+    const float eps = 1e-3f;
+    int checked = 0;
+    for (int l = 0; l < cfg.numLevels && checked < 6; l++) {
+        for (int c = 0; c < 8 && checked < 6; c += 3) {
+            uint32_t addr = rec.addresses[static_cast<size_t>(l) * 8 + c];
+            size_t off = (static_cast<size_t>(l) * cfg.tableSize() +
+                          addr) * cfg.featuresPerEntry;
+            float saved = enc.params()[off];
+
+            enc.params()[off] = saved + eps;
+            std::vector<float> out_hi(enc.outputDim());
+            enc.encode(p, out_hi.data());
+            enc.params()[off] = saved - eps;
+            std::vector<float> out_lo(enc.outputDim());
+            enc.encode(p, out_lo.data());
+            enc.params()[off] = saved;
+
+            float num = 0.0f;
+            for (int i = 0; i < enc.outputDim(); i++)
+                num += (out_hi[i] - out_lo[i]) / (2.0f * eps);
+            EXPECT_NEAR(enc.grads()[off], num, 1e-2f)
+                << "level " << l << " corner " << c;
+            checked++;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+class CountingSink : public TraceSink
+{
+  public:
+    void
+    record(const GridAccess &access) override
+    {
+        accesses.push_back(access);
+    }
+    std::vector<GridAccess> accesses;
+};
+
+TEST(HashEncodingTest, TraceSinkSeesAllAccesses)
+{
+    auto cfg = smallConfig();
+    HashEncoding enc(cfg, 2);
+    CountingSink sink;
+    enc.setTraceSink(&sink);
+
+    std::vector<float> out(enc.outputDim());
+    EncodeRecord rec;
+    enc.encode({0.5f, 0.5f, 0.5f}, out.data(), &rec);
+    EXPECT_EQ(sink.accesses.size(),
+              static_cast<size_t>(cfg.numLevels) * 8);
+    for (const auto &a : sink.accesses) {
+        EXPECT_FALSE(a.isWrite);
+        EXPECT_LT(a.address, cfg.tableSize());
+    }
+
+    size_t reads = sink.accesses.size();
+    std::vector<float> ones(enc.outputDim(), 1.0f);
+    enc.backward(rec, ones.data());
+    EXPECT_EQ(sink.accesses.size(), reads * 2);
+    EXPECT_TRUE(sink.accesses.back().isWrite);
+
+    EXPECT_EQ(enc.readCount(), reads);
+    EXPECT_EQ(enc.writeCount(), reads);
+}
+
+TEST(HashEncodingTest, ScaledBySnapsToPowerOfTwo)
+{
+    HashEncodingConfig cfg;
+    cfg.log2TableSize = 18;
+    EXPECT_EQ(cfg.scaledBy(0.25f).log2TableSize, 16u);
+    EXPECT_EQ(cfg.scaledBy(0.5f).log2TableSize, 17u);
+    EXPECT_EQ(cfg.scaledBy(1.0f).log2TableSize, 18u);
+    EXPECT_EQ(cfg.scaledBy(0.125f).log2TableSize, 15u);
+}
+
+TEST(HashEncodingTest, StorageBytesMatchesFp16Layout)
+{
+    auto cfg = smallConfig();
+    HashEncoding enc(cfg, 1);
+    size_t expect = static_cast<size_t>(cfg.numLevels) *
+                    cfg.tableSize() * cfg.featuresPerEntry * 2;
+    EXPECT_EQ(enc.storageBytes(), expect);
+}
+
+TEST(HashEncodingTest, CornerGroupsShareYz)
+{
+    // The 8 corners pair into 4 groups sharing (y, z) and differing in
+    // x (paper Fig 8): corners 2k and 2k+1 differ only in bit 0.
+    auto cfg = smallConfig();
+    cfg.numLevels = 1;
+    HashEncoding enc(cfg, 4);
+    EncodeRecord rec;
+    std::vector<float> out(enc.outputDim());
+    enc.encode({0.33f, 0.44f, 0.55f}, out.data(), &rec);
+
+    int res = enc.levelResolution(0);
+    uint32_t x0 = static_cast<uint32_t>(0.33f * res);
+    uint32_t y0 = static_cast<uint32_t>(0.44f * res);
+    uint32_t z0 = static_cast<uint32_t>(0.55f * res);
+    for (int g = 0; g < 4; g++) {
+        uint32_t cy = y0 + static_cast<uint32_t>(g & 1);
+        uint32_t cz = z0 + static_cast<uint32_t>((g >> 1) & 1);
+        uint32_t lo = HashEncoding::hashCoords(x0, cy, cz,
+                                               cfg.tableSize());
+        uint32_t hi = HashEncoding::hashCoords(x0 + 1, cy, cz,
+                                               cfg.tableSize());
+        EXPECT_EQ(rec.addresses[static_cast<size_t>(g) * 2], lo);
+        EXPECT_EQ(rec.addresses[static_cast<size_t>(g) * 2 + 1], hi);
+    }
+}
+
+} // namespace
+} // namespace instant3d

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the small MLP: shape handling, forward determinism,
+ * gradient checks against finite differences (weights and inputs), the
+ * sigmoid output head, and Adam convergence on a toy problem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nerf/adam.hh"
+#include "nerf/mlp.hh"
+
+namespace instant3d {
+namespace {
+
+TEST(MlpTest, ShapesAndMacs)
+{
+    Mlp mlp({4, 16, 3}, OutputActivation::None, 1);
+    EXPECT_EQ(mlp.inputDim(), 4);
+    EXPECT_EQ(mlp.outputDim(), 3);
+    EXPECT_EQ(mlp.numLayers(), 2);
+    EXPECT_EQ(mlp.macsPerForward(), 4u * 16 + 16 * 3);
+}
+
+TEST(MlpTest, DeterministicInit)
+{
+    Mlp a({8, 8, 2}, OutputActivation::None, 99);
+    Mlp b({8, 8, 2}, OutputActivation::None, 99);
+    ASSERT_EQ(a.params().size(), b.params().size());
+    for (size_t i = 0; i < a.params().size(); i++)
+        EXPECT_FLOAT_EQ(a.params()[i], b.params()[i]);
+}
+
+TEST(MlpTest, SigmoidOutputInUnitInterval)
+{
+    Mlp mlp({6, 12, 3}, OutputActivation::Sigmoid, 3);
+    Rng r(4);
+    for (int trial = 0; trial < 50; trial++) {
+        std::vector<float> in(6), out(3);
+        for (auto &v : in)
+            v = r.nextFloat(-10.0f, 10.0f);
+        mlp.forward(in.data(), out.data());
+        for (float o : out) {
+            // Sigmoid can saturate to exactly 0/1 in float arithmetic.
+            EXPECT_GE(o, 0.0f);
+            EXPECT_LE(o, 1.0f);
+        }
+    }
+}
+
+/** Shared finite-difference weight-gradient check. */
+void
+checkWeightGradients(OutputActivation act)
+{
+    Mlp mlp({3, 8, 2}, act, 17);
+    Rng r(20);
+    std::vector<float> in = {0.4f, -0.2f, 0.9f};
+    std::vector<float> out(2), d_out = {1.0f, -0.5f};
+
+    MlpRecord rec;
+    mlp.forward(in.data(), out.data(), &rec);
+    mlp.zeroGrad();
+    mlp.backward(rec, d_out.data(), nullptr);
+    std::vector<float> analytic = mlp.grads();
+
+    const float eps = 1e-3f;
+    // Sample a spread of weight indices.
+    for (size_t i = 0; i < mlp.params().size();
+         i += std::max<size_t>(1, mlp.params().size() / 17)) {
+        float saved = mlp.params()[i];
+        mlp.params()[i] = saved + eps;
+        std::vector<float> hi(2);
+        mlp.forward(in.data(), hi.data());
+        mlp.params()[i] = saved - eps;
+        std::vector<float> lo(2);
+        mlp.forward(in.data(), lo.data());
+        mlp.params()[i] = saved;
+
+        float num = 0.0f;
+        for (int o = 0; o < 2; o++)
+            num += d_out[o] * (hi[o] - lo[o]) / (2.0f * eps);
+        EXPECT_NEAR(analytic[i], num, 5e-3f) << "param " << i;
+    }
+}
+
+TEST(MlpTest, WeightGradientsLinearHead)
+{
+    checkWeightGradients(OutputActivation::None);
+}
+
+TEST(MlpTest, WeightGradientsSigmoidHead)
+{
+    checkWeightGradients(OutputActivation::Sigmoid);
+}
+
+TEST(MlpTest, InputGradientsMatchFiniteDifference)
+{
+    Mlp mlp({5, 10, 10, 2}, OutputActivation::None, 23);
+    std::vector<float> in = {0.1f, 0.7f, -0.4f, 0.2f, -0.8f};
+    std::vector<float> out(2), d_out = {0.3f, 1.2f};
+
+    MlpRecord rec;
+    mlp.forward(in.data(), out.data(), &rec);
+    mlp.zeroGrad();
+    std::vector<float> d_in(5);
+    mlp.backward(rec, d_out.data(), d_in.data());
+
+    const float eps = 1e-3f;
+    for (int i = 0; i < 5; i++) {
+        std::vector<float> in_hi = in, in_lo = in;
+        in_hi[i] += eps;
+        in_lo[i] -= eps;
+        std::vector<float> hi(2), lo(2);
+        mlp.forward(in_hi.data(), hi.data());
+        mlp.forward(in_lo.data(), lo.data());
+        float num = 0.0f;
+        for (int o = 0; o < 2; o++)
+            num += d_out[o] * (hi[o] - lo[o]) / (2.0f * eps);
+        EXPECT_NEAR(d_in[i], num, 5e-3f) << "input " << i;
+    }
+}
+
+TEST(MlpTest, GradientsAccumulateAcrossSamples)
+{
+    Mlp mlp({2, 4, 1}, OutputActivation::None, 5);
+    std::vector<float> in1 = {1.0f, 0.0f}, in2 = {0.0f, 1.0f};
+    float out, d_out = 1.0f;
+
+    MlpRecord r1, r2;
+    mlp.forward(in1.data(), &out, &r1);
+    mlp.forward(in2.data(), &out, &r2);
+
+    mlp.zeroGrad();
+    mlp.backward(r1, &d_out, nullptr);
+    std::vector<float> g1 = mlp.grads();
+    mlp.backward(r2, &d_out, nullptr);
+    std::vector<float> g12 = mlp.grads();
+
+    mlp.zeroGrad();
+    mlp.backward(r2, &d_out, nullptr);
+    std::vector<float> g2 = mlp.grads();
+
+    for (size_t i = 0; i < g1.size(); i++)
+        EXPECT_NEAR(g12[i], g1[i] + g2[i], 1e-6f);
+}
+
+TEST(MlpTest, AdamFitsToyFunction)
+{
+    // Regression of y = sin(2x) on [-1, 1]: loss must drop markedly.
+    Mlp mlp({1, 16, 16, 1}, OutputActivation::None, 31);
+    Adam adam(mlp.params().size(), {.lr = 3e-3f});
+    Rng r(77);
+
+    auto batch_loss = [&](bool train) {
+        double loss = 0.0;
+        const int batch = 32;
+        for (int b = 0; b < batch; b++) {
+            float x = r.nextFloat(-1.0f, 1.0f);
+            float target = std::sin(2.0f * x);
+            float y;
+            MlpRecord rec;
+            mlp.forward(&x, &y, train ? &rec : nullptr);
+            float err = y - target;
+            loss += err * err;
+            if (train) {
+                float d = 2.0f * err / batch;
+                mlp.backward(rec, &d, nullptr);
+            }
+        }
+        return loss / batch;
+    };
+
+    double first = batch_loss(false);
+    for (int it = 0; it < 400; it++) {
+        mlp.zeroGrad();
+        batch_loss(true);
+        adam.step(mlp.params(), mlp.grads());
+    }
+    mlp.zeroGrad();
+    double last = batch_loss(false);
+    EXPECT_LT(last, first * 0.1);
+    EXPECT_LT(last, 0.02);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic)
+{
+    // Minimize (p - 3)^2 for a handful of parameters.
+    std::vector<float> params = {0.0f, -5.0f, 10.0f};
+    std::vector<float> grads(3);
+    Adam adam(3, {.lr = 0.05f});
+    for (int it = 0; it < 600; it++) {
+        for (int i = 0; i < 3; i++)
+            grads[i] = 2.0f * (params[i] - 3.0f);
+        adam.step(params, grads);
+    }
+    for (float p : params)
+        EXPECT_NEAR(p, 3.0f, 0.05f);
+    EXPECT_EQ(adam.stepCount(), 600u);
+}
+
+TEST(AdamTest, LearningRateZeroFreezesParams)
+{
+    std::vector<float> params = {1.0f, 2.0f};
+    std::vector<float> grads = {5.0f, -5.0f};
+    Adam adam(2, {.lr = 0.0f});
+    adam.step(params, grads);
+    EXPECT_FLOAT_EQ(params[0], 1.0f);
+    EXPECT_FLOAT_EQ(params[1], 2.0f);
+}
+
+} // namespace
+} // namespace instant3d

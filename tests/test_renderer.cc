@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests of the differentiable volume renderer (Eq. 1) and the field:
+ * compositing correctness on analytic fields, transmittance behaviour,
+ * and an end-to-end gradient check through rendering, MLPs, and grids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nerf/renderer.hh"
+
+namespace instant3d {
+namespace {
+
+FieldConfig
+tinyFieldConfig(FieldMode mode)
+{
+    HashEncodingConfig grid;
+    grid.numLevels = 3;
+    grid.featuresPerEntry = 2;
+    grid.log2TableSize = 10;
+    grid.baseResolution = 8;
+    FieldConfig cfg = mode == FieldMode::Decoupled
+                          ? FieldConfig::instant3dDefault(grid)
+                          : FieldConfig::ngpBaseline(grid);
+    cfg.hiddenDim = 16;
+    return cfg;
+}
+
+TEST(FieldTest, QueryProducesValidOutputs)
+{
+    for (auto mode : {FieldMode::Coupled, FieldMode::Decoupled}) {
+        NerfField field(tinyFieldConfig(mode), 11);
+        Rng r(2);
+        for (int i = 0; i < 100; i++) {
+            Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+            Vec3 d = Vec3(r.nextFloat() - 0.5f, r.nextFloat() - 0.5f,
+                          r.nextFloat() - 0.5f).normalized();
+            FieldSample s = field.query(p, d);
+            EXPECT_GE(s.sigma, 0.0f);
+            EXPECT_TRUE(std::isfinite(s.sigma));
+            EXPECT_GE(s.rgb.minComponent(), 0.0f);
+            EXPECT_LE(s.rgb.maxComponent(), 1.0f);
+        }
+    }
+}
+
+TEST(FieldTest, ParamGroupsByMode)
+{
+    NerfField coupled(tinyFieldConfig(FieldMode::Coupled), 1);
+    NerfField decoupled(tinyFieldConfig(FieldMode::Decoupled), 1);
+    EXPECT_EQ(coupled.paramGroups().size(), 3u);
+    EXPECT_EQ(decoupled.paramGroups().size(), 4u);
+}
+
+TEST(FieldTest, DecoupledColorGridSmaller)
+{
+    NerfField field(tinyFieldConfig(FieldMode::Decoupled), 1);
+    // S_D : S_C = 1 : 0.25 -> color table 4x smaller.
+    EXPECT_EQ(field.colorGrid().config().tableSize() * 4,
+              field.densityGrid().config().tableSize());
+}
+
+TEST(FieldTest, SoftplusProperties)
+{
+    EXPECT_NEAR(softplus(0.0f), std::log(2.0f), 1e-6f);
+    EXPECT_GT(softplus(-20.0f), 0.0f);
+    EXPECT_NEAR(softplus(20.0f), 20.0f, 1e-3f);
+    // Derivative is sigmoid.
+    EXPECT_NEAR(softplusDerivative(0.0f), 0.5f, 1e-6f);
+    const float eps = 1e-3f;
+    for (float x : {-2.0f, -0.3f, 0.7f, 3.0f}) {
+        float num = (softplus(x + eps) - softplus(x - eps)) / (2 * eps);
+        EXPECT_NEAR(softplusDerivative(x), num, 1e-3f);
+    }
+}
+
+TEST(FieldTest, DirectionEncodingDim)
+{
+    float enc[NerfField::dirEncodingDim];
+    NerfField::encodeDirection({0.0f, 1.0f, 0.0f}, enc);
+    EXPECT_FLOAT_EQ(enc[0], 0.0f);
+    EXPECT_FLOAT_EQ(enc[1], 1.0f);
+    EXPECT_FLOAT_EQ(enc[4], 1.0f); // y^2
+    EXPECT_FLOAT_EQ(enc[6], 0.0f); // xy
+}
+
+/**
+ * A NerfField whose grids are zeroed and whose query is bypassed is hard
+ * to build; instead we test compositing math directly by rendering a
+ * freshly initialized field (near-zero embeddings -> near-zero density
+ * -> background shows through).
+ */
+TEST(RendererTest, EmptyFieldRendersBackground)
+{
+    NerfField field(tinyFieldConfig(FieldMode::Decoupled), 21);
+    RendererConfig rcfg;
+    rcfg.background = {0.25f, 0.5f, 0.75f};
+    rcfg.samplesPerRay = 32;
+    VolumeRenderer renderer(rcfg);
+
+    Ray ray{{0.5f, 0.5f, -0.5f}, {0.0f, 0.0f, 1.0f}};
+    RayResult res = renderer.renderRay(field, ray);
+    // Fresh embeddings ~1e-4 -> sigma = softplus(small) ~ 0.7 per unit
+    // length is possible; opacity must at least be far from 1 and color
+    // dominated by background blending.
+    EXPECT_LT(res.opacity, 0.9f);
+    EXPECT_GT(res.depth, rcfg.tNear);
+    EXPECT_LE(res.depth, rcfg.tFar + 1e-4f);
+}
+
+TEST(RendererTest, OpacityIncreasesWithDensity)
+{
+    // Scale up density-grid embeddings -> higher sigma -> higher opacity.
+    auto cfg = tinyFieldConfig(FieldMode::Decoupled);
+    NerfField lo(cfg, 30), hi(cfg, 30);
+    for (auto &p : hi.groupParams(ParamGroupId::DensityGrid))
+        p = 0.5f; // strongly positive embeddings
+
+    RendererConfig rcfg;
+    VolumeRenderer renderer(rcfg);
+    Ray ray{{0.5f, 0.5f, -0.5f}, {0.0f, 0.0f, 1.0f}};
+    float o_lo = renderer.renderRay(lo, ray).opacity;
+    float o_hi = renderer.renderRay(hi, ray).opacity;
+    EXPECT_GT(o_hi, o_lo);
+    EXPECT_GT(o_hi, 0.5f);
+}
+
+TEST(RendererTest, RecordedAndPlainForwardAgree)
+{
+    NerfField field(tinyFieldConfig(FieldMode::Coupled), 44);
+    RendererConfig rcfg;
+    rcfg.samplesPerRay = 16;
+    VolumeRenderer renderer(rcfg);
+    Ray ray{{0.2f, 0.8f, -0.3f}, Vec3(0.2f, -0.2f, 1.0f).normalized()};
+
+    RayRecord rec;
+    RayResult with_rec = renderer.renderRay(field, ray, nullptr, &rec);
+    RayResult without = renderer.renderRay(field, ray, nullptr, nullptr);
+    EXPECT_NEAR(with_rec.color.x, without.color.x, 1e-6f);
+    EXPECT_NEAR(with_rec.depth, without.depth, 1e-5f);
+    EXPECT_EQ(rec.samples.size(), 16u);
+}
+
+/**
+ * End-to-end gradient check: perturb one parameter of each group and
+ * compare the loss change against the back-propagated gradient.
+ */
+void
+endToEndGradientCheck(FieldMode mode)
+{
+    NerfField field(tinyFieldConfig(mode), 55);
+    // Give the density grid real mass so gradients are non-trivial.
+    Rng rinit(3);
+    for (auto &p : field.groupParams(ParamGroupId::DensityGrid))
+        p = rinit.nextFloat(-0.3f, 0.6f);
+
+    RendererConfig rcfg;
+    rcfg.samplesPerRay = 8;
+    VolumeRenderer renderer(rcfg);
+    Ray ray{{0.5f, 0.45f, -0.4f}, Vec3(0.05f, 0.1f, 1.0f).normalized()};
+    Vec3 target(0.2f, 0.6f, 0.4f);
+
+    auto loss_of = [&]() {
+        RayResult res = renderer.renderRay(field, ray);
+        Vec3 e = res.color - target;
+        return 0.5 * (e.x * e.x + e.y * e.y + e.z * e.z);
+    };
+
+    RayRecord rec;
+    RayResult res = renderer.renderRay(field, ray, nullptr, &rec);
+    field.zeroGrad();
+    Vec3 d_color = res.color - target;
+    renderer.backwardRay(field, rec, d_color);
+
+    const float eps = 2e-3f;
+    for (auto gid : field.paramGroups()) {
+        auto &params = field.groupParams(gid);
+        auto &grads = field.groupGrads(gid);
+        // Pick the largest-magnitude gradient entry of the group.
+        size_t best = 0;
+        for (size_t i = 0; i < grads.size(); i++)
+            if (std::fabs(grads[i]) > std::fabs(grads[best]))
+                best = i;
+        if (std::fabs(grads[best]) < 1e-7f)
+            continue; // group untouched by this ray
+
+        float saved = params[best];
+        params[best] = saved + eps;
+        double hi_loss = loss_of();
+        params[best] = saved - eps;
+        double lo_loss = loss_of();
+        params[best] = saved;
+        double num = (hi_loss - lo_loss) / (2.0 * eps);
+        double tol = std::max(0.15 * std::fabs(num), 2e-3);
+        EXPECT_NEAR(grads[best], num, tol)
+            << "group " << static_cast<int>(gid);
+    }
+}
+
+TEST(RendererTest, EndToEndGradientsCoupled)
+{
+    endToEndGradientCheck(FieldMode::Coupled);
+}
+
+TEST(RendererTest, EndToEndGradientsDecoupled)
+{
+    endToEndGradientCheck(FieldMode::Decoupled);
+}
+
+TEST(RendererTest, SkippingColorBranchLeavesItUntouched)
+{
+    NerfField field(tinyFieldConfig(FieldMode::Decoupled), 66);
+    RendererConfig rcfg;
+    rcfg.samplesPerRay = 8;
+    VolumeRenderer renderer(rcfg);
+    Ray ray{{0.5f, 0.5f, -0.4f}, {0.0f, 0.0f, 1.0f}};
+
+    RayRecord rec;
+    renderer.renderRay(field, ray, nullptr, &rec);
+    field.zeroGrad();
+    renderer.backwardRay(field, rec, {1.0f, 1.0f, 1.0f},
+                         /*update_density=*/true, /*update_color=*/false);
+
+    for (float g : field.groupGrads(ParamGroupId::ColorGrid))
+        EXPECT_EQ(g, 0.0f);
+    for (float g : field.groupGrads(ParamGroupId::ColorMlp))
+        EXPECT_EQ(g, 0.0f);
+    // Density side must have received gradient.
+    double dens_mag = 0.0;
+    for (float g : field.groupGrads(ParamGroupId::DensityGrid))
+        dens_mag += std::fabs(g);
+    EXPECT_GT(dens_mag, 0.0);
+}
+
+TEST(RendererTest, WriteCountsOnlyForUpdatedBranches)
+{
+    NerfField field(tinyFieldConfig(FieldMode::Decoupled), 67);
+    RendererConfig rcfg;
+    rcfg.samplesPerRay = 4;
+    VolumeRenderer renderer(rcfg);
+    Ray ray{{0.5f, 0.5f, -0.4f}, {0.0f, 0.0f, 1.0f}};
+
+    RayRecord rec;
+    renderer.renderRay(field, ray, nullptr, &rec);
+    uint64_t color_writes_before = field.colorGrid().writeCount();
+    renderer.backwardRay(field, rec, {1, 1, 1}, true, false);
+    EXPECT_EQ(field.colorGrid().writeCount(), color_writes_before);
+    EXPECT_GT(field.densityGrid().writeCount(), 0u);
+}
+
+} // namespace
+} // namespace instant3d

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for src/scene: procedural scenes, cameras, images/PSNR, and
+ * ground-truth dataset rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "scene/dataset.hh"
+#include "scene/scene.hh"
+
+namespace instant3d {
+namespace {
+
+class SyntheticSceneTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SyntheticSceneTest, DensityBoundedAndZeroOutside)
+{
+    auto scene = makeSyntheticScene(GetParam());
+    ASSERT_NE(scene, nullptr);
+    EXPECT_EQ(scene->name(), GetParam());
+
+    Rng r(1);
+    for (int i = 0; i < 2000; i++) {
+        Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+        float d = scene->density(p);
+        EXPECT_GE(d, 0.0f);
+        EXPECT_LE(d, 100.0f);
+    }
+    // Outside the unit cube the field must vanish.
+    EXPECT_EQ(scene->density({-0.1f, 0.5f, 0.5f}), 0.0f);
+    EXPECT_EQ(scene->density({0.5f, 1.2f, 0.5f}), 0.0f);
+}
+
+TEST_P(SyntheticSceneTest, HasNonEmptyInterior)
+{
+    auto scene = makeSyntheticScene(GetParam());
+    Rng r(2);
+    int occupied = 0;
+    for (int i = 0; i < 5000; i++) {
+        Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+        if (scene->density(p) > 0.0f)
+            occupied++;
+    }
+    EXPECT_GT(occupied, 10) << "scene looks empty";
+    EXPECT_LT(occupied, 4000) << "scene looks like a solid block";
+}
+
+TEST_P(SyntheticSceneTest, ColorsInUnitRange)
+{
+    auto scene = makeSyntheticScene(GetParam());
+    Rng r(3);
+    for (int i = 0; i < 1000; i++) {
+        Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+        Vec3 d(r.nextFloat() - 0.5f, r.nextFloat() - 0.5f,
+               r.nextFloat() - 0.5f);
+        Vec3 c = scene->color(p, d.normalized());
+        EXPECT_GE(c.minComponent(), 0.0f);
+        EXPECT_LE(c.maxComponent(), 1.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SyntheticSceneTest,
+                         ::testing::ValuesIn(syntheticSceneNames()));
+
+TEST(SceneFactoryTest, EightCanonicalNames)
+{
+    EXPECT_EQ(syntheticSceneNames().size(), 8u);
+}
+
+TEST(SceneFactoryTest, SilvrAndScanNetVariants)
+{
+    for (int v = 0; v < 4; v++) {
+        auto silvr = makeSilvrScene(v);
+        auto scan = makeScanNetScene(v);
+        ASSERT_NE(silvr, nullptr);
+        ASSERT_NE(scan, nullptr);
+        EXPECT_NE(silvr->name(), scan->name());
+    }
+    // Different variants produce different content.
+    auto a = makeSilvrScene(0);
+    auto b = makeSilvrScene(1);
+    int diff = 0;
+    Rng r(4);
+    for (int i = 0; i < 500; i++) {
+        Vec3 p(r.nextFloat(), r.nextFloat(), r.nextFloat());
+        if ((a->density(p) > 0) != (b->density(p) > 0))
+            diff++;
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST(CameraTest, RaysAreNormalizedAndForward)
+{
+    Camera cam({0.5f, 0.5f, 2.0f}, {0.5f, 0.5f, 0.5f}, {0, 1, 0}, 45.0f,
+               64, 48);
+    for (int row : {0, 24, 47}) {
+        for (int col : {0, 32, 63}) {
+            Ray ray = cam.pixelRay(col, row);
+            EXPECT_NEAR(ray.direction.norm(), 1.0f, 1e-5f);
+            // All rays point roughly toward -z (the target).
+            EXPECT_LT(ray.direction.z, 0.0f);
+        }
+    }
+}
+
+TEST(CameraTest, CenterPixelHitsTarget)
+{
+    Vec3 eye(0.5f, 0.5f, 2.0f), target(0.5f, 0.5f, 0.5f);
+    Camera cam(eye, target, {0, 1, 0}, 45.0f, 64, 64);
+    Ray ray = cam.pixelRay(31, 31, 1.0f, 1.0f); // exact image center
+    Vec3 to_target = (target - eye).normalized();
+    EXPECT_NEAR(ray.direction.dot(to_target), 1.0f, 1e-4f);
+}
+
+TEST(CameraTest, OrbitCamerasLookInward)
+{
+    auto cams = makeOrbitCameras(16, 1.2f, 8, 8);
+    ASSERT_EQ(cams.size(), 16u);
+    const Vec3 center(0.5f, 0.5f, 0.5f);
+    for (const auto &cam : cams) {
+        EXPECT_NEAR((cam.eye() - center).norm(), 1.2f, 1e-4f);
+        Ray ray = cam.pixelRay(4, 4);
+        EXPECT_GT(ray.direction.dot((center - cam.eye()).normalized()),
+                  0.9f);
+    }
+}
+
+TEST(ImageTest, PsnrIdenticalAndKnown)
+{
+    Image a(8, 8), b(8, 8);
+    EXPECT_DOUBLE_EQ(psnr(a, a), 99.0);
+    for (int r = 0; r < 8; r++)
+        for (int c = 0; c < 8; c++)
+            b.at(c, r) = Vec3(0.1f, 0.1f, 0.1f);
+    // MSE = 0.01 -> PSNR = 20 dB.
+    EXPECT_NEAR(psnr(a, b), 20.0, 1e-3);
+}
+
+TEST(ImageTest, PsnrScalar)
+{
+    std::vector<float> a(100, 0.0f), b(100, 0.2f);
+    // Normalized by peak 2.0: MSE = 0.01 -> 20 dB.
+    EXPECT_NEAR(psnrScalar(a, b, 2.0f), 20.0, 1e-3);
+}
+
+TEST(ImageTest, WritePpm)
+{
+    Image img(4, 4);
+    img.at(1, 2) = Vec3(1.0f, 0.0f, 0.5f);
+    std::string path = ::testing::TempDir() + "/i3d_test.ppm";
+    EXPECT_TRUE(img.writePpm(path));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[3] = {};
+    ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+    EXPECT_STREQ(magic, "P6");
+    std::fclose(f);
+}
+
+TEST(DatasetTest, GroundTruthRenderProducesContent)
+{
+    auto scene = makeSyntheticScene("lego");
+    DatasetConfig cfg;
+    cfg.numTrainViews = 3;
+    cfg.numTestViews = 1;
+    cfg.imageWidth = 24;
+    cfg.imageHeight = 24;
+    cfg.renderOpts.numSteps = 96;
+    Dataset ds = makeDataset(scene, cfg);
+
+    ASSERT_EQ(ds.trainViews.size(), 3u);
+    ASSERT_EQ(ds.testViews.size(), 1u);
+
+    // The scene must actually appear in the images: nonzero pixels.
+    double energy = 0.0;
+    for (const auto &p : ds.trainViews[0].rgb.data())
+        energy += p.x + p.y + p.z;
+    EXPECT_GT(energy, 1.0);
+
+    // Depth must be within [tNear, tFar].
+    for (float d : ds.trainViews[0].depth) {
+        EXPECT_GE(d, cfg.renderOpts.tNear);
+        EXPECT_LE(d, cfg.renderOpts.tFar + 1e-4f);
+    }
+}
+
+TEST(DatasetTest, OpaqueRayDepthMatchesSurface)
+{
+    // A ray straight at a dense ball should return depth near the first
+    // intersection distance.
+    auto scene = makeSyntheticScene("materials");
+    RenderOptions opts;
+    opts.numSteps = 400;
+    Camera cam({0.28f, 0.42f, 1.5f}, {0.28f, 0.42f, 0.58f}, {0, 1, 0},
+               30.0f, 16, 16);
+    float depth = 0.0f;
+    Ray ray = cam.pixelRay(7, 7, 1.0f, 1.0f);
+    Vec3 color = renderRayGroundTruth(*scene, ray, opts, &depth);
+    (void)color;
+    // Ball center z=0.58 r=0.055, camera z=1.5: surface at ~0.865.
+    EXPECT_NEAR(depth, 1.5f - 0.58f - 0.055f, 0.05f);
+}
+
+} // namespace
+} // namespace instant3d

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests of trace capture and the Sec 4.2 pattern analyses on both
+ * synthetic traces (exact expectations) and real traces captured from
+ * training (paper-shape expectations: Figs 8, 9, 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+#include "trace/pattern.hh"
+
+namespace instant3d {
+namespace {
+
+GridAccess
+read(uint32_t addr, uint16_t level, uint8_t corner, uint32_t point)
+{
+    return {addr, level, corner, false, point};
+}
+
+TEST(MemTraceTest, CollectsAndFilters)
+{
+    MemTraceCollector sink;
+    sink.record(read(10, 0, 0, 1));
+    sink.record({20, 1, 0, true, 2});
+    EXPECT_EQ(sink.accesses().size(), 2u);
+    EXPECT_EQ(sink.reads().size(), 1u);
+    EXPECT_EQ(sink.writes().size(), 1u);
+    EXPECT_EQ(sink.levelSlice(1).size(), 1u);
+    sink.clear();
+    EXPECT_TRUE(sink.accesses().empty());
+}
+
+TEST(MemTraceTest, CapacityCapDropsExcess)
+{
+    MemTraceCollector sink(3);
+    for (uint32_t i = 0; i < 10; i++)
+        sink.record(read(i, 0, 0, i));
+    EXPECT_EQ(sink.accesses().size(), 3u);
+    EXPECT_TRUE(sink.full());
+    EXPECT_EQ(sink.droppedCount(), 7u);
+}
+
+TEST(MemTraceTest, ScopedTraceDetaches)
+{
+    HashEncodingConfig cfg;
+    cfg.numLevels = 1;
+    cfg.log2TableSize = 8;
+    HashEncoding enc(cfg, 1);
+    MemTraceCollector sink;
+    std::vector<float> out(enc.outputDim());
+    {
+        ScopedTrace scope(enc, sink);
+        enc.encode({0.5f, 0.5f, 0.5f}, out.data());
+    }
+    size_t captured = sink.accesses().size();
+    EXPECT_EQ(captured, 8u);
+    enc.encode({0.4f, 0.4f, 0.4f}, out.data());
+    EXPECT_EQ(sink.accesses().size(), captured) << "sink not detached";
+}
+
+TEST(PatternTest, SyntheticGroupsExactDistances)
+{
+    // Build one point's 8 accesses with known group structure:
+    // group g at base 1000*g, x-neighbour at +1.
+    std::vector<GridAccess> trace;
+    for (int c = 0; c < 8; c++) {
+        int g = c / 2;
+        uint32_t addr = 1000 * g + (c & 1);
+        trace.push_back(read(addr, 0, static_cast<uint8_t>(c), 7));
+    }
+    GroupDistanceStats stats = analyzeVertexGroups(trace);
+    EXPECT_EQ(stats.pointsAnalyzed, 1u);
+    EXPECT_DOUBLE_EQ(stats.intraGroupAbs.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.fractionWithin(5.0), 1.0);
+    // Group means are 1000 apart (adjacent) up to 3000 (extremes).
+    EXPECT_NEAR(stats.interGroupAbs.mean(),
+                (1000 + 2000 + 3000 + 1000 + 2000 + 1000) / 6.0, 1e-9);
+}
+
+TEST(PatternTest, ResynchronizesOnCorruptChunks)
+{
+    std::vector<GridAccess> trace;
+    trace.push_back(read(5, 0, 3, 1)); // stray access
+    for (int c = 0; c < 8; c++)
+        trace.push_back(read(100 + (c & 1), 0,
+                             static_cast<uint8_t>(c), 2));
+    GroupDistanceStats stats = analyzeVertexGroups(trace);
+    EXPECT_EQ(stats.pointsAnalyzed, 1u);
+}
+
+TEST(PatternTest, SlidingWindowUniqueCounts)
+{
+    std::vector<GridAccess> trace;
+    // Window 1: addresses 0..9 (10 unique). Window 2: all the same (1).
+    for (uint32_t i = 0; i < 10; i++)
+        trace.push_back(read(i, 0, 0, i));
+    for (uint32_t i = 0; i < 10; i++)
+        trace.push_back(read(42, 0, 0, i));
+    SlidingWindowStats s = uniqueAddressWindows(trace, 10);
+    ASSERT_EQ(s.uniquePerWindow.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.uniquePerWindow[0], 10.0);
+    EXPECT_DOUBLE_EQ(s.uniquePerWindow[1], 1.0);
+    EXPECT_DOUBLE_EQ(s.meanUnique(), 5.5);
+    EXPECT_DOUBLE_EQ(s.minUnique(), 1.0);
+    EXPECT_NEAR(meanSharingFactor(s), 10.0 / 5.5, 1e-12);
+}
+
+TEST(PatternTest, LevelsCountedSeparately)
+{
+    std::vector<GridAccess> trace;
+    trace.push_back(read(7, 0, 0, 0));
+    trace.push_back(read(7, 1, 0, 0)); // same address, other level
+    SlidingWindowStats s = uniqueAddressWindows(trace, 2);
+    EXPECT_DOUBLE_EQ(s.uniquePerWindow[0], 2.0);
+}
+
+/** Fixture capturing a real training trace on a tiny scene. */
+class RealTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto scene = makeSyntheticScene("lego");
+        DatasetConfig dcfg;
+        dcfg.numTrainViews = 4;
+        dcfg.numTestViews = 1;
+        dcfg.imageWidth = 16;
+        dcfg.imageHeight = 16;
+        dcfg.renderOpts.numSteps = 48;
+        dataset = makeDataset(scene, dcfg);
+
+        HashEncodingConfig grid;
+        grid.numLevels = 4;
+        grid.log2TableSize = 14;
+        grid.baseResolution = 16;
+        grid.growthFactor = 1.5f;
+        FieldConfig fcfg = FieldConfig::instant3dDefault(grid);
+        fcfg.hiddenDim = 16;
+
+        TrainConfig tcfg;
+        tcfg.raysPerBatch = 64;
+        tcfg.samplesPerRay = 48;
+        trainer = std::make_unique<Trainer>(dataset, fcfg, tcfg);
+
+        // Let geometry form so BP gradients concentrate on surfaces.
+        for (int i = 0; i < 30; i++)
+            trainer->trainIteration();
+
+        trainer->field().densityGrid().setTraceSink(&collector);
+        trainer->trainIteration();
+        trainer->field().densityGrid().setTraceSink(nullptr);
+    }
+
+    Dataset dataset;
+    std::unique_ptr<Trainer> trainer;
+    MemTraceCollector collector;
+};
+
+TEST_F(RealTraceTest, Fig8InterGroupRemotenessIntraGroupLocality)
+{
+    GroupDistanceStats stats = analyzeVertexGroups(collector.reads());
+    ASSERT_GT(stats.pointsAnalyzed, 100u);
+    // Intra-group (x-neighbour) distances are tiny; inter-group ones
+    // span a large fraction of the table (paper: ~60000 on 2^19-entry
+    // tables; proportionally large here).
+    EXPECT_LT(stats.intraGroupAbs.mean(), 16.0);
+    EXPECT_GT(stats.interGroupAbs.mean(), 500.0);
+    EXPECT_GT(stats.interGroupAbs.mean(),
+              50.0 * stats.intraGroupAbs.mean());
+}
+
+TEST_F(RealTraceTest, Fig9MostIntraDistancesWithin5)
+{
+    GroupDistanceStats stats = analyzeVertexGroups(collector.reads());
+    // Paper: >90% within [-5, 5]; we require a strong majority.
+    EXPECT_GT(stats.fractionWithin(5.0), 0.75);
+}
+
+TEST_F(RealTraceTest, Fig10BackpropSharesMoreAddresses)
+{
+    // FF reads stream through the coordinate buffer in batch-parallel
+    // order; BP gradients arrive ray-sequentially (Sec 4.2 / Fig 10).
+    auto reads = batchMajorOrder(collector.reads(), 48);
+    auto writes = collector.writes();
+    ASSERT_GT(writes.size(), 1000u);
+    SlidingWindowStats ff = uniqueAddressWindows(reads, 1000);
+    SlidingWindowStats bp = uniqueAddressWindows(writes, 1000);
+    // BP windows contain clearly fewer unique addresses than FF
+    // windows (paper: ~200 vs ~1000).
+    EXPECT_LT(bp.meanUnique(), 0.8 * ff.meanUnique());
+    EXPECT_GT(meanSharingFactor(bp), 1.2);
+}
+
+TEST(PatternTest, BatchMajorOrderRoundRobins)
+{
+    // Two rays of two samples, one access per point.
+    std::vector<GridAccess> trace = {
+        read(0, 0, 0, 0), read(1, 0, 0, 1),  // ray 0: samples 0, 1
+        read(2, 0, 0, 2), read(3, 0, 0, 3),  // ray 1: samples 0, 1
+    };
+    auto out = batchMajorOrder(trace, 2);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].address, 0u); // ray0 sample0
+    EXPECT_EQ(out[1].address, 2u); // ray1 sample0
+    EXPECT_EQ(out[2].address, 1u); // ray0 sample1
+    EXPECT_EQ(out[3].address, 3u); // ray1 sample1
+}
+
+} // namespace
+} // namespace instant3d

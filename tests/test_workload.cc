@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests of the Instant3dConfig and the paper-scale workload accounting:
+ * decomposition sizes (Sec 5.1), update-period mapping (Sec 4.6), byte
+ * counts, and dataset scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/instant3d_config.hh"
+#include "core/workload.hh"
+
+namespace instant3d {
+namespace {
+
+TEST(Instant3dConfigTest, ShippedRatios)
+{
+    Instant3dConfig cfg = instant3dShippedConfig();
+    EXPECT_FLOAT_EQ(cfg.colorSizeRatio, 0.25f);
+    EXPECT_FLOAT_EQ(cfg.colorUpdateRate, 0.5f);
+    EXPECT_FLOAT_EQ(cfg.densitySizeRatio, 1.0f);
+    EXPECT_FLOAT_EQ(cfg.densityUpdateRate, 1.0f);
+}
+
+TEST(Instant3dConfigTest, PeriodFromRate)
+{
+    EXPECT_EQ(Instant3dConfig::periodFromRate(1.0f), 1);
+    EXPECT_EQ(Instant3dConfig::periodFromRate(0.5f), 2);
+    EXPECT_EQ(Instant3dConfig::periodFromRate(0.25f), 4);
+}
+
+TEST(Instant3dConfigTest, GridSearchSpaceMatchesSec51)
+{
+    auto space = instant3dGridSearchSpace();
+    // 4 size ratios x 2 update rates.
+    EXPECT_EQ(space.size(), 8u);
+    bool has_shipped = false;
+    for (const auto &cfg : space) {
+        if (cfg.colorSizeRatio == 0.25f && cfg.colorUpdateRate == 0.5f)
+            has_shipped = true;
+    }
+    EXPECT_TRUE(has_shipped);
+}
+
+TEST(Instant3dConfigTest, FieldConfigDecomposition)
+{
+    HashEncodingConfig base;
+    base.log2TableSize = 16;
+    Instant3dConfig cfg = instant3dShippedConfig();
+    FieldConfig fc = cfg.makeFieldConfig(base);
+    EXPECT_EQ(fc.mode, FieldMode::Decoupled);
+    // Density: half the baseline table (2^15); color: quarter of that
+    // again (2^13).
+    EXPECT_EQ(fc.densityGrid.log2TableSize, 15u);
+    EXPECT_EQ(fc.colorGrid.log2TableSize, 13u);
+}
+
+TEST(Instant3dConfigTest, ApplyToTrainConfig)
+{
+    TrainConfig train;
+    instant3dShippedConfig().applyTo(train);
+    EXPECT_EQ(train.densityUpdatePeriod, 1);
+    EXPECT_EQ(train.colorUpdatePeriod, 2);
+}
+
+TEST(Instant3dConfigTest, LabelMentionsRatios)
+{
+    std::string label = instant3dShippedConfig().label();
+    EXPECT_NE(label.find("0.25"), std::string::npos);
+    EXPECT_NE(label.find("0.5"), std::string::npos);
+}
+
+TEST(WorkloadTest, NgpBaselineShape)
+{
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    ASSERT_EQ(w.branches.size(), 1u);
+    EXPECT_EQ(w.branches[0].tableEntries, 1ull << 19);
+    EXPECT_DOUBLE_EQ(w.pointsPerIter, 2.0e5);
+    // Paper Sec 1: >200,000 grid interpolations per iteration.
+    EXPECT_GE(w.pointsPerIter, 2.0e5);
+    // 2^19 entries x 2 features x 2 bytes = 2 MB per level.
+    EXPECT_EQ(w.branches[0].tableBytes(), 2ull << 20);
+    EXPECT_EQ(w.branches[0].accessesPerPoint(), 128u);
+}
+
+TEST(WorkloadTest, Instant3dDecompositionSizesMatchSec51)
+{
+    TrainingWorkload w = makeInstant3dWorkload(
+        "NeRF-Synthetic", instant3dShippedConfig());
+    ASSERT_EQ(w.branches.size(), 2u);
+    // Sec 5.1: density table 2^18 entries (1 MB), color 2^16 (256 KB).
+    EXPECT_EQ(w.branches[0].name, "density");
+    EXPECT_EQ(w.branches[0].tableEntries, 1ull << 18);
+    EXPECT_EQ(w.branches[0].tableBytes(), 1ull << 20);
+    EXPECT_EQ(w.branches[1].name, "color");
+    EXPECT_EQ(w.branches[1].tableEntries, 1ull << 16);
+    EXPECT_EQ(w.branches[1].tableBytes(), 256u * 1024);
+    EXPECT_DOUBLE_EQ(w.branches[1].updateRate, 0.5);
+}
+
+TEST(WorkloadTest, GridBytesAccounting)
+{
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    // 200k points x 128 accesses x 4 bytes.
+    EXPECT_DOUBLE_EQ(w.gridReadBytesPerIter(), 2.0e5 * 128 * 4);
+    EXPECT_DOUBLE_EQ(w.gridWriteBytesPerIter(), 2.0e5 * 128 * 4);
+
+    TrainingWorkload i3d = makeInstant3dWorkload(
+        "NeRF-Synthetic", instant3dShippedConfig());
+    // Two branches of half payload each: same read bytes.
+    EXPECT_DOUBLE_EQ(i3d.gridReadBytesPerIter(),
+                     w.gridReadBytesPerIter());
+    // Color branch updates at rate 0.5: writes shrink by 25%.
+    EXPECT_DOUBLE_EQ(i3d.gridWriteBytesPerIter(),
+                     0.75 * w.gridWriteBytesPerIter());
+}
+
+TEST(WorkloadTest, DatasetScaling)
+{
+    double base = makeNgpWorkload("NeRF-Synthetic").pointsPerIter;
+    EXPECT_GT(makeNgpWorkload("SILVR").pointsPerIter, base * 1.5);
+    EXPECT_GT(makeNgpWorkload("ScanNet").pointsPerIter, base);
+    EXPECT_LT(makeNgpWorkload("ScanNet").pointsPerIter,
+              makeNgpWorkload("SILVR").pointsPerIter);
+    EXPECT_EQ(workloadDatasetNames().size(), 3u);
+}
+
+TEST(WorkloadTest, StepNamesAndOrder)
+{
+    EXPECT_EQ(allPipelineSteps().size(), 6u);
+    for (auto s : allPipelineSteps())
+        EXPECT_FALSE(pipelineStepName(s).empty());
+}
+
+TEST(WorkloadTest, MlpFlopsScaleWithPoints)
+{
+    TrainingWorkload w = makeNgpWorkload("NeRF-Synthetic");
+    EXPECT_DOUBLE_EQ(w.mlpFlopsPerIterFF(),
+                     2.0 * w.mlpMacsPerPoint * w.pointsPerIter);
+    EXPECT_DOUBLE_EQ(w.mlpFlopsPerIterBP(), 2.0 * w.mlpFlopsPerIterFF());
+}
+
+} // namespace
+} // namespace instant3d
