@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Training-throughput benchmark of the hot-path rewrite: rays/s and
+ * points/s for one training iteration of the quickstart workload,
+ * comparing the original scalar reference path against the batched
+ * arena path at 1, 2, 4, and 8 threads. Emits JSON (stdout and a file,
+ * default BENCH_train_throughput.json) to seed the BENCH trajectory.
+ *
+ * Usage: bench_train_throughput [output.json] [timed_iterations]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/instant3d_config.hh"
+
+namespace instant3d {
+namespace {
+
+struct ModeResult
+{
+    std::string mode;
+    int threads = 1;
+    int iterations = 0;
+    double seconds = 0.0;
+    double raysPerSec = 0.0;
+    double pointsPerSec = 0.0;
+};
+
+struct Workload
+{
+    Dataset dataset;
+    FieldConfig field;
+    TrainConfig train;
+};
+
+/** The quickstart workload (examples/quickstart.cpp) at its defaults. */
+Workload
+quickstartWorkload()
+{
+    Workload w{Dataset{}, FieldConfig{}, TrainConfig{}};
+
+    DatasetConfig dcfg;
+    dcfg.numTrainViews = 8;
+    dcfg.numTestViews = 2;
+    dcfg.imageWidth = 28;
+    dcfg.imageHeight = 28;
+    w.dataset = makeDataset(makeSyntheticScene("lego"), dcfg);
+
+    Instant3dConfig algo = instant3dShippedConfig();
+    HashEncodingConfig base_grid;
+    base_grid.numLevels = 5;
+    base_grid.log2TableSize = 13;
+    base_grid.baseResolution = 8;
+    base_grid.growthFactor = 1.6f;
+    w.field = algo.makeFieldConfig(base_grid);
+    w.field.hiddenDim = 16;
+
+    w.train.raysPerBatch = 128;
+    w.train.samplesPerRay = 40;
+    algo.applyTo(w.train);
+    return w;
+}
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+ModeResult
+runMode(const Workload &w, const std::string &mode, int threads,
+        bool scalar, int warmup, int iters)
+{
+    TrainConfig tcfg = w.train;
+    tcfg.numThreads = threads;
+    tcfg.scalarReference = scalar;
+    Trainer trainer(w.dataset, w.field, tcfg);
+
+    for (int i = 0; i < warmup; i++)
+        trainer.trainIteration();
+
+    uint64_t points_before = trainer.totalPointsQueried();
+    double t0 = now();
+    for (int i = 0; i < iters; i++)
+        trainer.trainIteration();
+    double secs = now() - t0;
+    uint64_t points = trainer.totalPointsQueried() - points_before;
+
+    ModeResult r;
+    r.mode = mode;
+    r.threads = threads;
+    r.iterations = iters;
+    r.seconds = secs;
+    r.raysPerSec =
+        static_cast<double>(iters) * tcfg.raysPerBatch / secs;
+    r.pointsPerSec = static_cast<double>(points) / secs;
+    return r;
+}
+
+} // namespace
+} // namespace instant3d
+
+int
+main(int argc, char **argv)
+{
+    using namespace instant3d;
+
+    std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_train_throughput.json";
+    int iters = argc > 2 ? std::atoi(argv[2]) : 0;
+
+    Workload w = quickstartWorkload();
+
+    // Auto-calibrate so the scalar baseline runs ~1.5 s when no
+    // iteration count is given.
+    if (iters <= 0) {
+        TrainConfig probe_cfg = w.train;
+        probe_cfg.scalarReference = true;
+        Trainer probe(w.dataset, w.field, probe_cfg);
+        probe.trainIteration(); // warm caches
+        double t0 = now();
+        const int probe_iters = 5;
+        for (int i = 0; i < probe_iters; i++)
+            probe.trainIteration();
+        double per_iter = (now() - t0) / probe_iters;
+        iters = static_cast<int>(1.5 / per_iter);
+        if (iters < 20)
+            iters = 20;
+        if (iters > 2000)
+            iters = 2000;
+    }
+
+    const int warmup = 10;
+    std::vector<ModeResult> results;
+    results.push_back(
+        runMode(w, "scalar_seed", 1, true, warmup, iters));
+    for (int threads : {1, 2, 4, 8}) {
+        results.push_back(
+            runMode(w, "batched", threads, false, warmup, iters));
+    }
+
+    const ModeResult &scalar = results[0];
+    auto find = [&](int threads) -> const ModeResult & {
+        for (const auto &r : results)
+            if (r.mode == "batched" && r.threads == threads)
+                return r;
+        return scalar;
+    };
+    double speedup_1t = find(1).raysPerSec / scalar.raysPerSec;
+    double speedup_8t = find(8).raysPerSec / scalar.raysPerSec;
+
+    std::string json;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"train_throughput\",\n"
+        "  \"workload\": {\"scene\": \"lego\", \"rays_per_batch\": %d, "
+        "\"samples_per_ray\": %d, \"grid_levels\": %d, "
+        "\"log2_table\": %u, \"hidden_dim\": %d},\n"
+        "  \"results\": [\n",
+        w.train.raysPerBatch, w.train.samplesPerRay,
+        w.field.densityGrid.numLevels, w.field.densityGrid.log2TableSize,
+        w.field.hiddenDim);
+    json += buf;
+    for (size_t i = 0; i < results.size(); i++) {
+        const auto &r = results[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"mode\": \"%s\", \"threads\": %d, "
+            "\"iterations\": %d, \"seconds\": %.4f, "
+            "\"rays_per_s\": %.1f, \"points_per_s\": %.1f}%s\n",
+            r.mode.c_str(), r.threads, r.iterations, r.seconds,
+            r.raysPerSec, r.pointsPerSec,
+            i + 1 < results.size() ? "," : "");
+        json += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n"
+                  "  \"speedup_batched_1t_vs_scalar\": %.3f,\n"
+                  "  \"speedup_batched_8t_vs_scalar\": %.3f\n"
+                  "}\n",
+                  speedup_1t, speedup_8t);
+    json += buf;
+
+    std::fputs(json.c_str(), stdout);
+    if (FILE *f = std::fopen(out_path.c_str(), "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build Release, run the training-throughput bench for a few seconds,
+# and leave BENCH_train_throughput.json at the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j --target bench_train_throughput
+
+# No explicit iteration count: the bench auto-calibrates to ~1.5 s of
+# scalar-baseline work, so the whole run stays in the seconds range.
+./build/bench_train_throughput BENCH_train_throughput.json
+
+echo "bench_smoke: wrote $(pwd)/BENCH_train_throughput.json"

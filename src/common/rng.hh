@@ -94,6 +94,31 @@ class Rng
         return mag * std::cos(two_pi * u2);
     }
 
+    /**
+     * Derive an independent, reproducible generator from a base seed
+     * and two decorrelation indices (e.g. iteration and ray index).
+     * Used by the parallel trainer: each ray draws from its own stream
+     * keyed by (seed, iter, ray), so results do not depend on how rays
+     * are distributed over threads.
+     */
+    static Rng
+    forIndex(uint64_t seed, uint64_t a, uint64_t b)
+    {
+        uint64_t s = splitMix64(seed ^ splitMix64(a + 0x9e3779b97f4a7c15ULL));
+        uint64_t t = splitMix64(s ^ splitMix64(b + 0xbf58476d1ce4e5b9ULL));
+        return Rng(t, splitMix64(t));
+    }
+
+    /** SplitMix64 finalizer: a strong 64-bit mixing function. */
+    static uint64_t
+    splitMix64(uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
   private:
     uint64_t state = 0;
     uint64_t inc = 0;

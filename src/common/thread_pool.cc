@@ -1,0 +1,135 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace instant3d {
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("INSTANT3D_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        warn("ignoring invalid INSTANT3D_THREADS value");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    nthreads = threads > 0 ? threads : defaultThreadCount();
+    // Rank 0 is the calling thread; spawn the helpers only.
+    for (int r = 1; r < nthreads; r++)
+        workers.emplace_back([this, r] { workerLoop(r); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        shutdown = true;
+    }
+    cvStart.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop(int rank)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(int, int)> *fn = nullptr;
+        int total = 0;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cvStart.wait(lock, [&] {
+                return shutdown || generation != seen;
+            });
+            if (shutdown)
+                return;
+            seen = generation;
+            // A late wakeup can observe a batch that already finished
+            // (job cleared); go back to waiting in that case.
+            fn = job;
+            total = jobTasks;
+            // Register as a participant while still under the lock:
+            // parallelFor() cannot return (and destroy the closure or
+            // reset the task counters) until activeWorkers drains, so a
+            // worker can never claim tasks of a later batch through a
+            // stale closure.
+            if (fn != nullptr)
+                activeWorkers++;
+        }
+        if (fn != nullptr) {
+            runTasks(*fn, total, rank);
+            std::lock_guard<std::mutex> lock(mtx);
+            if (--activeWorkers == 0)
+                cvDone.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::runTasks(const std::function<void(int, int)> &fn, int total,
+                     int rank)
+{
+    int done = 0;
+    for (;;) {
+        int t = nextTask.fetch_add(1, std::memory_order_relaxed);
+        if (t >= total)
+            break;
+        fn(t, rank);
+        done++;
+    }
+    if (done > 0 &&
+        tasksDone.fetch_add(done, std::memory_order_acq_rel) + done ==
+            total) {
+        std::lock_guard<std::mutex> lock(mtx);
+        cvDone.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(int num_tasks,
+                        const std::function<void(int, int)> &fn)
+{
+    if (num_tasks <= 0)
+        return;
+    if (nthreads == 1 || num_tasks == 1) {
+        for (int t = 0; t < num_tasks; t++)
+            fn(t, 0);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        panicIf(job != nullptr,
+                "ThreadPool::parallelFor is not reentrant");
+        job = &fn;
+        jobTasks = num_tasks;
+        nextTask.store(0, std::memory_order_relaxed);
+        tasksDone.store(0, std::memory_order_relaxed);
+        generation++;
+    }
+    cvStart.notify_all();
+
+    // The caller participates as rank 0.
+    runTasks(fn, num_tasks, 0);
+
+    // Wait until every task ran AND every worker that entered this
+    // batch has left it; only then is it safe to invalidate the job
+    // and let the caller destroy the closure.
+    std::unique_lock<std::mutex> lock(mtx);
+    cvDone.wait(lock, [&] {
+        return tasksDone.load(std::memory_order_acquire) == jobTasks &&
+               activeWorkers == 0;
+    });
+    job = nullptr;
+}
+
+} // namespace instant3d

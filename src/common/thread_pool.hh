@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-size worker pool with a blocking parallelFor.
+ *
+ * The training and rendering hot paths are embarrassingly parallel over
+ * rays and image rows; this pool turns that into wall-clock speedup
+ * while keeping the work *assignment* irrelevant to the results: tasks
+ * are claimed dynamically from an atomic counter, and every consumer of
+ * the pool keeps its mutable state per-task (gradient shards, output
+ * rows) or per-rank (scratch workspaces that carry no state across
+ * tasks), so results are bit-identical for any thread count.
+ *
+ * Thread count resolution: an explicit count wins; 0 means "auto",
+ * which reads the INSTANT3D_THREADS environment variable and falls back
+ * to std::thread::hardware_concurrency().
+ */
+
+#ifndef INSTANT3D_COMMON_THREAD_POOL_HH
+#define INSTANT3D_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace instant3d {
+
+/**
+ * A pool of persistent workers executing indexed task batches.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads  Worker count; 0 = auto (env var / hardware). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return nthreads; }
+
+    /**
+     * Run fn(task, rank) for every task in [0, num_tasks); blocks until
+     * all tasks finish. `rank` is in [0, threadCount()) and identifies
+     * the executing thread (for per-thread scratch). Tasks are claimed
+     * dynamically; callers must not depend on the task->rank mapping.
+     * Not reentrant: do not call parallelFor from inside a task.
+     */
+    void parallelFor(int num_tasks,
+                     const std::function<void(int, int)> &fn);
+
+    /** Resolve an "auto" thread count (INSTANT3D_THREADS or hardware). */
+    static int defaultThreadCount();
+
+  private:
+    void workerLoop(int rank);
+    void runTasks(const std::function<void(int, int)> &fn, int total,
+                  int rank);
+
+    int nthreads = 1;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    uint64_t generation = 0;       //!< Bumped per parallelFor call.
+    int activeWorkers = 0;         //!< Workers inside the current batch.
+    bool shutdown = false;
+
+    const std::function<void(int, int)> *job = nullptr;
+    int jobTasks = 0;
+    std::atomic<int> nextTask{0};
+    std::atomic<int> tasksDone{0};
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_COMMON_THREAD_POOL_HH

@@ -139,7 +139,7 @@ NerfField::NerfField(const FieldConfig &config, uint64_t seed)
 FieldSample
 NerfField::query(const Vec3 &p, const Vec3 &d, FieldRecord *rec)
 {
-    queries++;
+    queries.fetch_add(1, std::memory_order_relaxed);
     FieldSample out;
 
     float dir_enc[dirEncodingDim];
@@ -266,6 +266,274 @@ NerfField::backward(const FieldRecord &rec, float d_sigma,
             densityGridPtr->backward(rec.densityEnc, d_feat.data());
         }
     }
+}
+
+void
+NerfField::queryBatch(const Vec3 *pts, int n, const Vec3 &d,
+                      FieldSample *out, FieldBatchRecord *rec,
+                      Workspace &ws, const FieldTraceOverride *trace)
+{
+    if (n <= 0)
+        return;
+    queries.fetch_add(static_cast<uint64_t>(n),
+                      std::memory_order_relaxed);
+
+    float dir_enc[dirEncodingDim];
+    encodeDirection(d, dir_enc);
+    if (rec)
+        rec->n = n;
+    TraceSink *dsink = trace ? trace->density : nullptr;
+    TraceSink *csink = trace ? trace->color : nullptr;
+
+    if (cfg.mode == FieldMode::Decoupled) {
+        const int ddim = densityGridPtr->outputDim();
+        float *dens_feat =
+            ws.alloc<float>(static_cast<size_t>(n) * ddim);
+        densityGridPtr->encodeBatch(pts, n, dens_feat,
+                                    rec ? &rec->densityEnc : nullptr,
+                                    ws, dsink);
+        float *raw = ws.alloc<float>(n);
+        densityMlpPtr->forwardBatch(dens_feat, n, raw,
+                                    rec ? &rec->densityMlp : nullptr,
+                                    ws);
+
+        const int cdim = colorGridPtr->outputDim();
+        float *col_feat =
+            ws.alloc<float>(static_cast<size_t>(n) * cdim);
+        colorGridPtr->encodeBatch(pts, n, col_feat,
+                                  rec ? &rec->colorEnc : nullptr, ws,
+                                  csink);
+
+        const int cin = cdim + dirEncodingDim;
+        float *col_in = ws.alloc<float>(static_cast<size_t>(n) * cin);
+        for (int s = 0; s < n; s++) {
+            float *row = col_in + static_cast<size_t>(s) * cin;
+            std::copy(col_feat + static_cast<size_t>(s) * cdim,
+                      col_feat + static_cast<size_t>(s + 1) * cdim, row);
+            std::copy(dir_enc, dir_enc + dirEncodingDim, row + cdim);
+        }
+        float *rgb = ws.alloc<float>(static_cast<size_t>(n) * 3);
+        colorMlpPtr->forwardBatch(col_in, n, rgb,
+                                  rec ? &rec->colorMlp : nullptr, ws);
+
+        for (int s = 0; s < n; s++) {
+            out[s].sigma = softplus(raw[s]);
+            out[s].rgb = {rgb[3 * s], rgb[3 * s + 1], rgb[3 * s + 2]};
+        }
+        if (rec)
+            rec->rawSigma = raw;
+        return;
+    }
+
+    // Coupled and vanilla modes share the chained-trunk layout; they
+    // differ only in how the trunk input is produced.
+    const int in_dim = cfg.mode == FieldMode::Vanilla
+                           ? cfg.posEncodingDim()
+                           : densityGridPtr->outputDim();
+    float *trunk_in = ws.alloc<float>(static_cast<size_t>(n) * in_dim);
+    if (cfg.mode == FieldMode::Vanilla) {
+        for (int s = 0; s < n; s++) {
+            encodePosition(clamp(pts[s], 0.0f, 1.0f),
+                           cfg.posEncFrequencies,
+                           trunk_in + static_cast<size_t>(s) * in_dim);
+        }
+    } else {
+        densityGridPtr->encodeBatch(pts, n, trunk_in,
+                                    rec ? &rec->densityEnc : nullptr,
+                                    ws, dsink);
+    }
+
+    const int odim = 1 + cfg.geoFeatureDim;
+    float *dens_out = ws.alloc<float>(static_cast<size_t>(n) * odim);
+    densityMlpPtr->forwardBatch(trunk_in, n, dens_out,
+                                rec ? &rec->densityMlp : nullptr, ws);
+
+    const int cin = cfg.geoFeatureDim + dirEncodingDim;
+    float *col_in = ws.alloc<float>(static_cast<size_t>(n) * cin);
+    for (int s = 0; s < n; s++) {
+        float *row = col_in + static_cast<size_t>(s) * cin;
+        const float *geo = dens_out + static_cast<size_t>(s) * odim + 1;
+        std::copy(geo, geo + cfg.geoFeatureDim, row);
+        std::copy(dir_enc, dir_enc + dirEncodingDim,
+                  row + cfg.geoFeatureDim);
+    }
+    float *rgb = ws.alloc<float>(static_cast<size_t>(n) * 3);
+    colorMlpPtr->forwardBatch(col_in, n, rgb,
+                              rec ? &rec->colorMlp : nullptr, ws);
+
+    float *raw = ws.alloc<float>(n);
+    for (int s = 0; s < n; s++) {
+        raw[s] = dens_out[static_cast<size_t>(s) * odim];
+        out[s].sigma = softplus(raw[s]);
+        out[s].rgb = {rgb[3 * s], rgb[3 * s + 1], rgb[3 * s + 2]};
+    }
+    if (rec)
+        rec->rawSigma = raw;
+}
+
+void
+NerfField::backwardBatch(const FieldBatchRecord &rec, const float *d_sigma,
+                         const Vec3 *d_rgb, const uint8_t *skip,
+                         bool update_density, bool update_color,
+                         FieldGradients *target, Workspace &ws,
+                         const FieldTraceOverride *trace)
+{
+    TraceSink *dsink = trace ? trace->density : nullptr;
+    TraceSink *csink = trace ? trace->color : nullptr;
+
+    float *g_dmlp = target ? target->densityMlp.v.data()
+                           : densityMlpPtr->grads().data();
+    float *g_cmlp = target ? target->colorMlp.v.data()
+                           : colorMlpPtr->grads().data();
+
+    if (cfg.mode == FieldMode::Decoupled) {
+        float *g_dgrid = target ? target->densityGrid.v.data()
+                                : densityGridPtr->grads().data();
+        float *g_cgrid = target ? target->colorGrid.v.data()
+                                : colorGridPtr->grads().data();
+        auto *t_dgrid = target ? &target->densityGrid.touched : nullptr;
+        auto *t_cgrid = target ? &target->colorGrid.touched : nullptr;
+
+        const int cin = colorGridPtr->outputDim() + dirEncodingDim;
+        float *d_col_in = ws.alloc<float>(cin);
+        float *d_feat = ws.alloc<float>(densityGridPtr->outputDim());
+
+        for (int s = rec.n - 1; s >= 0; s--) {
+            if (skip && skip[s])
+                continue;
+            float d_rgb_arr[3] = {d_rgb[s].x, d_rgb[s].y, d_rgb[s].z};
+            if (update_color) {
+                colorMlpPtr->backwardSample(rec.colorMlp, s, d_rgb_arr,
+                                            d_col_in, g_cmlp, ws);
+                colorGridPtr->backwardSample(rec.colorEnc, s, d_col_in,
+                                             g_cgrid, t_cgrid, csink);
+            }
+            if (update_density) {
+                float d_raw =
+                    d_sigma[s] * softplusDerivative(rec.rawSigma[s]);
+                densityMlpPtr->backwardSample(rec.densityMlp, s, &d_raw,
+                                              d_feat, g_dmlp, ws);
+                densityGridPtr->backwardSample(rec.densityEnc, s,
+                                               d_feat, g_dgrid, t_dgrid,
+                                               dsink);
+            }
+        }
+        return;
+    }
+
+    // Coupled / vanilla: the color MLP always runs backward to reach
+    // the shared trunk (its own gradients are simply never stepped on
+    // frozen iterations).
+    const int cin = cfg.geoFeatureDim + dirEncodingDim;
+    const int odim = 1 + cfg.geoFeatureDim;
+    float *d_col_in = ws.alloc<float>(cin);
+    float *d_dens_out = ws.alloc<float>(odim);
+    float *d_feat = cfg.mode == FieldMode::Vanilla
+                        ? nullptr
+                        : ws.alloc<float>(densityGridPtr->outputDim());
+    float *g_dgrid = nullptr;
+    std::vector<uint32_t> *t_dgrid = nullptr;
+    if (cfg.mode != FieldMode::Vanilla) {
+        g_dgrid = target ? target->densityGrid.v.data()
+                         : densityGridPtr->grads().data();
+        t_dgrid = target ? &target->densityGrid.touched : nullptr;
+    }
+
+    for (int s = rec.n - 1; s >= 0; s--) {
+        if (skip && skip[s])
+            continue;
+        float d_rgb_arr[3] = {d_rgb[s].x, d_rgb[s].y, d_rgb[s].z};
+        colorMlpPtr->backwardSample(rec.colorMlp, s, d_rgb_arr, d_col_in,
+                                    g_cmlp, ws);
+
+        d_dens_out[0] = d_sigma[s] * softplusDerivative(rec.rawSigma[s]);
+        for (int i = 0; i < cfg.geoFeatureDim; i++)
+            d_dens_out[1 + i] = d_col_in[i];
+
+        if (update_density) {
+            if (cfg.mode == FieldMode::Vanilla) {
+                densityMlpPtr->backwardSample(rec.densityMlp, s,
+                                              d_dens_out, nullptr,
+                                              g_dmlp, ws);
+            } else {
+                densityMlpPtr->backwardSample(rec.densityMlp, s,
+                                              d_dens_out, d_feat,
+                                              g_dmlp, ws);
+                densityGridPtr->backwardSample(rec.densityEnc, s, d_feat,
+                                               g_dgrid, t_dgrid, dsink);
+            }
+        }
+    }
+}
+
+void
+NerfField::prepareGradients(FieldGradients &g) const
+{
+    auto prep_sparse = [](GradShard &s, size_t size, uint32_t span) {
+        s.dense = false;
+        s.span = span;
+        if (s.v.size() != size)
+            s.v.assign(size, 0.0f);
+        s.touched.clear();
+    };
+    auto prep_dense = [](GradShard &s, size_t size) {
+        s.dense = true;
+        s.span = 1;
+        if (s.v.size() != size)
+            s.v.assign(size, 0.0f);
+        s.touched.clear();
+    };
+
+    if (densityGridPtr) {
+        prep_sparse(g.densityGrid, densityGridPtr->grads().size(),
+                    static_cast<uint32_t>(
+                        densityGridPtr->config().featuresPerEntry));
+    }
+    if (colorGridPtr) {
+        prep_sparse(g.colorGrid, colorGridPtr->grads().size(),
+                    static_cast<uint32_t>(
+                        colorGridPtr->config().featuresPerEntry));
+    }
+    prep_dense(g.densityMlp, densityMlpPtr->grads().size());
+    prep_dense(g.colorMlp, colorMlpPtr->grads().size());
+}
+
+void
+NerfField::reduceGradients(FieldGradients &g)
+{
+    auto reduce_sparse = [](GradShard &s, std::vector<float> &dst) {
+        for (uint32_t off : s.touched) {
+            for (uint32_t f = 0; f < s.span; f++) {
+                dst[off + f] += s.v[off + f];
+                s.v[off + f] = 0.0f;
+            }
+        }
+        s.touched.clear();
+    };
+    auto reduce_dense = [](GradShard &s, std::vector<float> &dst) {
+        for (size_t i = 0; i < s.v.size(); i++) {
+            dst[i] += s.v[i];
+            s.v[i] = 0.0f;
+        }
+    };
+
+    if (densityGridPtr && !g.densityGrid.v.empty())
+        reduce_sparse(g.densityGrid, densityGridPtr->grads());
+    if (colorGridPtr && !g.colorGrid.v.empty())
+        reduce_sparse(g.colorGrid, colorGridPtr->grads());
+    if (!g.densityMlp.v.empty())
+        reduce_dense(g.densityMlp, densityMlpPtr->grads());
+    if (!g.colorMlp.v.empty())
+        reduce_dense(g.colorMlp, colorMlpPtr->grads());
+}
+
+bool
+NerfField::traceAttached() const
+{
+    return (densityGridPtr &&
+            densityGridPtr->attachedTraceSink() != nullptr) ||
+           (colorGridPtr &&
+            colorGridPtr->attachedTraceSink() != nullptr);
 }
 
 HashEncoding &

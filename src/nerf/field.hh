@@ -16,11 +16,13 @@
 #ifndef INSTANT3D_NERF_FIELD_HH
 #define INSTANT3D_NERF_FIELD_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/vec3.hh"
+#include "common/workspace.hh"
 #include "nerf/hash_encoding.hh"
 #include "nerf/mlp.hh"
 
@@ -100,6 +102,64 @@ struct FieldRecord
 };
 
 /**
+ * Forward context of a batch of n queries sharing one view direction
+ * (the samples of one ray). All buffers are arena-backed and stay
+ * valid until the owning Workspace resets.
+ */
+struct FieldBatchRecord
+{
+    EncodeBatchRecord densityEnc;
+    EncodeBatchRecord colorEnc;
+    MlpBatchRecord densityMlp;
+    MlpBatchRecord colorMlp;
+    float *rawSigma = nullptr; //!< [n] pre-softplus density logits.
+    int n = 0;
+};
+
+/**
+ * Per-call trace redirection for the batched paths: when a worker
+ * thread processes a chunk of rays, grid accesses go to these
+ * per-thread sinks and are merged in ray order afterwards. nullptr
+ * members fall back to the sink attached to the respective grid.
+ */
+struct FieldTraceOverride
+{
+    TraceSink *density = nullptr;
+    TraceSink *color = nullptr;
+};
+
+/**
+ * One parameter group's gradient shard: a full-size accumulator plus a
+ * sparse touch list so reduction only visits written entries. Dense
+ * shards (MLPs, where every sample touches every weight) skip the
+ * touch list and are reduced by a full scan.
+ *
+ * Invariant for sparse shards: `v` is all-zero outside the entries
+ * listed in `touched`; reduceInto() restores the all-zero state.
+ */
+struct GradShard
+{
+    std::vector<float> v;
+    std::vector<uint32_t> touched; //!< Base offsets; entries span `span`.
+    uint32_t span = 1;             //!< Floats per touched entry.
+    bool dense = false;
+};
+
+/**
+ * A full set of per-group gradient shards, one per worker chunk. The
+ * trainer accumulates each chunk's back-propagation here and reduces
+ * the shards into the field's real gradient buffers in a fixed chunk
+ * order, making training bit-reproducible for any thread count.
+ */
+struct FieldGradients
+{
+    GradShard densityGrid;
+    GradShard colorGrid;
+    GradShard densityMlp;
+    GradShard colorMlp;
+};
+
+/**
  * The trainable radiance field, either coupled or decoupled.
  */
 class NerfField
@@ -130,6 +190,54 @@ class NerfField
     void backward(const FieldRecord &rec, float d_sigma,
                   const Vec3 &d_rgb, bool update_density = true,
                   bool update_color = true);
+
+    /**
+     * Batched query of n points sharing one view direction (Step 3 for
+     * all samples of a ray at once). Kernel-major execution -- each
+     * grid encode and MLP runs over the whole batch -- with all scratch
+     * from ws. Per-sample results are bit-identical to query().
+     *
+     * Thread-safe for concurrent calls when `trace` redirects to
+     * per-thread sinks (or no sink is attached).
+     */
+    void queryBatch(const Vec3 *pts, int n, const Vec3 &d,
+                    FieldSample *out, FieldBatchRecord *rec,
+                    Workspace &ws,
+                    const FieldTraceOverride *trace = nullptr);
+
+    /**
+     * Back-propagate a batch of per-sample output gradients in
+     * *descending* sample order (the renderer's compositing order, and
+     * the order the sequential path applies them in).
+     *
+     * @param skip    If non-null, samples with skip[s] != 0 are not
+     *                propagated (the renderer's gradient-skip rule).
+     * @param target  Gradient shard set to accumulate into; nullptr
+     *                accumulates into the field's own grad buffers
+     *                (single-threaded use only).
+     */
+    void backwardBatch(const FieldBatchRecord &rec, const float *d_sigma,
+                       const Vec3 *d_rgb, const uint8_t *skip,
+                       bool update_density, bool update_color,
+                       FieldGradients *target, Workspace &ws,
+                       const FieldTraceOverride *trace = nullptr);
+
+    /**
+     * Size `g` to this field's parameter groups and clear it for a new
+     * iteration. Sparse (grid) shards rely on the reduce-restores-zero
+     * invariant, so per-iteration clearing is O(touched), not O(table).
+     */
+    void prepareGradients(FieldGradients &g) const;
+
+    /**
+     * Add a shard set into the field's real gradient buffers and
+     * restore the shard's cleared state. Called once per chunk in fixed
+     * chunk order by the trainer.
+     */
+    void reduceGradients(FieldGradients &g);
+
+    /** True when any of this field's grids has a trace sink attached. */
+    bool traceAttached() const;
 
     /** Density grid (panics in Vanilla mode, which has none). */
     HashEncoding &densityGrid();
@@ -165,7 +273,8 @@ class NerfField
                                float *out);
 
     /** Total field queries served (workload accounting, all modes). */
-    uint64_t queryCount() const { return queries; }
+    uint64_t queryCount() const
+    { return queries.load(std::memory_order_relaxed); }
 
   private:
     FieldConfig cfg;
@@ -173,7 +282,7 @@ class NerfField
     std::unique_ptr<HashEncoding> colorGridPtr;
     std::unique_ptr<Mlp> densityMlpPtr;
     std::unique_ptr<Mlp> colorMlpPtr;
-    uint64_t queries = 0;
+    std::atomic<uint64_t> queries{0};
 };
 
 /** Softplus density activation and its derivative. */

@@ -68,16 +68,12 @@ HashEncoding::hashCoords(uint32_t x, uint32_t y, uint32_t z,
 }
 
 void
-HashEncoding::encode(const Vec3 &p, float *out, EncodeRecord *rec)
+HashEncoding::encodeOne(const Vec3 &p, float *out, uint32_t *addr_slots,
+                        float *weight_slots, TraceSink *sink,
+                        uint32_t point_id) const
 {
     Vec3 q = clamp(p, 0.0f, 1.0f);
     const int fpe = cfg.featuresPerEntry;
-    const uint32_t point_id = nextPointId++;
-
-    if (rec) {
-        rec->addresses.assign(static_cast<size_t>(cfg.numLevels) * 8, 0);
-        rec->weights.assign(static_cast<size_t>(cfg.numLevels) * 8, 0.0f);
-    }
 
     for (int l = 0; l < cfg.numLevels; l++) {
         float res = static_cast<float>(resolutions[l]);
@@ -107,15 +103,97 @@ HashEncoding::encode(const Vec3 &p, float *out, EncodeRecord *rec)
             for (int f = 0; f < fpe; f++)
                 out[l * fpe + f] += w * table[off + f];
 
-            reads++;
-            if (traceSink) {
-                traceSink->record({addr, static_cast<uint16_t>(l),
-                                   static_cast<uint8_t>(corner), false,
-                                   point_id});
+            if (sink) {
+                sink->record({addr, static_cast<uint16_t>(l),
+                              static_cast<uint8_t>(corner), false,
+                              point_id});
             }
-            if (rec) {
-                rec->addresses[static_cast<size_t>(l) * 8 + corner] = addr;
-                rec->weights[static_cast<size_t>(l) * 8 + corner] = w;
+            if (addr_slots) {
+                addr_slots[static_cast<size_t>(l) * 8 + corner] = addr;
+                weight_slots[static_cast<size_t>(l) * 8 + corner] = w;
+            }
+        }
+    }
+}
+
+void
+HashEncoding::encode(const Vec3 &p, float *out, EncodeRecord *rec)
+{
+    const uint32_t point_id =
+        nextPointId.fetch_add(1, std::memory_order_relaxed);
+    reads.fetch_add(static_cast<uint64_t>(cfg.numLevels) * 8,
+                    std::memory_order_relaxed);
+
+    uint32_t *addr_slots = nullptr;
+    float *weight_slots = nullptr;
+    if (rec) {
+        rec->addresses.assign(static_cast<size_t>(cfg.numLevels) * 8, 0);
+        rec->weights.assign(static_cast<size_t>(cfg.numLevels) * 8, 0.0f);
+        addr_slots = rec->addresses.data();
+        weight_slots = rec->weights.data();
+    }
+    encodeOne(p, out, addr_slots, weight_slots, traceSink, point_id);
+}
+
+void
+HashEncoding::encodeBatch(const Vec3 *pts, int n, float *out,
+                          EncodeBatchRecord *rec, Workspace &ws,
+                          TraceSink *sink)
+{
+    const size_t slots = static_cast<size_t>(cfg.numLevels) * 8;
+    const int dim = outputDim();
+    if (sink == nullptr)
+        sink = traceSink;
+
+    const uint32_t base =
+        nextPointId.fetch_add(static_cast<uint32_t>(n),
+                              std::memory_order_relaxed);
+    reads.fetch_add(static_cast<uint64_t>(n) * slots,
+                    std::memory_order_relaxed);
+
+    uint32_t *addr_slots = nullptr;
+    float *weight_slots = nullptr;
+    if (rec) {
+        rec->n = n;
+        rec->addresses = ws.alloc<uint32_t>(static_cast<size_t>(n) * slots);
+        rec->weights = ws.alloc<float>(static_cast<size_t>(n) * slots);
+        addr_slots = rec->addresses;
+        weight_slots = rec->weights;
+    }
+
+    for (int s = 0; s < n; s++) {
+        encodeOne(pts[s], out + static_cast<size_t>(s) * dim,
+                  addr_slots ? addr_slots + static_cast<size_t>(s) * slots
+                             : nullptr,
+                  weight_slots
+                      ? weight_slots + static_cast<size_t>(s) * slots
+                      : nullptr,
+                  sink, base + static_cast<uint32_t>(s));
+    }
+}
+
+void
+HashEncoding::backwardOne(const uint32_t *addrs, const float *ws,
+                          const float *d_out, float *grad,
+                          std::vector<uint32_t> *touched,
+                          TraceSink *sink) const
+{
+    const int fpe = cfg.featuresPerEntry;
+
+    for (int l = 0; l < cfg.numLevels; l++) {
+        for (int corner = 0; corner < 8; corner++) {
+            size_t slot = static_cast<size_t>(l) * 8 + corner;
+            uint32_t addr = addrs[slot];
+            float w = ws[slot];
+            size_t off = entryOffset(l, addr);
+            for (int f = 0; f < fpe; f++)
+                grad[off + f] += w * d_out[l * fpe + f];
+            if (touched)
+                touched->push_back(static_cast<uint32_t>(off));
+
+            if (sink) {
+                sink->record({addr, static_cast<uint16_t>(l),
+                              static_cast<uint8_t>(corner), true, 0});
             }
         }
     }
@@ -127,25 +205,36 @@ HashEncoding::backward(const EncodeRecord &rec, const float *d_out)
     panicIf(rec.addresses.size() !=
                 static_cast<size_t>(cfg.numLevels) * 8,
             "EncodeRecord does not match this encoding");
-    const int fpe = cfg.featuresPerEntry;
+    writes.fetch_add(static_cast<uint64_t>(cfg.numLevels) * 8,
+                     std::memory_order_relaxed);
+    backwardOne(rec.addresses.data(), rec.weights.data(), d_out,
+                gradTable.data(), nullptr, traceSink);
+}
 
-    for (int l = 0; l < cfg.numLevels; l++) {
-        for (int corner = 0; corner < 8; corner++) {
-            size_t slot = static_cast<size_t>(l) * 8 + corner;
-            uint32_t addr = rec.addresses[slot];
-            float w = rec.weights[slot];
-            size_t off = entryOffset(l, addr);
-            for (int f = 0; f < fpe; f++)
-                gradTable[off + f] += w * d_out[l * fpe + f];
+void
+HashEncoding::backwardSample(const EncodeBatchRecord &rec, int s,
+                             const float *d_out, float *grad,
+                             std::vector<uint32_t> *touched,
+                             TraceSink *sink)
+{
+    panicIf(s < 0 || s >= rec.n, "sample index outside batch record");
+    const size_t slots = static_cast<size_t>(cfg.numLevels) * 8;
+    writes.fetch_add(slots, std::memory_order_relaxed);
+    backwardOne(rec.addresses + static_cast<size_t>(s) * slots,
+                rec.weights + static_cast<size_t>(s) * slots, d_out,
+                grad, touched, sink ? sink : traceSink);
+}
 
-            writes++;
-            if (traceSink) {
-                traceSink->record({addr, static_cast<uint16_t>(l),
-                                   static_cast<uint8_t>(corner), true,
-                                   0});
-            }
-        }
-    }
+void
+HashEncoding::backwardBatch(const EncodeBatchRecord &rec,
+                            const float *d_out, float *grad,
+                            std::vector<uint32_t> *touched,
+                            TraceSink *sink)
+{
+    const int dim = outputDim();
+    for (int s = 0; s < rec.n; s++)
+        backwardSample(rec, s, d_out + static_cast<size_t>(s) * dim,
+                       grad, touched, sink);
 }
 
 void

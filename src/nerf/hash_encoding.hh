@@ -18,11 +18,13 @@
 #ifndef INSTANT3D_NERF_HASH_ENCODING_HH
 #define INSTANT3D_NERF_HASH_ENCODING_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.hh"
 #include "common/vec3.hh"
+#include "common/workspace.hh"
 #include "nerf/trace_sink.hh"
 
 namespace instant3d {
@@ -60,6 +62,18 @@ struct EncodeRecord
 };
 
 /**
+ * Record of a batch of n encodings, arena-backed (valid until the
+ * owning Workspace resets). Point-major: sample s's slice is
+ * [s * numLevels * 8, (s+1) * numLevels * 8), level-major within it.
+ */
+struct EncodeBatchRecord
+{
+    uint32_t *addresses = nullptr;
+    float *weights = nullptr;
+    int n = 0;
+};
+
+/**
  * One multiresolution hash-grid with trainable embeddings.
  */
 class HashEncoding
@@ -92,6 +106,44 @@ class HashEncoding
      */
     void backward(const EncodeRecord &rec, const float *d_out);
 
+    /**
+     * Encode n points into out (n x outputDim(), sample-major), reusing
+     * arena scratch: after the first call through a Workspace no heap
+     * allocation happens. Per-point arithmetic, trace records, and
+     * counter totals are identical to calling encode() n times.
+     *
+     * Thread safety: concurrent encodeBatch calls on one encoding are
+     * safe (counters are atomic); pass `sink` to redirect trace records
+     * to a per-thread buffer (nullptr uses the attached sink, which is
+     * only safe single-threaded).
+     *
+     * @param rec   If non-null, filled with arena-backed buffers for a
+     *              later backwardSample()/backwardBatch().
+     * @param sink  Per-call trace sink override.
+     */
+    void encodeBatch(const Vec3 *pts, int n, float *out,
+                     EncodeBatchRecord *rec, Workspace &ws,
+                     TraceSink *sink = nullptr);
+
+    /**
+     * Backward of sample s from a batch record into an external
+     * gradient table `grad` (same shape as grads()). Appends the base
+     * offset of every touched entry to `touched` when non-null (entries
+     * span featuresPerEntry consecutive floats) -- the sparse touch
+     * list lets the trainer reduce per-thread gradient shards without
+     * scanning whole tables. Trace records go to `sink` (nullptr = the
+     * attached sink).
+     */
+    void backwardSample(const EncodeBatchRecord &rec, int s,
+                        const float *d_out, float *grad,
+                        std::vector<uint32_t> *touched,
+                        TraceSink *sink = nullptr);
+
+    /** Batch backward in ascending sample order; d_out is sample-major. */
+    void backwardBatch(const EncodeBatchRecord &rec, const float *d_out,
+                       float *grad, std::vector<uint32_t> *touched,
+                       TraceSink *sink = nullptr);
+
     /** Trainable parameters, length numLevels * T * F. */
     std::vector<float> &params() { return table; }
     const std::vector<float> &params() const { return table; }
@@ -115,9 +167,18 @@ class HashEncoding
     /** Attach/detach a memory-access trace sink (nullptr detaches). */
     void setTraceSink(TraceSink *sink) { traceSink = sink; }
 
+    /** The currently attached sink, or nullptr. */
+    TraceSink *attachedTraceSink() const { return traceSink; }
+
     /** Total reads/writes issued since construction (workload stats). */
-    uint64_t readCount() const { return reads; }
-    uint64_t writeCount() const { return writes; }
+    uint64_t readCount() const
+    { return reads.load(std::memory_order_relaxed); }
+    uint64_t writeCount() const
+    { return writes.load(std::memory_order_relaxed); }
+
+    /** Next point id to be assigned (deterministic between batches). */
+    uint32_t pointIdCounter() const
+    { return nextPointId.load(std::memory_order_relaxed); }
 
   private:
     /** Flat offset of (level, address, feature 0). */
@@ -128,14 +189,28 @@ class HashEncoding
                cfg.featuresPerEntry;
     }
 
+    /**
+     * Shared forward kernel: encode p into out[outputDim()], optionally
+     * recording addresses/weights into caller slices (numLevels * 8).
+     */
+    void encodeOne(const Vec3 &p, float *out, uint32_t *addr_slots,
+                   float *weight_slots, TraceSink *sink,
+                   uint32_t point_id) const;
+
+    /** Shared backward kernel over recorded address/weight slices. */
+    void backwardOne(const uint32_t *addrs, const float *ws,
+                     const float *d_out, float *grad,
+                     std::vector<uint32_t> *touched,
+                     TraceSink *sink) const;
+
     HashEncodingConfig cfg;
     std::vector<int> resolutions;
     std::vector<float> table;
     std::vector<float> gradTable;
     TraceSink *traceSink = nullptr;
-    uint64_t reads = 0;
-    uint64_t writes = 0;
-    uint32_t nextPointId = 0;
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint32_t> nextPointId{0};
 };
 
 } // namespace instant3d

@@ -26,6 +26,13 @@ Mlp::Mlp(std::vector<int> layer_dims, OutputActivation out_act,
     gradWeights.assign(total, 0.0f);
     maxDim = *std::max_element(dims.begin(), dims.end());
 
+    for (int l = 0; l < numLayers(); l++) {
+        actOffsets.push_back(actPerSample);
+        actPerSample += static_cast<size_t>(dims[l]);
+        preOffsets.push_back(prePerSample);
+        prePerSample += static_cast<size_t>(dims[l + 1]);
+    }
+
     // He-uniform initialization scaled by fan-in.
     Rng rng(seed, 0xb5297a4d3f512d17ULL);
     for (int l = 0; l < numLayers(); l++) {
@@ -147,6 +154,137 @@ Mlp::backward(const MlpRecord &rec, const float *d_out, float *d_in)
 
     if (d_in)
         std::copy(delta.begin(), delta.end(), d_in);
+}
+
+void
+Mlp::forwardBatch(const float *in, int n, float *out, MlpBatchRecord *rec,
+                  Workspace &ws) const
+{
+    const int n_layers = numLayers();
+    float *cur = ws.alloc<float>(static_cast<size_t>(n) * maxDim);
+    float *nxt = ws.alloc<float>(static_cast<size_t>(n) * maxDim);
+    std::copy(in, in + static_cast<size_t>(n) * dims[0], cur);
+
+    if (rec) {
+        rec->n = n;
+        rec->activations =
+            ws.alloc<float>(static_cast<size_t>(n) * actPerSample);
+        rec->preacts =
+            ws.alloc<float>(static_cast<size_t>(n) * prePerSample);
+    }
+
+    for (int l = 0; l < n_layers; l++) {
+        const int n_in = dims[l];
+        const int n_out = dims[l + 1];
+        const float *w = weights.data() + wOffsets[l];
+        const float *b = weights.data() + bOffsets[l];
+
+        if (rec) {
+            std::copy(cur, cur + static_cast<size_t>(n) * n_in,
+                      rec->activations + actOffsets[l] * n);
+        }
+
+        for (int s = 0; s < n; s++) {
+            const float *x = cur + static_cast<size_t>(s) * n_in;
+            float *y = nxt + static_cast<size_t>(s) * n_out;
+            for (int o = 0; o < n_out; o++) {
+                float acc = b[o];
+                const float *wrow = w + static_cast<size_t>(o) * n_in;
+                for (int i = 0; i < n_in; i++)
+                    acc += wrow[i] * x[i];
+                y[o] = acc;
+            }
+        }
+
+        if (rec) {
+            std::copy(nxt, nxt + static_cast<size_t>(n) * n_out,
+                      rec->preacts + preOffsets[l] * n);
+        }
+
+        const bool last = (l == n_layers - 1);
+        const size_t count = static_cast<size_t>(n) * n_out;
+        if (!last) {
+            for (size_t i = 0; i < count; i++)
+                nxt[i] = std::max(nxt[i], 0.0f);
+        } else if (outAct == OutputActivation::Sigmoid) {
+            for (size_t i = 0; i < count; i++)
+                nxt[i] = 1.0f / (1.0f + std::exp(-nxt[i]));
+        }
+        std::swap(cur, nxt);
+    }
+    std::copy(cur, cur + static_cast<size_t>(n) * dims.back(), out);
+}
+
+void
+Mlp::backwardSample(const MlpBatchRecord &rec, int s, const float *d_out,
+                    float *d_in, float *grad, Workspace &ws) const
+{
+    panicIf(s < 0 || s >= rec.n, "sample index outside batch record");
+
+    float *delta = ws.alloc<float>(maxDim);
+    float *prev_delta = ws.alloc<float>(maxDim);
+    std::copy(d_out, d_out + dims.back(), delta);
+
+    // Output activation derivative.
+    if (outAct == OutputActivation::Sigmoid) {
+        int l = numLayers() - 1;
+        const float *pre = rec.preacts + preOffsets[l] * rec.n +
+                           static_cast<size_t>(s) * dims.back();
+        for (int o = 0; o < dims.back(); o++) {
+            float sgm = 1.0f / (1.0f + std::exp(-pre[o]));
+            delta[o] *= sgm * (1.0f - sgm);
+        }
+    }
+
+    for (int l = numLayers() - 1; l >= 0; l--) {
+        const int n_in = dims[l];
+        const int n_out = dims[l + 1];
+        const float *act = rec.activations + actOffsets[l] * rec.n +
+                           static_cast<size_t>(s) * n_in;
+        float *gw = grad + wOffsets[l];
+        float *gb = grad + bOffsets[l];
+        const float *w = weights.data() + wOffsets[l];
+
+        std::fill(prev_delta, prev_delta + n_in, 0.0f);
+        for (int o = 0; o < n_out; o++) {
+            float d = delta[o];
+            if (d == 0.0f)
+                continue;
+            float *gwrow = gw + static_cast<size_t>(o) * n_in;
+            const float *wrow = w + static_cast<size_t>(o) * n_in;
+            for (int i = 0; i < n_in; i++) {
+                gwrow[i] += d * act[i];
+                prev_delta[i] += d * wrow[i];
+            }
+            gb[o] += d;
+        }
+
+        if (l > 0) {
+            // ReLU derivative on the previous layer's pre-activation.
+            const float *pre = rec.preacts + preOffsets[l - 1] * rec.n +
+                               static_cast<size_t>(s) * dims[l];
+            for (int i = 0; i < n_in; i++)
+                if (pre[i] <= 0.0f)
+                    prev_delta[i] = 0.0f;
+        }
+        std::swap(delta, prev_delta);
+    }
+
+    if (d_in)
+        std::copy(delta, delta + dims.front(), d_in);
+}
+
+void
+Mlp::backwardBatch(const MlpBatchRecord &rec, const float *d_out,
+                   float *d_in, float *grad, Workspace &ws) const
+{
+    for (int s = 0; s < rec.n; s++) {
+        backwardSample(rec, s,
+                       d_out + static_cast<size_t>(s) * dims.back(),
+                       d_in ? d_in + static_cast<size_t>(s) * dims.front()
+                            : nullptr,
+                       grad, ws);
+    }
 }
 
 void

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/workspace.hh"
 
 namespace instant3d {
 
@@ -33,6 +34,20 @@ struct MlpRecord
 {
     std::vector<float> activations; //!< Concatenated layer inputs.
     std::vector<float> preacts;     //!< Concatenated pre-activations.
+};
+
+/**
+ * Forward context of a batch of N samples, with all buffers allocated
+ * from a Workspace arena (valid until the workspace is reset). Layout
+ * is layer-major: the block for layer l holds N contiguous per-sample
+ * slices of that layer's dimension (SoA across layers, AoS within a
+ * layer), so per-sample backward reads are sequential.
+ */
+struct MlpBatchRecord
+{
+    float *activations = nullptr; //!< Per layer: [n x dims[l]].
+    float *preacts = nullptr;     //!< Per layer: [n x dims[l+1]].
+    int n = 0;
 };
 
 /**
@@ -69,6 +84,43 @@ class Mlp
      */
     void backward(const MlpRecord &rec, const float *d_out, float *d_in);
 
+    /**
+     * Batched forward over n inputs (sample-major, n x inputDim()) into
+     * out (n x outputDim()). All scratch comes from ws; no heap
+     * allocation. Per-sample arithmetic is identical to forward(), so
+     * outputs match the scalar path bit-exactly.
+     *
+     * @param rec  If non-null, filled with arena-backed buffers for a
+     *             later backwardBatch()/backwardSample(); stays valid
+     *             until ws.reset().
+     */
+    void forwardBatch(const float *in, int n, float *out,
+                      MlpBatchRecord *rec, Workspace &ws) const;
+
+    /**
+     * Backward for one sample s of a recorded batch, accumulating into
+     * an arbitrary gradient buffer (same shape as params()). Const:
+     * per-thread gradient shards make this safe to call concurrently
+     * with distinct grad buffers. Bit-identical to backward() for the
+     * same sample.
+     *
+     * @param d_out  dL/d(output) of sample s, after output activation.
+     * @param d_in   If non-null, receives dL/d(input) of sample s.
+     * @param grad   Gradient accumulator, length params().size().
+     */
+    void backwardSample(const MlpBatchRecord &rec, int s,
+                        const float *d_out, float *d_in, float *grad,
+                        Workspace &ws) const;
+
+    /**
+     * Backward over the whole batch in ascending sample order: the
+     * gradient accumulation order matches calling backward() per sample
+     * sequentially, so results are bit-identical to the scalar path.
+     * d_out is n x outputDim(); d_in (optional) n x inputDim().
+     */
+    void backwardBatch(const MlpBatchRecord &rec, const float *d_out,
+                       float *d_in, float *grad, Workspace &ws) const;
+
     std::vector<float> &params() { return weights; }
     const std::vector<float> &params() const { return weights; }
     std::vector<float> &grads() { return gradWeights; }
@@ -87,6 +139,9 @@ class Mlp
     std::vector<float> weights;      //!< All W then b, layer-major.
     std::vector<float> gradWeights;
     std::vector<size_t> wOffsets, bOffsets;
+    /** Per-sample offsets of each layer's slice in a batch record. */
+    std::vector<size_t> actOffsets, preOffsets;
+    size_t actPerSample = 0, prePerSample = 0;
     int maxDim = 0;
 };
 

@@ -65,6 +65,161 @@ VolumeRenderer::renderRay(NerfField &field, const Ray &ray, Rng *jitter,
     return out;
 }
 
+RayResult
+VolumeRenderer::renderRayBatch(NerfField &field, const Ray &ray,
+                               Rng *jitter, RayBatchRecord *rec,
+                               Workspace &ws,
+                               const FieldTraceOverride *trace) const
+{
+    const int n = cfg.samplesPerRay;
+    const float dt = (cfg.tFar - cfg.tNear) / static_cast<float>(n);
+
+    // Draw all jitter offsets first: one draw per sample bin, exactly
+    // the stream renderRay consumes (offsets are drawn before the
+    // occupancy check there too).
+    float *offsets = ws.alloc<float>(n);
+    for (int k = 0; k < n; k++)
+        offsets[k] = jitter ? jitter->nextFloat() : 0.5f;
+
+    // Gather the samples that survive empty-space skipping.
+    Vec3 *pts = ws.alloc<Vec3>(n);
+    float *ts = ws.alloc<float>(n);
+    int m = 0;
+    for (int k = 0; k < n; k++) {
+        float t = cfg.tNear + (static_cast<float>(k) + offsets[k]) * dt;
+        Vec3 p = ray.at(t);
+        if (occupancy && !occupancy->occupied(p))
+            continue;
+        pts[m] = p;
+        ts[m] = t;
+        m++;
+    }
+
+    // One batched field query for the whole ray.
+    FieldSample *fs = ws.alloc<FieldSample>(m);
+    field.queryBatch(pts, m, ray.direction, fs,
+                     rec ? &rec->field : nullptr, ws, trace);
+
+    if (rec) {
+        rec->n = m;
+        rec->t = ts;
+        rec->dt = ws.alloc<float>(m);
+        rec->sigma = ws.alloc<float>(m);
+        rec->alpha = ws.alloc<float>(m);
+        rec->trans = ws.alloc<float>(m);
+        rec->rgb = ws.alloc<Vec3>(m);
+    }
+
+    RayResult out;
+    float transmittance = 1.0f;
+    for (int k = 0; k < m; k++) {
+        float alpha = 1.0f - std::exp(-fs[k].sigma * dt);
+        float weight = transmittance * alpha;
+        out.color += fs[k].rgb * weight;
+        out.depth += ts[k] * weight;
+
+        if (rec) {
+            rec->dt[k] = dt;
+            rec->sigma[k] = fs[k].sigma;
+            rec->alpha[k] = alpha;
+            rec->trans[k] = transmittance;
+            rec->rgb[k] = fs[k].rgb;
+        }
+
+        transmittance *= 1.0f - alpha;
+        if (!rec && transmittance < cfg.earlyStopTransmittance)
+            break;
+    }
+
+    out.color += cfg.background * transmittance;
+    out.depth += cfg.tFar * transmittance;
+    out.opacity = 1.0f - transmittance;
+    if (rec)
+        rec->finalTransmittance = transmittance;
+    return out;
+}
+
+RayResult
+VolumeRenderer::renderRayFast(NerfField &field, const Ray &ray,
+                              Workspace &ws) const
+{
+    constexpr int block = 16;
+    const int n = cfg.samplesPerRay;
+    const float dt = (cfg.tFar - cfg.tNear) / static_cast<float>(n);
+
+    Vec3 *pts = ws.alloc<Vec3>(block);
+    float *ts = ws.alloc<float>(block);
+    FieldSample *fs = ws.alloc<FieldSample>(block);
+
+    RayResult out;
+    float transmittance = 1.0f;
+    bool stopped = false;
+
+    for (int k0 = 0; k0 < n && !stopped; k0 += block) {
+        int m = 0;
+        for (int k = k0; k < n && k < k0 + block; k++) {
+            float t = cfg.tNear + (static_cast<float>(k) + 0.5f) * dt;
+            Vec3 p = ray.at(t);
+            if (occupancy && !occupancy->occupied(p))
+                continue;
+            pts[m] = p;
+            ts[m] = t;
+            m++;
+        }
+        field.queryBatch(pts, m, ray.direction, fs, nullptr, ws);
+
+        for (int k = 0; k < m; k++) {
+            float alpha = 1.0f - std::exp(-fs[k].sigma * dt);
+            float weight = transmittance * alpha;
+            out.color += fs[k].rgb * weight;
+            out.depth += ts[k] * weight;
+            transmittance *= 1.0f - alpha;
+            if (transmittance < cfg.earlyStopTransmittance) {
+                stopped = true;
+                break;
+            }
+        }
+    }
+
+    out.color += cfg.background * transmittance;
+    out.depth += cfg.tFar * transmittance;
+    out.opacity = 1.0f - transmittance;
+    return out;
+}
+
+void
+VolumeRenderer::backwardRayBatch(NerfField &field,
+                                 const RayBatchRecord &rec,
+                                 const Vec3 &d_color, bool update_density,
+                                 bool update_color,
+                                 FieldGradients *target, Workspace &ws,
+                                 const FieldTraceOverride *trace) const
+{
+    const int m = rec.n;
+    float *d_sigma = ws.alloc<float>(m);
+    Vec3 *d_rgb = ws.alloc<Vec3>(m);
+    uint8_t *skip = ws.alloc<uint8_t>(m);
+
+    // Same suffix recursion as backwardRay, descending over samples.
+    float suffix = cfg.background.dot(d_color) * rec.finalTransmittance;
+    for (int k = m - 1; k >= 0; k--) {
+        float weight = rec.trans[k] * rec.alpha[k];
+        float cg = rec.rgb[k].dot(d_color);
+
+        d_sigma[k] = rec.dt[k] *
+                     ((1.0f - rec.alpha[k]) * rec.trans[k] * cg - suffix);
+        d_rgb[k] = d_color * weight;
+        float mag = std::fabs(d_sigma[k]) + std::fabs(d_rgb[k].x) +
+                    std::fabs(d_rgb[k].y) + std::fabs(d_rgb[k].z);
+        skip[k] = mag > cfg.gradientSkipThreshold ? 0 : 1;
+
+        suffix += weight * cg;
+    }
+
+    field.backwardBatch(rec.field, d_sigma, d_rgb, skip, update_density,
+                        update_color, target, ws, trace);
+}
+
 void
 VolumeRenderer::backwardRay(NerfField &field, const RayRecord &rec,
                             const Vec3 &d_color, bool update_density,

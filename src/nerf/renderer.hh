@@ -72,6 +72,23 @@ struct RayRecord
 };
 
 /**
+ * Arena-backed forward context of one ray rendered through the batched
+ * path (SoA across samples; valid until the Workspace resets).
+ */
+struct RayBatchRecord
+{
+    int n = 0;            //!< Samples actually queried (occupancy kept).
+    float *t = nullptr;
+    float *dt = nullptr;
+    float *sigma = nullptr;
+    float *alpha = nullptr;
+    float *trans = nullptr; //!< T_k before each sample.
+    Vec3 *rgb = nullptr;
+    FieldBatchRecord field;
+    float finalTransmittance = 1.0f;
+};
+
+/**
  * Stateless renderer over a NerfField.
  */
 class VolumeRenderer
@@ -108,6 +125,42 @@ class VolumeRenderer
     void backwardRay(NerfField &field, const RayRecord &rec,
                      const Vec3 &d_color, bool update_density = true,
                      bool update_color = true) const;
+
+    /**
+     * Training-path march: draws the same jitter stream as renderRay,
+     * batches all surviving samples through one NerfField::queryBatch,
+     * and composites. Per-sample arithmetic matches renderRay with a
+     * record (no early stop), so results are bit-identical to the
+     * scalar path. All scratch and the record come from ws.
+     */
+    RayResult renderRayBatch(NerfField &field, const Ray &ray,
+                             Rng *jitter, RayBatchRecord *rec,
+                             Workspace &ws,
+                             const FieldTraceOverride *trace =
+                                 nullptr) const;
+
+    /**
+     * Eval-path march with scalar semantics (bin centers, early stop)
+     * but arena scratch instead of per-call heap allocation: samples
+     * are queried in small blocks, and compositing stops exactly where
+     * renderRay would. Color/depth match renderRay bit-exactly; the
+     * field's query count may overshoot by at most one block.
+     */
+    RayResult renderRayFast(NerfField &field, const Ray &ray,
+                            Workspace &ws) const;
+
+    /**
+     * Batched counterpart of backwardRay: computes every sample's
+     * (d_sigma, d_rgb) with the same suffix recursion, then propagates
+     * through the field in the same descending order, accumulating into
+     * `target` shards (nullptr = the field's own gradient buffers).
+     */
+    void backwardRayBatch(NerfField &field, const RayBatchRecord &rec,
+                          const Vec3 &d_color, bool update_density,
+                          bool update_color, FieldGradients *target,
+                          Workspace &ws,
+                          const FieldTraceOverride *trace =
+                              nullptr) const;
 
   private:
     RendererConfig cfg;

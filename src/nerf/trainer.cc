@@ -1,5 +1,6 @@
 #include "nerf/trainer.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -14,6 +15,7 @@ Trainer::Trainer(const Dataset &dataset, const FieldConfig &field_config,
     fatalIf(cfg.raysPerBatch < 1, "raysPerBatch must be positive");
     fatalIf(cfg.densityUpdatePeriod < 1 || cfg.colorUpdatePeriod < 1,
             "update periods must be >= 1");
+    fatalIf(cfg.gradShards < 1, "gradShards must be positive");
 
     fieldPtr = std::make_unique<NerfField>(field_config, cfg.seed);
 
@@ -35,6 +37,14 @@ Trainer::Trainer(const Dataset &dataset, const FieldConfig &field_config,
         optimizers.push_back(std::make_unique<Adam>(
             fieldPtr->groupParams(id).size(), acfg));
     }
+
+    // The scalar reference path never uses the pool; don't spawn idle
+    // workers for it.
+    pool = std::make_unique<ThreadPool>(cfg.scalarReference
+                                            ? 1
+                                            : cfg.numThreads);
+    workspaces.resize(pool->threadCount());
+    shards.resize(std::min(cfg.gradShards, cfg.raysPerBatch));
 }
 
 bool
@@ -46,50 +56,134 @@ Trainer::dueThisIteration(int period) const
 TrainStats
 Trainer::trainIteration()
 {
+    if (cfg.scalarReference)
+        return trainIterationScalar();
+
     TrainStats stats;
     stats.densityUpdated = dueThisIteration(cfg.densityUpdatePeriod);
     stats.colorUpdated = dueThisIteration(cfg.colorUpdatePeriod);
 
     // Periodic occupancy refresh (after an initial optimistic phase,
-    // so real surfaces exist before anything is skipped).
+    // so real surfaces exist before anything is skipped). Serial, on
+    // the trainer's own stream.
     if (occupancyPtr && iter > 0 &&
         iter % cfg.occupancyUpdatePeriod == 0) {
         occupancyPtr->update(*fieldPtr, rng);
     }
 
     uint64_t points_before = fieldPtr->queryCount();
-
-    double loss_acc = 0.0;
     float inv_batch = 1.0f / static_cast<float>(cfg.raysPerBatch);
 
-    for (int r = 0; r < cfg.raysPerBatch; r++) {
-        // Step 1: randomly sample a pixel from a random training view.
-        const View &view = data.trainViews[rng.nextU32(
-            static_cast<uint32_t>(data.trainViews.size()))];
-        int col = static_cast<int>(
-            rng.nextU32(static_cast<uint32_t>(view.camera.imageWidth())));
-        int row = static_cast<int>(
-            rng.nextU32(static_cast<uint32_t>(view.camera.imageHeight())));
-        Vec3 gt = view.rgb.at(col, row);
+    // Fixed chunking: the chunk count (== shard count) depends only on
+    // the config, never on the thread count, so the gradient and loss
+    // reduction orders are thread-count-invariant.
+    const int num_chunks = static_cast<int>(shards.size());
+    const int chunk_len =
+        (cfg.raysPerBatch + num_chunks - 1) / num_chunks;
+    chunkLoss.assign(num_chunks, 0.0);
+    for (auto &shard : shards)
+        fieldPtr->prepareGradients(shard);
 
-        // Step 2: map the pixel to a ray (jittered inside the pixel).
-        Ray ray = view.camera.pixelRay(col, row, rng.nextFloat(),
-                                       rng.nextFloat());
+    // When a trace sink is attached, workers buffer their grid accesses
+    // per chunk; the buffers are merged in ray order below.
+    const bool traced = fieldPtr->traceAttached();
+    TraceSink *density_sink =
+        fieldPtr->hasDensityGrid()
+            ? fieldPtr->densityGrid().attachedTraceSink()
+            : nullptr;
+    TraceSink *color_sink =
+        fieldPtr->hasColorGrid()
+            ? fieldPtr->colorGrid().attachedTraceSink()
+            : nullptr;
+    uint32_t density_id_base =
+        density_sink ? fieldPtr->densityGrid().pointIdCounter() : 0;
+    uint32_t color_id_base =
+        color_sink ? fieldPtr->colorGrid().pointIdCounter() : 0;
+    std::vector<BufferingTraceSink> density_buffers;
+    std::vector<BufferingTraceSink> color_buffers;
+    std::vector<FieldTraceOverride> overrides;
+    if (traced) {
+        density_buffers.resize(num_chunks);
+        color_buffers.resize(num_chunks);
+        overrides.resize(num_chunks);
+        for (int c = 0; c < num_chunks; c++) {
+            overrides[c].density =
+                density_sink ? &density_buffers[c] : nullptr;
+            overrides[c].color = color_sink ? &color_buffers[c] : nullptr;
+        }
+    }
 
-        // Steps 3-4: query the field along the ray and composite.
-        RayRecord rec;
-        RayResult result = rendererPtr->renderRay(*fieldPtr, ray, &rng,
-                                                  &rec);
+    const uint64_t it = static_cast<uint64_t>(iter);
+    pool->parallelFor(num_chunks, [&](int c, int rank) {
+        Workspace &ws = workspaces[rank];
+        FieldGradients &shard = shards[c];
+        const FieldTraceOverride *trace = traced ? &overrides[c] : nullptr;
+        const int r_begin = c * chunk_len;
+        const int r_end =
+            std::min(r_begin + chunk_len, cfg.raysPerBatch);
 
-        // Step 5: squared-error loss.
-        Vec3 err = result.color - gt;
-        loss_acc += (err.x * err.x + err.y * err.y + err.z * err.z) / 3.0;
+        double loss_acc = 0.0;
+        for (int r = r_begin; r < r_end; r++) {
+            ws.reset();
+            // Per-ray stream: results do not depend on which thread
+            // (or chunk schedule) processed this ray.
+            Rng ray_rng = Rng::forIndex(cfg.seed, it,
+                                        static_cast<uint64_t>(r));
 
-        // Step 6: back-propagate dL/dC = 2 * err / (3 * batch).
-        Vec3 d_color = err * (2.0f / 3.0f * inv_batch);
-        rendererPtr->backwardRay(*fieldPtr, rec, d_color,
-                                 stats.densityUpdated,
-                                 stats.colorUpdated);
+            // Step 1: randomly sample a pixel from a training view.
+            const View &view = data.trainViews[ray_rng.nextU32(
+                static_cast<uint32_t>(data.trainViews.size()))];
+            int col = static_cast<int>(ray_rng.nextU32(
+                static_cast<uint32_t>(view.camera.imageWidth())));
+            int row = static_cast<int>(ray_rng.nextU32(
+                static_cast<uint32_t>(view.camera.imageHeight())));
+            Vec3 gt = view.rgb.at(col, row);
+
+            // Step 2: map the pixel to a ray (jittered in the pixel).
+            Ray ray = view.camera.pixelRay(col, row, ray_rng.nextFloat(),
+                                           ray_rng.nextFloat());
+
+            // Steps 3-4: batched field query + compositing.
+            RayBatchRecord rec;
+            RayResult result = rendererPtr->renderRayBatch(
+                *fieldPtr, ray, &ray_rng, &rec, ws, trace);
+
+            // Step 5: squared-error loss.
+            Vec3 err = result.color - gt;
+            loss_acc +=
+                (err.x * err.x + err.y * err.y + err.z * err.z) / 3.0;
+
+            // Step 6: back-propagate dL/dC = 2 * err / (3 * batch)
+            // into this chunk's gradient shard.
+            Vec3 d_color = err * (2.0f / 3.0f * inv_batch);
+            rendererPtr->backwardRayBatch(*fieldPtr, rec, d_color,
+                                          stats.densityUpdated,
+                                          stats.colorUpdated, &shard,
+                                          ws, trace);
+        }
+        chunkLoss[c] = loss_acc;
+    });
+
+    // Merge buffered traces in ray (chunk) order, restoring the
+    // monotonic point ids a sequential run would have produced.
+    if (traced) {
+        if (density_sink) {
+            uint32_t base = density_id_base;
+            for (auto &buf : density_buffers)
+                base += buf.flushInto(*density_sink, base);
+        }
+        if (color_sink) {
+            uint32_t base = color_id_base;
+            for (auto &buf : color_buffers)
+                base += buf.flushInto(*color_sink, base);
+        }
+    }
+
+    // Deterministic reduction: shards in fixed chunk order.
+    double loss_acc = 0.0;
+    for (int c = 0; c < num_chunks; c++) {
+        fieldPtr->reduceGradients(shards[c]);
+        loss_acc += chunkLoss[c];
     }
 
     // Apply optimizer steps to the branches due this iteration.
@@ -112,17 +206,120 @@ Trainer::trainIteration()
     return stats;
 }
 
+/**
+ * The original strictly-sequential training iteration: one shared RNG
+ * stream, scalar per-sample field queries, per-call heap allocation.
+ * Baseline for bench_train_throughput; not bit-comparable with the
+ * batched path (different pixel-sampling streams).
+ */
+TrainStats
+Trainer::trainIterationScalar()
+{
+    TrainStats stats;
+    stats.densityUpdated = dueThisIteration(cfg.densityUpdatePeriod);
+    stats.colorUpdated = dueThisIteration(cfg.colorUpdatePeriod);
+
+    if (occupancyPtr && iter > 0 &&
+        iter % cfg.occupancyUpdatePeriod == 0) {
+        occupancyPtr->update(*fieldPtr, rng);
+    }
+
+    uint64_t points_before = fieldPtr->queryCount();
+
+    double loss_acc = 0.0;
+    float inv_batch = 1.0f / static_cast<float>(cfg.raysPerBatch);
+
+    for (int r = 0; r < cfg.raysPerBatch; r++) {
+        const View &view = data.trainViews[rng.nextU32(
+            static_cast<uint32_t>(data.trainViews.size()))];
+        int col = static_cast<int>(
+            rng.nextU32(static_cast<uint32_t>(view.camera.imageWidth())));
+        int row = static_cast<int>(
+            rng.nextU32(static_cast<uint32_t>(view.camera.imageHeight())));
+        Vec3 gt = view.rgb.at(col, row);
+
+        Ray ray = view.camera.pixelRay(col, row, rng.nextFloat(),
+                                       rng.nextFloat());
+
+        RayRecord rec;
+        RayResult result = rendererPtr->renderRay(*fieldPtr, ray, &rng,
+                                                  &rec);
+
+        Vec3 err = result.color - gt;
+        loss_acc += (err.x * err.x + err.y * err.y + err.z * err.z) / 3.0;
+
+        Vec3 d_color = err * (2.0f / 3.0f * inv_batch);
+        rendererPtr->backwardRay(*fieldPtr, rec, d_color,
+                                 stats.densityUpdated,
+                                 stats.colorUpdated);
+    }
+
+    for (size_t g = 0; g < groups.size(); g++) {
+        bool is_color = groups[g] == ParamGroupId::ColorGrid ||
+                        groups[g] == ParamGroupId::ColorMlp;
+        bool due = is_color ? stats.colorUpdated : stats.densityUpdated;
+        if (due) {
+            optimizers[g]->step(fieldPtr->groupParams(groups[g]),
+                                fieldPtr->groupGrads(groups[g]));
+        }
+    }
+    fieldPtr->zeroGrad();
+
+    stats.loss = loss_acc / cfg.raysPerBatch;
+    stats.pointsQueried = fieldPtr->queryCount() - points_before;
+    pointsTotal += stats.pointsQueried;
+
+    iter++;
+    return stats;
+}
+
+/**
+ * Shared pixel loop for renderImage/renderDepth: parallel over rows
+ * (each row writes disjoint output), serialized when a trace sink is
+ * attached so trace order stays program order.
+ */
+void
+Trainer::forEachPixel(
+    const Camera &camera,
+    const std::function<void(int, int, const RayResult &)> &emit)
+{
+    // With a trace sink attached, renderRayFast would emit reads for
+    // the queried-but-uncomposited tail of an early-stopped block; the
+    // scalar march keeps eval traces exactly reference-shaped.
+    const bool exact =
+        cfg.scalarReference || fieldPtr->traceAttached();
+
+    auto render_row = [&](int row, int rank) {
+        Workspace &ws = workspaces[rank];
+        for (int col = 0; col < camera.imageWidth(); col++) {
+            Ray ray = camera.pixelRay(col, row);
+            if (exact) {
+                emit(col, row, rendererPtr->renderRay(*fieldPtr, ray));
+            } else {
+                ws.reset();
+                emit(col, row,
+                     rendererPtr->renderRayFast(*fieldPtr, ray, ws));
+            }
+        }
+    };
+
+    if (exact) {
+        // Serial in program order: trace records must arrive in the
+        // same order a sequential run would produce.
+        for (int row = 0; row < camera.imageHeight(); row++)
+            render_row(row, 0);
+    } else {
+        pool->parallelFor(camera.imageHeight(), render_row);
+    }
+}
+
 Image
 Trainer::renderImage(const Camera &camera)
 {
     Image img(camera.imageWidth(), camera.imageHeight());
-    for (int row = 0; row < camera.imageHeight(); row++) {
-        for (int col = 0; col < camera.imageWidth(); col++) {
-            Ray ray = camera.pixelRay(col, row);
-            img.at(col, row) =
-                rendererPtr->renderRay(*fieldPtr, ray).color;
-        }
-    }
+    forEachPixel(camera, [&](int col, int row, const RayResult &res) {
+        img.at(col, row) = res.color;
+    });
     return img;
 }
 
@@ -131,13 +328,10 @@ Trainer::renderDepth(const Camera &camera)
 {
     std::vector<float> depth(
         static_cast<size_t>(camera.imageWidth()) * camera.imageHeight());
-    for (int row = 0; row < camera.imageHeight(); row++) {
-        for (int col = 0; col < camera.imageWidth(); col++) {
-            Ray ray = camera.pixelRay(col, row);
-            depth[static_cast<size_t>(row) * camera.imageWidth() + col] =
-                rendererPtr->renderRay(*fieldPtr, ray).depth;
-        }
-    }
+    forEachPixel(camera, [&](int col, int row, const RayResult &res) {
+        depth[static_cast<size_t>(row) * camera.imageWidth() + col] =
+            res.depth;
+    });
     return depth;
 }
 

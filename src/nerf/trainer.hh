@@ -10,6 +10,14 @@
  *
  * The trainer owns the field, the per-group Adam states, and the
  * update-frequency schedule (F_D : F_C) of the Instant-3D algorithm.
+ *
+ * Execution model: the ray batch is split into a fixed number of
+ * chunks (gradShards) processed by a thread pool. Each ray draws from
+ * its own RNG stream keyed by (seed, iteration, ray index), each chunk
+ * accumulates gradients into its own shard, and shards are reduced
+ * into the field in fixed chunk order -- so training is bit-identical
+ * for any thread count. Grid trace sinks remain usable: worker chunks
+ * buffer their accesses and the trainer merges them in ray order.
  */
 
 #ifndef INSTANT3D_NERF_TRAINER_HH
@@ -18,6 +26,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.hh"
+#include "common/workspace.hh"
 #include "nerf/adam.hh"
 #include "nerf/renderer.hh"
 #include "scene/dataset.hh"
@@ -44,6 +54,29 @@ struct TrainConfig
     bool useOccupancyGrid = false;
     int occupancyUpdatePeriod = 16; //!< Grid refresh interval (iters).
     OccupancyGridConfig occupancy;
+
+    /**
+     * Worker threads for training and rendering; 0 = auto (the
+     * INSTANT3D_THREADS environment variable, else hardware
+     * concurrency). Results are bit-identical for any value.
+     */
+    int numThreads = 0;
+
+    /**
+     * Number of gradient shards == ray chunks per batch. This (not the
+     * thread count) fixes the floating-point reduction order, so it is
+     * part of the determinism contract: changing it changes results,
+     * changing numThreads never does. It also caps usable parallelism
+     * within one training iteration.
+     */
+    int gradShards = 8;
+
+    /**
+     * Run the original scalar reference path: strictly sequential rays
+     * on one shared RNG stream with per-call heap allocation. Kept as
+     * the baseline for bench_train_throughput and for debugging.
+     */
+    bool scalarReference = false;
 
     uint64_t seed = 42;
 };
@@ -73,6 +106,9 @@ class Trainer
     NerfField &field() { return *fieldPtr; }
     const VolumeRenderer &renderer() const { return *rendererPtr; }
 
+    /** Worker threads in use (after auto resolution). */
+    int threadCount() const { return pool->threadCount(); }
+
     /** The occupancy grid, or nullptr when skipping is disabled. */
     const OccupancyGrid *occupancyGrid() const
     { return occupancyPtr.get(); }
@@ -97,6 +133,10 @@ class Trainer
 
   private:
     bool dueThisIteration(int period) const;
+    TrainStats trainIterationScalar();
+    void forEachPixel(
+        const Camera &camera,
+        const std::function<void(int, int, const RayResult &)> &emit);
 
     const Dataset &data;
     TrainConfig cfg;
@@ -105,6 +145,10 @@ class Trainer
     std::unique_ptr<OccupancyGrid> occupancyPtr;
     std::vector<std::unique_ptr<Adam>> optimizers;
     std::vector<ParamGroupId> groups;
+    std::unique_ptr<ThreadPool> pool;
+    std::vector<Workspace> workspaces;    //!< One per thread rank.
+    std::vector<FieldGradients> shards;   //!< One per ray chunk.
+    std::vector<double> chunkLoss;
     Rng rng;
     int iter = 0;
     uint64_t pointsTotal = 0;
