@@ -115,6 +115,129 @@ BM_RenderRay(benchmark::State &state)
 }
 BENCHMARK(BM_RenderRay)->Arg(16)->Arg(48)->Arg(128);
 
+/**
+ * The stream-compaction kernel in isolation: march a 16-ray chunk
+ * against an occupancy grid whose occupied fraction is the benchmark
+ * argument (percent), emitting the compacted SoA stream.
+ */
+void
+BM_MarchRays(benchmark::State &state)
+{
+    RendererConfig rcfg;
+    rcfg.samplesPerRay = 48;
+    VolumeRenderer renderer(rcfg);
+
+    OccupancyGridConfig ocfg;
+    OccupancyGrid grid(ocfg);
+    Rng r(13);
+    const float occ = static_cast<float>(state.range(0)) / 100.0f;
+    for (size_t i = 0; i < grid.numCells(); i++)
+        grid.setCellDensity(i, r.nextFloat() < occ
+                                   ? ocfg.occupancyThreshold * 2.0f
+                                   : 0.0f);
+    renderer.setOccupancyGrid(&grid);
+
+    const int num_rays = 16;
+    std::vector<Ray> rays;
+    for (int i = 0; i < num_rays; i++) {
+        Vec3 o(r.nextFloat(), r.nextFloat(), -0.2f);
+        rays.push_back({o, Vec3(0.0f, 0.0f, 1.0f)});
+    }
+    std::vector<Rng> rngs(num_rays, Rng(7));
+
+    Workspace ws;
+    for (auto _ : state) {
+        ws.reset();
+        SampleStream stream;
+        renderer.marchRays(rays.data(), num_rays, rngs.data(), stream,
+                           ws);
+        benchmark::DoNotOptimize(stream.totalSamples);
+    }
+    state.SetItemsProcessed(state.iterations() * num_rays *
+                            rcfg.samplesPerRay);
+}
+BENCHMARK(BM_MarchRays)->Arg(100)->Arg(25)->Arg(5);
+
+/**
+ * The full compacted forward stage (march + one queryStream + per-ray
+ * compositing) for a 16-ray chunk, vs per-ray renderRayBatch calls on
+ * the same rays -- the end-to-end cost the compacted trainer pays.
+ */
+void
+BM_RenderStream(benchmark::State &state)
+{
+    FieldConfig cfg = FieldConfig::instant3dDefault(benchGrid());
+    NerfField field(cfg, 9);
+    RendererConfig rcfg;
+    rcfg.samplesPerRay = 48;
+    VolumeRenderer renderer(rcfg);
+
+    OccupancyGridConfig ocfg;
+    OccupancyGrid grid(ocfg);
+    Rng r(14);
+    const float occ = static_cast<float>(state.range(0)) / 100.0f;
+    for (size_t i = 0; i < grid.numCells(); i++)
+        grid.setCellDensity(i, r.nextFloat() < occ
+                                   ? ocfg.occupancyThreshold * 2.0f
+                                   : 0.0f);
+    renderer.setOccupancyGrid(&grid);
+
+    const int num_rays = 16;
+    std::vector<Ray> rays;
+    for (int i = 0; i < num_rays; i++) {
+        Vec3 o(r.nextFloat(), r.nextFloat(), -0.2f);
+        rays.push_back({o, Vec3(0.0f, 0.0f, 1.0f)});
+    }
+
+    Workspace ws;
+    std::vector<RayResult> results(num_rays);
+    uint64_t samples = 0;
+    for (auto _ : state) {
+        ws.reset();
+        SampleStream stream;
+        renderer.marchRays(rays.data(), num_rays, nullptr, stream, ws);
+        StreamRecord rec;
+        renderer.renderStream(field, stream, results.data(), &rec, ws);
+        samples += static_cast<uint64_t>(stream.totalSamples);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(samples));
+}
+BENCHMARK(BM_RenderStream)->Arg(100)->Arg(25)->Arg(5);
+
+/**
+ * The BUM-style gradient-write merge kernel: push one chunk's worth of
+ * scatters whose addresses collide within a table of `range` entries
+ * (the benchmark argument), then sort-merge-apply. Compare against
+ * BM_HashEncodeBackward for the direct-scatter cost.
+ */
+void
+BM_HashGradMerge(benchmark::State &state)
+{
+    constexpr uint32_t span = 2;
+    const uint32_t range = static_cast<uint32_t>(state.range(0));
+    Rng r(15);
+    const int writes = 16 * 48 * 8; // one chunk: rays x samples x corners
+    std::vector<uint32_t> addrs;
+    for (int i = 0; i < writes; i++)
+        addrs.push_back(r.nextU32(range) * span);
+    const float d_out[span] = {0.5f, -0.25f};
+
+    std::vector<float> grad(static_cast<size_t>(range) * span, 0.0f);
+    std::vector<uint32_t> touched;
+    HashGradMerger merger;
+    for (auto _ : state) {
+        merger.reset(span);
+        for (uint32_t a : addrs)
+            merger.push(a, 1.0f, d_out);
+        touched.clear();
+        merger.flushInto(grad.data(), &touched);
+        benchmark::DoNotOptimize(grad.data());
+    }
+    state.SetItemsProcessed(state.iterations() * writes);
+}
+BENCHMARK(BM_HashGradMerge)->Arg(64)->Arg(1024)->Arg(65536);
+
 void
 BM_FrmSchedule(benchmark::State &state)
 {

@@ -1,18 +1,33 @@
 /**
  * @file
  * Training-throughput benchmark of the hot-path rewrite: rays/s and
- * points/s for one training iteration of the quickstart workload,
- * comparing the original scalar reference path against the batched
- * arena path at 1, 2, 4, and 8 threads. Emits JSON (stdout and a file,
- * default BENCH_train_throughput.json) to seed the BENCH trajectory.
+ * points/s for one training iteration of the quickstart workload.
+ *
+ * Two mode families are timed:
+ *  - No occupancy grid: the original scalar reference path vs the
+ *    batched arena path at 1, 2, 4, and 8 threads (the PR 1 numbers).
+ *  - With a converged occupancy grid: the dense per-ray batched path
+ *    ("dense_occ") vs the chunk-level compacted sample stream
+ *    ("compacted") vs compaction plus merged hash-gradient writes
+ *    ("compacted+merged"), at 1 and 8 threads.
+ *
+ * The JSON records std::thread::hardware_concurrency() and each mode's
+ * occupancy-grid occupied fraction, so flat thread scaling on a 1-core
+ * CI container is distinguishable from a real regression, and
+ * "effective" points/s (rays/s * samplesPerRay, counting skipped
+ * samples as processed) which is the paper's headline win once the
+ * grid converges.
  *
  * Usage: bench_train_throughput [output.json] [timed_iterations]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hh"
@@ -26,9 +41,13 @@ struct ModeResult
     std::string mode;
     int threads = 1;
     int iterations = 0;
-    double seconds = 0.0;
+    double seconds = 0.0;        //!< Hot-path iterations only.
+    double updateSeconds = 0.0;  //!< Occupancy-refresh iterations.
     double raysPerSec = 0.0;
     double pointsPerSec = 0.0;
+    double pointsPerSecEffective = 0.0;
+    double occupiedFraction = 1.0;
+    double gradMergeRatio = 1.0; //!< Grid-grad writes per table update.
 };
 
 struct Workload
@@ -75,15 +94,45 @@ now()
         .count();
 }
 
-ModeResult
-runMode(const Workload &w, const std::string &mode, int threads,
-        bool scalar, int warmup, int iters)
+struct ModeSpec
+{
+    std::string name;
+    int threads = 1;
+    bool scalar = false;
+    bool compact = false;
+    bool merge = false;
+};
+
+TrainConfig
+modeConfig(const Workload &w, const ModeSpec &spec, bool use_occupancy)
 {
     TrainConfig tcfg = w.train;
-    tcfg.numThreads = threads;
-    tcfg.scalarReference = scalar;
+    tcfg.numThreads = spec.threads;
+    tcfg.scalarReference = spec.scalar;
+    tcfg.compactSamples = spec.compact;
+    tcfg.mergeHashGrads = spec.merge;
+    if (use_occupancy) {
+        // Converge the grid during warmup: frequent refreshes and a
+        // fast decay clear empty space within a few dozen iterations
+        // while the 0.1 threshold keeps the lego surfaces occupied
+        // (loss stays within noise of the dense path).
+        tcfg.useOccupancyGrid = true;
+        tcfg.occupancyUpdatePeriod = 4;
+        tcfg.occupancy.resolution = 32;
+        tcfg.occupancy.decay = 0.8f;
+        tcfg.occupancy.occupancyThreshold = 0.1f;
+    }
+    return tcfg;
+}
+
+/** One mode, no occupancy grid: a single timed run. */
+ModeResult
+runMode(const Workload &w, const ModeSpec &spec, int iters)
+{
+    TrainConfig tcfg = modeConfig(w, spec, false);
     Trainer trainer(w.dataset, w.field, tcfg);
 
+    const int warmup = 10;
     for (int i = 0; i < warmup; i++)
         trainer.trainIteration();
 
@@ -95,14 +144,101 @@ runMode(const Workload &w, const std::string &mode, int threads,
     uint64_t points = trainer.totalPointsQueried() - points_before;
 
     ModeResult r;
-    r.mode = mode;
-    r.threads = threads;
+    r.mode = spec.name;
+    r.threads = spec.threads;
     r.iterations = iters;
     r.seconds = secs;
     r.raysPerSec =
         static_cast<double>(iters) * tcfg.raysPerBatch / secs;
     r.pointsPerSec = static_cast<double>(points) / secs;
+    r.pointsPerSecEffective = r.raysPerSec * tcfg.samplesPerRay;
     return r;
+}
+
+/**
+ * The occupancy-grid family (dense vs compacted vs compacted+merged)
+ * at one thread count. All modes run concurrently constructed trainers
+ * and are timed in interleaved blocks, so machine drift hits every
+ * mode equally; occupancy-refresh iterations (identical work in every
+ * mode) are timed separately from hot-path iterations so the refresh
+ * cost cannot drown the mode comparison.
+ */
+std::vector<ModeResult>
+runOccupancyFamily(const Workload &w, const std::vector<ModeSpec> &specs,
+                   int iters)
+{
+    // 12 refreshes at period 4 with decay 0.8 converge the grid to
+    // its steady occupied fraction before anything is timed.
+    const int warmup = 48;
+    const int block = 16;
+
+    std::vector<std::unique_ptr<Trainer>> trainers;
+    std::vector<ModeResult> results;
+    for (const auto &spec : specs) {
+        trainers.push_back(std::make_unique<Trainer>(
+            w.dataset, w.field, modeConfig(w, spec, true)));
+        ModeResult r;
+        r.mode = spec.name;
+        r.threads = spec.threads;
+        results.push_back(r);
+    }
+    for (auto &t : trainers)
+        for (int i = 0; i < warmup; i++)
+            t->trainIteration();
+
+    std::vector<uint64_t> points(specs.size(), 0);
+    std::vector<uint64_t> writes(specs.size(), 0);
+    std::vector<uint64_t> merged_writes(specs.size(), 0);
+    const int period = modeConfig(w, specs[0], true).occupancyUpdatePeriod;
+
+    for (int done = 0; done < iters; done += block) {
+        const int n = std::min(block, iters - done);
+        for (size_t m = 0; m < specs.size(); m++) {
+            Trainer &t = *trainers[m];
+            for (int i = 0; i < n; i++) {
+                const bool is_update = (t.iteration() % period) == 0;
+                double t0 = now();
+                TrainStats st = t.trainIteration();
+                double dt = now() - t0;
+                if (is_update) {
+                    results[m].updateSeconds += dt;
+                } else {
+                    results[m].seconds += dt;
+                    results[m].iterations++;
+                    points[m] += st.pointsQueried;
+                }
+                writes[m] += st.gridGradWrites;
+                merged_writes[m] += st.gridGradWritesMerged;
+            }
+        }
+    }
+
+    for (size_t m = 0; m < specs.size(); m++) {
+        ModeResult &r = results[m];
+        const TrainConfig tcfg = modeConfig(w, specs[m], true);
+        r.raysPerSec = static_cast<double>(r.iterations) *
+                       tcfg.raysPerBatch / r.seconds;
+        r.pointsPerSec = static_cast<double>(points[m]) / r.seconds;
+        r.pointsPerSecEffective = r.raysPerSec * tcfg.samplesPerRay;
+        r.occupiedFraction =
+            trainers[m]->occupancyGrid()->occupiedFraction();
+        r.gradMergeRatio =
+            merged_writes[m] > 0
+                ? static_cast<double>(writes[m]) /
+                      static_cast<double>(merged_writes[m])
+                : 1.0;
+    }
+    return results;
+}
+
+const ModeResult &
+find(const std::vector<ModeResult> &results, const std::string &mode,
+     int threads)
+{
+    for (const auto &r : results)
+        if (r.mode == mode && r.threads == threads)
+            return r;
+    return results.front();
 }
 
 } // namespace
@@ -138,38 +274,54 @@ main(int argc, char **argv)
             iters = 2000;
     }
 
-    const int warmup = 10;
     std::vector<ModeResult> results;
-    results.push_back(
-        runMode(w, "scalar_seed", 1, true, warmup, iters));
-    for (int threads : {1, 2, 4, 8}) {
+    results.push_back(runMode(w, {"scalar_seed", 1, true, false, false},
+                              iters));
+    for (int threads : {1, 2, 4, 8})
         results.push_back(
-            runMode(w, "batched", threads, false, warmup, iters));
+            runMode(w, {"batched", threads, false, false, false}, iters));
+    // Converged-grid iterations are ~10x cheaper than dense ones, so
+    // run more of them for a stable mode comparison.
+    const int occ_iters = std::min(iters * 4, 2000);
+    for (int threads : {1, 8}) {
+        std::vector<ModeSpec> occ_specs = {
+            {"dense_occ", threads, false, false, false},
+            {"compacted", threads, false, true, false},
+            {"compacted+merged", threads, false, true, true},
+        };
+        for (auto &r : runOccupancyFamily(w, occ_specs, occ_iters))
+            results.push_back(r);
     }
 
-    const ModeResult &scalar = results[0];
-    auto find = [&](int threads) -> const ModeResult & {
-        for (const auto &r : results)
-            if (r.mode == "batched" && r.threads == threads)
-                return r;
-        return scalar;
-    };
-    double speedup_1t = find(1).raysPerSec / scalar.raysPerSec;
-    double speedup_8t = find(8).raysPerSec / scalar.raysPerSec;
+    const ModeResult &scalar = results.front();
+    double speedup_1t =
+        find(results, "batched", 1).raysPerSec / scalar.raysPerSec;
+    double speedup_8t =
+        find(results, "batched", 8).raysPerSec / scalar.raysPerSec;
+    double compact_vs_dense_1t =
+        find(results, "compacted", 1).raysPerSec /
+        find(results, "dense_occ", 1).raysPerSec;
+    double compact_vs_dense_8t =
+        find(results, "compacted", 8).raysPerSec /
+        find(results, "dense_occ", 8).raysPerSec;
+    double merged_vs_dense_1t =
+        find(results, "compacted+merged", 1).raysPerSec /
+        find(results, "dense_occ", 1).raysPerSec;
 
     std::string json;
-    char buf[512];
+    char buf[640];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
         "  \"bench\": \"train_throughput\",\n"
+        "  \"hardware_concurrency\": %u,\n"
         "  \"workload\": {\"scene\": \"lego\", \"rays_per_batch\": %d, "
         "\"samples_per_ray\": %d, \"grid_levels\": %d, "
         "\"log2_table\": %u, \"hidden_dim\": %d},\n"
         "  \"results\": [\n",
-        w.train.raysPerBatch, w.train.samplesPerRay,
-        w.field.densityGrid.numLevels, w.field.densityGrid.log2TableSize,
-        w.field.hiddenDim);
+        std::thread::hardware_concurrency(), w.train.raysPerBatch,
+        w.train.samplesPerRay, w.field.densityGrid.numLevels,
+        w.field.densityGrid.log2TableSize, w.field.hiddenDim);
     json += buf;
     for (size_t i = 0; i < results.size(); i++) {
         const auto &r = results[i];
@@ -177,18 +329,32 @@ main(int argc, char **argv)
             buf, sizeof(buf),
             "    {\"mode\": \"%s\", \"threads\": %d, "
             "\"iterations\": %d, \"seconds\": %.4f, "
-            "\"rays_per_s\": %.1f, \"points_per_s\": %.1f}%s\n",
+            "\"occ_update_seconds\": %.4f, "
+            "\"rays_per_s\": %.1f, \"points_per_s\": %.1f, "
+            "\"points_per_s_effective\": %.1f, "
+            "\"occupied_fraction\": %.4f, "
+            "\"grad_merge_ratio\": %.3f}%s\n",
             r.mode.c_str(), r.threads, r.iterations, r.seconds,
-            r.raysPerSec, r.pointsPerSec,
-            i + 1 < results.size() ? "," : "");
+            r.updateSeconds, r.raysPerSec, r.pointsPerSec,
+            r.pointsPerSecEffective, r.occupiedFraction,
+            r.gradMergeRatio, i + 1 < results.size() ? "," : "");
         json += buf;
     }
     std::snprintf(buf, sizeof(buf),
                   "  ],\n"
+                  "  \"speedups\": {\n"
+                  "    \"batched_1t_vs_scalar\": %.3f,\n"
+                  "    \"batched_8t_vs_scalar\": %.3f,\n"
+                  "    \"compacted_vs_dense_occ_1t\": %.3f,\n"
+                  "    \"compacted_vs_dense_occ_8t\": %.3f,\n"
+                  "    \"merged_vs_dense_occ_1t\": %.3f\n"
+                  "  },\n"
                   "  \"speedup_batched_1t_vs_scalar\": %.3f,\n"
                   "  \"speedup_batched_8t_vs_scalar\": %.3f\n"
                   "}\n",
-                  speedup_1t, speedup_8t);
+                  speedup_1t, speedup_8t, compact_vs_dense_1t,
+                  compact_vs_dense_8t, merged_vs_dense_1t, speedup_1t,
+                  speedup_8t);
     json += buf;
 
     std::fputs(json.c_str(), stdout);

@@ -13,3 +13,10 @@ cmake --build build -j --target bench_train_throughput
 ./build/bench_train_throughput BENCH_train_throughput.json
 
 echo "bench_smoke: wrote $(pwd)/BENCH_train_throughput.json"
+# Summary for CI logs: cores seen by the bench, the converged
+# occupancy fraction, and the per-mode speedups, so flat thread
+# scaling on a 1-core runner is visibly a host limitation rather than
+# a regression.
+grep '"hardware_concurrency"' BENCH_train_throughput.json
+grep -o '"occupied_fraction": [0-9.]*' BENCH_train_throughput.json | sort -u
+sed -n '/"speedups"/,/}/p' BENCH_train_throughput.json

@@ -273,13 +273,33 @@ NerfField::queryBatch(const Vec3 *pts, int n, const Vec3 &d,
                       FieldSample *out, FieldBatchRecord *rec,
                       Workspace &ws, const FieldTraceOverride *trace)
 {
+    RaySpan span{0, n};
+    queryStream(pts, n, &span, &d, 1, out, rec, ws, trace);
+}
+
+void
+NerfField::queryStream(const Vec3 *pts, int n, const RaySpan *spans,
+                       const Vec3 *dirs, int numRays, FieldSample *out,
+                       FieldBatchRecord *rec, Workspace &ws,
+                       const FieldTraceOverride *trace)
+{
     if (n <= 0)
         return;
     queries.fetch_add(static_cast<uint64_t>(n),
                       std::memory_order_relaxed);
 
-    float dir_enc[dirEncodingDim];
-    encodeDirection(d, dir_enc);
+    // One direction encoding per ray, broadcast over that ray's span
+    // when the color-MLP input rows are assembled. Rays whose whole
+    // span was skipped (e.g. sky pixels) never need one.
+    float *dir_enc =
+        ws.alloc<float>(static_cast<size_t>(numRays) * dirEncodingDim);
+    for (int r = 0; r < numRays; r++) {
+        if (spans[r].count == 0)
+            continue;
+        encodeDirection(dirs[r],
+                        dir_enc + static_cast<size_t>(r) * dirEncodingDim);
+    }
+
     if (rec)
         rec->n = n;
     TraceSink *dsink = trace ? trace->density : nullptr;
@@ -306,11 +326,17 @@ NerfField::queryBatch(const Vec3 *pts, int n, const Vec3 &d,
 
         const int cin = cdim + dirEncodingDim;
         float *col_in = ws.alloc<float>(static_cast<size_t>(n) * cin);
-        for (int s = 0; s < n; s++) {
-            float *row = col_in + static_cast<size_t>(s) * cin;
-            std::copy(col_feat + static_cast<size_t>(s) * cdim,
-                      col_feat + static_cast<size_t>(s + 1) * cdim, row);
-            std::copy(dir_enc, dir_enc + dirEncodingDim, row + cdim);
+        for (int r = 0; r < numRays; r++) {
+            const float *de =
+                dir_enc + static_cast<size_t>(r) * dirEncodingDim;
+            for (int s = spans[r].offset;
+                 s < spans[r].offset + spans[r].count; s++) {
+                float *row = col_in + static_cast<size_t>(s) * cin;
+                std::copy(col_feat + static_cast<size_t>(s) * cdim,
+                          col_feat + static_cast<size_t>(s + 1) * cdim,
+                          row);
+                std::copy(de, de + dirEncodingDim, row + cdim);
+            }
         }
         float *rgb = ws.alloc<float>(static_cast<size_t>(n) * 3);
         colorMlpPtr->forwardBatch(col_in, n, rgb,
@@ -350,12 +376,17 @@ NerfField::queryBatch(const Vec3 *pts, int n, const Vec3 &d,
 
     const int cin = cfg.geoFeatureDim + dirEncodingDim;
     float *col_in = ws.alloc<float>(static_cast<size_t>(n) * cin);
-    for (int s = 0; s < n; s++) {
-        float *row = col_in + static_cast<size_t>(s) * cin;
-        const float *geo = dens_out + static_cast<size_t>(s) * odim + 1;
-        std::copy(geo, geo + cfg.geoFeatureDim, row);
-        std::copy(dir_enc, dir_enc + dirEncodingDim,
-                  row + cfg.geoFeatureDim);
+    for (int r = 0; r < numRays; r++) {
+        const float *de =
+            dir_enc + static_cast<size_t>(r) * dirEncodingDim;
+        for (int s = spans[r].offset;
+             s < spans[r].offset + spans[r].count; s++) {
+            float *row = col_in + static_cast<size_t>(s) * cin;
+            const float *geo =
+                dens_out + static_cast<size_t>(s) * odim + 1;
+            std::copy(geo, geo + cfg.geoFeatureDim, row);
+            std::copy(de, de + dirEncodingDim, row + cfg.geoFeatureDim);
+        }
     }
     float *rgb = ws.alloc<float>(static_cast<size_t>(n) * 3);
     colorMlpPtr->forwardBatch(col_in, n, rgb,
@@ -378,6 +409,69 @@ NerfField::backwardBatch(const FieldBatchRecord &rec, const float *d_sigma,
                          FieldGradients *target, Workspace &ws,
                          const FieldTraceOverride *trace)
 {
+    // Descending sample order: the renderer's compositing order, and
+    // the order the sequential path applies gradients in.
+    int *order = ws.alloc<int>(rec.n);
+    for (int i = 0; i < rec.n; i++)
+        order[i] = rec.n - 1 - i;
+    backwardSamples(rec, order, rec.n, d_sigma, d_rgb, skip,
+                    update_density, update_color, target, ws, trace,
+                    nullptr);
+}
+
+void
+NerfField::backwardStream(const FieldBatchRecord &rec, const RaySpan *spans,
+                          int numRays, const float *d_sigma,
+                          const Vec3 *d_rgb, const uint8_t *skip,
+                          bool update_density, bool update_color,
+                          FieldGradients *target, Workspace &ws,
+                          const FieldTraceOverride *trace,
+                          FieldGradMergers *mergers)
+{
+    panicIf(mergers && !target,
+            "merged gradient writes need a target shard set");
+
+    // Rays ascending, samples descending within each span: exactly the
+    // accumulation order of per-ray backwardBatch calls in ray order.
+    int *order = ws.alloc<int>(rec.n);
+    int count = 0;
+    for (int r = 0; r < numRays; r++)
+        for (int s = spans[r].offset + spans[r].count - 1;
+             s >= spans[r].offset; s--)
+            order[count++] = s;
+
+    if (mergers) {
+        if (densityGridPtr)
+            mergers->density.reset(static_cast<uint32_t>(
+                densityGridPtr->config().featuresPerEntry));
+        if (colorGridPtr)
+            mergers->color.reset(static_cast<uint32_t>(
+                colorGridPtr->config().featuresPerEntry));
+    }
+
+    backwardSamples(rec, order, count, d_sigma, d_rgb, skip,
+                    update_density, update_color, target, ws, trace,
+                    mergers);
+
+    if (mergers) {
+        if (densityGridPtr)
+            mergers->density.flushInto(target->densityGrid.v.data(),
+                                       &target->densityGrid.touched);
+        if (colorGridPtr)
+            mergers->color.flushInto(target->colorGrid.v.data(),
+                                     &target->colorGrid.touched);
+    }
+}
+
+void
+NerfField::backwardSamples(const FieldBatchRecord &rec, const int *order,
+                           int count, const float *d_sigma,
+                           const Vec3 *d_rgb, const uint8_t *skip,
+                           bool update_density, bool update_color,
+                           FieldGradients *target, Workspace &ws,
+                           const FieldTraceOverride *trace,
+                           FieldGradMergers *mergers)
+{
     TraceSink *dsink = trace ? trace->density : nullptr;
     TraceSink *csink = trace ? trace->color : nullptr;
 
@@ -398,24 +492,37 @@ NerfField::backwardBatch(const FieldBatchRecord &rec, const float *d_sigma,
         float *d_col_in = ws.alloc<float>(cin);
         float *d_feat = ws.alloc<float>(densityGridPtr->outputDim());
 
-        for (int s = rec.n - 1; s >= 0; s--) {
+        for (int i = 0; i < count; i++) {
+            const int s = order[i];
             if (skip && skip[s])
                 continue;
             float d_rgb_arr[3] = {d_rgb[s].x, d_rgb[s].y, d_rgb[s].z};
             if (update_color) {
                 colorMlpPtr->backwardSample(rec.colorMlp, s, d_rgb_arr,
                                             d_col_in, g_cmlp, ws);
-                colorGridPtr->backwardSample(rec.colorEnc, s, d_col_in,
-                                             g_cgrid, t_cgrid, csink);
+                if (mergers)
+                    colorGridPtr->backwardSampleMerged(rec.colorEnc, s,
+                                                       d_col_in,
+                                                       mergers->color,
+                                                       csink);
+                else
+                    colorGridPtr->backwardSample(rec.colorEnc, s,
+                                                 d_col_in, g_cgrid,
+                                                 t_cgrid, csink);
             }
             if (update_density) {
                 float d_raw =
                     d_sigma[s] * softplusDerivative(rec.rawSigma[s]);
                 densityMlpPtr->backwardSample(rec.densityMlp, s, &d_raw,
                                               d_feat, g_dmlp, ws);
-                densityGridPtr->backwardSample(rec.densityEnc, s,
-                                               d_feat, g_dgrid, t_dgrid,
-                                               dsink);
+                if (mergers)
+                    densityGridPtr->backwardSampleMerged(
+                        rec.densityEnc, s, d_feat, mergers->density,
+                        dsink);
+                else
+                    densityGridPtr->backwardSample(rec.densityEnc, s,
+                                                   d_feat, g_dgrid,
+                                                   t_dgrid, dsink);
             }
         }
         return;
@@ -439,7 +546,8 @@ NerfField::backwardBatch(const FieldBatchRecord &rec, const float *d_sigma,
         t_dgrid = target ? &target->densityGrid.touched : nullptr;
     }
 
-    for (int s = rec.n - 1; s >= 0; s--) {
+    for (int i = 0; i < count; i++) {
+        const int s = order[i];
         if (skip && skip[s])
             continue;
         float d_rgb_arr[3] = {d_rgb[s].x, d_rgb[s].y, d_rgb[s].z};
@@ -447,8 +555,8 @@ NerfField::backwardBatch(const FieldBatchRecord &rec, const float *d_sigma,
                                     g_cmlp, ws);
 
         d_dens_out[0] = d_sigma[s] * softplusDerivative(rec.rawSigma[s]);
-        for (int i = 0; i < cfg.geoFeatureDim; i++)
-            d_dens_out[1 + i] = d_col_in[i];
+        for (int j = 0; j < cfg.geoFeatureDim; j++)
+            d_dens_out[1 + j] = d_col_in[j];
 
         if (update_density) {
             if (cfg.mode == FieldMode::Vanilla) {
@@ -459,8 +567,14 @@ NerfField::backwardBatch(const FieldBatchRecord &rec, const float *d_sigma,
                 densityMlpPtr->backwardSample(rec.densityMlp, s,
                                               d_dens_out, d_feat,
                                               g_dmlp, ws);
-                densityGridPtr->backwardSample(rec.densityEnc, s, d_feat,
-                                               g_dgrid, t_dgrid, dsink);
+                if (mergers)
+                    densityGridPtr->backwardSampleMerged(
+                        rec.densityEnc, s, d_feat, mergers->density,
+                        dsink);
+                else
+                    densityGridPtr->backwardSample(rec.densityEnc, s,
+                                                   d_feat, g_dgrid,
+                                                   t_dgrid, dsink);
             }
         }
     }

@@ -129,6 +129,29 @@ struct FieldTraceOverride
 };
 
 /**
+ * One ray's slice of a chunk-level compacted sample stream: samples
+ * [offset, offset + count) of the flat SoA buffers belong to this ray.
+ */
+struct RaySpan
+{
+    int offset = 0;
+    int count = 0;
+};
+
+/**
+ * Per-grid gradient-write mergers for one chunk's backward pass
+ * (TrainConfig::mergeHashGrads). Owned by the trainer (one set per
+ * shard) so their buffers are reused across iterations; the field
+ * resets them at the start of a stream backward and flushes them into
+ * the target shard at the end.
+ */
+struct FieldGradMergers
+{
+    HashGradMerger density;
+    HashGradMerger color;
+};
+
+/**
  * One parameter group's gradient shard: a full-size accumulator plus a
  * sparse touch list so reduction only visits written entries. Dense
  * shards (MLPs, where every sample touches every weight) skip the
@@ -206,6 +229,20 @@ class NerfField
                     const FieldTraceOverride *trace = nullptr);
 
     /**
+     * Batched query of a compacted multi-ray sample stream: n points
+     * partitioned into `numRays` per-ray spans, ray r's samples sharing
+     * direction dirs[r]. Every kernel (grid encode, MLP forward) runs
+     * once over the whole stream, so per-ray fixed costs are paid once
+     * per chunk instead of once per ray. Per-sample arithmetic is
+     * bit-identical to queryBatch() on each span separately (and hence
+     * to query()). queryBatch() is the single-span special case.
+     */
+    void queryStream(const Vec3 *pts, int n, const RaySpan *spans,
+                     const Vec3 *dirs, int numRays, FieldSample *out,
+                     FieldBatchRecord *rec, Workspace &ws,
+                     const FieldTraceOverride *trace = nullptr);
+
+    /**
      * Back-propagate a batch of per-sample output gradients in
      * *descending* sample order (the renderer's compositing order, and
      * the order the sequential path applies them in).
@@ -221,6 +258,27 @@ class NerfField
                        bool update_density, bool update_color,
                        FieldGradients *target, Workspace &ws,
                        const FieldTraceOverride *trace = nullptr);
+
+    /**
+     * Backward over a compacted multi-ray stream recorded by
+     * queryStream(): rays in *ascending* order, samples in *descending*
+     * order within each span -- exactly the accumulation order the
+     * per-ray batched path produces, so gradients are bit-identical to
+     * calling backwardBatch() per ray.
+     *
+     * @param mergers  If non-null, hash-grid gradient writes are
+     *                 accumulated per (level, slot) and applied to
+     *                 `target` once per unique entry (BUM-style;
+     *                 bit-identical results, fewer table writes).
+     *                 Requires a non-null `target`.
+     */
+    void backwardStream(const FieldBatchRecord &rec, const RaySpan *spans,
+                        int numRays, const float *d_sigma,
+                        const Vec3 *d_rgb, const uint8_t *skip,
+                        bool update_density, bool update_color,
+                        FieldGradients *target, Workspace &ws,
+                        const FieldTraceOverride *trace = nullptr,
+                        FieldGradMergers *mergers = nullptr);
 
     /**
      * Size `g` to this field's parameter groups and clear it for a new
@@ -277,6 +335,20 @@ class NerfField
     { return queries.load(std::memory_order_relaxed); }
 
   private:
+    /**
+     * Shared batched-backward kernel: propagate the samples listed in
+     * `order` (skipping flagged ones) in that exact sequence. Both
+     * backwardBatch (descending) and backwardStream (ray-ascending,
+     * sample-descending) reduce to this.
+     */
+    void backwardSamples(const FieldBatchRecord &rec, const int *order,
+                         int count, const float *d_sigma,
+                         const Vec3 *d_rgb, const uint8_t *skip,
+                         bool update_density, bool update_color,
+                         FieldGradients *target, Workspace &ws,
+                         const FieldTraceOverride *trace,
+                         FieldGradMergers *mergers);
+
     FieldConfig cfg;
     std::unique_ptr<HashEncoding> densityGridPtr;
     std::unique_ptr<HashEncoding> colorGridPtr;

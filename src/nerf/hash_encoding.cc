@@ -173,10 +173,78 @@ HashEncoding::encodeBatch(const Vec3 *pts, int n, float *out,
 }
 
 void
+HashGradMerger::reset(uint32_t features_per_entry)
+{
+    span = features_per_entry;
+    std::fill(slots.begin(), slots.end(), kEmpty);
+    uniqOffs.clear();
+    accs.clear();
+    pushedRunning = 0;
+}
+
+void
+HashGradMerger::insertAt(uint32_t slot, uint32_t offset, float w,
+                         const float *d_out)
+{
+    slots[slot] = static_cast<uint32_t>(uniqOffs.size());
+    uniqOffs.push_back(offset);
+    for (uint32_t f = 0; f < span; f++)
+        accs.push_back(w * d_out[f]);
+    // Keep the load factor under 1/2 so probe chains stay short.
+    if (uniqOffs.size() * 2 > slots.size())
+        grow();
+}
+
+void
+HashGradMerger::grow()
+{
+    slots.assign(slots.size() * 2, kEmpty);
+    const uint32_t mask = static_cast<uint32_t>(slots.size()) - 1;
+    for (uint32_t i = 0; i < uniqOffs.size(); i++) {
+        uint32_t h = (uniqOffs[i] * 2654435761u) & mask;
+        while (slots[h] != kEmpty)
+            h = (h + 1) & mask;
+        slots[h] = i;
+    }
+}
+
+void
+HashGradMerger::flushInto(float *grad, std::vector<uint32_t> *touched)
+{
+    const size_t n = uniqOffs.size();
+    pushed = pushedRunning;
+    unique = n;
+    if (n == 0)
+        return;
+
+    // Apply in ascending offset order (entries are distinct, so the
+    // order is cosmetic for the sums but keeps touch lists sorted).
+    order.resize(n);
+    for (size_t i = 0; i < n; i++)
+        order[i] = (static_cast<uint64_t>(uniqOffs[i]) << 32) | i;
+    std::sort(order.begin(), order.end());
+
+    for (size_t i = 0; i < n; i++) {
+        const uint32_t off = static_cast<uint32_t>(order[i] >> 32);
+        const float *acc =
+            accs.data() +
+            static_cast<size_t>(static_cast<uint32_t>(order[i])) * span;
+        for (uint32_t f = 0; f < span; f++)
+            grad[off + f] += acc[f];
+        if (touched)
+            touched->push_back(off);
+    }
+    std::fill(slots.begin(), slots.end(), kEmpty);
+    uniqOffs.clear();
+    accs.clear();
+    pushedRunning = 0;
+}
+
+void
 HashEncoding::backwardOne(const uint32_t *addrs, const float *ws,
                           const float *d_out, float *grad,
                           std::vector<uint32_t> *touched,
-                          TraceSink *sink) const
+                          HashGradMerger *merger, TraceSink *sink) const
 {
     const int fpe = cfg.featuresPerEntry;
 
@@ -186,10 +254,15 @@ HashEncoding::backwardOne(const uint32_t *addrs, const float *ws,
             uint32_t addr = addrs[slot];
             float w = ws[slot];
             size_t off = entryOffset(l, addr);
-            for (int f = 0; f < fpe; f++)
-                grad[off + f] += w * d_out[l * fpe + f];
-            if (touched)
-                touched->push_back(static_cast<uint32_t>(off));
+            if (merger) {
+                merger->push(static_cast<uint32_t>(off), w,
+                             d_out + static_cast<size_t>(l) * fpe);
+            } else {
+                for (int f = 0; f < fpe; f++)
+                    grad[off + f] += w * d_out[l * fpe + f];
+                if (touched)
+                    touched->push_back(static_cast<uint32_t>(off));
+            }
 
             if (sink) {
                 sink->record({addr, static_cast<uint16_t>(l),
@@ -208,7 +281,7 @@ HashEncoding::backward(const EncodeRecord &rec, const float *d_out)
     writes.fetch_add(static_cast<uint64_t>(cfg.numLevels) * 8,
                      std::memory_order_relaxed);
     backwardOne(rec.addresses.data(), rec.weights.data(), d_out,
-                gradTable.data(), nullptr, traceSink);
+                gradTable.data(), nullptr, nullptr, traceSink);
 }
 
 void
@@ -222,7 +295,20 @@ HashEncoding::backwardSample(const EncodeBatchRecord &rec, int s,
     writes.fetch_add(slots, std::memory_order_relaxed);
     backwardOne(rec.addresses + static_cast<size_t>(s) * slots,
                 rec.weights + static_cast<size_t>(s) * slots, d_out,
-                grad, touched, sink ? sink : traceSink);
+                grad, touched, nullptr, sink ? sink : traceSink);
+}
+
+void
+HashEncoding::backwardSampleMerged(const EncodeBatchRecord &rec, int s,
+                                   const float *d_out,
+                                   HashGradMerger &merger, TraceSink *sink)
+{
+    panicIf(s < 0 || s >= rec.n, "sample index outside batch record");
+    const size_t slots = static_cast<size_t>(cfg.numLevels) * 8;
+    writes.fetch_add(slots, std::memory_order_relaxed);
+    backwardOne(rec.addresses + static_cast<size_t>(s) * slots,
+                rec.weights + static_cast<size_t>(s) * slots, d_out,
+                nullptr, nullptr, &merger, sink ? sink : traceSink);
 }
 
 void

@@ -58,19 +58,34 @@ void
 OccupancyGrid::update(NerfField &field, Rng &rng)
 {
     const float cell = 1.0f / static_cast<float>(cfg.resolution);
+    const int probes = cfg.samplesPerCellUpdate;
+    const int row = cfg.resolution * probes; // probe count per x-row
+
     size_t idx = 0;
     for (int z = 0; z < cfg.resolution; z++) {
         for (int y = 0; y < cfg.resolution; y++) {
+            ws.reset();
+            Vec3 *pts = ws.alloc<Vec3>(row);
+            FieldSample *fs = ws.alloc<FieldSample>(row);
+
+            // Draw every probe of the row in the exact cell-by-cell
+            // order the scalar loop used, then query them as one
+            // batch (queryBatch is bit-identical to query()).
+            int m = 0;
+            for (int x = 0; x < cfg.resolution; x++) {
+                for (int s = 0; s < probes; s++) {
+                    pts[m++] = Vec3((x + rng.nextFloat()) * cell,
+                                    (y + rng.nextFloat()) * cell,
+                                    (z + rng.nextFloat()) * cell);
+                }
+            }
+            field.queryBatch(pts, m, {0.0f, 0.0f, 1.0f}, fs, nullptr,
+                             ws);
+
             for (int x = 0; x < cfg.resolution; x++, idx++) {
                 float fresh = 0.0f;
-                for (int s = 0; s < cfg.samplesPerCellUpdate; s++) {
-                    Vec3 p((x + rng.nextFloat()) * cell,
-                           (y + rng.nextFloat()) * cell,
-                           (z + rng.nextFloat()) * cell);
-                    fresh = std::max(
-                        fresh,
-                        field.query(p, {0.0f, 0.0f, 1.0f}).sigma);
-                }
+                for (int s = 0; s < probes; s++)
+                    fresh = std::max(fresh, fs[x * probes + s].sigma);
                 density[idx] =
                     std::max(density[idx] * cfg.decay, fresh);
             }

@@ -18,6 +18,7 @@
 
 #include "common/rng.hh"
 #include "common/vec3.hh"
+#include "common/workspace.hh"
 
 namespace instant3d {
 
@@ -55,7 +56,9 @@ class OccupancyGrid
     /**
      * Refresh the grid from the field: each cell's density estimate
      * decays and is maxed with fresh point samples (Instant-NGP's
-     * update rule).
+     * update rule). Probes are drawn cell-by-cell from `rng` (so the
+     * refresh is bit-reproducible for a fixed seed) but queried one
+     * x-row at a time through the batched field kernels.
      */
     void update(NerfField &field, Rng &rng);
 
@@ -80,6 +83,7 @@ class OccupancyGrid
   private:
     OccupancyGridConfig cfg;
     std::vector<float> density;
+    Workspace ws; //!< Scratch for the batched update queries.
 };
 
 } // namespace instant3d

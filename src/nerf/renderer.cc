@@ -71,72 +71,150 @@ VolumeRenderer::renderRayBatch(NerfField &field, const Ray &ray,
                                Workspace &ws,
                                const FieldTraceOverride *trace) const
 {
+    // The single-ray case of the stream kernels: march, one batched
+    // query, composite -- identical arithmetic to a chunk-level stream
+    // that happens to hold one ray.
+    SampleStream local;
+    SampleStream &stream = rec ? rec->stream : local;
+    marchRays(&ray, 1, jitter, stream, ws);
+
+    RayResult out;
+    renderStream(field, stream, &out, rec ? &rec->rec : nullptr, ws,
+                 trace);
+    return out;
+}
+
+void
+VolumeRenderer::marchRays(const Ray *rays, int numRays, Rng *rngs,
+                          SampleStream &stream, Workspace &ws) const
+{
     const int n = cfg.samplesPerRay;
     const float dt = (cfg.tFar - cfg.tNear) / static_cast<float>(n);
 
-    // Draw all jitter offsets first: one draw per sample bin, exactly
-    // the stream renderRay consumes (offsets are drawn before the
-    // occupancy check there too).
+    stream.numRays = numRays;
+    stream.dt = dt;
+    stream.spans = ws.alloc<RaySpan>(numRays);
+    stream.pts = ws.alloc<Vec3>(static_cast<size_t>(numRays) * n);
+    stream.ts = ws.alloc<float>(static_cast<size_t>(numRays) * n);
+    stream.dirs = ws.alloc<Vec3>(numRays);
+
     float *offsets = ws.alloc<float>(n);
-    for (int k = 0; k < n; k++)
-        offsets[k] = jitter ? jitter->nextFloat() : 0.5f;
+    int total = 0;
+    for (int r = 0; r < numRays; r++) {
+        stream.dirs[r] = rays[r].direction;
+        // Same jitter stream as renderRayBatch: one draw per sample
+        // bin, all drawn before the occupancy filter.
+        Rng *jitter = rngs ? &rngs[r] : nullptr;
+        for (int k = 0; k < n; k++)
+            offsets[k] = jitter ? jitter->nextFloat() : 0.5f;
 
-    // Gather the samples that survive empty-space skipping.
-    Vec3 *pts = ws.alloc<Vec3>(n);
-    float *ts = ws.alloc<float>(n);
-    int m = 0;
-    for (int k = 0; k < n; k++) {
-        float t = cfg.tNear + (static_cast<float>(k) + offsets[k]) * dt;
-        Vec3 p = ray.at(t);
-        if (occupancy && !occupancy->occupied(p))
-            continue;
-        pts[m] = p;
-        ts[m] = t;
-        m++;
+        stream.spans[r].offset = total;
+        for (int k = 0; k < n; k++) {
+            float t =
+                cfg.tNear + (static_cast<float>(k) + offsets[k]) * dt;
+            Vec3 p = rays[r].at(t);
+            if (occupancy && !occupancy->occupied(p))
+                continue;
+            stream.pts[total] = p;
+            stream.ts[total] = t;
+            total++;
+        }
+        stream.spans[r].count = total - stream.spans[r].offset;
     }
+    stream.totalSamples = total;
+}
 
-    // One batched field query for the whole ray.
-    FieldSample *fs = ws.alloc<FieldSample>(m);
-    field.queryBatch(pts, m, ray.direction, fs,
-                     rec ? &rec->field : nullptr, ws, trace);
+void
+VolumeRenderer::renderStream(NerfField &field, const SampleStream &stream,
+                             RayResult *results, StreamRecord *rec,
+                             Workspace &ws,
+                             const FieldTraceOverride *trace) const
+{
+    const int total = stream.totalSamples;
+    FieldSample *fs = ws.alloc<FieldSample>(total);
+    field.queryStream(stream.pts, total, stream.spans, stream.dirs,
+                      stream.numRays, fs, rec ? &rec->field : nullptr,
+                      ws, trace);
 
     if (rec) {
-        rec->n = m;
-        rec->t = ts;
-        rec->dt = ws.alloc<float>(m);
-        rec->sigma = ws.alloc<float>(m);
-        rec->alpha = ws.alloc<float>(m);
-        rec->trans = ws.alloc<float>(m);
-        rec->rgb = ws.alloc<Vec3>(m);
+        rec->alpha = ws.alloc<float>(total);
+        rec->trans = ws.alloc<float>(total);
+        rec->rgb = ws.alloc<Vec3>(total);
+        rec->finalTrans = ws.alloc<float>(stream.numRays);
     }
 
-    RayResult out;
-    float transmittance = 1.0f;
-    for (int k = 0; k < m; k++) {
-        float alpha = 1.0f - std::exp(-fs[k].sigma * dt);
-        float weight = transmittance * alpha;
-        out.color += fs[k].rgb * weight;
-        out.depth += ts[k] * weight;
+    for (int r = 0; r < stream.numRays; r++) {
+        const RaySpan span = stream.spans[r];
+        RayResult out;
+        float transmittance = 1.0f;
+        for (int k = span.offset; k < span.offset + span.count; k++) {
+            float alpha = 1.0f - std::exp(-fs[k].sigma * stream.dt);
+            float weight = transmittance * alpha;
+            out.color += fs[k].rgb * weight;
+            out.depth += stream.ts[k] * weight;
 
-        if (rec) {
-            rec->dt[k] = dt;
-            rec->sigma[k] = fs[k].sigma;
-            rec->alpha[k] = alpha;
-            rec->trans[k] = transmittance;
-            rec->rgb[k] = fs[k].rgb;
+            if (rec) {
+                rec->alpha[k] = alpha;
+                rec->trans[k] = transmittance;
+                rec->rgb[k] = fs[k].rgb;
+            }
+
+            transmittance *= 1.0f - alpha;
+            if (!rec && transmittance < cfg.earlyStopTransmittance)
+                break;
         }
+        out.color += cfg.background * transmittance;
+        out.depth += cfg.tFar * transmittance;
+        out.opacity = 1.0f - transmittance;
+        if (rec)
+            rec->finalTrans[r] = transmittance;
+        results[r] = out;
+    }
+}
 
-        transmittance *= 1.0f - alpha;
-        if (!rec && transmittance < cfg.earlyStopTransmittance)
-            break;
+void
+VolumeRenderer::backwardStream(NerfField &field,
+                               const SampleStream &stream,
+                               const StreamRecord &rec,
+                               const Vec3 *d_colors, bool update_density,
+                               bool update_color, FieldGradients *target,
+                               Workspace &ws,
+                               const FieldTraceOverride *trace,
+                               FieldGradMergers *mergers) const
+{
+    const int total = stream.totalSamples;
+    float *d_sigma = ws.alloc<float>(total);
+    Vec3 *d_rgb = ws.alloc<Vec3>(total);
+    uint8_t *skip = ws.alloc<uint8_t>(total);
+
+    // Same per-ray suffix recursion as backwardRayBatch, descending
+    // over each span. Samples whose gradients fall below the skip
+    // threshold (occluded points, post-early-stop tails) are flagged
+    // and never enter the propagation stage.
+    for (int r = 0; r < stream.numRays; r++) {
+        const RaySpan span = stream.spans[r];
+        const Vec3 &d_color = d_colors[r];
+        float suffix = cfg.background.dot(d_color) * rec.finalTrans[r];
+        for (int k = span.offset + span.count - 1; k >= span.offset;
+             k--) {
+            float weight = rec.trans[k] * rec.alpha[k];
+            float cg = rec.rgb[k].dot(d_color);
+
+            d_sigma[k] =
+                stream.dt *
+                ((1.0f - rec.alpha[k]) * rec.trans[k] * cg - suffix);
+            d_rgb[k] = d_color * weight;
+            float mag = std::fabs(d_sigma[k]) + std::fabs(d_rgb[k].x) +
+                        std::fabs(d_rgb[k].y) + std::fabs(d_rgb[k].z);
+            skip[k] = mag > cfg.gradientSkipThreshold ? 0 : 1;
+
+            suffix += weight * cg;
+        }
     }
 
-    out.color += cfg.background * transmittance;
-    out.depth += cfg.tFar * transmittance;
-    out.opacity = 1.0f - transmittance;
-    if (rec)
-        rec->finalTransmittance = transmittance;
-    return out;
+    field.backwardStream(rec.field, stream.spans, stream.numRays,
+                         d_sigma, d_rgb, skip, update_density,
+                         update_color, target, ws, trace, mergers);
 }
 
 RayResult
@@ -195,29 +273,8 @@ VolumeRenderer::backwardRayBatch(NerfField &field,
                                  FieldGradients *target, Workspace &ws,
                                  const FieldTraceOverride *trace) const
 {
-    const int m = rec.n;
-    float *d_sigma = ws.alloc<float>(m);
-    Vec3 *d_rgb = ws.alloc<Vec3>(m);
-    uint8_t *skip = ws.alloc<uint8_t>(m);
-
-    // Same suffix recursion as backwardRay, descending over samples.
-    float suffix = cfg.background.dot(d_color) * rec.finalTransmittance;
-    for (int k = m - 1; k >= 0; k--) {
-        float weight = rec.trans[k] * rec.alpha[k];
-        float cg = rec.rgb[k].dot(d_color);
-
-        d_sigma[k] = rec.dt[k] *
-                     ((1.0f - rec.alpha[k]) * rec.trans[k] * cg - suffix);
-        d_rgb[k] = d_color * weight;
-        float mag = std::fabs(d_sigma[k]) + std::fabs(d_rgb[k].x) +
-                    std::fabs(d_rgb[k].y) + std::fabs(d_rgb[k].z);
-        skip[k] = mag > cfg.gradientSkipThreshold ? 0 : 1;
-
-        suffix += weight * cg;
-    }
-
-    field.backwardBatch(rec.field, d_sigma, d_rgb, skip, update_density,
-                        update_color, target, ws, trace);
+    backwardStream(field, rec.stream, rec.rec, &d_color, update_density,
+                   update_color, target, ws, trace, nullptr);
 }
 
 void

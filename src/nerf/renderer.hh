@@ -72,20 +72,49 @@ struct RayRecord
 };
 
 /**
+ * Chunk-level occupancy-compacted sample stream (arena-backed SoA,
+ * valid until the Workspace resets). marchRays() walks a chunk of rays
+ * against the occupancy grid and emits only the surviving samples as
+ * one flat buffer with per-ray (offset, count) spans; every downstream
+ * kernel (field query, compositing, backward) then runs once over the
+ * whole stream instead of once per ray.
+ */
+struct SampleStream
+{
+    int numRays = 0;
+    int totalSamples = 0;    //!< Samples surviving empty-space skipping.
+    RaySpan *spans = nullptr;
+    Vec3 *pts = nullptr;     //!< [totalSamples] sample positions.
+    float *ts = nullptr;     //!< [totalSamples] ray parameters.
+    Vec3 *dirs = nullptr;    //!< [numRays] ray directions.
+    float dt = 0.0f;         //!< Uniform step length.
+};
+
+/**
+ * Forward context of one composited stream, consumed by
+ * backwardStream(). Per-sample arrays are stream-indexed; finalTrans
+ * is per ray.
+ */
+struct StreamRecord
+{
+    FieldBatchRecord field;
+    float *alpha = nullptr;
+    float *trans = nullptr;      //!< T_k before each sample.
+    Vec3 *rgb = nullptr;
+    float *finalTrans = nullptr; //!< [numRays] post-march transmittance.
+};
+
+/**
  * Arena-backed forward context of one ray rendered through the batched
- * path (SoA across samples; valid until the Workspace resets).
+ * path: a one-ray sample stream plus its forward record (valid until
+ * the Workspace resets). renderRayBatch/backwardRayBatch are the
+ * single-ray special case of the stream kernels, so the per-ray and
+ * chunk-level paths share every line of arithmetic.
  */
 struct RayBatchRecord
 {
-    int n = 0;            //!< Samples actually queried (occupancy kept).
-    float *t = nullptr;
-    float *dt = nullptr;
-    float *sigma = nullptr;
-    float *alpha = nullptr;
-    float *trans = nullptr; //!< T_k before each sample.
-    Vec3 *rgb = nullptr;
-    FieldBatchRecord field;
-    float finalTransmittance = 1.0f;
+    SampleStream stream;
+    StreamRecord rec;
 };
 
 /**
@@ -127,9 +156,10 @@ class VolumeRenderer
                      bool update_color = true) const;
 
     /**
-     * Training-path march: draws the same jitter stream as renderRay,
-     * batches all surviving samples through one NerfField::queryBatch,
-     * and composites. Per-sample arithmetic matches renderRay with a
+     * Training-path march of one ray: the single-ray case of
+     * marchRays + renderStream (draws the same jitter stream as
+     * renderRay, queries the surviving samples in one batch, and
+     * composites). Per-sample arithmetic matches renderRay with a
      * record (no early stop), so results are bit-identical to the
      * scalar path. All scratch and the record come from ws.
      */
@@ -148,6 +178,43 @@ class VolumeRenderer
      */
     RayResult renderRayFast(NerfField &field, const Ray &ray,
                             Workspace &ws) const;
+
+    /**
+     * Stage 1 of the compacted hot path: march a chunk of rays against
+     * the occupancy grid, drawing each ray's stratified jitter from its
+     * own RNG stream (rngs[r]; nullptr = bin centers), and emit the
+     * surviving samples as a flat stream. The per-ray jitter draws and
+     * the occupancy filter are exactly those of renderRayBatch, so the
+     * stream holds the same samples the per-ray path would query.
+     */
+    void marchRays(const Ray *rays, int numRays, Rng *rngs,
+                   SampleStream &stream, Workspace &ws) const;
+
+    /**
+     * Stages 2-3: one NerfField::queryStream over the whole stream,
+     * then per-ray alpha compositing identical to renderRayBatch
+     * (results[r] is bit-equal to renderRayBatch on ray r). With `rec`,
+     * early-stop stays disabled so gradients reach all samples.
+     */
+    void renderStream(NerfField &field, const SampleStream &stream,
+                      RayResult *results, StreamRecord *rec,
+                      Workspace &ws,
+                      const FieldTraceOverride *trace = nullptr) const;
+
+    /**
+     * Stage 4: per-ray suffix recursion (same arithmetic as
+     * backwardRayBatch) producing the stream's (d_sigma, d_rgb, skip)
+     * arrays, then one NerfField::backwardStream in ray-ascending,
+     * sample-descending order -- bit-identical gradients to per-ray
+     * backwardRayBatch calls. `mergers`, if given, merges duplicate
+     * hash-grid gradient writes before they reach `target`.
+     */
+    void backwardStream(NerfField &field, const SampleStream &stream,
+                        const StreamRecord &rec, const Vec3 *d_colors,
+                        bool update_density, bool update_color,
+                        FieldGradients *target, Workspace &ws,
+                        const FieldTraceOverride *trace = nullptr,
+                        FieldGradMergers *mergers = nullptr) const;
 
     /**
      * Batched counterpart of backwardRay: computes every sample's

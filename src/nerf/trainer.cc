@@ -45,12 +45,31 @@ Trainer::Trainer(const Dataset &dataset, const FieldConfig &field_config,
                                             : cfg.numThreads);
     workspaces.resize(pool->threadCount());
     shards.resize(std::min(cfg.gradShards, cfg.raysPerBatch));
+    if (cfg.mergeHashGrads)
+        mergers.resize(shards.size());
 }
 
 bool
 Trainer::dueThisIteration(int period) const
 {
     return iter % period == 0;
+}
+
+void
+Trainer::sampleTrainingRay(Rng &rng, Ray &ray, Vec3 &gt) const
+{
+    // Step 1: randomly sample a pixel from a training view.
+    const View &view = data.trainViews[rng.nextU32(
+        static_cast<uint32_t>(data.trainViews.size()))];
+    int col = static_cast<int>(rng.nextU32(
+        static_cast<uint32_t>(view.camera.imageWidth())));
+    int row = static_cast<int>(rng.nextU32(
+        static_cast<uint32_t>(view.camera.imageHeight())));
+    gt = view.rgb.at(col, row);
+
+    // Step 2: map the pixel to a ray (jittered in the pixel).
+    ray = view.camera.pixelRay(col, row, rng.nextFloat(),
+                               rng.nextFloat());
 }
 
 TrainStats
@@ -113,6 +132,12 @@ Trainer::trainIteration()
         }
     }
 
+    // The compacted stream reorders grid accesses within a chunk (all
+    // forward reads, then all backward writes), so it defers to the
+    // per-ray path whenever a trace sink expects program order.
+    const bool compact = cfg.compactSamples && !traced;
+    const bool merge = compact && cfg.mergeHashGrads;
+
     const uint64_t it = static_cast<uint64_t>(iter);
     pool->parallelFor(num_chunks, [&](int c, int rank) {
         Workspace &ws = workspaces[rank];
@@ -122,6 +147,61 @@ Trainer::trainIteration()
         const int r_end =
             std::min(r_begin + chunk_len, cfg.raysPerBatch);
 
+        // Trailing chunks can be empty when raysPerBatch is not a
+        // multiple of the chunk count.
+        const int nr = r_end > r_begin ? r_end - r_begin : 0;
+        if (nr == 0) {
+            chunkLoss[c] = 0.0;
+            return;
+        }
+
+        if (compact) {
+            // Compacted hot path: one arena generation, one sample
+            // stream, and one field query per chunk.
+            ws.reset();
+            Rng *rngs = ws.alloc<Rng>(nr);
+            Ray *rays = ws.alloc<Ray>(nr);
+            Vec3 *gts = ws.alloc<Vec3>(nr);
+            for (int i = 0; i < nr; i++) {
+                // Per-ray stream: results do not depend on which
+                // thread (or chunk schedule) processed this ray.
+                rngs[i] = Rng::forIndex(
+                    cfg.seed, it, static_cast<uint64_t>(r_begin + i));
+                sampleTrainingRay(rngs[i], rays[i], gts[i]);
+            }
+
+            // Step 3a: march against the occupancy grid; only the
+            // surviving samples enter the stream.
+            SampleStream stream;
+            rendererPtr->marchRays(rays, nr, rngs, stream, ws);
+
+            // Steps 3b-4: one field query over the stream + per-ray
+            // compositing.
+            StreamRecord srec;
+            RayResult *results = ws.alloc<RayResult>(nr);
+            rendererPtr->renderStream(*fieldPtr, stream, results, &srec,
+                                      ws, trace);
+
+            // Step 5: squared-error loss and dL/dC per ray.
+            double loss_acc = 0.0;
+            Vec3 *d_colors = ws.alloc<Vec3>(nr);
+            for (int i = 0; i < nr; i++) {
+                Vec3 err = results[i].color - gts[i];
+                loss_acc += (err.x * err.x + err.y * err.y +
+                             err.z * err.z) / 3.0;
+                d_colors[i] = err * (2.0f / 3.0f * inv_batch);
+            }
+
+            // Step 6: stream backward into this chunk's shard,
+            // optionally merging duplicate grid writes first.
+            rendererPtr->backwardStream(
+                *fieldPtr, stream, srec, d_colors, stats.densityUpdated,
+                stats.colorUpdated, &shard, ws, trace,
+                merge ? &mergers[c] : nullptr);
+            chunkLoss[c] = loss_acc;
+            return;
+        }
+
         double loss_acc = 0.0;
         for (int r = r_begin; r < r_end; r++) {
             ws.reset();
@@ -129,19 +209,9 @@ Trainer::trainIteration()
             // (or chunk schedule) processed this ray.
             Rng ray_rng = Rng::forIndex(cfg.seed, it,
                                         static_cast<uint64_t>(r));
-
-            // Step 1: randomly sample a pixel from a training view.
-            const View &view = data.trainViews[ray_rng.nextU32(
-                static_cast<uint32_t>(data.trainViews.size()))];
-            int col = static_cast<int>(ray_rng.nextU32(
-                static_cast<uint32_t>(view.camera.imageWidth())));
-            int row = static_cast<int>(ray_rng.nextU32(
-                static_cast<uint32_t>(view.camera.imageHeight())));
-            Vec3 gt = view.rgb.at(col, row);
-
-            // Step 2: map the pixel to a ray (jittered in the pixel).
-            Ray ray = view.camera.pixelRay(col, row, ray_rng.nextFloat(),
-                                           ray_rng.nextFloat());
+            Ray ray;
+            Vec3 gt;
+            sampleTrainingRay(ray_rng, ray, gt);
 
             // Steps 3-4: batched field query + compositing.
             RayBatchRecord rec;
@@ -184,6 +254,13 @@ Trainer::trainIteration()
     for (int c = 0; c < num_chunks; c++) {
         fieldPtr->reduceGradients(shards[c]);
         loss_acc += chunkLoss[c];
+        if (merge) {
+            stats.gridGradWrites += mergers[c].density.pushedWrites() +
+                                    mergers[c].color.pushedWrites();
+            stats.gridGradWritesMerged +=
+                mergers[c].density.uniqueEntries() +
+                mergers[c].color.uniqueEntries();
+        }
     }
 
     // Apply optimizer steps to the branches due this iteration.
@@ -230,16 +307,9 @@ Trainer::trainIterationScalar()
     float inv_batch = 1.0f / static_cast<float>(cfg.raysPerBatch);
 
     for (int r = 0; r < cfg.raysPerBatch; r++) {
-        const View &view = data.trainViews[rng.nextU32(
-            static_cast<uint32_t>(data.trainViews.size()))];
-        int col = static_cast<int>(
-            rng.nextU32(static_cast<uint32_t>(view.camera.imageWidth())));
-        int row = static_cast<int>(
-            rng.nextU32(static_cast<uint32_t>(view.camera.imageHeight())));
-        Vec3 gt = view.rgb.at(col, row);
-
-        Ray ray = view.camera.pixelRay(col, row, rng.nextFloat(),
-                                       rng.nextFloat());
+        Ray ray;
+        Vec3 gt;
+        sampleTrainingRay(rng, ray, gt);
 
         RayRecord rec;
         RayResult result = rendererPtr->renderRay(*fieldPtr, ray, &rng,

@@ -78,6 +78,30 @@ struct TrainConfig
      */
     bool scalarReference = false;
 
+    /**
+     * Process each chunk as one occupancy-compacted sample stream
+     * (march all rays -> single field query over the surviving samples
+     * -> per-ray compositing -> stream backward) instead of per-ray
+     * batches, paying per-ray kernel fixed costs once per chunk.
+     * Bit-identical to the per-ray batched path -- with or without an
+     * occupancy grid -- and to itself at any thread count. Falls back
+     * to the per-ray path while a trace sink is attached, because the
+     * stream reorders grid accesses (all reads, then all writes) and
+     * trace record order is part of the trace contract.
+     */
+    bool compactSamples = true;
+
+    /**
+     * Merge duplicate hash-table gradient writes per chunk (the
+     * paper's BUM idea, Fig 10): each chunk's grid scatters accumulate
+     * in a small per-chunk buffer and colliding writes cost one table
+     * update instead of many; the deduplicated touch lists also
+     * shrink the shard reduction. Per-address sums keep program order
+     * and shards start from zero, so training stays bit-identical to
+     * the unmerged path. Only active on the compacted path.
+     */
+    bool mergeHashGrads = false;
+
     uint64_t seed = 42;
 };
 
@@ -88,6 +112,14 @@ struct TrainStats
     uint64_t pointsQueried = 0; //!< Field queries this iteration.
     bool densityUpdated = false;
     bool colorUpdated = false;
+
+    /**
+     * Hash-grid gradient-write merging (mergeHashGrads only, both
+     * grids summed): logical scatters buffered vs unique table entries
+     * actually written. Their ratio is the Fig 10 merge factor.
+     */
+    uint64_t gridGradWrites = 0;
+    uint64_t gridGradWritesMerged = 0;
 };
 
 /**
@@ -133,6 +165,15 @@ class Trainer
 
   private:
     bool dueThisIteration(int period) const;
+
+    /**
+     * Steps 1-2 of the loop: draw one training pixel (view, column,
+     * row) and the jittered ray through it from `rng`. Every training
+     * path (scalar, per-ray batched, compacted) consumes exactly this
+     * draw sequence, which is what keeps them bit-comparable.
+     */
+    void sampleTrainingRay(Rng &rng, Ray &ray, Vec3 &gt) const;
+
     TrainStats trainIterationScalar();
     void forEachPixel(
         const Camera &camera,
@@ -148,6 +189,7 @@ class Trainer
     std::unique_ptr<ThreadPool> pool;
     std::vector<Workspace> workspaces;    //!< One per thread rank.
     std::vector<FieldGradients> shards;   //!< One per ray chunk.
+    std::vector<FieldGradMergers> mergers; //!< One per chunk (if merging).
     std::vector<double> chunkLoss;
     Rng rng;
     int iter = 0;
