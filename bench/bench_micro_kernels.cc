@@ -11,6 +11,7 @@
 #include "accel/bum.hh"
 #include "accel/frm.hh"
 #include "common/rng.hh"
+#include "nerf/adam.hh"
 #include "nerf/renderer.hh"
 
 namespace instant3d {
@@ -237,6 +238,66 @@ BM_HashGradMerge(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * writes);
 }
 BENCHMARK(BM_HashGradMerge)->Arg(64)->Arg(1024)->Arg(65536);
+
+/**
+ * The sparse lazy Adam step on a grid-sized group: `range` touched
+ * entries per step out of 2^16 (span 2), steady state (the same
+ * entries every step, so the active set equals the touched set).
+ * Compare against BM_DenseAdamStep for the full-table-scan cost the
+ * sparse path replaces.
+ */
+void
+BM_SparseAdamStep(benchmark::State &state)
+{
+    constexpr uint32_t span = 2;
+    constexpr size_t entries = 1 << 16;
+    constexpr size_t n = entries * span;
+    AdamConfig acfg;
+    Adam adam(n, acfg);
+    adam.enableSparse(span);
+
+    Rng r(21);
+    const uint32_t k = static_cast<uint32_t>(state.range(0));
+    std::vector<uint32_t> touched;
+    std::vector<uint8_t> seen(entries, 0);
+    while (touched.size() < k) {
+        uint32_t e = r.nextU32(entries);
+        if (!seen[e]) {
+            seen[e] = 1;
+            touched.push_back(e * span);
+        }
+    }
+    std::vector<float> params(n, 0.1f);
+    std::vector<float> grads(n, 0.0f);
+    for (uint32_t off : touched)
+        for (uint32_t f = 0; f < span; f++)
+            grads[off + f] = r.nextFloat(-1.0f, 1.0f);
+
+    for (auto _ : state) {
+        adam.stepSparse(params, grads, touched);
+        adam.catchUp(params);
+        benchmark::DoNotOptimize(params.data());
+    }
+    state.SetItemsProcessed(state.iterations() * k * span);
+}
+BENCHMARK(BM_SparseAdamStep)->Arg(64)->Arg(1024)->Arg(16384);
+
+/** Dense Adam over the same 2^17-param group: the replaced scan. */
+void
+BM_DenseAdamStep(benchmark::State &state)
+{
+    constexpr size_t n = (1 << 16) * 2;
+    AdamConfig acfg;
+    Adam adam(n, acfg);
+    std::vector<float> params(n, 0.1f);
+    std::vector<float> grads(n, 0.0f);
+    for (auto _ : state) {
+        adam.step(params, grads);
+        benchmark::DoNotOptimize(params.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DenseAdamStep);
 
 void
 BM_FrmSchedule(benchmark::State &state)

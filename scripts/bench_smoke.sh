@@ -20,3 +20,17 @@ echo "bench_smoke: wrote $(pwd)/BENCH_train_throughput.json"
 grep '"hardware_concurrency"' BENCH_train_throughput.json
 grep -o '"occupied_fraction": [0-9.]*' BENCH_train_throughput.json | sort -u
 sed -n '/"speedups"/,/}/p' BENCH_train_throughput.json
+
+# Regression gate: the sparse touched-entry optimizer must not be
+# slower than the dense full-table-scan baseline on the converged-grid
+# workload (steady-state value is ~2-3x on the CI container; 1.0 is
+# the hard floor).
+sparse=$(grep -o '"sparse_vs_dense_optimizer": [0-9.]*' \
+             BENCH_train_throughput.json | awk '{print $2}')
+awk -v s="$sparse" 'BEGIN {
+    if (s == "" || s + 0 < 1.0) {
+        print "bench_smoke: FAIL sparse_vs_dense_optimizer=" s " < 1.0"
+        exit 1
+    }
+    print "bench_smoke: sparse_vs_dense_optimizer=" s " (>= 1.0 ok)"
+}'

@@ -613,6 +613,85 @@ NerfField::prepareGradients(FieldGradients &g) const
 }
 
 void
+NerfField::noteDirty(DirtySet &set, const std::vector<uint32_t> &touched,
+                     uint32_t span) const
+{
+    for (uint32_t off : touched) {
+        const uint32_t entry = off / span;
+        uint64_t &word = set.bits[entry >> 6];
+        const uint64_t bit = 1ull << (entry & 63);
+        if (!(word & bit)) {
+            word |= bit;
+            set.entries.push_back(off);
+        }
+    }
+}
+
+void
+NerfField::resetDirty(DirtySet &set)
+{
+    // The bitmap is one bit per table entry, so the per-iteration
+    // clear is a few KB of memset -- cheaper than any epoch scheme's
+    // extra indirection in the hot membership test.
+    std::fill(set.bits.begin(), set.bits.end(), 0ull);
+    set.entries.clear();
+}
+
+void
+NerfField::setDirtyTracking(bool enable)
+{
+    trackDirty = enable;
+    if (!enable)
+        return;
+    auto init = [](DirtySet &set, size_t grads_size, uint32_t span) {
+        set.bits.assign((grads_size / span + 63) / 64, 0ull);
+        set.entries.clear();
+    };
+    if (densityGridPtr) {
+        init(dirtyDensity, densityGridPtr->grads().size(),
+             static_cast<uint32_t>(
+                 densityGridPtr->config().featuresPerEntry));
+    }
+    if (colorGridPtr) {
+        init(dirtyColor, colorGridPtr->grads().size(),
+             static_cast<uint32_t>(
+                 colorGridPtr->config().featuresPerEntry));
+    }
+}
+
+const std::vector<uint32_t> &
+NerfField::dirtyEntries(ParamGroupId id) const
+{
+    panicIf(!trackDirty, "dirty tracking is not enabled");
+    switch (id) {
+      case ParamGroupId::DensityGrid:
+        panicIf(!densityGridPtr, "field mode has no density grid");
+        return dirtyDensity.entries;
+      case ParamGroupId::ColorGrid:
+        panicIf(!colorGridPtr, "field mode has no color grid");
+        return dirtyColor.entries;
+      default:
+        panic("only grid groups have dirty lists");
+    }
+}
+
+void
+NerfField::zeroGradDirty()
+{
+    panicIf(!trackDirty, "zeroGradDirty() needs dirty tracking");
+    if (densityGridPtr) {
+        densityGridPtr->zeroGradEntries(dirtyDensity.entries);
+        resetDirty(dirtyDensity);
+    }
+    if (colorGridPtr) {
+        colorGridPtr->zeroGradEntries(dirtyColor.entries);
+        resetDirty(dirtyColor);
+    }
+    densityMlpPtr->zeroGrad();
+    colorMlpPtr->zeroGrad();
+}
+
+void
 NerfField::reduceGradients(FieldGradients &g)
 {
     auto reduce_sparse = [](GradShard &s, std::vector<float> &dst) {
@@ -631,10 +710,17 @@ NerfField::reduceGradients(FieldGradients &g)
         }
     };
 
-    if (densityGridPtr && !g.densityGrid.v.empty())
+    if (densityGridPtr && !g.densityGrid.v.empty()) {
+        if (trackDirty)
+            noteDirty(dirtyDensity, g.densityGrid.touched,
+                      g.densityGrid.span);
         reduce_sparse(g.densityGrid, densityGridPtr->grads());
-    if (colorGridPtr && !g.colorGrid.v.empty())
+    }
+    if (colorGridPtr && !g.colorGrid.v.empty()) {
+        if (trackDirty)
+            noteDirty(dirtyColor, g.colorGrid.touched, g.colorGrid.span);
         reduce_sparse(g.colorGrid, colorGridPtr->grads());
+    }
     if (!g.densityMlp.v.empty())
         reduce_dense(g.densityMlp, densityMlpPtr->grads());
     if (!g.colorMlp.v.empty())
@@ -725,6 +811,12 @@ NerfField::zeroGrad()
         colorGridPtr->zeroGrad();
     densityMlpPtr->zeroGrad();
     colorMlpPtr->zeroGrad();
+    // A full clear also settles the dirty bookkeeping, so mixing the
+    // two clear paths cannot leave stale dirty lists behind.
+    if (trackDirty) {
+        resetDirty(dirtyDensity);
+        resetDirty(dirtyColor);
+    }
 }
 
 } // namespace instant3d

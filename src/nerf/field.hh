@@ -290,9 +290,37 @@ class NerfField
     /**
      * Add a shard set into the field's real gradient buffers and
      * restore the shard's cleared state. Called once per chunk in fixed
-     * chunk order by the trainer.
+     * chunk order by the trainer. With dirty tracking enabled, each
+     * shard's grid touch lists are unioned (stamp-deduplicated) into
+     * the per-group dirty lists consumed by the sparse optimizer.
      */
     void reduceGradients(FieldGradients &g);
+
+    /**
+     * Track the union of touched grid entries across reduceGradients()
+     * calls, so the optimizer and zeroGradDirty() can visit only the
+     * entries this iteration actually wrote. Off by default (no
+     * overhead for non-sparse training).
+     */
+    void setDirtyTracking(bool enable);
+    bool dirtyTracking() const { return trackDirty; }
+
+    /**
+     * Unique entry base offsets of a grid group written since the last
+     * zeroGrad/zeroGradDirty (first-touch order over the fixed chunk
+     * reduction order, hence deterministic). Only grid groups have
+     * dirty lists; panics for MLP groups.
+     */
+    const std::vector<uint32_t> &dirtyEntries(ParamGroupId id) const;
+
+    /**
+     * O(touched) gradient clear: zero only the dirty grid entries (the
+     * grids are all-zero elsewhere by the reduce invariant), densely
+     * zero the small MLP gradient buffers, and reset the dirty lists.
+     * Requires dirty tracking to have been enabled for the whole
+     * accumulation window; zeroGrad() remains the full-scan fallback.
+     */
+    void zeroGradDirty();
 
     /** True when any of this field's grids has a trace sink attached. */
     bool traceAttached() const;
@@ -349,12 +377,31 @@ class NerfField
                          const FieldTraceOverride *trace,
                          FieldGradMergers *mergers);
 
+    /**
+     * One grid group's dirty-entry set: the unique touched entries plus
+     * a membership bitmap (cache-resident: one bit per table entry) for
+     * O(1) deduplication while shard touch lists (which repeat offsets
+     * per scatter) are unioned.
+     */
+    struct DirtySet
+    {
+        std::vector<uint32_t> entries; //!< Unique base offsets.
+        std::vector<uint64_t> bits;    //!< Per-entry membership bit.
+    };
+
+    void noteDirty(DirtySet &set, const std::vector<uint32_t> &touched,
+                   uint32_t span) const;
+    static void resetDirty(DirtySet &set);
+
     FieldConfig cfg;
     std::unique_ptr<HashEncoding> densityGridPtr;
     std::unique_ptr<HashEncoding> colorGridPtr;
     std::unique_ptr<Mlp> densityMlpPtr;
     std::unique_ptr<Mlp> colorMlpPtr;
     std::atomic<uint64_t> queries{0};
+    bool trackDirty = false;
+    DirtySet dirtyDensity;
+    DirtySet dirtyColor;
 };
 
 /** Softplus density activation and its derivative. */

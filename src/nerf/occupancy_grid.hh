@@ -31,6 +31,24 @@ struct OccupancyGridConfig
     float decay = 0.95f;         //!< Per-update density EMA decay.
     float occupancyThreshold = 0.5f; //!< Density above this = occupied.
     int samplesPerCellUpdate = 1;    //!< Random probes per cell/update.
+
+    /**
+     * Amortized refresh (Instant-NGP-style): refresh() re-probes only
+     * the currently occupied cells plus a rotating stratified slice of
+     * the unoccupied ones, instead of the full res^3 sweep, and decays
+     * every other cell's estimate. Steady-state refresh cost becomes
+     * proportional to occupied fraction + candidateFraction, not 1.0.
+     */
+    bool partialUpdate = true;
+
+    /**
+     * Share of unoccupied cells re-probed per partial refresh: cell i
+     * is a candidate when i mod D rotates onto the round's phase,
+     * D = round(1 / candidateFraction), so every cleared cell is
+     * re-examined at least once every D refreshes (0 disables
+     * candidate probes entirely).
+     */
+    float candidateFraction = 0.125f;
 };
 
 /**
@@ -54,13 +72,36 @@ class OccupancyGrid
     double occupiedFraction() const;
 
     /**
-     * Refresh the grid from the field: each cell's density estimate
+     * Full-sweep refresh from the field: every cell's density estimate
      * decays and is maxed with fresh point samples (Instant-NGP's
-     * update rule). Probes are drawn cell-by-cell from `rng` (so the
-     * refresh is bit-reproducible for a fixed seed) but queried one
-     * x-row at a time through the batched field kernels.
+     * update rule), queried one x-row at a time through the batched
+     * field kernels. Each round draws one key from `rng` and each
+     * cell's probe jitter comes from its own (round key, cell index)
+     * stream -- bit-reproducible for a fixed seed, and bit-identical
+     * per cell to a partial refresh of the same round probing it.
      */
     void update(NerfField &field, Rng &rng);
+
+    /**
+     * Partial refresh: decay every cell's estimate, then re-probe only
+     * the currently occupied cells plus this round's rotating slice of
+     * the unoccupied ones, maxing the probed cells with fresh samples.
+     * Probes run through the batched field kernels in fixed-size
+     * blocks; like update(), the round draws one key from `rng` and
+     * each cell's jitter comes from its (round key, cell) stream, so a
+     * fixed seed reproduces the grid bit-exactly and commonly-probed
+     * cells match the full sweep's probes bit-for-bit. Occupied cells
+     * never go stale (always re-probed) and cleared cells re-enter
+     * within 1/candidateFraction rounds, so the occupied set converges
+     * to the full sweep's.
+     */
+    void updatePartial(NerfField &field, Rng &rng);
+
+    /**
+     * The trainer's refresh entry point: updatePartial() when
+     * cfg.partialUpdate is set, else the full-sweep update().
+     */
+    void refresh(NerfField &field, Rng &rng);
 
     /**
      * Mark every cell occupied (the safe initial state: nothing is
@@ -84,6 +125,8 @@ class OccupancyGrid
     OccupancyGridConfig cfg;
     std::vector<float> density;
     Workspace ws; //!< Scratch for the batched update queries.
+    std::vector<uint32_t> probeList; //!< Partial-refresh cell indices.
+    uint32_t updateRound = 0; //!< Candidate-rotation phase counter.
 };
 
 } // namespace instant3d

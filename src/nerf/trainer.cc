@@ -1,11 +1,25 @@
 #include "nerf/trainer.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
 
 namespace instant3d {
+
+namespace {
+
+/** Monotonic seconds for the optional phase-time instrumentation. */
+double
+tick()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 Trainer::Trainer(const Dataset &dataset, const FieldConfig &field_config,
                  const TrainConfig &train_config)
@@ -31,12 +45,28 @@ Trainer::Trainer(const Dataset &dataset, const FieldConfig &field_config,
         rendererPtr->setOccupancyGrid(occupancyPtr.get());
     }
 
+    // Sparse lazy Adam over touched grid entries: only meaningful on
+    // the batched paths (the scalar reference scatters without touch
+    // lists) and only exact without weight decay, which feeds params
+    // into the gradient of untouched entries.
+    sparseActive = cfg.sparseOptimizer && !cfg.scalarReference &&
+                   cfg.adam.l2Reg == 0.0f;
+
     groups = fieldPtr->paramGroups();
     for (auto id : groups) {
         AdamConfig acfg = cfg.adam;
         optimizers.push_back(std::make_unique<Adam>(
             fieldPtr->groupParams(id).size(), acfg));
+        if (sparseActive && id == ParamGroupId::DensityGrid) {
+            optimizers.back()->enableSparse(static_cast<uint32_t>(
+                fieldPtr->densityGrid().config().featuresPerEntry));
+        } else if (sparseActive && id == ParamGroupId::ColorGrid) {
+            optimizers.back()->enableSparse(static_cast<uint32_t>(
+                fieldPtr->colorGrid().config().featuresPerEntry));
+        }
     }
+    if (sparseActive)
+        fieldPtr->setDirtyTracking(true);
 
     // The scalar reference path never uses the pool; don't spawn idle
     // workers for it.
@@ -84,10 +114,15 @@ Trainer::trainIteration()
 
     // Periodic occupancy refresh (after an initial optimistic phase,
     // so real surfaces exist before anything is skipped). Serial, on
-    // the trainer's own stream.
+    // the trainer's own stream; refresh() amortizes via the partial
+    // probe subset when the grid config enables it.
+    const bool timed = cfg.collectPhaseTimes;
     if (occupancyPtr && iter > 0 &&
         iter % cfg.occupancyUpdatePeriod == 0) {
-        occupancyPtr->update(*fieldPtr, rng);
+        const double t0 = timed ? tick() : 0.0;
+        occupancyPtr->refresh(*fieldPtr, rng);
+        if (timed)
+            stats.phases.occRefresh += tick() - t0;
     }
 
     uint64_t points_before = fieldPtr->queryCount();
@@ -138,6 +173,18 @@ Trainer::trainIteration()
     const bool compact = cfg.compactSamples && !traced;
     const bool merge = compact && cfg.mergeHashGrads;
 
+    // Per-chunk phase times, summed after the parallel section (so the
+    // instrumentation needs no atomics and stays deterministic).
+    struct ChunkPhases
+    {
+        double march = 0.0;
+        double forward = 0.0;
+        double backward = 0.0;
+    };
+    std::vector<ChunkPhases> chunkPhases;
+    if (timed)
+        chunkPhases.assign(static_cast<size_t>(num_chunks), {});
+
     const uint64_t it = static_cast<uint64_t>(iter);
     pool->parallelFor(num_chunks, [&](int c, int rank) {
         Workspace &ws = workspaces[rank];
@@ -172,15 +219,21 @@ Trainer::trainIteration()
 
             // Step 3a: march against the occupancy grid; only the
             // surviving samples enter the stream.
+            double t0 = timed ? tick() : 0.0;
             SampleStream stream;
             rendererPtr->marchRays(rays, nr, rngs, stream, ws);
 
             // Steps 3b-4: one field query over the stream + per-ray
             // compositing.
+            double t1 = timed ? tick() : 0.0;
             StreamRecord srec;
             RayResult *results = ws.alloc<RayResult>(nr);
             rendererPtr->renderStream(*fieldPtr, stream, results, &srec,
                                       ws, trace);
+            if (timed) {
+                chunkPhases[c].march += t1 - t0;
+                chunkPhases[c].forward += tick() - t1;
+            }
 
             // Step 5: squared-error loss and dL/dC per ray.
             double loss_acc = 0.0;
@@ -194,10 +247,13 @@ Trainer::trainIteration()
 
             // Step 6: stream backward into this chunk's shard,
             // optionally merging duplicate grid writes first.
+            double t2 = timed ? tick() : 0.0;
             rendererPtr->backwardStream(
                 *fieldPtr, stream, srec, d_colors, stats.densityUpdated,
                 stats.colorUpdated, &shard, ws, trace,
                 merge ? &mergers[c] : nullptr);
+            if (timed)
+                chunkPhases[c].backward += tick() - t2;
             chunkLoss[c] = loss_acc;
             return;
         }
@@ -213,10 +269,14 @@ Trainer::trainIteration()
             Vec3 gt;
             sampleTrainingRay(ray_rng, ray, gt);
 
-            // Steps 3-4: batched field query + compositing.
+            // Steps 3-4: batched field query + compositing. The
+            // per-ray path marches inside renderRayBatch, so its cost
+            // lands in the forward phase.
+            double t0 = timed ? tick() : 0.0;
             RayBatchRecord rec;
             RayResult result = rendererPtr->renderRayBatch(
                 *fieldPtr, ray, &ray_rng, &rec, ws, trace);
+            double t1 = timed ? tick() : 0.0;
 
             // Step 5: squared-error loss.
             Vec3 err = result.color - gt;
@@ -230,6 +290,10 @@ Trainer::trainIteration()
                                           stats.densityUpdated,
                                           stats.colorUpdated, &shard,
                                           ws, trace);
+            if (timed) {
+                chunkPhases[c].forward += t1 - t0;
+                chunkPhases[c].backward += tick() - t1;
+            }
         }
         chunkLoss[c] = loss_acc;
     });
@@ -250,6 +314,7 @@ Trainer::trainIteration()
     }
 
     // Deterministic reduction: shards in fixed chunk order.
+    double t_reduce = timed ? tick() : 0.0;
     double loss_acc = 0.0;
     for (int c = 0; c < num_chunks; c++) {
         fieldPtr->reduceGradients(shards[c]);
@@ -263,17 +328,48 @@ Trainer::trainIteration()
         }
     }
 
-    // Apply optimizer steps to the branches due this iteration.
+    // Apply optimizer steps to the branches due this iteration: sparse
+    // groups step only the dirty union the reduction just assembled.
+    double t_opt = timed ? tick() : 0.0;
     for (size_t g = 0; g < groups.size(); g++) {
         bool is_color = groups[g] == ParamGroupId::ColorGrid ||
                         groups[g] == ParamGroupId::ColorMlp;
         bool due = is_color ? stats.colorUpdated : stats.densityUpdated;
-        if (due) {
+        if (!due)
+            continue;
+        if (optimizers[g]->sparseEnabled()) {
+            const auto &dirty = fieldPtr->dirtyEntries(groups[g]);
+            auto &params = fieldPtr->groupParams(groups[g]);
+            // stepSparse settles the whole active set as it goes, so
+            // the next forward pass reads exactly the dense-trajectory
+            // parameters without a separate catch-up.
+            optimizers[g]->stepSparse(
+                params, fieldPtr->groupGrads(groups[g]), dirty);
+            stats.sparseEntriesStepped += dirty.size();
+        } else {
             optimizers[g]->step(fieldPtr->groupParams(groups[g]),
                                 fieldPtr->groupGrads(groups[g]));
         }
     }
-    fieldPtr->zeroGrad();
+
+    // O(touched) clear when every grid scatter went through a touch
+    // list (any batched path); full scan otherwise.
+    double t_zero = timed ? tick() : 0.0;
+    if (sparseActive)
+        fieldPtr->zeroGradDirty();
+    else
+        fieldPtr->zeroGrad();
+
+    if (timed) {
+        stats.phases.zeroGrad += tick() - t_zero;
+        stats.phases.optimizer += t_zero - t_opt;
+        stats.phases.reduce += t_opt - t_reduce;
+        for (const ChunkPhases &p : chunkPhases) {
+            stats.phases.march += p.march;
+            stats.phases.forward += p.forward;
+            stats.phases.backward += p.backward;
+        }
+    }
 
     stats.loss = loss_acc / cfg.raysPerBatch;
     stats.pointsQueried = fieldPtr->queryCount() - points_before;
@@ -343,6 +439,25 @@ Trainer::trainIterationScalar()
     return stats;
 }
 
+size_t
+Trainer::sparseActiveEntries() const
+{
+    size_t n = 0;
+    for (const auto &opt : optimizers)
+        if (opt->sparseEnabled())
+            n += opt->activeEntries();
+    return n;
+}
+
+void
+Trainer::syncParams()
+{
+    for (size_t g = 0; g < groups.size(); g++) {
+        if (optimizers[g]->sparseEnabled())
+            optimizers[g]->catchUp(fieldPtr->groupParams(groups[g]));
+    }
+}
+
 /**
  * Shared pixel loop for renderImage/renderDepth: parallel over rows
  * (each row writes disjoint output), serialized when a trace sink is
@@ -353,6 +468,12 @@ Trainer::forEachPixel(
     const Camera &camera,
     const std::function<void(int, int, const RayResult &)> &emit)
 {
+    // Rendering reads parameters directly, so any updates the sparse
+    // optimizer has deferred must be settled first (harmless for
+    // later training -- settling early is a prefix of the same op
+    // sequence every subsequent touch would replay).
+    syncParams();
+
     // With a trace sink attached, renderRayFast would emit reads for
     // the queried-but-uncomposited tail of an early-stopped block; the
     // scalar march keeps eval traces exactly reference-shaped.

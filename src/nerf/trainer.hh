@@ -102,7 +102,45 @@ struct TrainConfig
      */
     bool mergeHashGrads = false;
 
+    /**
+     * Step the grid parameter groups with the sparse lazy Adam: the
+     * optimizer visits only the entries this iteration's scatters
+     * touched (the dirty union of the shard touch lists) plus the
+     * entries still carrying momentum from earlier touches, and the
+     * gradient clear visits only the touched entries -- never the full
+     * tables. Entries with zero momentum owe only bit-exact no-op
+     * updates, so training is bit-identical to the dense optimizer at
+     * every iteration. Active on the batched paths when adam.l2Reg ==
+     * 0 (weight decay makes untouched gradients nonzero); the scalar
+     * reference path and the MLP groups stay dense.
+     */
+    bool sparseOptimizer = true;
+
+    /**
+     * Record a wall-time breakdown of each iteration's phases into
+     * TrainStats::phases (bench instrumentation; off by default to
+     * keep clock reads out of the hot path). Worker-chunk phases are
+     * summed across chunks, so with multiple threads the breakdown
+     * reads as CPU time, not elapsed time.
+     */
+    bool collectPhaseTimes = false;
+
     uint64_t seed = 42;
+};
+
+/**
+ * Per-phase seconds of one training iteration
+ * (TrainConfig::collectPhaseTimes).
+ */
+struct TrainPhaseTimes
+{
+    double march = 0.0;     //!< Occupancy march + sample-stream build.
+    double forward = 0.0;   //!< Grid encodes + MLP forwards + compositing.
+    double backward = 0.0;  //!< Loss backward into the gradient shards.
+    double reduce = 0.0;    //!< Shard reduction into the field.
+    double optimizer = 0.0; //!< Adam steps of the due groups.
+    double zeroGrad = 0.0;  //!< Gradient clearing.
+    double occRefresh = 0.0; //!< Occupancy-grid refresh (when due).
 };
 
 /** Per-iteration statistics returned by trainIteration(). */
@@ -120,6 +158,16 @@ struct TrainStats
      */
     uint64_t gridGradWrites = 0;
     uint64_t gridGradWritesMerged = 0;
+
+    /**
+     * Touched grid entries stepped by the sparse optimizer this
+     * iteration (0 when stepping densely) -- the per-iteration work
+     * the sparse path pays instead of the full table scan.
+     */
+    uint64_t sparseEntriesStepped = 0;
+
+    /** Phase breakdown (zeros unless collectPhaseTimes). */
+    TrainPhaseTimes phases;
 };
 
 /**
@@ -144,6 +192,25 @@ class Trainer
     /** The occupancy grid, or nullptr when skipping is disabled. */
     const OccupancyGrid *occupancyGrid() const
     { return occupancyPtr.get(); }
+
+    /**
+     * Settle any deferred sparse-optimizer updates so the field's
+     * parameters equal the dense-Adam trajectory at the current step.
+     * The trainer settles after every optimizer step, so this is a
+     * cheap no-op in normal operation; rendering and eval still call
+     * it defensively. Never changes subsequent training results.
+     */
+    void syncParams();
+
+    /** True when the grid groups use the sparse lazy optimizer. */
+    bool sparseOptimizerActive() const { return sparseActive; }
+
+    /**
+     * Entries currently in the sparse optimizers' sweep sets (all grid
+     * groups summed) -- the per-iteration optimizer work beyond the
+     * touched list. 0 when stepping densely.
+     */
+    size_t sparseActiveEntries() const;
 
     /** Render an RGB image of the current field from a camera. */
     Image renderImage(const Camera &camera);
@@ -194,6 +261,7 @@ class Trainer
     Rng rng;
     int iter = 0;
     uint64_t pointsTotal = 0;
+    bool sparseActive = false;
 };
 
 } // namespace instant3d

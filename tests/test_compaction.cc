@@ -86,23 +86,30 @@ TEST(OccupancyUpdateTest, BatchedRowsMatchScalarProbes)
     Rng rng(5);
     grid.update(field, rng);
 
-    // Scalar reference: replay the exact same probe draws through
-    // field.query() and the EMA-max update rule.
+    // Scalar reference: replay the exact same probe derivation (one
+    // round key from the rng, per-cell jitter streams keyed by
+    // (round, cell index)) through field.query() and the EMA-max
+    // update rule.
     NerfField ref_field(smallField(), 13);
     std::vector<float> ref(static_cast<size_t>(ocfg.resolution) *
                                ocfg.resolution * ocfg.resolution,
                            ocfg.occupancyThreshold * 2.0f);
     Rng ref_rng(5);
+    const uint64_t round_key =
+        (static_cast<uint64_t>(ref_rng.nextU32()) << 32) |
+        ref_rng.nextU32();
     const float cell = 1.0f / static_cast<float>(ocfg.resolution);
     size_t idx = 0;
     for (int z = 0; z < ocfg.resolution; z++)
         for (int y = 0; y < ocfg.resolution; y++)
             for (int x = 0; x < ocfg.resolution; x++, idx++) {
+                Rng cell_rng = Rng::forIndex(
+                    round_key, 0, static_cast<uint64_t>(idx));
                 float fresh = 0.0f;
                 for (int s = 0; s < ocfg.samplesPerCellUpdate; s++) {
-                    Vec3 p((x + ref_rng.nextFloat()) * cell,
-                           (y + ref_rng.nextFloat()) * cell,
-                           (z + ref_rng.nextFloat()) * cell);
+                    Vec3 p((x + cell_rng.nextFloat()) * cell,
+                           (y + cell_rng.nextFloat()) * cell,
+                           (z + cell_rng.nextFloat()) * cell);
                     fresh = std::max(
                         fresh,
                         ref_field.query(p, {0.0f, 0.0f, 1.0f}).sigma);
