@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/cpu_features.hh"
 #include "core/instant3d_config.hh"
+#include "kernels/kernel_backend.hh"
 
 namespace instant3d {
 namespace {
@@ -44,6 +46,7 @@ namespace {
 struct ModeResult
 {
     std::string mode;
+    std::string backend; //!< Resolved kernel-backend name of the run.
     int threads = 1;
     int iterations = 0;
     double seconds = 0.0;        //!< Hot-path iterations only.
@@ -136,6 +139,14 @@ struct ModeSpec
     bool compact = false;
     bool merge = false;
     bool sparseOpt = true; //!< The new default; false = dense Adam.
+    /**
+     * Kernel backend of the run. The historical rows pin scalar_ref
+     * so their numbers stay comparable across hosts and PRs (under
+     * "auto" a multicore host would silently switch them to
+     * threaded_sweep); the explicit +simd / +threaded rows measure
+     * the backends.
+     */
+    std::string backend = "scalar_ref";
 };
 
 TrainConfig
@@ -147,6 +158,7 @@ modeConfig(const Workload &w, const ModeSpec &spec, bool use_occupancy)
     tcfg.compactSamples = spec.compact;
     tcfg.mergeHashGrads = spec.merge;
     tcfg.sparseOptimizer = spec.sparseOpt;
+    tcfg.kernelBackend = spec.backend;
     tcfg.collectPhaseTimes = true;
     if (use_occupancy) {
         // Converge the grid during warmup: frequent refreshes and a
@@ -199,6 +211,7 @@ runMode(const Workload &w, const ModeSpec &spec, int iters)
 
     ModeResult r;
     r.mode = spec.name;
+    r.backend = trainer.kernelBackendName();
     r.threads = spec.threads;
     r.iterations = iters;
     r.seconds = secs;
@@ -243,6 +256,7 @@ runOccupancyFamily(const Workload &w, const std::vector<ModeSpec> &specs,
             w.dataset, w.field, modeConfig(w, spec, true)));
         ModeResult r;
         r.mode = spec.name;
+        r.backend = trainers.back()->kernelBackendName();
         r.threads = spec.threads;
         results.push_back(r);
     }
@@ -307,6 +321,85 @@ runOccupancyFamily(const Workload &w, const std::vector<ModeSpec> &specs,
     return results;
 }
 
+/**
+ * Kernel-level speedup probes, decoupled from the full-pipeline rows
+ * so the CI gate measures the kernels themselves (a tiny workload's
+ * pipeline can hide a kernel regression behind fixed costs).
+ */
+
+/** Seconds for one batch of MLP forward panels through `kb` (best of
+ *  several repetitions; the panel shape matches a training chunk). */
+double
+mlpPanelSeconds(const KernelBackend &kb)
+{
+    const int n = 1024, n_in = 32, n_out = 32, calls = 24;
+    Rng r(3);
+    std::vector<float> in(static_cast<size_t>(n) * n_in);
+    std::vector<float> w(static_cast<size_t>(n_out) * n_in);
+    std::vector<float> b(n_out);
+    std::vector<float> out(static_cast<size_t>(n) * n_out);
+    for (auto &v : in)
+        v = r.nextFloat(-1.0f, 1.0f);
+    for (auto &v : w)
+        v = r.nextFloat(-1.0f, 1.0f);
+    for (auto &v : b)
+        v = r.nextFloat(-1.0f, 1.0f);
+
+    Workspace ws;
+    double best = 1e30;
+    for (int rep = 0; rep < 5; rep++) {
+        double t0 = now();
+        for (int c = 0; c < calls; c++) {
+            ws.reset();
+            kb.mlpForwardPanel(in.data(), n, n_in, n_out, w.data(),
+                               b.data(), out.data(), ws);
+        }
+        best = std::min(best, now() - t0);
+    }
+    // Fold the result into a sink the optimizer cannot remove.
+    volatile float sink = out[0];
+    (void)sink;
+    return best;
+}
+
+/** Seconds for a block of sparse-Adam sweeps through `kb` on a
+ *  grid-sized group (2^15 entries, 2048 touched per step). */
+double
+sparseSweepSeconds(const KernelBackend *kb)
+{
+    constexpr uint32_t span = 2;
+    constexpr size_t entries = 1 << 15;
+    constexpr size_t n = entries * span;
+    AdamConfig acfg;
+    Adam adam(n, acfg);
+    adam.setKernelBackend(kb);
+    adam.enableSparse(span);
+
+    Rng r(9);
+    std::vector<uint32_t> touched;
+    std::vector<uint8_t> seen(entries, 0);
+    while (touched.size() < 2048) {
+        uint32_t e = r.nextU32(entries);
+        if (!seen[e]) {
+            seen[e] = 1;
+            touched.push_back(e * span);
+        }
+    }
+    std::vector<float> params(n, 0.1f);
+    std::vector<float> grads(n, 0.0f);
+    for (uint32_t off : touched)
+        for (uint32_t f = 0; f < span; f++)
+            grads[off + f] = r.nextFloat(-1.0f, 1.0f);
+
+    for (int s = 0; s < 3; s++) // reach the steady active set
+        adam.stepSparse(params, grads, touched);
+    const int steps = 40;
+    double t0 = now();
+    for (int s = 0; s < steps; s++)
+        adam.stepSparse(params, grads, touched);
+    return now() - t0;
+}
+
 const ModeResult &
 find(const std::vector<ModeResult> &results, const std::string &mode,
      int threads)
@@ -324,6 +417,12 @@ int
 main(int argc, char **argv)
 {
     using namespace instant3d;
+
+    // Every row pins its backend explicitly (that is the experiment);
+    // a leftover INSTANT3D_KERNEL_BACKEND from a manual parity check
+    // would silently override all of them and flatten the per-backend
+    // speedups, so drop it up front.
+    ::unsetenv("INSTANT3D_KERNEL_BACKEND");
 
     std::string out_path =
         argc > 1 ? argv[1] : "BENCH_train_throughput.json";
@@ -371,10 +470,36 @@ main(int argc, char **argv)
             {"compacted", threads, false, true, false, true},
             {"compacted+merged", threads, false, true, true, true},
             {"compacted+dense_opt", threads, false, true, false, false},
+            // Per-backend end-to-end rows: same compacted pipeline,
+            // different kernel backend.
+            {"compacted+simd", threads, false, true, false, true,
+             "simd"},
+            {"compacted+threaded", threads, false, true, false, true,
+             "threaded_sweep"},
         };
         for (auto &r : runOccupancyFamily(occ_w, occ_specs, occ_iters))
             results.push_back(r);
     }
+
+    // Kernel-level probes: the CI gate for the simd backend and the
+    // recorded (not gated -- a 1-core host cannot fan out) threaded-
+    // sweep ratio.
+    auto scalar_kb = makeScalarRefBackend();
+    auto simd_kb = makeSimdBackend();
+    double panel_scalar_s = mlpPanelSeconds(*scalar_kb);
+    double panel_simd_s = mlpPanelSeconds(*simd_kb);
+    double simd_vs_scalar_kernels = panel_scalar_s / panel_simd_s;
+
+    ThreadPool sweep_pool(0); // auto: hardware concurrency
+    auto threaded_kb = makeThreadedSweepBackend(&sweep_pool);
+    double sweep_serial_s = sparseSweepSeconds(nullptr);
+    double sweep_threaded_s = sparseSweepSeconds(threaded_kb.get());
+    double threaded_sweep_vs_serial = sweep_serial_s / sweep_threaded_s;
+
+    // The backend an untouched default config resolves to on this
+    // host (auto: threaded_sweep iff the pool has >1 worker).
+    std::string default_backend =
+        createKernelBackend("auto", &sweep_pool)->name();
 
     const ModeResult &scalar = results.front();
     double speedup_1t =
@@ -396,6 +521,11 @@ main(int argc, char **argv)
     double merged_vs_compacted_1t =
         find(results, "compacted+merged", 1).raysPerSec /
         find(results, "compacted", 1).raysPerSec;
+    double simd_e2e_1t = find(results, "compacted+simd", 1).raysPerSec /
+                         find(results, "compacted", 1).raysPerSec;
+    double threaded_e2e_1t =
+        find(results, "compacted+threaded", 1).raysPerSec /
+        find(results, "compacted", 1).raysPerSec;
 
     std::string json;
     char buf[1024];
@@ -404,13 +534,25 @@ main(int argc, char **argv)
         "{\n"
         "  \"bench\": \"train_throughput\",\n"
         "  \"hardware_concurrency\": %u,\n"
+        "  \"kernel_backends\": {\n"
+        "    \"default\": \"%s\",\n"
+        "    \"cpu_features\": \"%s\",\n"
+        "    \"simd_compiled\": \"%s\",\n"
+        "    \"mlp_panel_seconds\": {\"scalar_ref\": %.6f, "
+        "\"simd\": %.6f},\n"
+        "    \"sparse_sweep_seconds\": {\"scalar_ref\": %.6f, "
+        "\"threaded_sweep\": %.6f}\n"
+        "  },\n"
         "  \"workload\": {\"scene\": \"lego\", \"rays_per_batch\": %d, "
         "\"samples_per_ray\": %d, \"grid_levels\": %d, "
         "\"log2_table\": %u, \"hidden_dim\": %d},\n"
         "  \"occ_workload\": {\"log2_table\": %u},\n"
         "  \"results\": [\n",
-        std::thread::hardware_concurrency(), w.train.raysPerBatch,
-        w.train.samplesPerRay, w.field.densityGrid.numLevels,
+        std::thread::hardware_concurrency(), default_backend.c_str(),
+        cpuFeatureString().c_str(), compiledSimdString().c_str(),
+        panel_scalar_s, panel_simd_s, sweep_serial_s, sweep_threaded_s,
+        w.train.raysPerBatch, w.train.samplesPerRay,
+        w.field.densityGrid.numLevels,
         w.field.densityGrid.log2TableSize, w.field.hiddenDim,
         occ_w.field.densityGrid.log2TableSize);
     json += buf;
@@ -418,7 +560,8 @@ main(int argc, char **argv)
         const auto &r = results[i];
         std::snprintf(
             buf, sizeof(buf),
-            "    {\"mode\": \"%s\", \"threads\": %d, "
+            "    {\"mode\": \"%s\", \"backend\": \"%s\", "
+            "\"threads\": %d, "
             "\"iterations\": %d, \"seconds\": %.4f, "
             "\"occ_update_seconds\": %.4f, "
             "\"rays_per_s\": %.1f, \"points_per_s\": %.1f, "
@@ -431,7 +574,8 @@ main(int argc, char **argv)
             "\"backward\": %.4f, \"reduce\": %.4f, "
             "\"optimizer\": %.4f, \"zero_grad\": %.4f, "
             "\"occ_refresh\": %.4f}}%s\n",
-            r.mode.c_str(), r.threads, r.iterations, r.seconds,
+            r.mode.c_str(), r.backend.c_str(), r.threads,
+            r.iterations, r.seconds,
             r.updateSeconds, r.raysPerSec, r.pointsPerSec,
             r.pointsPerSecEffective, r.occupiedFraction,
             r.gradMergeRatio, r.sparseEntriesPerIter,
@@ -450,7 +594,11 @@ main(int argc, char **argv)
                   "    \"compacted_vs_dense_occ_8t\": %.3f,\n"
                   "    \"merged_vs_dense_occ_1t\": %.3f,\n"
                   "    \"merged_vs_compacted_1t\": %.3f,\n"
-                  "    \"sparse_vs_dense_optimizer\": %.3f\n"
+                  "    \"sparse_vs_dense_optimizer\": %.3f,\n"
+                  "    \"simd_vs_scalar_kernels\": %.3f,\n"
+                  "    \"threaded_sweep_vs_serial\": %.3f,\n"
+                  "    \"simd_backend_e2e_1t\": %.3f,\n"
+                  "    \"threaded_backend_e2e_1t\": %.3f\n"
                   "  },\n"
                   "  \"speedup_batched_1t_vs_scalar\": %.3f,\n"
                   "  \"speedup_batched_8t_vs_scalar\": %.3f\n"
@@ -458,6 +606,8 @@ main(int argc, char **argv)
                   speedup_1t, speedup_8t, compact_vs_dense_1t,
                   compact_vs_dense_8t, merged_vs_dense_1t,
                   merged_vs_compacted_1t, sparse_vs_dense_opt,
+                  simd_vs_scalar_kernels, threaded_sweep_vs_serial,
+                  simd_e2e_1t, threaded_e2e_1t,
                   speedup_1t, speedup_8t);
     json += buf;
 

@@ -34,3 +34,21 @@ awk -v s="$sparse" 'BEGIN {
     }
     print "bench_smoke: sparse_vs_dense_optimizer=" s " (>= 1.0 ok)"
 }'
+
+# Regression gate: the simd kernel backend must not lose to the scalar
+# reference on the MLP-panel probe (measured ~2.5x on the SSE2
+# baseline build; 1.0 is the hard floor). threaded_sweep_vs_serial is
+# recorded but not gated -- a 1-core runner has nothing to fan out to.
+simd=$(grep -o '"simd_vs_scalar_kernels": [0-9.]*' \
+           BENCH_train_throughput.json | awk '{print $2}')
+awk -v s="$simd" 'BEGIN {
+    if (s == "" || s + 0 < 1.0) {
+        print "bench_smoke: FAIL simd_vs_scalar_kernels=" s " < 1.0"
+        exit 1
+    }
+    print "bench_smoke: simd_vs_scalar_kernels=" s " (>= 1.0 ok)"
+}'
+grep -o '"threaded_sweep_vs_serial": [0-9.]*' BENCH_train_throughput.json
+# Anchored to the block's own 2-space close so the nested one-line
+# objects inside don't end the range early.
+sed -n '/"kernel_backends"/,/^  },/p' BENCH_train_throughput.json

@@ -1,0 +1,66 @@
+#include "common/cpu_features.hh"
+
+namespace instant3d {
+
+CpuFeatures
+detectCpuFeatures()
+{
+    static const CpuFeatures cached = [] {
+        CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+        __builtin_cpu_init();
+        f.sse2 = __builtin_cpu_supports("sse2");
+        f.avx = __builtin_cpu_supports("avx");
+        f.avx2 = __builtin_cpu_supports("avx2");
+        f.fma = __builtin_cpu_supports("fma");
+        f.avx512f = __builtin_cpu_supports("avx512f");
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+        f.neon = true; // Architecturally guaranteed on aarch64.
+#endif
+        return f;
+    }();
+    return cached;
+}
+
+std::string
+cpuFeatureString()
+{
+    const CpuFeatures f = detectCpuFeatures();
+    std::string s;
+    auto add = [&s](bool have, const char *name) {
+        if (!have)
+            return;
+        if (!s.empty())
+            s += ' ';
+        s += name;
+    };
+    add(f.sse2, "sse2");
+    add(f.avx, "avx");
+    add(f.avx2, "avx2");
+    add(f.fma, "fma");
+    add(f.avx512f, "avx512f");
+    add(f.neon, "neon");
+    return s.empty() ? "none" : s;
+}
+
+std::string
+compiledSimdString()
+{
+#if defined(__AVX512F__)
+    return "avx512f";
+#elif defined(__AVX2__) && defined(__FMA__)
+    return "avx2+fma";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__AVX__)
+    return "avx";
+#elif defined(__SSE2__) || defined(__x86_64__)
+    return "sse2";
+#elif defined(__ARM_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+} // namespace instant3d

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The "threaded_sweep" kernel backend: scalar kernels plus optimizer
+ * sweeps (the sparse-Adam bitmap sweep and the dense Adam scan)
+ * executed over the trainer's ThreadPool in fixed-grain ranges.
+ *
+ * Per-entry Adam is independent -- every write (params, moments,
+ * staleness stamps, bitmap words) is range-local and the only shared
+ * accumulation is an integer counter -- so any range partition is
+ * bit-identical to the serial sweep by construction; no new
+ * determinism contract is needed. sweepRanges() is only ever called
+ * from the trainer's main thread (optimizer steps run after the
+ * per-chunk parallelFor has completed), which respects the pool's
+ * no-reentrancy rule.
+ */
+
+#include "kernels/kernel_backend.hh"
+
+#include <algorithm>
+
+#include "common/thread_pool.hh"
+
+namespace instant3d {
+
+namespace {
+
+class ThreadedSweepBackend final : public KernelBackend
+{
+  public:
+    explicit ThreadedSweepBackend(ThreadPool *pool) : pool(pool) {}
+
+    const char *name() const override { return "threaded_sweep"; }
+
+    void
+    sweepRanges(size_t total, size_t grain,
+                const std::function<void(size_t, size_t)> &fn)
+        const override
+    {
+        if (total == 0)
+            return;
+        if (grain == 0)
+            grain = 1;
+        // Small sweeps (one range) and serial pools skip the pool
+        // round-trip entirely.
+        if (!pool || pool->threadCount() <= 1 || total <= grain) {
+            fn(0, total);
+            return;
+        }
+        const size_t blocks = (total + grain - 1) / grain;
+        pool->parallelFor(static_cast<int>(blocks), [&](int blk, int) {
+            const size_t begin = static_cast<size_t>(blk) * grain;
+            fn(begin, std::min(begin + grain, total));
+        });
+    }
+
+    void
+    adamDenseStep(float *params, const float *grads, float *m, float *v,
+                  size_t n, const AdamKernelParams &kp) const override
+    {
+        // Grain sized so MLP-scale groups stay a single serial range
+        // and only table-scale scans fan out.
+        sweepRanges(n, 16384, [&](size_t begin, size_t end) {
+            adamDenseRange(params, grads, m, v, begin, end, kp);
+        });
+    }
+
+  private:
+    ThreadPool *pool;
+};
+
+} // namespace
+
+std::unique_ptr<KernelBackend>
+makeThreadedSweepBackend(ThreadPool *pool)
+{
+    return std::make_unique<ThreadedSweepBackend>(pool);
+}
+
+} // namespace instant3d

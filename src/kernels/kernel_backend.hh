@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Pluggable CPU kernel backends for the batched hot path.
+ *
+ * Every batched hot-path kernel -- the GEMM-style MLP forward/backward
+ * panels, the hash-grid interpolation gather and gradient scatter, the
+ * dense/sparse Adam sweeps, the shard reduction, and the volume-render
+ * stream composite -- dispatches through one KernelBackend instance, so
+ * adding a vectorized or parallel variant is a single-file backend
+ * instead of a fork of every call site. Three backends ship:
+ *
+ *  - scalar_ref ("scalar_ref"): the pre-refactor reference loops,
+ *    verbatim. Bit-identical to the historical hot path by
+ *    construction; the determinism contract (README "Hot-path
+ *    architecture") is stated against this backend.
+ *
+ *  - simd ("simd"): the same kernels restructured so that every
+ *    floating-point accumulation chain keeps the scalar order while
+ *    the loops vectorize across *independent* lanes (outputs of a
+ *    panel, parameters of an Adam step) -- e.g. the forward panel
+ *    transposes the weight matrix once and runs saxpy-style
+ *    input-outer / output-inner loops. Compiled with autovectorization
+ *    forced on (see CMakeLists), it uses whatever ISA the build
+ *    targets (SSE2 baseline, AVX2+FMA under -march=x86-64-v3, NEON on
+ *    aarch64). Because reduction order is preserved, results are
+ *    bit-identical to scalar_ref whenever scalar and vector code round
+ *    identically per operation -- true in builds without FMA
+ *    contraction (no -mfma); with FMA available the compiler may
+ *    contract mul+add pairs differently in the two backends, so parity
+ *    is guaranteed only to a small relative tolerance (see
+ *    tests/test_kernel_backends.cc, which asserts 0 ULP in non-FMA
+ *    builds and the documented tolerance otherwise).
+ *
+ *  - threaded_sweep ("threaded_sweep"): scalar kernels plus the
+ *    optimizer sweeps (the sparse-Adam bitmap sweep and the dense Adam
+ *    scan) layered over the trainer's ThreadPool in fixed-size ranges.
+ *    Per-entry Adam is independent -- no cross-entry reduction exists
+ *    -- so any range partition yields bit-identical results to the
+ *    serial sweep by construction.
+ *
+ * Selection: TrainConfig::kernelBackend names the backend; the
+ * INSTANT3D_KERNEL_BACKEND environment variable overrides it. "auto"
+ * resolves to threaded_sweep when the trainer's pool has more than one
+ * worker and scalar_ref otherwise (both sides of that choice are
+ * bit-identical to the historical path). The resolved name is recorded
+ * in BENCH_train_throughput.json.
+ */
+
+#ifndef INSTANT3D_KERNELS_KERNEL_BACKEND_HH
+#define INSTANT3D_KERNELS_KERNEL_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/vec3.hh"
+#include "common/workspace.hh"
+
+namespace instant3d {
+
+class ThreadPool;
+struct RaySpan;
+struct FieldSample;
+struct RayResult;
+
+/** Adam hyper-parameters + current-step bias corrections, flattened
+ *  for the dense-step kernel. */
+struct AdamKernelParams
+{
+    float lr = 0.0f;
+    float beta1 = 0.0f;
+    float beta2 = 0.0f;
+    float epsilon = 0.0f;
+    float l2Reg = 0.0f;
+    float bc1 = 0.0f; //!< 1 - beta1^t of the step being applied.
+    float bc2 = 0.0f; //!< 1 - beta2^t.
+};
+
+/**
+ * One CPU kernel-backend: a vtable of the batched hot-path kernels.
+ * The base-class implementations are the scalar reference loops
+ * (moved verbatim from the original call sites); derived backends
+ * override the kernels they accelerate and inherit the rest.
+ */
+class KernelBackend
+{
+  public:
+    virtual ~KernelBackend() = default;
+
+    /** Stable backend name, recorded in bench JSON. */
+    virtual const char *name() const = 0;
+
+    // ------------------------------------------------- MLP panels
+    /**
+     * GEMM-style forward panel of one layer: for each of n samples,
+     * out[s][o] = b[o] + sum_i w[o][i] * in[s][i] (pre-activation).
+     * w is row-major [n_out x n_in]. Scratch comes from ws. Each
+     * (s, o) accumulator chain must run in ascending-i scalar order.
+     */
+    virtual void mlpForwardPanel(const float *in, int n, int n_in,
+                                 int n_out, const float *w,
+                                 const float *b, float *out,
+                                 Workspace &ws) const;
+
+    /** In-place ReLU over a panel. */
+    virtual void reluPanel(float *x, size_t count) const;
+
+    /** In-place sigmoid over a panel. */
+    virtual void sigmoidPanel(float *x, size_t count) const;
+
+    /**
+     * Backward panel of one layer for one sample: for each output o
+     * with delta[o] != 0, accumulate gw[o][i] += delta[o] * act[i],
+     * gb[o] += delta[o], and prev_delta[i] += delta[o] * w[o][i].
+     * prev_delta (length n_in) is zeroed first; its per-i accumulation
+     * order over o must stay ascending-o.
+     */
+    virtual void mlpBackwardPanel(const float *delta, int n_out,
+                                  int n_in, const float *act,
+                                  const float *w, float *gw, float *gb,
+                                  float *prev_delta) const;
+
+    // ------------------------------------------- hash-grid kernels
+    /**
+     * Trilinear interpolation gather over a batch of n points whose
+     * corner addresses/weights were precomputed (level-major, 8
+     * corners per level, point-major across the batch):
+     * out[s][l*fpe + f] = sum_corner w * table[(l*T + addr)*fpe + f],
+     * corners ascending. out is [n x levels*fpe].
+     */
+    virtual void hashInterpBatch(const float *table,
+                                 const uint32_t *addrs,
+                                 const float *weights, int n,
+                                 int levels, int fpe,
+                                 uint32_t table_size, float *out) const;
+
+    /**
+     * Gradient scatter of one sample's recorded corner slice into a
+     * gradient table: grad[(l*T + addr)*fpe + f] += w * d_out[l*fpe+f]
+     * per corner in (level, corner) ascending order, appending each
+     * entry's base offset to `touched` when non-null.
+     */
+    virtual void hashScatterSample(const uint32_t *addrs,
+                                   const float *weights,
+                                   const float *d_out, int levels,
+                                   int fpe, uint32_t table_size,
+                                   float *grad,
+                                   std::vector<uint32_t> *touched) const;
+
+    // ------------------------------------------- optimizer sweeps
+    /**
+     * Dense Adam update of the parameter range [begin, end): the
+     * per-parameter moment update and bias-corrected step, in
+     * ascending order within the range.
+     */
+    virtual void adamDenseRange(float *params, const float *grads,
+                                float *m, float *v, size_t begin,
+                                size_t end,
+                                const AdamKernelParams &kp) const;
+
+    /** One full dense Adam step over n parameters. */
+    virtual void adamDenseStep(float *params, const float *grads,
+                               float *m, float *v, size_t n,
+                               const AdamKernelParams &kp) const;
+
+    /**
+     * Execute fn over a partition of [0, total) into contiguous
+     * ranges of at most `grain` items. Ranges may run concurrently
+     * (threaded_sweep) or as one serial call; callers must only use
+     * this for sweeps whose per-item work is independent (range-local
+     * plus order-independent shared accumulation), so every partition
+     * is bit-identical. The sparse-Adam bitmap sweep and the dense
+     * Adam scan are the intended users.
+     */
+    virtual void sweepRanges(
+        size_t total, size_t grain,
+        const std::function<void(size_t, size_t)> &fn) const;
+
+    // ------------------------------------------- shard reduction
+    /** dst[i] += src[i]; src[i] = 0 -- the dense gradient-shard
+     *  reduction (no cross-element reduction, freely vectorizable). */
+    virtual void reduceDense(float *dst, float *src, size_t n) const;
+
+    // ------------------------------------- renderer stream composite
+    /**
+     * Per-ray alpha compositing over a compacted sample stream:
+     * results[r] from the field samples fs of span r. When the record
+     * arrays (alpha/trans/rgb/final_trans) are non-null they are
+     * filled for a later compositeBackward and early-stop is disabled;
+     * otherwise compositing stops below early_stop transmittance.
+     */
+    virtual void compositeStream(const RaySpan *spans, int num_rays,
+                                 const FieldSample *fs, const float *ts,
+                                 float dt, const Vec3 &background,
+                                 float t_far, float early_stop,
+                                 RayResult *results, float *alpha,
+                                 float *trans, Vec3 *rgb,
+                                 float *final_trans) const;
+
+    /**
+     * Backward of the compositing equation: the per-ray suffix
+     * recursion (descending samples within each span) producing each
+     * sample's (d_sigma, d_rgb) and the below-threshold skip flags.
+     */
+    virtual void compositeBackward(const RaySpan *spans, int num_rays,
+                                   const Vec3 *d_colors, float dt,
+                                   const Vec3 &background,
+                                   float skip_threshold,
+                                   const float *alpha,
+                                   const float *trans, const Vec3 *rgb,
+                                   const float *final_trans,
+                                   float *d_sigma, Vec3 *d_rgb,
+                                   uint8_t *skip) const;
+};
+
+/**
+ * The process-wide scalar reference backend: what every kernel class
+ * uses until a trainer (or test) installs a specific backend.
+ */
+const KernelBackend &scalarRefBackend();
+
+/** The null-fallback rule shared by every dispatching class: a null
+ *  backend pointer means the scalar reference. */
+inline const KernelBackend &
+resolveBackend(const KernelBackend *backend)
+{
+    return backend ? *backend : scalarRefBackend();
+}
+
+/** Construct one backend directly (tests, micro-benches). */
+std::unique_ptr<KernelBackend> makeScalarRefBackend();
+std::unique_ptr<KernelBackend> makeSimdBackend();
+/** pool may be null: sweeps then run serially. */
+std::unique_ptr<KernelBackend> makeThreadedSweepBackend(ThreadPool *pool);
+
+/**
+ * Resolve a backend by configured name. The INSTANT3D_KERNEL_BACKEND
+ * environment variable overrides `name`; "" and "auto" resolve to
+ * threaded_sweep when `pool` has more than one worker, scalar_ref
+ * otherwise. Fatal on unknown names.
+ */
+std::unique_ptr<KernelBackend> createKernelBackend(std::string name,
+                                                   ThreadPool *pool);
+
+} // namespace instant3d
+
+#endif // INSTANT3D_KERNELS_KERNEL_BACKEND_HH

@@ -1,12 +1,23 @@
 #include "nerf/adam.hh"
 
+#include <atomic>
 #include <bit>
 #include <limits>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "kernels/kernel_backend.hh"
 
 namespace instant3d {
+
+namespace {
+
+/** Words per range of the sparse bitmap sweep (64 entries per word):
+ *  4096 entries per range keeps ranges big enough to amortize the
+ *  pool dispatch while still fanning a 2^15-entry table out to 8. */
+constexpr size_t kSparseSweepGrainWords = 64;
+
+} // namespace
 
 Adam::Adam(size_t num_params, const AdamConfig &config)
     : cfg(config)
@@ -46,14 +57,17 @@ Adam::step(std::vector<float> &params, const std::vector<float> &grads)
     panicIf(sparse, "Adam::step() called on a sparse optimizer");
     advanceStep();
 
-    for (size_t i = 0; i < params.size(); i++) {
-        float g = grads[i] + cfg.l2Reg * params[i];
-        m[i] = cfg.beta1 * m[i] + (1.0f - cfg.beta1) * g;
-        v[i] = cfg.beta2 * v[i] + (1.0f - cfg.beta2) * g * g;
-        float mhat = m[i] / bc1;
-        float vhat = v[i] / bc2;
-        params[i] -= cfg.lr * mhat / (std::sqrt(vhat) + cfg.epsilon);
-    }
+    AdamKernelParams kp;
+    kp.lr = cfg.lr;
+    kp.beta1 = cfg.beta1;
+    kp.beta2 = cfg.beta2;
+    kp.epsilon = cfg.epsilon;
+    kp.l2Reg = cfg.l2Reg;
+    kp.bc1 = bc1;
+    kp.bc2 = bc2;
+    resolveBackend(kernelBackend)
+        .adamDenseStep(params.data(), grads.data(), m.data(), v.data(),
+                       params.size(), kp);
 }
 
 void
@@ -166,7 +180,19 @@ Adam::stepSparse(std::vector<float> &params,
     // through memory the same way the dense loop does -- just over the
     // active fraction of the table instead of all of it. Parameters
     // are exactly on the dense trajectory when this returns.
-    for (size_t w = 0; w < activeBits.size(); w++) {
+    //
+    // The word range is partitioned by the kernel backend
+    // (threaded_sweep fans ranges out over the thread pool): every
+    // write inside the sweep -- params/moments/stamps and the two
+    // bitmap words -- is local to one word's entries, and the only
+    // shared accumulation is the integer retirement count, so any
+    // partition is bit-identical to the serial sweep.
+    std::atomic<size_t> retired{0};
+    resolveBackend(kernelBackend)
+        .sweepRanges(activeBits.size(), kSparseSweepGrainWords,
+                     [&](size_t w_begin, size_t w_end) {
+    size_t range_retired = 0;
+    for (size_t w = w_begin; w < w_end; w++) {
         uint64_t word = activeBits[w];
         if (!word)
             continue;
@@ -207,11 +233,14 @@ Adam::stepSparse(std::vector<float> &params,
             lastStep[entry] = t;
             if (retire) {
                 keep &= ~(1ull << b);
-                activeCount--;
+                range_retired++;
             }
         } while (word);
         activeBits[w] = keep;
     }
+    retired.fetch_add(range_retired, std::memory_order_relaxed);
+                     });
+    activeCount -= retired.load(std::memory_order_relaxed);
 }
 
 void

@@ -42,6 +42,8 @@
 
 namespace instant3d {
 
+class KernelBackend;
+
 /** Adam hyper-parameters. */
 struct AdamConfig
 {
@@ -124,6 +126,18 @@ class Adam
      */
     void setLearningRate(float lr);
 
+    /**
+     * Route the optimizer sweeps through the given kernel backend:
+     * the dense step via its adamDenseStep kernel, the sparse bitmap
+     * sweep via its sweepRanges partition (per-entry Adam is
+     * independent, so any partition -- including threaded_sweep's
+     * parallel ranges -- is bit-identical to the serial sweep).
+     * nullptr restores the scalar reference. Safe to change between
+     * steps; it never alters results.
+     */
+    void setKernelBackend(const KernelBackend *backend)
+    { kernelBackend = backend; }
+
   private:
     /** Advance t and the incremental 1 - b^t bias corrections. */
     void advanceStep();
@@ -174,6 +188,7 @@ class Adam
     std::vector<uint64_t> activeBits;
     std::vector<uint64_t> touchedBits; //!< Scratch: this step's touches.
     size_t activeCount = 0;
+    const KernelBackend *kernelBackend = nullptr; //!< null = scalar_ref.
 };
 
 } // namespace instant3d

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "kernels/kernel_backend.hh"
 
 namespace instant3d {
 
@@ -694,6 +695,7 @@ NerfField::zeroGradDirty()
 void
 NerfField::reduceGradients(FieldGradients &g)
 {
+    const KernelBackend &kb = resolveBackend(kernelBackend);
     auto reduce_sparse = [](GradShard &s, std::vector<float> &dst) {
         for (uint32_t off : s.touched) {
             for (uint32_t f = 0; f < s.span; f++) {
@@ -703,11 +705,8 @@ NerfField::reduceGradients(FieldGradients &g)
         }
         s.touched.clear();
     };
-    auto reduce_dense = [](GradShard &s, std::vector<float> &dst) {
-        for (size_t i = 0; i < s.v.size(); i++) {
-            dst[i] += s.v[i];
-            s.v[i] = 0.0f;
-        }
+    auto reduce_dense = [&kb](GradShard &s, std::vector<float> &dst) {
+        kb.reduceDense(dst.data(), s.v.data(), s.v.size());
     };
 
     if (densityGridPtr && !g.densityGrid.v.empty()) {
@@ -725,6 +724,18 @@ NerfField::reduceGradients(FieldGradients &g)
         reduce_dense(g.densityMlp, densityMlpPtr->grads());
     if (!g.colorMlp.v.empty())
         reduce_dense(g.colorMlp, colorMlpPtr->grads());
+}
+
+void
+NerfField::setKernelBackend(const KernelBackend *backend)
+{
+    kernelBackend = backend;
+    if (densityGridPtr)
+        densityGridPtr->setKernelBackend(backend);
+    if (colorGridPtr)
+        colorGridPtr->setKernelBackend(backend);
+    densityMlpPtr->setKernelBackend(backend);
+    colorMlpPtr->setKernelBackend(backend);
 }
 
 bool

@@ -28,6 +28,8 @@
 
 namespace instant3d {
 
+class KernelBackend;
+
 /** Which architecture the field instantiates. */
 enum class FieldMode
 {
@@ -322,6 +324,14 @@ class NerfField
      */
     void zeroGradDirty();
 
+    /**
+     * Route this field's batched kernels through the given backend:
+     * propagates to both grids and both MLPs and is used for the
+     * field's own dense shard reduction. nullptr restores the scalar
+     * reference everywhere.
+     */
+    void setKernelBackend(const KernelBackend *backend);
+
     /** True when any of this field's grids has a trace sink attached. */
     bool traceAttached() const;
 
@@ -402,6 +412,7 @@ class NerfField
     bool trackDirty = false;
     DirtySet dirtyDensity;
     DirtySet dirtyColor;
+    const KernelBackend *kernelBackend = nullptr; //!< null = scalar_ref.
 };
 
 /** Softplus density activation and its derivative. */

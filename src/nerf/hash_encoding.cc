@@ -5,6 +5,7 @@
 
 #include "common/half.hh"
 #include "common/logging.hh"
+#include "kernels/kernel_backend.hh"
 
 namespace instant3d {
 
@@ -68,36 +69,50 @@ HashEncoding::hashCoords(uint32_t x, uint32_t y, uint32_t z,
 }
 
 void
+HashEncoding::levelCorners(const Vec3 &q, int level, uint32_t *addr8,
+                           float *w8) const
+{
+    float res = static_cast<float>(resolutions[level]);
+    float fx = q.x * res;
+    float fy = q.y * res;
+    float fz = q.z * res;
+    uint32_t x0 = static_cast<uint32_t>(fx);
+    uint32_t y0 = static_cast<uint32_t>(fy);
+    uint32_t z0 = static_cast<uint32_t>(fz);
+    float wx = fx - static_cast<float>(x0);
+    float wy = fy - static_cast<float>(y0);
+    float wz = fz - static_cast<float>(z0);
+
+    for (int corner = 0; corner < 8; corner++) {
+        uint32_t cx = x0 + static_cast<uint32_t>(corner & 1);
+        uint32_t cy = y0 + static_cast<uint32_t>((corner >> 1) & 1);
+        uint32_t cz = z0 + static_cast<uint32_t>((corner >> 2) & 1);
+        addr8[corner] = hashCoords(cx, cy, cz, cfg.tableSize());
+        w8[corner] = ((corner & 1) ? wx : 1.0f - wx) *
+                     (((corner >> 1) & 1) ? wy : 1.0f - wy) *
+                     (((corner >> 2) & 1) ? wz : 1.0f - wz);
+    }
+}
+
+void
 HashEncoding::encodeOne(const Vec3 &p, float *out, uint32_t *addr_slots,
                         float *weight_slots, TraceSink *sink,
                         uint32_t point_id) const
 {
     Vec3 q = clamp(p, 0.0f, 1.0f);
     const int fpe = cfg.featuresPerEntry;
+    uint32_t a8[8];
+    float w8[8];
 
     for (int l = 0; l < cfg.numLevels; l++) {
-        float res = static_cast<float>(resolutions[l]);
-        float fx = q.x * res;
-        float fy = q.y * res;
-        float fz = q.z * res;
-        uint32_t x0 = static_cast<uint32_t>(fx);
-        uint32_t y0 = static_cast<uint32_t>(fy);
-        uint32_t z0 = static_cast<uint32_t>(fz);
-        float wx = fx - static_cast<float>(x0);
-        float wy = fy - static_cast<float>(y0);
-        float wz = fz - static_cast<float>(z0);
+        levelCorners(q, l, a8, w8);
 
         for (int f = 0; f < fpe; f++)
             out[l * fpe + f] = 0.0f;
 
         for (int corner = 0; corner < 8; corner++) {
-            uint32_t cx = x0 + static_cast<uint32_t>(corner & 1);
-            uint32_t cy = y0 + static_cast<uint32_t>((corner >> 1) & 1);
-            uint32_t cz = z0 + static_cast<uint32_t>((corner >> 2) & 1);
-            uint32_t addr = hashCoords(cx, cy, cz, cfg.tableSize());
-            float w = ((corner & 1) ? wx : 1.0f - wx) *
-                      (((corner >> 1) & 1) ? wy : 1.0f - wy) *
-                      (((corner >> 2) & 1) ? wz : 1.0f - wz);
+            uint32_t addr = a8[corner];
+            float w = w8[corner];
 
             size_t off = entryOffset(l, addr);
             for (int f = 0; f < fpe; f++)
@@ -111,6 +126,26 @@ HashEncoding::encodeOne(const Vec3 &p, float *out, uint32_t *addr_slots,
             if (addr_slots) {
                 addr_slots[static_cast<size_t>(l) * 8 + corner] = addr;
                 weight_slots[static_cast<size_t>(l) * 8 + corner] = w;
+            }
+        }
+    }
+}
+
+void
+HashEncoding::encodeCorners(const Vec3 &p, uint32_t *addr_slots,
+                            float *weight_slots, TraceSink *sink,
+                            uint32_t point_id) const
+{
+    Vec3 q = clamp(p, 0.0f, 1.0f);
+
+    for (int l = 0; l < cfg.numLevels; l++) {
+        uint32_t *a8 = addr_slots + static_cast<size_t>(l) * 8;
+        levelCorners(q, l, a8, weight_slots + static_cast<size_t>(l) * 8);
+        if (sink) {
+            for (int corner = 0; corner < 8; corner++) {
+                sink->record({a8[corner], static_cast<uint16_t>(l),
+                              static_cast<uint8_t>(corner), false,
+                              point_id});
             }
         }
     }
@@ -141,7 +176,6 @@ HashEncoding::encodeBatch(const Vec3 *pts, int n, float *out,
                           TraceSink *sink)
 {
     const size_t slots = static_cast<size_t>(cfg.numLevels) * 8;
-    const int dim = outputDim();
     if (sink == nullptr)
         sink = traceSink;
 
@@ -151,34 +185,68 @@ HashEncoding::encodeBatch(const Vec3 *pts, int n, float *out,
     reads.fetch_add(static_cast<uint64_t>(n) * slots,
                     std::memory_order_relaxed);
 
-    uint32_t *addr_slots = nullptr;
-    float *weight_slots = nullptr;
-    if (rec) {
-        rec->n = n;
-        rec->addresses = ws.alloc<uint32_t>(static_cast<size_t>(n) * slots);
-        rec->weights = ws.alloc<float>(static_cast<size_t>(n) * slots);
-        addr_slots = rec->addresses;
-        weight_slots = rec->weights;
+    // No record requested (eval blocks, occupancy probes): keep the
+    // fused corners+interp loop -- nothing to materialize, and the
+    // training hot path (which always records for backward) is where
+    // the backend seam pays.
+    if (!rec) {
+        const int dim = outputDim();
+        for (int s = 0; s < n; s++) {
+            encodeOne(pts[s], out + static_cast<size_t>(s) * dim,
+                      nullptr, nullptr, sink,
+                      base + static_cast<uint32_t>(s));
+        }
+        return;
     }
 
+    // Recorded path. Phase 1 (integer): corner addresses + weights +
+    // trace records into the batch record. Phase 2 (float): one
+    // interpolation gather over the whole batch through the kernel
+    // backend. The split leaves per-point arithmetic and trace order
+    // exactly as encodeOne produces them.
+    rec->n = n;
+    rec->addresses = ws.alloc<uint32_t>(static_cast<size_t>(n) * slots);
+    rec->weights = ws.alloc<float>(static_cast<size_t>(n) * slots);
+    uint32_t *addr_slots = rec->addresses;
+    float *weight_slots = rec->weights;
+
     for (int s = 0; s < n; s++) {
-        encodeOne(pts[s], out + static_cast<size_t>(s) * dim,
-                  addr_slots ? addr_slots + static_cast<size_t>(s) * slots
-                             : nullptr,
-                  weight_slots
-                      ? weight_slots + static_cast<size_t>(s) * slots
-                      : nullptr,
-                  sink, base + static_cast<uint32_t>(s));
+        encodeCorners(pts[s], addr_slots + static_cast<size_t>(s) * slots,
+                      weight_slots + static_cast<size_t>(s) * slots, sink,
+                      base + static_cast<uint32_t>(s));
     }
+    resolveBackend(kernelBackend)
+        .hashInterpBatch(table.data(), addr_slots, weight_slots, n,
+                         cfg.numLevels, cfg.featuresPerEntry,
+                         cfg.tableSize(), out);
 }
 
 void
 HashGradMerger::reset(uint32_t features_per_entry)
 {
     span = features_per_entry;
-    std::fill(slots.begin(), slots.end(), kEmpty);
+    // Capacity hint from the previous flush: the smallest power of
+    // two keeping that many unique entries under 1/2 load. A chunk's
+    // touch count is stable across iterations, so this lands the
+    // table at its working size up front -- no grow/rehash chain on
+    // the first chunk of a run, and an oversized table (from one
+    // unusually dense chunk) shrinks back instead of being memset
+    // forever.
+    size_t want = kMinSlots;
+    while (want < unique * 2)
+        want <<= 1;
+    if (slots.size() != want)
+        slots.assign(want, kEmpty);
+    else if (!tableClean)
+        // flushInto already restored the all-kEmpty state after the
+        // previous chunk, so the steady-state reset skips the fill
+        // entirely (one table clear per cycle, not two).
+        std::fill(slots.begin(), slots.end(), kEmpty);
+    tableClean = true;
     uniqOffs.clear();
+    uniqOffs.reserve(unique);
     accs.clear();
+    accs.reserve(unique * span);
     pushedRunning = 0;
 }
 
@@ -186,6 +254,7 @@ void
 HashGradMerger::insertAt(uint32_t slot, uint32_t offset, float w,
                          const float *d_out)
 {
+    tableClean = false;
     slots[slot] = static_cast<uint32_t>(uniqOffs.size());
     uniqOffs.push_back(offset);
     for (uint32_t f = 0; f < span; f++)
@@ -235,6 +304,7 @@ HashGradMerger::flushInto(float *grad, std::vector<uint32_t> *touched)
             touched->push_back(off);
     }
     std::fill(slots.begin(), slots.end(), kEmpty);
+    tableClean = true;
     uniqOffs.clear();
     accs.clear();
     pushedRunning = 0;
@@ -247,6 +317,17 @@ HashEncoding::backwardOne(const uint32_t *addrs, const float *ws,
                           HashGradMerger *merger, TraceSink *sink) const
 {
     const int fpe = cfg.featuresPerEntry;
+
+    // The hot path -- untraced direct scatter -- dispatches through
+    // the kernel backend; the traced and merged variants keep the
+    // reference loop below because record/push order is part of their
+    // contract.
+    if (!merger && !sink) {
+        resolveBackend(kernelBackend)
+            .hashScatterSample(addrs, ws, d_out, cfg.numLevels, fpe,
+                               cfg.tableSize(), grad, touched);
+        return;
+    }
 
     for (int l = 0; l < cfg.numLevels; l++) {
         for (int corner = 0; corner < 8; corner++) {

@@ -29,6 +29,8 @@
 
 namespace instant3d {
 
+class KernelBackend;
+
 /** Static configuration of one hash-grid encoding. */
 struct HashEncodingConfig
 {
@@ -95,9 +97,19 @@ class HashGradMerger
 {
   public:
     /** A fresh merger behaves like reset(1): safe to push immediately. */
-    HashGradMerger() { slots.assign(1024, kEmpty); }
+    HashGradMerger() { slots.assign(kMinSlots, kEmpty); }
 
-    /** Prepare for a new chunk: set the entry span, drop old writes. */
+    /**
+     * Prepare for a new chunk: set the entry span, drop old writes.
+     * The open-addressed table is sized from the previous flush's
+     * unique-entry count (next power of two holding it under 1/2 load)
+     * instead of whatever high-water mark earlier chunks reached --
+     * chunks are stable across iterations, so the previous touch count
+     * is the right capacity hint, and both the reset fill and the
+     * flush clear stay proportional to actual traffic. Table size only
+     * affects probe order, never the per-address sums, so results are
+     * unchanged.
+     */
     void reset(uint32_t features_per_entry);
 
     /** Merge one scatter: entry `offset` accumulates w * d_out[0..span). */
@@ -140,12 +152,14 @@ class HashGradMerger
 
   private:
     static constexpr uint32_t kEmpty = 0xffffffffu;
+    static constexpr size_t kMinSlots = 1024;
 
     void insertAt(uint32_t slot, uint32_t offset, float w,
                   const float *d_out);
     void grow();
 
     uint32_t span = 1;
+    bool tableClean = true;         //!< slots are all kEmpty right now.
     std::vector<uint32_t> slots;    //!< Open-addressed: offset -> index.
     std::vector<uint32_t> uniqOffs; //!< Unique offsets, first-touch order.
     std::vector<float> accs;        //!< uniqOffs.size() * span sums.
@@ -282,6 +296,15 @@ class HashEncoding
     uint32_t pointIdCounter() const
     { return nextPointId.load(std::memory_order_relaxed); }
 
+    /**
+     * Route the batched kernels (encodeBatch interpolation, untraced
+     * backward scatters) through the given backend; nullptr restores
+     * the scalar reference. The scalar encode()/backward() pair stays
+     * on the reference loops.
+     */
+    void setKernelBackend(const KernelBackend *backend)
+    { kernelBackend = backend; }
+
   private:
     /** Flat offset of (level, address, feature 0). */
     size_t
@@ -300,6 +323,26 @@ class HashEncoding
                    uint32_t point_id) const;
 
     /**
+     * Integer phase of one encode: corner addresses, trilinear
+     * weights, and trace records into caller slices (numLevels * 8),
+     * without touching the embedding table. The recorded batched path
+     * pairs this with KernelBackend::hashInterpBatch; both this and
+     * encodeOne derive their corners from the shared levelCorners
+     * kernel, so the two paths cannot drift.
+     */
+    void encodeCorners(const Vec3 &p, uint32_t *addr_slots,
+                       float *weight_slots, TraceSink *sink,
+                       uint32_t point_id) const;
+
+    /**
+     * Corner addresses and trilinear weights of one level for an
+     * already-clamped point -- the single source of the Eq. 3 address
+     * arithmetic, shared by encodeOne and encodeCorners.
+     */
+    void levelCorners(const Vec3 &q, int level, uint32_t *addr8,
+                      float *w8) const;
+
+    /**
      * Shared backward kernel over recorded address/weight slices.
      * Exactly one of (`grad`, `merger`) receives the entry writes.
      */
@@ -316,6 +359,7 @@ class HashEncoding
     std::atomic<uint64_t> reads{0};
     std::atomic<uint64_t> writes{0};
     std::atomic<uint32_t> nextPointId{0};
+    const KernelBackend *kernelBackend = nullptr; //!< null = scalar_ref.
 };
 
 } // namespace instant3d

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "kernels/kernel_backend.hh"
 
 namespace instant3d {
 
@@ -160,6 +161,7 @@ void
 Mlp::forwardBatch(const float *in, int n, float *out, MlpBatchRecord *rec,
                   Workspace &ws) const
 {
+    const KernelBackend &kb = resolveBackend(kernelBackend);
     const int n_layers = numLayers();
     float *cur = ws.alloc<float>(static_cast<size_t>(n) * maxDim);
     float *nxt = ws.alloc<float>(static_cast<size_t>(n) * maxDim);
@@ -184,17 +186,7 @@ Mlp::forwardBatch(const float *in, int n, float *out, MlpBatchRecord *rec,
                       rec->activations + actOffsets[l] * n);
         }
 
-        for (int s = 0; s < n; s++) {
-            const float *x = cur + static_cast<size_t>(s) * n_in;
-            float *y = nxt + static_cast<size_t>(s) * n_out;
-            for (int o = 0; o < n_out; o++) {
-                float acc = b[o];
-                const float *wrow = w + static_cast<size_t>(o) * n_in;
-                for (int i = 0; i < n_in; i++)
-                    acc += wrow[i] * x[i];
-                y[o] = acc;
-            }
-        }
+        kb.mlpForwardPanel(cur, n, n_in, n_out, w, b, nxt, ws);
 
         if (rec) {
             std::copy(nxt, nxt + static_cast<size_t>(n) * n_out,
@@ -203,13 +195,10 @@ Mlp::forwardBatch(const float *in, int n, float *out, MlpBatchRecord *rec,
 
         const bool last = (l == n_layers - 1);
         const size_t count = static_cast<size_t>(n) * n_out;
-        if (!last) {
-            for (size_t i = 0; i < count; i++)
-                nxt[i] = std::max(nxt[i], 0.0f);
-        } else if (outAct == OutputActivation::Sigmoid) {
-            for (size_t i = 0; i < count; i++)
-                nxt[i] = 1.0f / (1.0f + std::exp(-nxt[i]));
-        }
+        if (!last)
+            kb.reluPanel(nxt, count);
+        else if (outAct == OutputActivation::Sigmoid)
+            kb.sigmoidPanel(nxt, count);
         std::swap(cur, nxt);
     }
     std::copy(cur, cur + static_cast<size_t>(n) * dims.back(), out);
@@ -221,6 +210,7 @@ Mlp::backwardSample(const MlpBatchRecord &rec, int s, const float *d_out,
 {
     panicIf(s < 0 || s >= rec.n, "sample index outside batch record");
 
+    const KernelBackend &kb = resolveBackend(kernelBackend);
     float *delta = ws.alloc<float>(maxDim);
     float *prev_delta = ws.alloc<float>(maxDim);
     std::copy(d_out, d_out + dims.back(), delta);
@@ -245,19 +235,8 @@ Mlp::backwardSample(const MlpBatchRecord &rec, int s, const float *d_out,
         float *gb = grad + bOffsets[l];
         const float *w = weights.data() + wOffsets[l];
 
-        std::fill(prev_delta, prev_delta + n_in, 0.0f);
-        for (int o = 0; o < n_out; o++) {
-            float d = delta[o];
-            if (d == 0.0f)
-                continue;
-            float *gwrow = gw + static_cast<size_t>(o) * n_in;
-            const float *wrow = w + static_cast<size_t>(o) * n_in;
-            for (int i = 0; i < n_in; i++) {
-                gwrow[i] += d * act[i];
-                prev_delta[i] += d * wrow[i];
-            }
-            gb[o] += d;
-        }
+        kb.mlpBackwardPanel(delta, n_out, n_in, act, w, gw, gb,
+                            prev_delta);
 
         if (l > 0) {
             // ReLU derivative on the previous layer's pre-activation.

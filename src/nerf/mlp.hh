@@ -19,6 +19,8 @@
 
 namespace instant3d {
 
+class KernelBackend;
+
 /** Output nonlinearity applied after the last layer. */
 enum class OutputActivation
 {
@@ -130,6 +132,15 @@ class Mlp
     /** Multiply-accumulate count of one forward pass. */
     uint64_t macsPerForward() const;
 
+    /**
+     * Route the batched panels (forwardBatch / backwardSample) through
+     * the given kernel backend; nullptr restores the scalar reference.
+     * The scalar forward()/backward() pair never dispatches -- it *is*
+     * the reference the backends are tested against.
+     */
+    void setKernelBackend(const KernelBackend *backend)
+    { kernelBackend = backend; }
+
   private:
     size_t weightOffset(int layer) const { return wOffsets[layer]; }
     size_t biasOffset(int layer) const { return bOffsets[layer]; }
@@ -143,6 +154,7 @@ class Mlp
     std::vector<size_t> actOffsets, preOffsets;
     size_t actPerSample = 0, prePerSample = 0;
     int maxDim = 0;
+    const KernelBackend *kernelBackend = nullptr; //!< null = scalar_ref.
 };
 
 } // namespace instant3d

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "kernels/kernel_backend.hh"
 
 namespace instant3d {
 
@@ -143,33 +144,14 @@ VolumeRenderer::renderStream(NerfField &field, const SampleStream &stream,
         rec->finalTrans = ws.alloc<float>(stream.numRays);
     }
 
-    for (int r = 0; r < stream.numRays; r++) {
-        const RaySpan span = stream.spans[r];
-        RayResult out;
-        float transmittance = 1.0f;
-        for (int k = span.offset; k < span.offset + span.count; k++) {
-            float alpha = 1.0f - std::exp(-fs[k].sigma * stream.dt);
-            float weight = transmittance * alpha;
-            out.color += fs[k].rgb * weight;
-            out.depth += stream.ts[k] * weight;
-
-            if (rec) {
-                rec->alpha[k] = alpha;
-                rec->trans[k] = transmittance;
-                rec->rgb[k] = fs[k].rgb;
-            }
-
-            transmittance *= 1.0f - alpha;
-            if (!rec && transmittance < cfg.earlyStopTransmittance)
-                break;
-        }
-        out.color += cfg.background * transmittance;
-        out.depth += cfg.tFar * transmittance;
-        out.opacity = 1.0f - transmittance;
-        if (rec)
-            rec->finalTrans[r] = transmittance;
-        results[r] = out;
-    }
+    resolveBackend(kernelBackend)
+        .compositeStream(stream.spans, stream.numRays, fs, stream.ts,
+                         stream.dt, cfg.background, cfg.tFar,
+                         cfg.earlyStopTransmittance, results,
+                         rec ? rec->alpha : nullptr,
+                         rec ? rec->trans : nullptr,
+                         rec ? rec->rgb : nullptr,
+                         rec ? rec->finalTrans : nullptr);
 }
 
 void
@@ -191,26 +173,12 @@ VolumeRenderer::backwardStream(NerfField &field,
     // over each span. Samples whose gradients fall below the skip
     // threshold (occluded points, post-early-stop tails) are flagged
     // and never enter the propagation stage.
-    for (int r = 0; r < stream.numRays; r++) {
-        const RaySpan span = stream.spans[r];
-        const Vec3 &d_color = d_colors[r];
-        float suffix = cfg.background.dot(d_color) * rec.finalTrans[r];
-        for (int k = span.offset + span.count - 1; k >= span.offset;
-             k--) {
-            float weight = rec.trans[k] * rec.alpha[k];
-            float cg = rec.rgb[k].dot(d_color);
-
-            d_sigma[k] =
-                stream.dt *
-                ((1.0f - rec.alpha[k]) * rec.trans[k] * cg - suffix);
-            d_rgb[k] = d_color * weight;
-            float mag = std::fabs(d_sigma[k]) + std::fabs(d_rgb[k].x) +
-                        std::fabs(d_rgb[k].y) + std::fabs(d_rgb[k].z);
-            skip[k] = mag > cfg.gradientSkipThreshold ? 0 : 1;
-
-            suffix += weight * cg;
-        }
-    }
+    resolveBackend(kernelBackend)
+        .compositeBackward(stream.spans, stream.numRays, d_colors,
+                           stream.dt, cfg.background,
+                           cfg.gradientSkipThreshold, rec.alpha,
+                           rec.trans, rec.rgb, rec.finalTrans, d_sigma,
+                           d_rgb, skip);
 
     field.backwardStream(rec.field, stream.spans, stream.numRays,
                          d_sigma, d_rgb, skip, update_density,

@@ -27,6 +27,8 @@
 
 namespace instant3d {
 
+class KernelBackend;
+
 /** Ray-marching configuration for the learned field. */
 struct RendererConfig
 {
@@ -136,6 +138,15 @@ class VolumeRenderer
     void setOccupancyGrid(const OccupancyGrid *grid) { occupancy = grid; }
 
     /**
+     * Route the stream composite kernels (renderStream's per-ray
+     * compositing and backwardStream's suffix recursion) through the
+     * given kernel backend; nullptr restores the scalar reference.
+     * The scalar renderRay/backwardRay pair stays on its own loops.
+     */
+    void setKernelBackend(const KernelBackend *backend)
+    { kernelBackend = backend; }
+
+    /**
      * March one ray through the field.
      * @param jitter  If non-null, stratified-jitters sample positions
      *                (training); otherwise samples at bin centers (eval).
@@ -232,6 +243,7 @@ class VolumeRenderer
   private:
     RendererConfig cfg;
     const OccupancyGrid *occupancy = nullptr;
+    const KernelBackend *kernelBackend = nullptr; //!< null = scalar_ref.
 };
 
 } // namespace instant3d

@@ -73,6 +73,22 @@ Trainer::Trainer(const Dataset &dataset, const FieldConfig &field_config,
     pool = std::make_unique<ThreadPool>(cfg.scalarReference
                                             ? 1
                                             : cfg.numThreads);
+
+    // One kernel backend per trainer, routed through every batched
+    // kernel: the MLP panels, the grid interp/scatter, the renderer's
+    // stream composite, the dense shard reduction, and the optimizer
+    // sweeps. The scalarReference baseline pins scalar_ref outright
+    // (bypassing config and env override): its per-sample kernels
+    // never dispatch, and its Adam steps must stay on the frozen
+    // seed-exact trajectory too.
+    backend = cfg.scalarReference
+                  ? makeScalarRefBackend()
+                  : createKernelBackend(cfg.kernelBackend, pool.get());
+    fieldPtr->setKernelBackend(backend.get());
+    rendererPtr->setKernelBackend(backend.get());
+    for (auto &opt : optimizers)
+        opt->setKernelBackend(backend.get());
+
     workspaces.resize(pool->threadCount());
     shards.resize(std::min(cfg.gradShards, cfg.raysPerBatch));
     if (cfg.mergeHashGrads)

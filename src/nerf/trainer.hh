@@ -24,9 +24,11 @@
 #define INSTANT3D_NERF_TRAINER_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "kernels/kernel_backend.hh"
 #include "common/workspace.hh"
 #include "nerf/adam.hh"
 #include "nerf/renderer.hh"
@@ -117,6 +119,18 @@ struct TrainConfig
     bool sparseOptimizer = true;
 
     /**
+     * Kernel backend for the batched hot-path kernels: "scalar_ref"
+     * (the reference loops), "simd" (order-preserving vectorized
+     * loops), "threaded_sweep" (scalar kernels + optimizer sweeps over
+     * the thread pool), or "auto" (threaded_sweep when the pool has
+     * more than one worker, else scalar_ref -- both bit-identical to
+     * the historical path). The INSTANT3D_KERNEL_BACKEND environment
+     * variable overrides this field. See src/kernels/kernel_backend.hh
+     * for the per-backend determinism contract.
+     */
+    std::string kernelBackend = "auto";
+
+    /**
      * Record a wall-time breakdown of each iteration's phases into
      * TrainStats::phases (bench instrumentation; off by default to
      * keep clock reads out of the hot path). Worker-chunk phases are
@@ -189,6 +203,9 @@ class Trainer
     /** Worker threads in use (after auto resolution). */
     int threadCount() const { return pool->threadCount(); }
 
+    /** Resolved kernel-backend name (after auto/env resolution). */
+    const char *kernelBackendName() const { return backend->name(); }
+
     /** The occupancy grid, or nullptr when skipping is disabled. */
     const OccupancyGrid *occupancyGrid() const
     { return occupancyPtr.get(); }
@@ -254,6 +271,7 @@ class Trainer
     std::vector<std::unique_ptr<Adam>> optimizers;
     std::vector<ParamGroupId> groups;
     std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<KernelBackend> backend;
     std::vector<Workspace> workspaces;    //!< One per thread rank.
     std::vector<FieldGradients> shards;   //!< One per ray chunk.
     std::vector<FieldGradMergers> mergers; //!< One per chunk (if merging).
