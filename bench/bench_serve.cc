@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Render-serving bench: train two small scenes, register them, and
+ * measure (1) the single-client Trainer::renderImage baseline at one
+ * thread, (2) served closed-loop throughput at one worker (the
+ * cross-request-batching gate: served must stay >= 0.9x the baseline),
+ * and (3) an open-loop synthetic request mix -- two scenes, three
+ * quality tiers, mixed tile sizes, configurable offered load --
+ * reporting throughput plus p50/p95/p99 latency per tier, cache and
+ * backpressure counters.
+ *
+ * Usage: bench_serve [output.json] [open_loop_seconds]
+ *
+ * Emits BENCH_serve_latency.json (path = argv[1]).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "nerf/trainer.hh"
+#include "serve/render_service.hh"
+#include "serve/scene_registry.hh"
+
+namespace instant3d {
+namespace {
+
+double
+now()
+{
+    return monotonicSeconds();
+}
+
+/** Lattice-aligned serving camera over the unit-cube scene. */
+CameraSpec
+servingCamera(int view, int size)
+{
+    // A small set of distinct viewpoints, all exactly on the 1/4096
+    // quantization lattice so repeats hash to the same cache keys.
+    static const float eyes[][3] = {
+        {1.25f, 0.5f, 1.0f},   {0.5f, 1.25f, 1.0f},
+        {-0.25f, 0.5f, 1.0f},  {0.5f, -0.25f, 1.0f},
+        {1.0f, 1.0f, 1.25f},   {0.0f, 1.0f, 1.25f},
+        {1.0f, 0.0f, 0.75f},   {0.0f, 0.0f, 0.75f},
+    };
+    const float *e = eyes[view % 8];
+    CameraSpec spec;
+    spec.eye = {e[0], e[1], e[2]};
+    spec.target = {0.5f, 0.5f, 0.5f};
+    spec.up = {0.0f, 0.0f, 1.0f};
+    spec.vfovDeg = 45.0f;
+    spec.width = size;
+    spec.height = size;
+    return spec;
+}
+
+std::unique_ptr<Trainer>
+trainScene(const Dataset &dataset, const bench::SmallScale &scale,
+           int iterations)
+{
+    FieldConfig fcfg =
+        FieldConfig::instant3dDefault(bench::benchBaseGrid(scale));
+    fcfg.hiddenDim = scale.hiddenDim;
+    TrainConfig tcfg;
+    tcfg.raysPerBatch = scale.raysPerBatch;
+    tcfg.samplesPerRay = scale.samplesPerRay;
+    tcfg.adam.lr = 1e-2f;
+    tcfg.useOccupancyGrid = true;
+    tcfg.occupancyUpdatePeriod = 16;
+    tcfg.numThreads = 1; // the 1t baseline renders through this pool
+    tcfg.seed = scale.seed;
+    auto trainer = std::make_unique<Trainer>(dataset, fcfg, tcfg);
+    for (int i = 0; i < iterations; i++)
+        trainer->trainIteration();
+    return trainer;
+}
+
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    if (idx > 0)
+        idx--;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct TierLatency
+{
+    const char *name;
+    std::vector<double> ms;
+};
+
+} // namespace
+} // namespace instant3d
+
+int
+main(int argc, char **argv)
+{
+    using namespace instant3d;
+
+    std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_serve_latency.json";
+    double open_loop_seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
+    if (open_loop_seconds <= 0)
+        open_loop_seconds = 3.0;
+
+    constexpr int image_size = 64;
+    constexpr int tile = 16;
+    const uint64_t image_rays =
+        static_cast<uint64_t>(image_size) * image_size;
+
+    // ------------------------------------------------- scene setup
+    bench::SmallScale scale;
+    std::fprintf(stderr, "bench_serve: training 2 scenes...\n");
+    Dataset lego = bench::makeSceneDataset("lego", scale);
+    Dataset materials = bench::makeSceneDataset("materials", scale);
+    auto lego_trainer = trainScene(lego, scale, 150);
+    auto materials_trainer = trainScene(materials, scale, 150);
+
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *lego_trainer);
+    registry.registerFromTrainer("materials", *materials_trainer);
+
+    // ------------------------------- baseline: renderImage at 1 thread
+    CameraSpec cam = servingCamera(0, image_size);
+    Camera camera = cam.makeCamera();
+    lego_trainer->renderImage(camera); // warm
+    double t0 = now();
+    int base_frames = 0;
+    double base_seconds = 0.0;
+    while (base_seconds < 1.0) {
+        lego_trainer->renderImage(camera);
+        base_frames++;
+        base_seconds = now() - t0;
+    }
+    double base_rays_per_s =
+        static_cast<double>(base_frames) * image_rays / base_seconds;
+
+    // ------------------- served closed loop, 1 worker, cache disabled
+    double served_rays_per_s = 0.0;
+    uint64_t closed_chunks = 0, closed_cross = 0;
+    {
+        RenderServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.tilePixels = tile;
+        cfg.chunkRays = image_rays; // whole image -> one stream chunk
+        cfg.cacheTiles = 0;
+        RenderService service(registry, cfg);
+
+        RenderRequest req;
+        req.sceneId = "lego";
+        req.camera = cam;
+        service.render(req); // warm
+        double s0 = now();
+        int frames = 0;
+        double seconds = 0.0;
+        while (seconds < 1.0) {
+            RenderResponse resp = service.render(req);
+            if (resp.status != RequestStatus::Ok) {
+                std::fprintf(stderr,
+                             "bench_serve: closed-loop render failed\n");
+                return 1;
+            }
+            frames++;
+            seconds = now() - s0;
+        }
+        served_rays_per_s =
+            static_cast<double>(frames) * image_rays / seconds;
+        ServeStats st = service.stats();
+        closed_chunks = st.chunksRendered;
+        closed_cross = st.crossRequestChunks;
+    }
+    double served_vs_render_image =
+        served_rays_per_s / base_rays_per_s;
+
+    // --------------------------------- open loop: synthetic request mix
+    // Offered load targets ~60% of the measured 1-worker ray capacity
+    // (auto-worker services on multicore hosts have headroom above
+    // that), over a deterministic mix: 2 scenes x 3 tiers x 3 sizes x
+    // 8 viewpoints, with repeats so the tile cache sees hits.
+    const int sizes[3] = {image_size, image_size / 2, tile};
+    double mean_request_rays = 0.0;
+    for (int s : sizes)
+        mean_request_rays += static_cast<double>(s) * s;
+    mean_request_rays /= 3.0;
+    double offered_rps =
+        0.6 * served_rays_per_s / mean_request_rays;
+    if (offered_rps < 4.0)
+        offered_rps = 4.0;
+
+    TierLatency tiers[numQualityTiers] = {
+        {"full", {}}, {"half", {}}, {"preview", {}}};
+    uint64_t submitted = 0, completed = 0, rejected = 0, expired = 0;
+    double open_elapsed = 0.0;
+    ServeStats open_stats;
+    TileCache::Stats open_cache;
+    int open_workers = 0;
+    {
+        RenderServiceConfig cfg;
+        cfg.workers = 0; // auto
+        cfg.tilePixels = tile;
+        cfg.chunkRays = 2048;
+        cfg.cacheTiles = 256;
+        cfg.maxQueueTiles = 4096;
+        RenderService service(registry, cfg);
+        open_workers = service.workerCount();
+
+        struct Flight
+        {
+            std::future<RenderResponse> future;
+            int tier;
+        };
+        std::vector<Flight> flights;
+        flights.reserve(
+            static_cast<size_t>(offered_rps * open_loop_seconds) + 8);
+
+        Rng mix_rng(1234);
+        auto start = std::chrono::steady_clock::now();
+        double o0 = now();
+        for (uint64_t i = 0;; i++) {
+            double due = static_cast<double>(i) / offered_rps;
+            if (due > open_loop_seconds)
+                break;
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(due));
+
+            RenderRequest req;
+            req.sceneId = mix_rng.nextU32(2) ? "materials" : "lego";
+            req.camera =
+                servingCamera(static_cast<int>(mix_rng.nextU32(8)),
+                              image_size);
+            int tier = static_cast<int>(mix_rng.nextU32(3));
+            req.quality = static_cast<QualityTier>(tier);
+            int size = sizes[mix_rng.nextU32(3)];
+            if (size < image_size) {
+                int off = static_cast<int>(
+                    mix_rng.nextU32(static_cast<uint32_t>(
+                        (image_size - size) / tile + 1))) * tile;
+                req.roi = {off, off, size, size};
+            }
+            flights.push_back({service.submit(req), tier});
+            submitted++;
+        }
+        for (auto &fl : flights) {
+            RenderResponse resp = fl.future.get();
+            switch (resp.status) {
+            case RequestStatus::Ok:
+                completed++;
+                tiers[fl.tier].ms.push_back(resp.totalMs);
+                break;
+            case RequestStatus::Rejected:
+                rejected++;
+                break;
+            case RequestStatus::DeadlineExceeded:
+                expired++;
+                break;
+            default:
+                break;
+            }
+        }
+        open_elapsed = now() - o0;
+        open_stats = service.stats();
+        open_cache = service.cacheStats();
+    }
+
+    std::vector<double> all_ms;
+    for (auto &t : tiers) {
+        std::sort(t.ms.begin(), t.ms.end());
+        all_ms.insert(all_ms.end(), t.ms.begin(), t.ms.end());
+    }
+    std::sort(all_ms.begin(), all_ms.end());
+
+    // ------------------------------------ overload: backpressure probe
+    uint64_t overload_submitted = 0, overload_rejected = 0;
+    {
+        RenderServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.tilePixels = tile;
+        cfg.maxQueueTiles = 64;
+        cfg.retryAfterMs = 5;
+        RenderService service(registry, cfg);
+        std::vector<std::future<RenderResponse>> fut;
+        for (int i = 0; i < 96; i++) {
+            RenderRequest req;
+            req.sceneId = "lego";
+            req.camera = cam;
+            fut.push_back(service.submit(req));
+            overload_submitted++;
+        }
+        for (auto &f : fut)
+            if (f.get().status == RequestStatus::Rejected)
+                overload_rejected++;
+    }
+
+    // ------------------------------------------------------- report
+    std::string json;
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"bench\": \"serve_latency\",\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"scenes\": 2,\n"
+        "  \"image\": {\"width\": %d, \"height\": %d, \"tile\": %d},\n"
+        "  \"baseline_renderimage_1t\": {\"frames\": %d, "
+        "\"seconds\": %.4f, \"rays_per_s\": %.1f},\n"
+        "  \"served_closed_loop_1t\": {\"rays_per_s\": %.1f, "
+        "\"chunks\": %llu, \"cross_request_chunks\": %llu},\n",
+        std::thread::hardware_concurrency(), image_size, image_size,
+        tile, base_frames, base_seconds, base_rays_per_s,
+        served_rays_per_s,
+        static_cast<unsigned long long>(closed_chunks),
+        static_cast<unsigned long long>(closed_cross));
+    json += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"open_loop\": {\n"
+        "    \"workers\": %d,\n"
+        "    \"offered_rps\": %.2f,\n"
+        "    \"duration_s\": %.3f,\n"
+        "    \"submitted\": %llu,\n"
+        "    \"completed\": %llu,\n"
+        "    \"rejected\": %llu,\n"
+        "    \"deadline_exceeded\": %llu,\n"
+        "    \"throughput_rps\": %.2f,\n"
+        "    \"tiles_rendered\": %llu,\n"
+        "    \"tiles_from_cache\": %llu,\n"
+        "    \"cross_request_chunks\": %llu,\n"
+        "    \"queue_depth_highwater\": %llu,\n"
+        "    \"latency_ms\": {\n"
+        "      \"all\": {\"count\": %zu, \"p50\": %.3f, "
+        "\"p95\": %.3f, \"p99\": %.3f},\n",
+        open_workers, offered_rps, open_elapsed,
+        static_cast<unsigned long long>(submitted),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(rejected),
+        static_cast<unsigned long long>(expired),
+        completed / (open_elapsed > 0 ? open_elapsed : 1.0),
+        static_cast<unsigned long long>(open_stats.tilesRendered),
+        static_cast<unsigned long long>(open_stats.tilesFromCache),
+        static_cast<unsigned long long>(open_stats.crossRequestChunks),
+        static_cast<unsigned long long>(open_stats.queueDepthHighwater),
+        all_ms.size(), percentile(all_ms, 50), percentile(all_ms, 95),
+        percentile(all_ms, 99));
+    json += buf;
+    for (int t = 0; t < numQualityTiers; t++) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "      \"%s\": {\"count\": %zu, \"p50\": %.3f, "
+            "\"p95\": %.3f, \"p99\": %.3f}%s\n",
+            tiers[t].name, tiers[t].ms.size(),
+            percentile(tiers[t].ms, 50), percentile(tiers[t].ms, 95),
+            percentile(tiers[t].ms, 99),
+            t + 1 < numQualityTiers ? "," : "");
+        json += buf;
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "    },\n"
+        "    \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"insertions\": %llu, \"evictions\": %llu, "
+        "\"entries\": %zu}\n"
+        "  },\n"
+        "  \"overload\": {\"submitted\": %llu, \"rejected\": %llu, "
+        "\"retry_after_ms\": 5},\n"
+        "  \"speedups\": {\n"
+        "    \"served_vs_renderImage_1t\": %.3f\n"
+        "  }\n"
+        "}\n",
+        static_cast<unsigned long long>(open_cache.hits),
+        static_cast<unsigned long long>(open_cache.misses),
+        static_cast<unsigned long long>(open_cache.insertions),
+        static_cast<unsigned long long>(open_cache.evictions),
+        open_cache.entries,
+        static_cast<unsigned long long>(overload_submitted),
+        static_cast<unsigned long long>(overload_rejected),
+        served_vs_render_image);
+    json += buf;
+
+    std::fputs(json.c_str(), stdout);
+    if (FILE *f = std::fopen(out_path.c_str(), "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Render-serving demo: train two small scenes, register them with a
+ * SceneRegistry, fire a concurrent mixed request load (two scenes,
+ * three quality tiers, full images and tiles) at a RenderService from
+ * several client threads, and print the service + cache stats block.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/serve_demo [iterations] [requests_per_client]
+ */
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+#include "serve/render_service.hh"
+#include "serve/scene_registry.hh"
+
+using namespace instant3d;
+
+namespace {
+
+Dataset
+demoDataset(const std::string &scene_name)
+{
+    DatasetConfig dcfg;
+    dcfg.numTrainViews = 6;
+    dcfg.numTestViews = 2;
+    dcfg.imageWidth = 20;
+    dcfg.imageHeight = 20;
+    dcfg.renderOpts.numSteps = 64;
+    return makeDataset(makeSyntheticScene(scene_name), dcfg);
+}
+
+std::unique_ptr<Trainer>
+demoTrainer(const Dataset &dataset, int iterations)
+{
+    HashEncodingConfig grid;
+    grid.numLevels = 4;
+    grid.featuresPerEntry = 2;
+    grid.log2TableSize = 12;
+    grid.baseResolution = 8;
+    grid.growthFactor = 1.6f;
+    FieldConfig fcfg = FieldConfig::instant3dDefault(grid);
+    fcfg.hiddenDim = 16;
+
+    TrainConfig tcfg;
+    tcfg.raysPerBatch = 96;
+    tcfg.samplesPerRay = 32;
+    tcfg.adam.lr = 1e-2f;
+    tcfg.useOccupancyGrid = true;
+    tcfg.occupancyUpdatePeriod = 16;
+
+    auto trainer = std::make_unique<Trainer>(dataset, fcfg, tcfg);
+    for (int i = 0; i < iterations; i++)
+        trainer->trainIteration();
+    return trainer;
+}
+
+CameraSpec
+demoCamera(int view)
+{
+    static const float eyes[][3] = {
+        {1.25f, 0.5f, 1.0f}, {0.5f, 1.25f, 1.0f},
+        {-0.25f, 0.5f, 1.0f}, {1.0f, 1.0f, 1.25f}};
+    const float *e = eyes[view % 4];
+    CameraSpec spec;
+    spec.eye = {e[0], e[1], e[2]};
+    spec.target = {0.5f, 0.5f, 0.5f};
+    spec.up = {0.0f, 0.0f, 1.0f};
+    spec.vfovDeg = 45.0f;
+    spec.width = 48;
+    spec.height = 48;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int iterations = argc > 1 ? std::atoi(argv[1]) : 100;
+    int per_client = argc > 2 ? std::atoi(argv[2]) : 8;
+
+    // 1. Train two scenes and publish them.
+    std::printf("training 2 scenes (%d iterations each)...\n",
+                iterations);
+    Dataset lego = demoDataset("lego");
+    Dataset materials = demoDataset("materials");
+    auto lego_trainer = demoTrainer(lego, iterations);
+    auto materials_trainer = demoTrainer(materials, iterations);
+
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *lego_trainer);
+    registry.registerFromTrainer("materials", *materials_trainer);
+    std::printf("registered %zu scenes\n", registry.size());
+
+    // 2. Serve a concurrent mixed load: 4 clients x full/tile
+    //    requests over both scenes and all three quality tiers.
+    RenderServiceConfig cfg;
+    cfg.tilePixels = 16;
+    cfg.chunkRays = 2048;
+    cfg.cacheTiles = 128;
+    RenderService service(registry, cfg);
+    std::printf("serving with %d worker(s)\n", service.workerCount());
+
+    std::vector<std::thread> clients;
+    std::vector<int> ok_counts(4, 0);
+    for (int c = 0; c < 4; c++) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < per_client; i++) {
+                RenderRequest req;
+                req.sceneId = (c + i) % 2 ? "materials" : "lego";
+                req.camera = demoCamera(i);
+                req.quality =
+                    static_cast<QualityTier>((c + i) % 3);
+                if (i % 3 == 2)
+                    req.roi = {16, 16, 16, 16};
+                if (service.render(req).status == RequestStatus::Ok)
+                    ok_counts[c]++;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    int ok_total = 0;
+    for (int c = 0; c < 4; c++)
+        ok_total += ok_counts[c];
+    std::printf("%d/%d requests served ok\n", ok_total,
+                4 * per_client);
+
+    // 3. The stats block.
+    ServeStats s = service.stats();
+    TileCache::Stats cs = service.cacheStats();
+    std::printf("--- service stats ---\n");
+    std::printf("requests: accepted %llu, completed %llu, "
+                "rejected %llu\n",
+                static_cast<unsigned long long>(s.requestsAccepted),
+                static_cast<unsigned long long>(s.requestsCompleted),
+                static_cast<unsigned long long>(s.requestsRejected));
+    std::printf("tiles: rendered %llu, from cache %llu\n",
+                static_cast<unsigned long long>(s.tilesRendered),
+                static_cast<unsigned long long>(s.tilesFromCache));
+    std::printf("rays rendered: %llu in %llu chunks "
+                "(%llu cross-request)\n",
+                static_cast<unsigned long long>(s.raysRendered),
+                static_cast<unsigned long long>(s.chunksRendered),
+                static_cast<unsigned long long>(s.crossRequestChunks));
+    std::printf("queue depth highwater: %llu tiles\n",
+                static_cast<unsigned long long>(
+                    s.queueDepthHighwater));
+    std::printf("cache: %llu hits / %llu misses, %zu entries\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                cs.entries);
+    return 0;
+}

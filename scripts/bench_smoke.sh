@@ -6,7 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j --target bench_train_throughput
+cmake --build build -j --target bench_train_throughput bench_serve
 
 # No explicit iteration count: the bench auto-calibrates to ~1.5 s of
 # scalar-baseline work, so the whole run stays in the seconds range.
@@ -52,3 +52,27 @@ grep -o '"threaded_sweep_vs_serial": [0-9.]*' BENCH_train_throughput.json
 # Anchored to the block's own 2-space close so the nested one-line
 # objects inside don't end the range early.
 sed -n '/"kernel_backends"/,/^  },/p' BENCH_train_throughput.json
+
+# Render-serving bench: trains two tiny scenes, measures the 1-worker
+# served throughput against the single-client renderImage baseline,
+# and records open-loop latency percentiles per quality tier.
+./build/bench_serve BENCH_serve_latency.json
+
+echo "bench_smoke: wrote $(pwd)/BENCH_serve_latency.json"
+grep -o '"p50": [0-9.]*' BENCH_serve_latency.json | head -4
+grep -o '"rejected": [0-9]*' BENCH_serve_latency.json
+
+# Regression gate: cross-request tile batching must keep the served
+# pipeline within 10% of the single-client renderImage rate at one
+# worker (measured ~1.0x on the CI container; 0.9 is the hard floor --
+# below that the serving layer is eating its batching win in
+# scheduling overhead).
+served=$(grep -o '"served_vs_renderImage_1t": [0-9.]*' \
+             BENCH_serve_latency.json | awk '{print $2}')
+awk -v s="$served" 'BEGIN {
+    if (s == "" || s + 0 < 0.9) {
+        print "bench_smoke: FAIL served_vs_renderImage_1t=" s " < 0.9"
+        exit 1
+    }
+    print "bench_smoke: served_vs_renderImage_1t=" s " (>= 0.9 ok)"
+}'

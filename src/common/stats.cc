@@ -1,12 +1,21 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
 
 namespace instant3d {
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
 
 void
 RunningStats::add(double x)

@@ -15,6 +15,13 @@
 namespace instant3d {
 
 /**
+ * Monotonic wall-clock seconds (std::chrono::steady_clock). The one
+ * shared time source for phase instrumentation, service latency
+ * accounting, and bench timing.
+ */
+double monotonicSeconds();
+
+/**
  * Welford running mean/variance accumulator.
  * Numerically stable for long traces (hundreds of millions of samples).
  */

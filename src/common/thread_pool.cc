@@ -107,10 +107,19 @@ ThreadPool::parallelFor(int num_tasks,
     }
 
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        panicIf(job != nullptr,
+        std::unique_lock<std::mutex> lock(mtx);
+        // From inside the in-flight batch -- a helper worker, or the
+        // batch's own rank-0 client thread -- waiting would deadlock
+        // on ourselves: that is true reentrancy. From any other thread
+        // a busy pool just means another client got here first: wait
+        // for its batch to retire, then claim the pool.
+        panicIf(job != nullptr &&
+                    (onWorkerThread() ||
+                     std::this_thread::get_id() == jobOwner),
                 "ThreadPool::parallelFor is not reentrant");
+        cvDone.wait(lock, [&] { return job == nullptr; });
         job = &fn;
+        jobOwner = std::this_thread::get_id();
         jobTasks = num_tasks;
         nextTask.store(0, std::memory_order_relaxed);
         tasksDone.store(0, std::memory_order_relaxed);
@@ -130,6 +139,18 @@ ThreadPool::parallelFor(int num_tasks,
                activeWorkers == 0;
     });
     job = nullptr;
+    // Wake any client thread waiting to claim the pool for its batch.
+    cvDone.notify_all();
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    auto self = std::this_thread::get_id();
+    for (const auto &w : workers)
+        if (w.get_id() == self)
+            return true;
+    return false;
 }
 
 } // namespace instant3d

@@ -47,7 +47,13 @@ class ThreadPool
      * all tasks finish. `rank` is in [0, threadCount()) and identifies
      * the executing thread (for per-thread scratch). Tasks are claimed
      * dynamically; callers must not depend on the task->rank mapping.
-     * Not reentrant: do not call parallelFor from inside a task.
+     *
+     * Multi-client safe: concurrent calls from distinct client threads
+     * serialize (one batch runs at a time; later callers block until
+     * the pool frees up), so a pool can be shared between e.g. a render
+     * service's scheduler and a trainer. Still not reentrant: calling
+     * parallelFor from inside a task (a pool worker thread) panics,
+     * since that would deadlock on the batch it is part of.
      */
     void parallelFor(int num_tasks,
                      const std::function<void(int, int)> &fn);
@@ -59,6 +65,7 @@ class ThreadPool
     void workerLoop(int rank);
     void runTasks(const std::function<void(int, int)> &fn, int total,
                   int rank);
+    bool onWorkerThread() const;
 
     int nthreads = 1;
     std::vector<std::thread> workers;
@@ -71,6 +78,7 @@ class ThreadPool
     bool shutdown = false;
 
     const std::function<void(int, int)> *job = nullptr;
+    std::thread::id jobOwner; //!< Rank-0 client of the current batch.
     int jobTasks = 0;
     std::atomic<int> nextTask{0};
     std::atomic<int> tasksDone{0};

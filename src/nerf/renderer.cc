@@ -234,6 +234,91 @@ VolumeRenderer::renderRayFast(NerfField &field, const Ray &ray,
 }
 
 void
+VolumeRenderer::renderRays(NerfField &field, const Ray *rays,
+                           int numRays, RayResult *results,
+                           Workspace &ws) const
+{
+    constexpr int block = 16; // sample bins per lockstep advance
+    const int n = cfg.samplesPerRay;
+    const float dt = (cfg.tFar - cfg.tNear) / static_cast<float>(n);
+
+    int *alive = ws.alloc<int>(numRays);
+    float *trans = ws.alloc<float>(numRays);
+    for (int r = 0; r < numRays; r++) {
+        alive[r] = r;
+        trans[r] = 1.0f;
+        results[r] = RayResult{};
+    }
+    int num_alive = numRays;
+
+    for (int k0 = 0; k0 < n && num_alive > 0; k0 += block) {
+        const int k_end = k0 + block < n ? k0 + block : n;
+        const int bins = k_end - k0;
+
+        RaySpan *spans = ws.alloc<RaySpan>(num_alive);
+        Vec3 *pts =
+            ws.alloc<Vec3>(static_cast<size_t>(num_alive) * bins);
+        float *ts =
+            ws.alloc<float>(static_cast<size_t>(num_alive) * bins);
+        Vec3 *dirs = ws.alloc<Vec3>(num_alive);
+
+        int total = 0;
+        for (int i = 0; i < num_alive; i++) {
+            const Ray &ray = rays[alive[i]];
+            dirs[i] = ray.direction;
+            spans[i].offset = total;
+            for (int k = k0; k < k_end; k++) {
+                float t =
+                    cfg.tNear + (static_cast<float>(k) + 0.5f) * dt;
+                Vec3 p = ray.at(t);
+                if (occupancy && !occupancy->occupied(p))
+                    continue;
+                pts[total] = p;
+                ts[total] = t;
+                total++;
+            }
+            spans[i].count = total - spans[i].offset;
+        }
+
+        FieldSample *fs = ws.alloc<FieldSample>(total);
+        field.queryStream(pts, total, spans, dirs, num_alive, fs,
+                          nullptr, ws);
+
+        // Per-ray composite of this block, same fold as renderRayFast:
+        // block boundaries never change the arithmetic, only how many
+        // samples were queried ahead of the early stop.
+        int kept = 0;
+        for (int i = 0; i < num_alive; i++) {
+            const int r = alive[i];
+            float transmittance = trans[r];
+            bool stopped = false;
+            for (int s = spans[i].offset;
+                 s < spans[i].offset + spans[i].count; s++) {
+                float alpha = 1.0f - std::exp(-fs[s].sigma * dt);
+                float weight = transmittance * alpha;
+                results[r].color += fs[s].rgb * weight;
+                results[r].depth += ts[s] * weight;
+                transmittance *= 1.0f - alpha;
+                if (transmittance < cfg.earlyStopTransmittance) {
+                    stopped = true;
+                    break;
+                }
+            }
+            trans[r] = transmittance;
+            if (!stopped)
+                alive[kept++] = r;
+        }
+        num_alive = kept;
+    }
+
+    for (int r = 0; r < numRays; r++) {
+        results[r].color += cfg.background * trans[r];
+        results[r].depth += cfg.tFar * trans[r];
+        results[r].opacity = 1.0f - trans[r];
+    }
+}
+
+void
 VolumeRenderer::backwardRayBatch(NerfField &field,
                                  const RayBatchRecord &rec,
                                  const Vec3 &d_color, bool update_density,

@@ -191,6 +191,23 @@ class VolumeRenderer
                             Workspace &ws) const;
 
     /**
+     * Multi-ray eval-path march: renderRayFast over a whole batch at
+     * stream width. Rays advance in lockstep sample blocks; each
+     * block's surviving samples (occupancy-filtered, bin centers) from
+     * *all* still-alive rays form one compacted stream queried with a
+     * single NerfField::queryStream call, and rays whose transmittance
+     * crosses the early-stop threshold drop out of later blocks. The
+     * per-sample compositing fold is per ray and in t order, so
+     * results[r] is bit-identical to renderRayFast (and renderRay) on
+     * ray r for ANY batch composition -- the property the render
+     * service's cross-request batching relies on. Like renderRayFast,
+     * the query count may overshoot the composited samples by up to
+     * one block per ray.
+     */
+    void renderRays(NerfField &field, const Ray *rays, int numRays,
+                    RayResult *results, Workspace &ws) const;
+
+    /**
      * Stage 1 of the compacted hot path: march a chunk of rays against
      * the occupancy grid, drawing each ray's stratified jitter from its
      * own RNG stream (rngs[r]; nullptr = bin centers), and emit the

@@ -9,22 +9,29 @@ namespace instant3d {
 namespace {
 
 constexpr uint32_t magicWord = 0x49334446u; // "I3DF"
-constexpr uint32_t formatVersion = 1u;
+constexpr uint32_t formatVersion = 2u;
+
+// Header layout (all uint32): magic, version, decoupled flag, group
+// count, occupancy-present flag, occupancy resolution.
+constexpr size_t headerWords = 6;
 
 } // namespace
 
 bool
-saveField(NerfField &field, const std::string &path)
+saveCheckpoint(NerfField &field, const OccupancyGrid *occ,
+               const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         return false;
 
     auto groups = field.paramGroups();
-    uint32_t header[4] = {
+    uint32_t header[headerWords] = {
         magicWord, formatVersion,
         static_cast<uint32_t>(field.mode() == FieldMode::Decoupled),
         static_cast<uint32_t>(groups.size()),
+        static_cast<uint32_t>(occ != nullptr),
+        static_cast<uint32_t>(occ ? occ->resolution() : 0),
     };
     bool ok = std::fwrite(header, sizeof(header), 1, f) == 1;
 
@@ -35,18 +42,29 @@ saveField(NerfField &field, const std::string &path)
         ok = ok && std::fwrite(params.data(), sizeof(float),
                                params.size(), f) == params.size();
     }
+
+    if (occ) {
+        uint64_t cells = occ->numCells();
+        ok = ok && std::fwrite(&cells, sizeof(cells), 1, f) == 1;
+        std::vector<float> density(cells);
+        for (uint64_t c = 0; c < cells; c++)
+            density[c] = occ->cellDensity(c);
+        ok = ok && std::fwrite(density.data(), sizeof(float), cells,
+                               f) == cells;
+    }
     std::fclose(f);
     return ok;
 }
 
 bool
-loadField(NerfField &field, const std::string &path)
+loadCheckpoint(NerfField &field, OccupancyGrid *occ,
+               const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;
 
-    uint32_t header[4];
+    uint32_t header[headerWords];
     if (std::fread(header, sizeof(header), 1, f) != 1 ||
         header[0] != magicWord || header[1] != formatVersion) {
         std::fclose(f);
@@ -54,14 +72,23 @@ loadField(NerfField &field, const std::string &path)
     }
     auto groups = field.paramGroups();
     bool decoupled = field.mode() == FieldMode::Decoupled;
+    bool file_has_occ = header[4] != 0;
     if (header[2] != static_cast<uint32_t>(decoupled) ||
         header[3] != groups.size()) {
         std::fclose(f);
         return false;
     }
+    // A caller expecting an occupancy grid needs a checkpoint that
+    // carries one at the same resolution; serving with a different
+    // skipping pattern would change rendered bits.
+    if (occ && (!file_has_occ ||
+                header[5] != static_cast<uint32_t>(occ->resolution()))) {
+        std::fclose(f);
+        return false;
+    }
 
     // Stage into temporaries so a mid-file failure cannot leave the
-    // field half-loaded.
+    // field (or grid) half-loaded.
     std::vector<std::vector<float>> staged(groups.size());
     for (size_t g = 0; g < groups.size(); g++) {
         uint64_t n = 0;
@@ -76,11 +103,63 @@ loadField(NerfField &field, const std::string &path)
             return false;
         }
     }
+
+    std::vector<float> staged_density;
+    if (occ) {
+        uint64_t cells = 0;
+        if (std::fread(&cells, sizeof(cells), 1, f) != 1 ||
+            cells != occ->numCells()) {
+            std::fclose(f);
+            return false;
+        }
+        staged_density.resize(cells);
+        if (std::fread(staged_density.data(), sizeof(float), cells,
+                       f) != cells) {
+            std::fclose(f);
+            return false;
+        }
+    }
     std::fclose(f);
 
     for (size_t g = 0; g < groups.size(); g++)
         field.groupParams(groups[g]) = std::move(staged[g]);
+    if (occ) {
+        for (size_t c = 0; c < staged_density.size(); c++)
+            occ->setCellDensity(c, staged_density[c]);
+    }
     return true;
+}
+
+bool
+saveField(NerfField &field, const std::string &path)
+{
+    return saveCheckpoint(field, nullptr, path);
+}
+
+bool
+loadField(NerfField &field, const std::string &path)
+{
+    return loadCheckpoint(field, nullptr, path);
+}
+
+CheckpointInfo
+peekCheckpoint(const std::string &path)
+{
+    CheckpointInfo info;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return info;
+    uint32_t header[headerWords];
+    if (std::fread(header, sizeof(header), 1, f) == 1 &&
+        header[0] == magicWord && header[1] == formatVersion) {
+        info.valid = true;
+        info.decoupled = header[2] != 0;
+        info.numGroups = header[3];
+        info.hasOccupancy = header[4] != 0;
+        info.occResolution = static_cast<int>(header[5]);
+    }
+    std::fclose(f);
+    return info;
 }
 
 size_t

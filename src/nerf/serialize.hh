@@ -3,10 +3,15 @@
  * Model checkpointing. The paper's telepresence motivation (Sec 1)
  * rests on shipping a reconstructed *model* (~20 MB) instead of raw
  * captures (~120 MB); this module provides the binary save/load path
- * for a trained NerfField and reports its wire size.
+ * for a trained NerfField -- optionally bundled with its occupancy
+ * grid, so a serving process can reproduce the trainer's empty-space
+ * skipping (and hence its rendered bits) exactly -- and reports its
+ * wire size.
  *
- * Format: magic, version, field mode, per-group element counts, then
- * raw little-endian float32 parameters, group by group.
+ * Format (version 2): magic, version, field mode, per-group element
+ * counts, occupancy presence + resolution, then raw little-endian
+ * float32 parameters group by group, then (if present) the occupancy
+ * grid's per-cell density estimates.
  */
 
 #ifndef INSTANT3D_NERF_SERIALIZE_HH
@@ -15,18 +20,47 @@
 #include <string>
 
 #include "nerf/field.hh"
+#include "nerf/occupancy_grid.hh"
 
 namespace instant3d {
 
-/** Serialize all trainable parameters. Returns false on I/O error. */
-bool saveField(NerfField &field, const std::string &path);
+/**
+ * Serialize all trainable parameters, plus the occupancy grid's cell
+ * densities when `occ` is non-null. Returns false on I/O error.
+ */
+bool saveCheckpoint(NerfField &field, const OccupancyGrid *occ,
+                    const std::string &path);
 
 /**
- * Load parameters into a field constructed with the *same*
- * configuration. Returns false on I/O error, bad magic, or any
- * group-shape mismatch (the field is left unmodified in those cases).
+ * Load a checkpoint into a field (and, if `occ` is non-null, an
+ * occupancy grid) constructed with the *same* configuration. Returns
+ * false on I/O error, bad magic/version, any group-shape mismatch, or
+ * -- when `occ` is given -- a missing or resolution-mismatched
+ * occupancy section; the field and grid are left unmodified in every
+ * failure case. A checkpoint's occupancy section is skipped when `occ`
+ * is null.
  */
+bool loadCheckpoint(NerfField &field, OccupancyGrid *occ,
+                    const std::string &path);
+
+/** Serialize all trainable parameters (no occupancy section). */
+bool saveField(NerfField &field, const std::string &path);
+
+/** loadCheckpoint without an occupancy grid. */
 bool loadField(NerfField &field, const std::string &path);
+
+/** Header summary of a checkpoint file, for registry-side dispatch. */
+struct CheckpointInfo
+{
+    bool valid = false;    //!< Magic/version recognized.
+    bool decoupled = false;
+    uint32_t numGroups = 0;
+    bool hasOccupancy = false;
+    int occResolution = 0; //!< Cells per axis (0 when no occupancy).
+};
+
+/** Read a checkpoint's header without touching any model state. */
+CheckpointInfo peekCheckpoint(const std::string &path);
 
 /** Total trainable-parameter bytes (float32 wire format). */
 size_t fieldStorageBytes(NerfField &field);

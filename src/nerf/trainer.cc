@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "nerf/serialize.hh"
 
 namespace instant3d {
 
@@ -14,9 +16,7 @@ namespace {
 double
 tick()
 {
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(clock::now().time_since_epoch())
-        .count();
+    return monotonicSeconds();
 }
 
 } // namespace
@@ -472,6 +472,17 @@ Trainer::syncParams()
         if (optimizers[g]->sparseEnabled())
             optimizers[g]->catchUp(fieldPtr->groupParams(groups[g]));
     }
+}
+
+bool
+Trainer::saveCheckpoint(const std::string &path)
+{
+    // The sparse lazy optimizer may defer updates to untouched grid
+    // entries; a checkpoint must observe the settled (dense-Adam-
+    // equivalent) parameters.
+    syncParams();
+    return instant3d::saveCheckpoint(*fieldPtr, occupancyPtr.get(),
+                                     path);
 }
 
 /**

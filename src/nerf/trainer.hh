@@ -223,6 +223,17 @@ class Trainer
     bool sparseOptimizerActive() const { return sparseActive; }
 
     /**
+     * Checkpoint the live model: settle any deferred sparse-optimizer
+     * updates (syncParams()), then serialize the field plus the
+     * occupancy grid (when one is attached). This is the supported way
+     * to snapshot a *training* model -- calling saveField() directly on
+     * a live sparse-Adam trainer would bypass the settling step and
+     * could observe parameters that still owe catch-up updates.
+     * Returns false on I/O error; never changes training results.
+     */
+    bool saveCheckpoint(const std::string &path);
+
+    /**
      * Entries currently in the sparse optimizers' sweep sets (all grid
      * groups summed) -- the per-iteration optimizer work beyond the
      * touched list. 0 when stepping densely.

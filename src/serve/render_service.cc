@@ -1,0 +1,434 @@
+#include "serve/render_service.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace instant3d {
+
+namespace {
+
+/** Monotonic seconds. */
+double
+now()
+{
+    return monotonicSeconds();
+}
+
+} // namespace
+
+/** In-flight request state shared by its tile jobs. */
+struct RenderService::Pending
+{
+    uint64_t id = 0;
+    ServedScenePtr scene;
+    uint64_t generation = 0;
+    CameraSpec spec; //!< Quantized.
+    Camera camera;
+    uint64_t cameraKey = 0;
+    TileRect roi;
+    QualityTier tier = QualityTier::Full;
+    double submitT = 0.0;
+    double deadlineMs = 0.0;
+    std::atomic<double> firstDequeueT{0.0};
+    Image image; //!< roi-sized output; tiles write disjoint pixels.
+    std::atomic<int> remaining{0};
+    std::atomic<uint8_t> failStatus{
+        static_cast<uint8_t>(RequestStatus::Ok)};
+    std::atomic<int> tilesRendered{0};
+    std::atomic<int> tilesCached{0};
+    std::promise<RenderResponse> promise;
+
+    explicit Pending(const Camera &cam) : camera(cam) {}
+
+    /** Record the first terminal failure; later ones are ignored. */
+    void
+    markFailed(RequestStatus status)
+    {
+        uint8_t expected = static_cast<uint8_t>(RequestStatus::Ok);
+        failStatus.compare_exchange_strong(
+            expected, static_cast<uint8_t>(status));
+    }
+
+    bool
+    failed() const
+    {
+        return failStatus.load(std::memory_order_acquire) !=
+               static_cast<uint8_t>(RequestStatus::Ok);
+    }
+};
+
+RenderService::RenderService(SceneRegistry &scene_registry,
+                             const RenderServiceConfig &service_config)
+    : registry(scene_registry), cfg(service_config),
+      cache(static_cast<size_t>(std::max(0, service_config.cacheTiles)))
+{
+    fatalIf(cfg.tilePixels < 1, "tilePixels must be positive");
+    fatalIf(cfg.chunkRays < 1, "chunkRays must be positive");
+    fatalIf(cfg.maxQueueTiles < 1, "maxQueueTiles must be positive");
+    pool = std::make_unique<ThreadPool>(cfg.workers);
+    workspaces.resize(pool->threadCount());
+    scheduler = std::thread([this] { schedulerLoop(); });
+}
+
+RenderService::~RenderService()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        stopping = true;
+    }
+    queueCv.notify_all();
+    scheduler.join();
+}
+
+void
+RenderService::completeNow(std::promise<RenderResponse> &promise,
+                           RequestStatus status, int retry_after_ms)
+{
+    RenderResponse resp;
+    resp.status = status;
+    resp.retryAfterMs = retry_after_ms;
+    promise.set_value(std::move(resp));
+}
+
+std::future<RenderResponse>
+RenderService::submit(const RenderRequest &request)
+{
+    std::promise<RenderResponse> promise;
+    std::future<RenderResponse> future = promise.get_future();
+
+    if (request.camera.width < 1 || request.camera.height < 1 ||
+        static_cast<int>(request.quality) < 0 ||
+        static_cast<int>(request.quality) >= numQualityTiers) {
+        statBadRequest.fetch_add(1, std::memory_order_relaxed);
+        completeNow(promise, RequestStatus::BadRequest, 0);
+        return future;
+    }
+
+    ServedScenePtr scene = registry.acquire(request.sceneId);
+    if (!scene) {
+        statUnknownScene.fetch_add(1, std::memory_order_relaxed);
+        completeNow(promise, RequestStatus::UnknownScene, 0);
+        return future;
+    }
+
+    // Snap the camera onto the quantization lattice up front: the
+    // snapped camera is what gets rendered AND what keys the cache, so
+    // a cache hit is bit-exact for the camera actually served.
+    CameraSpec spec = request.camera.quantized();
+    TileRect roi = request.roi;
+    if (roi.w == 0) {
+        roi = {0, 0, spec.width, spec.height};
+    }
+    if (roi.w < 1 || roi.h < 1 || roi.x < 0 || roi.y < 0 ||
+        roi.x + roi.w > spec.width || roi.y + roi.h > spec.height) {
+        statBadRequest.fetch_add(1, std::memory_order_relaxed);
+        completeNow(promise, RequestStatus::BadRequest, 0);
+        return future;
+    }
+
+    // Tile split (row-major over the roi).
+    std::vector<TileRect> tiles;
+    for (int ty = roi.y; ty < roi.y + roi.h; ty += cfg.tilePixels) {
+        int th = std::min(cfg.tilePixels, roi.y + roi.h - ty);
+        for (int tx = roi.x; tx < roi.x + roi.w; tx += cfg.tilePixels) {
+            int tw = std::min(cfg.tilePixels, roi.x + roi.w - tx);
+            tiles.push_back({tx, ty, tw, th});
+        }
+    }
+    // Larger than the whole admission window: no amount of retrying
+    // can ever admit it, so don't pretend the overload is transient.
+    if (tiles.size() > static_cast<size_t>(cfg.maxQueueTiles)) {
+        statBadRequest.fetch_add(1, std::memory_order_relaxed);
+        completeNow(promise, RequestStatus::BadRequest, 0);
+        return future;
+    }
+
+    auto req = std::make_shared<Pending>(spec.makeCamera());
+    req->id = nextRequestId.fetch_add(1, std::memory_order_relaxed);
+    req->scene = std::move(scene);
+    req->generation = req->scene->generation();
+    req->spec = spec;
+    req->cameraKey = spec.hashKey();
+    req->roi = roi;
+    req->tier = request.quality;
+    req->submitT = now();
+    req->deadlineMs = request.deadlineMs;
+    req->image = Image(roi.w, roi.h);
+    req->remaining.store(static_cast<int>(tiles.size()),
+                         std::memory_order_relaxed);
+    req->promise = std::move(promise);
+
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        if (stopping) {
+            completeNow(req->promise, RequestStatus::Shutdown, 0);
+            return future;
+        }
+        // Backpressure: bounded admission over *outstanding* tiles
+        // (queued + rendering), reject-with-retry-after.
+        if (outstandingTiles.load(std::memory_order_relaxed) +
+                tiles.size() >
+            static_cast<size_t>(cfg.maxQueueTiles)) {
+            statRejected.fetch_add(1, std::memory_order_relaxed);
+            completeNow(req->promise, RequestStatus::Rejected,
+                        cfg.retryAfterMs);
+            return future;
+        }
+        for (const auto &t : tiles)
+            tileQueue.push_back({req, t});
+        uint64_t depth = outstandingTiles.fetch_add(
+                             tiles.size(), std::memory_order_relaxed) +
+                         tiles.size();
+        uint64_t hw = statQueueHighwater.load(std::memory_order_relaxed);
+        while (depth > hw &&
+               !statQueueHighwater.compare_exchange_weak(
+                   hw, depth, std::memory_order_relaxed)) {
+        }
+    }
+    statAccepted.fetch_add(1, std::memory_order_relaxed);
+    queueCv.notify_one();
+    return future;
+}
+
+RenderResponse
+RenderService::render(const RenderRequest &request)
+{
+    return submit(request).get();
+}
+
+void
+RenderService::invalidateScene(const std::string &scene_id)
+{
+    cache.invalidateScene(scene_id);
+}
+
+void
+RenderService::finishTile(const std::shared_ptr<Pending> &req,
+                          bool rendered, bool from_cache)
+{
+    outstandingTiles.fetch_sub(1, std::memory_order_relaxed);
+    if (rendered)
+        req->tilesRendered.fetch_add(1, std::memory_order_relaxed);
+    if (from_cache)
+        req->tilesCached.fetch_add(1, std::memory_order_relaxed);
+    if (req->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+
+    // Last tile: whoever gets here completes the request.
+    double t = now();
+    RenderResponse resp;
+    resp.status = static_cast<RequestStatus>(
+        req->failStatus.load(std::memory_order_acquire));
+    resp.image = std::move(req->image);
+    resp.sceneGeneration = req->generation;
+    resp.tilesRendered =
+        req->tilesRendered.load(std::memory_order_relaxed);
+    resp.tilesFromCache =
+        req->tilesCached.load(std::memory_order_relaxed);
+    double first =
+        req->firstDequeueT.load(std::memory_order_relaxed);
+    resp.queueMs =
+        first > 0.0 ? (first - req->submitT) * 1e3 : 0.0;
+    resp.totalMs = (t - req->submitT) * 1e3;
+    if (resp.status == RequestStatus::DeadlineExceeded)
+        statDeadline.fetch_add(1, std::memory_order_relaxed);
+    statCompleted.fetch_add(1, std::memory_order_relaxed);
+    req->promise.set_value(std::move(resp));
+}
+
+void
+RenderService::renderChunk(const Chunk &chunk, int rank)
+{
+    Workspace &ws = workspaces[rank];
+    ws.reset();
+
+    Ray *rays = ws.alloc<Ray>(chunk.rays);
+    RayResult *results = ws.alloc<RayResult>(chunk.rays);
+
+    int off = 0;
+    for (const auto &job : chunk.tiles) {
+        const Camera &cam = job.req->camera;
+        for (int row = job.tile.y; row < job.tile.y + job.tile.h; row++)
+            for (int col = job.tile.x; col < job.tile.x + job.tile.w;
+                 col++)
+                rays[off++] = cam.pixelRay(col, row);
+    }
+
+    chunk.scene->renderer(chunk.tier)
+        .renderRays(chunk.scene->field(), rays, chunk.rays, results,
+                    ws);
+
+    const bool caching = cfg.cacheTiles > 0;
+    off = 0;
+    for (const auto &job : chunk.tiles) {
+        const auto &req = job.req;
+        std::vector<Vec3> pixels;
+        if (caching)
+            pixels.resize(static_cast<size_t>(job.tile.w) *
+                          job.tile.h);
+        for (int py = 0; py < job.tile.h; py++) {
+            for (int px = 0; px < job.tile.w; px++) {
+                const Vec3 &color = results[off++].color;
+                req->image.at(job.tile.x - req->roi.x + px,
+                              job.tile.y - req->roi.y + py) = color;
+                if (caching)
+                    pixels[static_cast<size_t>(py) * job.tile.w +
+                           px] = color;
+            }
+        }
+        if (caching) {
+            TileKey key{req->scene->id(), req->generation,
+                        req->cameraKey, req->spec,
+                        job.tile.x, job.tile.y, job.tile.w,
+                        job.tile.h, req->tier};
+            cache.insert(key, std::move(pixels));
+        }
+
+        statTilesRendered.fetch_add(1, std::memory_order_relaxed);
+        finishTile(req, true, false);
+    }
+    statRays.fetch_add(static_cast<uint64_t>(chunk.rays),
+                       std::memory_order_relaxed);
+}
+
+void
+RenderService::schedulerLoop()
+{
+    for (;;) {
+        std::vector<TileJob> drained;
+        bool stop_now = false;
+        {
+            std::unique_lock<std::mutex> lock(queueMtx);
+            queueCv.wait(lock, [&] {
+                return stopping || !tileQueue.empty();
+            });
+            stop_now = stopping;
+            drained.assign(
+                std::make_move_iterator(tileQueue.begin()),
+                std::make_move_iterator(tileQueue.end()));
+            tileQueue.clear();
+            // outstandingTiles stays up: drained tiles are still
+            // in flight until finishTile() retires them.
+        }
+
+        if (stop_now) {
+            for (auto &job : drained) {
+                job.req->markFailed(RequestStatus::Shutdown);
+                finishTile(job.req, false, false);
+            }
+            return;
+        }
+
+        const double t = now();
+        std::vector<Chunk> chunks;
+        // Open chunk per (scene, tier) coalescing key, so tiles from
+        // different requests to the same model pack into one stream.
+        std::map<std::pair<ServedScene *, int>, size_t> open;
+
+        for (auto &job : drained) {
+            const auto &req = job.req;
+            double expected = 0.0;
+            req->firstDequeueT.compare_exchange_strong(
+                expected, t, std::memory_order_relaxed);
+
+            if (req->failed()) {
+                finishTile(req, false, false);
+                continue;
+            }
+            if (req->deadlineMs > 0.0 &&
+                (t - req->submitT) * 1e3 > req->deadlineMs) {
+                req->markFailed(RequestStatus::DeadlineExceeded);
+                finishTile(req, false, false);
+                continue;
+            }
+
+            TileKey key{req->scene->id(), req->generation,
+                        req->cameraKey, req->spec, job.tile.x,
+                        job.tile.y, job.tile.w, job.tile.h,
+                        req->tier};
+            std::vector<Vec3> pixels;
+            if (cache.lookup(key, pixels)) {
+                for (int py = 0; py < job.tile.h; py++)
+                    for (int px = 0; px < job.tile.w; px++)
+                        req->image.at(
+                            job.tile.x - req->roi.x + px,
+                            job.tile.y - req->roi.y + py) =
+                            pixels[static_cast<size_t>(py) *
+                                       job.tile.w +
+                                   px];
+                statTilesCached.fetch_add(1,
+                                          std::memory_order_relaxed);
+                finishTile(req, false, true);
+                continue;
+            }
+
+            const int tile_rays = job.tile.w * job.tile.h;
+            auto ckey = std::make_pair(req->scene.get(),
+                                       static_cast<int>(req->tier));
+            auto it = open.find(ckey);
+            if (it == open.end() ||
+                chunks[it->second].rays + tile_rays > cfg.chunkRays) {
+                Chunk c;
+                c.scene = req->scene.get();
+                c.tier = req->tier;
+                open[ckey] = chunks.size();
+                chunks.push_back(std::move(c));
+                it = open.find(ckey);
+            }
+            Chunk &c = chunks[it->second];
+            c.rays += tile_rays;
+            c.tiles.push_back(std::move(job));
+        }
+
+        if (!chunks.empty()) {
+            for (const auto &c : chunks) {
+                statChunks.fetch_add(1, std::memory_order_relaxed);
+                uint64_t distinct = 0;
+                uint64_t last_id = 0;
+                for (const auto &tj : c.tiles) {
+                    if (distinct == 0 || tj.req->id != last_id) {
+                        // Tiles of one request are queued contiguously,
+                        // so id changes count distinct requests.
+                        distinct++;
+                        last_id = tj.req->id;
+                    }
+                }
+                if (distinct > 1)
+                    statCrossChunks.fetch_add(
+                        1, std::memory_order_relaxed);
+            }
+            pool->parallelFor(
+                static_cast<int>(chunks.size()),
+                [&](int c, int rank) { renderChunk(chunks[c], rank); });
+        }
+    }
+}
+
+ServeStats
+RenderService::stats() const
+{
+    ServeStats s;
+    s.requestsAccepted = statAccepted.load(std::memory_order_relaxed);
+    s.requestsCompleted = statCompleted.load(std::memory_order_relaxed);
+    s.requestsRejected = statRejected.load(std::memory_order_relaxed);
+    s.requestsDeadlineExceeded =
+        statDeadline.load(std::memory_order_relaxed);
+    s.requestsUnknownScene =
+        statUnknownScene.load(std::memory_order_relaxed);
+    s.requestsBadRequest =
+        statBadRequest.load(std::memory_order_relaxed);
+    s.tilesRendered = statTilesRendered.load(std::memory_order_relaxed);
+    s.tilesFromCache = statTilesCached.load(std::memory_order_relaxed);
+    s.raysRendered = statRays.load(std::memory_order_relaxed);
+    s.chunksRendered = statChunks.load(std::memory_order_relaxed);
+    s.crossRequestChunks =
+        statCrossChunks.load(std::memory_order_relaxed);
+    s.queueDepthHighwater =
+        statQueueHighwater.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace instant3d

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The render service: a synchronous-core, async-facade front end over
+ * the registry's trained models.
+ *
+ * Requests enter through submit() (async, future-based) or render()
+ * (blocking). Each accepted request is split into fixed-size tiles
+ * that join a bounded admission queue; a scheduler thread drains the
+ * queue in arrival order, answers tiles from the LRU cache, groups the
+ * misses by (scene, quality tier), and packs them into render chunks
+ * of up to chunkRays rays -- **coalescing tiles from different
+ * requests into the same chunk**, so the stream kernels
+ * (NerfField::queryStream via VolumeRenderer::renderRays) run at full
+ * batch width even when individual requests are small. Chunks execute
+ * on the shared ThreadPool; per-rank Workspace arenas keep the hot
+ * path allocation-free.
+ *
+ * Contracts:
+ *  - Determinism: every ray is composited independently in t order, so
+ *    a served pixel is bit-identical for any worker count, chunk
+ *    packing, cache state, or request interleaving -- and, at
+ *    QualityTier::Full, bit-identical to Trainer::renderImage of the
+ *    same field and quantized camera.
+ *  - Backpressure: when the admission queue holds more than
+ *    maxQueueTiles tiles, submissions are rejected immediately with
+ *    status Rejected and a retry-after hint, instead of growing the
+ *    queue without bound.
+ *  - Deadlines: a request whose deadline passes before its tiles are
+ *    dequeued completes with DeadlineExceeded; remaining tiles are
+ *    dropped (rendered ones stay in the partial image).
+ */
+
+#ifndef INSTANT3D_SERVE_RENDER_SERVICE_HH
+#define INSTANT3D_SERVE_RENDER_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "common/workspace.hh"
+#include "serve/scene_registry.hh"
+#include "serve/tile_cache.hh"
+
+namespace instant3d {
+
+/** Service tuning knobs. */
+struct RenderServiceConfig
+{
+    /**
+     * Render worker threads (the ThreadPool size); 0 = auto
+     * (INSTANT3D_THREADS / hardware concurrency). Results are
+     * bit-identical for any value.
+     */
+    int workers = 0;
+
+    /** Tile edge length in pixels. */
+    int tilePixels = 16;
+
+    /**
+     * Target rays per coalesced render chunk. Tiles are packed until
+     * the next tile would exceed this; one oversized tile still forms
+     * its own chunk.
+     */
+    int chunkRays = 2048;
+
+    /**
+     * Admission cap on tiles outstanding (queued or rendering): a
+     * request whose tiles would push the count past this is rejected
+     * with a retry-after hint. A request whose tile count *alone*
+     * exceeds the cap can never be admitted and is answered with
+     * BadRequest instead of a retry hint.
+     */
+    int maxQueueTiles = 4096;
+
+    /** LRU tile-cache capacity in tiles; 0 disables caching. */
+    int cacheTiles = 0;
+
+    /** Retry-after hint (ms) attached to rejected requests. */
+    int retryAfterMs = 5;
+};
+
+/**
+ * The serving front end. One instance owns its scheduler thread,
+ * ThreadPool, workspaces, and tile cache; the SceneRegistry is shared
+ * and may be mutated (re-registration) while the service runs.
+ */
+class RenderService
+{
+  public:
+    RenderService(SceneRegistry &scene_registry,
+                  const RenderServiceConfig &service_config);
+    ~RenderService();
+
+    RenderService(const RenderService &) = delete;
+    RenderService &operator=(const RenderService &) = delete;
+
+    /**
+     * Asynchronous entry point: validates and enqueues the request,
+     * returning a future that resolves when every tile is served (or
+     * the request is rejected / expired / shut down). Safe to call
+     * from any number of client threads.
+     */
+    std::future<RenderResponse> submit(const RenderRequest &request);
+
+    /** Blocking convenience wrapper: submit() and wait. */
+    RenderResponse render(const RenderRequest &request);
+
+    /** Eagerly drop a scene's cached tiles (any generation). */
+    void invalidateScene(const std::string &scene_id);
+
+    ServeStats stats() const;
+    TileCache::Stats cacheStats() const { return cache.stats(); }
+    int workerCount() const { return pool->threadCount(); }
+
+  private:
+    struct Pending;
+
+    /** One tile of one pending request. */
+    struct TileJob
+    {
+        std::shared_ptr<Pending> req;
+        TileRect tile; //!< Absolute pixel coordinates.
+    };
+
+    /** One coalesced render chunk: same scene + tier, >= 1 tiles. */
+    struct Chunk
+    {
+        ServedScene *scene = nullptr;
+        QualityTier tier = QualityTier::Full;
+        int rays = 0;
+        std::vector<TileJob> tiles;
+    };
+
+    void schedulerLoop();
+    void renderChunk(const Chunk &chunk, int rank);
+    void finishTile(const std::shared_ptr<Pending> &req, bool rendered,
+                    bool from_cache);
+    static void completeNow(std::promise<RenderResponse> &promise,
+                            RequestStatus status, int retry_after_ms);
+
+    SceneRegistry &registry;
+    RenderServiceConfig cfg;
+    std::unique_ptr<ThreadPool> pool;
+    std::vector<Workspace> workspaces; //!< One per pool rank.
+    TileCache cache;
+
+    std::mutex queueMtx;
+    std::condition_variable queueCv;
+    std::deque<TileJob> tileQueue;
+    /**
+     * Tiles outstanding: enqueued at submit, decremented as each tile
+     * reaches finishTile() -- so tiles being *rendered* still count
+     * against the admission cap, not just tiles sitting in the queue.
+     */
+    std::atomic<size_t> outstandingTiles{0};
+    bool stopping = false;
+    std::thread scheduler;
+
+    std::atomic<uint64_t> nextRequestId{1};
+
+    // Stats (relaxed atomics; stats() takes a consistent-enough
+    // snapshot for monitoring).
+    std::atomic<uint64_t> statAccepted{0}, statCompleted{0},
+        statRejected{0}, statDeadline{0}, statUnknownScene{0},
+        statBadRequest{0}, statTilesRendered{0}, statTilesCached{0},
+        statRays{0}, statChunks{0}, statCrossChunks{0},
+        statQueueHighwater{0};
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SERVE_RENDER_SERVICE_HH

@@ -1,0 +1,147 @@
+#include "serve/scene_registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "nerf/serialize.hh"
+
+namespace instant3d {
+
+ServedScene::ServedScene(std::string scene_id, uint64_t scene_generation,
+                         const SceneSpec &scene_spec)
+    : sceneId(std::move(scene_id)), gen(scene_generation),
+      sceneSpec(scene_spec)
+{
+    fieldPtr = std::make_unique<NerfField>(sceneSpec.field,
+                                           sceneSpec.seed);
+    if (sceneSpec.useOccupancy)
+        occPtr = std::make_unique<OccupancyGrid>(sceneSpec.occupancy);
+
+    // Tier t halves samplesPerRay t times; tier Full keeps the
+    // training-time renderer config and is the trainer-parity tier.
+    renderers.reserve(numQualityTiers);
+    for (int t = 0; t < numQualityTiers; t++) {
+        RendererConfig rcfg = sceneSpec.renderer;
+        rcfg.samplesPerRay = std::max(1, rcfg.samplesPerRay >> t);
+        renderers.emplace_back(rcfg);
+        renderers.back().setOccupancyGrid(occPtr.get());
+    }
+}
+
+size_t
+ServedScene::paramBytes()
+{
+    return fieldStorageBytes(*fieldPtr);
+}
+
+uint64_t
+SceneRegistry::registerFromCheckpoint(const std::string &id,
+                                      const SceneSpec &spec,
+                                      const std::string &path)
+{
+    uint64_t gen;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        gen = nextGen++;
+    }
+    auto scene = std::make_shared<ServedScene>(id, gen, spec);
+    if (!loadCheckpoint(scene->field(), scene->occupancyForLoad(),
+                        path)) {
+        warn("SceneRegistry: could not load checkpoint '" + path +
+             "' for scene '" + id + "'");
+        return 0;
+    }
+    return publish(id, std::move(scene));
+}
+
+uint64_t
+SceneRegistry::registerFromTrainer(const std::string &id,
+                                   Trainer &trainer)
+{
+    SceneSpec spec;
+    spec.field = trainer.field().config();
+    spec.renderer = trainer.renderer().config();
+    const OccupancyGrid *tocc = trainer.occupancyGrid();
+    if (tocc) {
+        spec.useOccupancy = true;
+        spec.occupancy = tocc->config();
+    }
+
+    uint64_t gen;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        gen = nextGen++;
+    }
+    auto scene = std::make_shared<ServedScene>(id, gen, spec);
+
+    // Snapshot the settled parameter state (the sparse lazy optimizer
+    // may owe catch-up updates until syncParams).
+    trainer.syncParams();
+    for (auto gid : trainer.field().paramGroups())
+        scene->field().groupParams(gid) =
+            trainer.field().groupParams(gid);
+    if (tocc) {
+        OccupancyGrid *occ = scene->occupancyForLoad();
+        for (size_t c = 0; c < tocc->numCells(); c++)
+            occ->setCellDensity(c, tocc->cellDensity(c));
+    }
+    return publish(id, std::move(scene));
+}
+
+uint64_t
+SceneRegistry::publish(const std::string &id, ServedScenePtr scene)
+{
+    uint64_t gen = scene->generation();
+    std::lock_guard<std::mutex> lock(mtx);
+    // Generations must only move forward: if a concurrent registration
+    // of the same id already published a newer scene while this one
+    // was still loading, keep the newer one and report supersession.
+    auto it = scenes.find(id);
+    if (it != scenes.end() && it->second->generation() > gen)
+        return 0;
+    scenes[id] = std::move(scene); // old generation lives on via readers
+    return gen;
+}
+
+ServedScenePtr
+SceneRegistry::acquire(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = scenes.find(id);
+    return it == scenes.end() ? nullptr : it->second;
+}
+
+bool
+SceneRegistry::unregister(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return scenes.erase(id) > 0;
+}
+
+uint64_t
+SceneRegistry::generation(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = scenes.find(id);
+    return it == scenes.end() ? 0 : it->second->generation();
+}
+
+std::vector<std::string>
+SceneRegistry::sceneIds() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<std::string> ids;
+    ids.reserve(scenes.size());
+    for (const auto &kv : scenes)
+        ids.push_back(kv.first);
+    return ids;
+}
+
+size_t
+SceneRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return scenes.size();
+}
+
+} // namespace instant3d

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Multi-scene model registry for the render-serving subsystem.
+ *
+ * A SceneRegistry owns N independent trained models ("served scenes"),
+ * each a NerfField restored from a checkpoint (or snapshotted from a
+ * live Trainer), its occupancy grid, and one pre-built VolumeRenderer
+ * per quality tier. Scenes are published under string ids with
+ * monotonically increasing generations; readers acquire() a
+ * ref-counted handle, so re-registering an id never invalidates
+ * in-flight renders -- the old generation stays alive until its last
+ * reader drops it, and the new generation's distinct number makes
+ * every stale tile-cache key unreachable.
+ */
+
+#ifndef INSTANT3D_SERVE_SCENE_REGISTRY_HH
+#define INSTANT3D_SERVE_SCENE_REGISTRY_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nerf/occupancy_grid.hh"
+#include "nerf/renderer.hh"
+#include "nerf/trainer.hh"
+#include "serve/serve_types.hh"
+
+namespace instant3d {
+
+/** Everything needed to reconstruct a servable scene from disk. */
+struct SceneSpec
+{
+    FieldConfig field;
+    RendererConfig renderer;
+    bool useOccupancy = false;  //!< Restore + attach an occupancy grid.
+    OccupancyGridConfig occupancy;
+    uint64_t seed = 42;         //!< Field-construction seed (params are
+                                //!< overwritten by the checkpoint).
+};
+
+/**
+ * One published, immutable-after-publication scene: the field, its
+ * occupancy grid, and a renderer per quality tier (tier t renders with
+ * samplesPerRay >> t). Concurrent queryStream reads are safe; nothing
+ * mutates the model after registration.
+ */
+class ServedScene
+{
+  public:
+    ServedScene(std::string scene_id, uint64_t scene_generation,
+                const SceneSpec &scene_spec);
+
+    const std::string &id() const { return sceneId; }
+    uint64_t generation() const { return gen; }
+    const SceneSpec &spec() const { return sceneSpec; }
+
+    NerfField &field() { return *fieldPtr; }
+    const OccupancyGrid *occupancy() const { return occPtr.get(); }
+
+    /**
+     * Mutable grid access for the registration-time load/snapshot;
+     * never used after the scene is published.
+     */
+    OccupancyGrid *occupancyForLoad() { return occPtr.get(); }
+
+    /** The renderer for a quality tier (occupancy grid attached). */
+    const VolumeRenderer &renderer(QualityTier tier) const
+    { return renderers[static_cast<size_t>(tier)]; }
+
+    /** Wire size of the model's trainable parameters. */
+    size_t paramBytes();
+
+  private:
+    std::string sceneId;
+    uint64_t gen;
+    SceneSpec sceneSpec;
+    std::unique_ptr<NerfField> fieldPtr;
+    std::unique_ptr<OccupancyGrid> occPtr;
+    std::vector<VolumeRenderer> renderers; //!< One per quality tier.
+};
+
+using ServedScenePtr = std::shared_ptr<ServedScene>;
+
+/**
+ * Thread-safe id -> scene map with generation bookkeeping.
+ */
+class SceneRegistry
+{
+  public:
+    /**
+     * Load a checkpoint written by Trainer::saveCheckpoint (or
+     * saveField/saveCheckpoint) and publish it under `id`, replacing
+     * any previous generation. When spec.useOccupancy is set the file
+     * must carry a matching-resolution occupancy section. Returns the
+     * new generation, or 0 on load failure (the previous generation,
+     * if any, stays published).
+     */
+    uint64_t registerFromCheckpoint(const std::string &id,
+                                    const SceneSpec &spec,
+                                    const std::string &path);
+
+    /**
+     * Snapshot a live trainer's model -- settled parameters plus the
+     * current occupancy-grid state -- and publish it under `id`. This
+     * is the train-and-register path used by tests and demos; the
+     * served scene renders bit-identically to trainer.renderImage().
+     * Returns the new generation.
+     *
+     * Both register paths return 0 when a concurrent registration of
+     * the same id published a newer generation first (generations only
+     * move forward; the newer model stays).
+     */
+    uint64_t registerFromTrainer(const std::string &id,
+                                 Trainer &trainer);
+
+    /** Ref-counted read access; nullptr when `id` is not registered. */
+    ServedScenePtr acquire(const std::string &id) const;
+
+    /** Drop `id` from the registry (in-flight readers keep theirs). */
+    bool unregister(const std::string &id);
+
+    /** Current generation of `id`, or 0 when absent. */
+    uint64_t generation(const std::string &id) const;
+
+    std::vector<std::string> sceneIds() const;
+    size_t size() const;
+
+  private:
+    uint64_t publish(const std::string &id, ServedScenePtr scene);
+
+    mutable std::mutex mtx;
+    std::unordered_map<std::string, ServedScenePtr> scenes;
+    uint64_t nextGen = 1;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SERVE_SCENE_REGISTRY_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Request/response types of the render-serving subsystem.
+ *
+ * A RenderRequest names a registered scene, a camera, a pixel region,
+ * and a quality tier; the RenderService tiles it, batches the tiles
+ * with tiles from *other* in-flight requests, and answers with a
+ * RenderResponse carrying the pixels and per-request accounting.
+ *
+ * Determinism contract: for QualityTier::Full, every served pixel is
+ * bit-identical to Trainer::renderImage of the same field and
+ * (quantized) camera -- regardless of worker count, cache state, tile
+ * boundaries, or how requests interleave. Lower tiers trade samples
+ * per ray for latency and are each deterministic in their own right.
+ */
+
+#ifndef INSTANT3D_SERVE_SERVE_TYPES_HH
+#define INSTANT3D_SERVE_SERVE_TYPES_HH
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/vec3.hh"
+#include "scene/camera.hh"
+#include "scene/image.hh"
+
+namespace instant3d {
+
+/**
+ * Value-type camera description, quantizable for cache keying. The
+ * service snaps every request's spec onto a 1/4096 lattice *before*
+ * building the Camera, so near-identical viewpoints share rendered
+ * tiles and a cache hit is still bit-exact for the camera actually
+ * rendered.
+ */
+struct CameraSpec
+{
+    Vec3 eye;
+    Vec3 target;
+    Vec3 up{0.0f, 0.0f, 1.0f};
+    float vfovDeg = 45.0f;
+    int width = 0;  //!< Full image width in pixels.
+    int height = 0; //!< Full image height in pixels.
+
+    /** Snap all float fields onto the 1/4096 lattice. */
+    CameraSpec
+    quantized() const
+    {
+        auto q = [](float v) {
+            return std::round(v * 4096.0f) / 4096.0f;
+        };
+        CameraSpec s = *this;
+        s.eye = {q(eye.x), q(eye.y), q(eye.z)};
+        s.target = {q(target.x), q(target.y), q(target.z)};
+        s.up = {q(up.x), q(up.y), q(up.z)};
+        s.vfovDeg = q(vfovDeg);
+        return s;
+    }
+
+    /** Build the pinhole camera this spec describes. */
+    Camera
+    makeCamera() const
+    {
+        return Camera(eye, target, up, vfovDeg, width, height);
+    }
+
+    /** FNV-1a over the quantized fields (cache keying). */
+    uint64_t
+    hashKey() const
+    {
+        CameraSpec s = quantized();
+        uint64_t h = 1469598103934665603ULL;
+        auto mix = [&h](int32_t v) {
+            for (int b = 0; b < 4; b++) {
+                h ^= static_cast<uint64_t>((v >> (8 * b)) & 0xff);
+                h *= 1099511628211ULL;
+            }
+        };
+        auto mixf = [&](float v) {
+            mix(static_cast<int32_t>(std::lround(v * 4096.0f)));
+        };
+        mixf(s.eye.x); mixf(s.eye.y); mixf(s.eye.z);
+        mixf(s.target.x); mixf(s.target.y); mixf(s.target.z);
+        mixf(s.up.x); mixf(s.up.y); mixf(s.up.z);
+        mixf(s.vfovDeg);
+        mix(s.width);
+        mix(s.height);
+        return h;
+    }
+};
+
+/** A pixel-space rectangle; w == 0 means "the full image". */
+struct TileRect
+{
+    int x = 0;
+    int y = 0;
+    int w = 0;
+    int h = 0;
+};
+
+/**
+ * Quality tier: tier t renders with samplesPerRay >> t. Full is the
+ * trainer-parity tier (bit-identical to Trainer::renderImage); lower
+ * tiers are cheaper previews with their own deterministic output.
+ */
+enum class QualityTier : uint8_t
+{
+    Full = 0,
+    Half = 1,
+    Preview = 2,
+};
+
+constexpr int numQualityTiers = 3;
+
+/** Terminal status of one request. */
+enum class RequestStatus : uint8_t
+{
+    Ok = 0,
+    Rejected,         //!< Admission queue full; retry after a backoff.
+    DeadlineExceeded, //!< Deadline passed before all tiles rendered.
+    UnknownScene,     //!< Scene id not registered.
+    BadRequest,       //!< Malformed camera or out-of-bounds region.
+    Shutdown,         //!< Service destroyed while the request was queued.
+};
+
+/** One render request against a registered scene. */
+struct RenderRequest
+{
+    std::string sceneId;
+    CameraSpec camera;
+    TileRect roi;       //!< Region of interest; w == 0 = full image.
+    QualityTier quality = QualityTier::Full;
+
+    /**
+     * Soft deadline in milliseconds from submission; 0 disables.
+     * Checked when each tile is *dequeued*: tiles still queued past
+     * the deadline are dropped and the request completes with
+     * DeadlineExceeded (already-rendered tiles remain in the partial
+     * image). Tiles dispatched to a render chunk before the deadline
+     * run to completion, so a response may still arrive with status
+     * Ok somewhat after the deadline -- this is an admission-side
+     * load-shedding knob, not a render-abort guarantee.
+     */
+    double deadlineMs = 0.0;
+};
+
+/** Answer to one RenderRequest. */
+struct RenderResponse
+{
+    RequestStatus status = RequestStatus::Ok;
+    Image image;            //!< roi-sized pixels (partial on deadline).
+    uint64_t sceneGeneration = 0;
+    int tilesRendered = 0;  //!< Tiles rendered by the batch pipeline.
+    int tilesFromCache = 0; //!< Tiles served from the LRU tile cache.
+    double queueMs = 0.0;   //!< Submission -> first tile dequeued.
+    double totalMs = 0.0;   //!< Submission -> completion.
+    int retryAfterMs = 0;   //!< Backoff hint when status == Rejected.
+};
+
+/** Cumulative service counters (RenderService::stats snapshot). */
+struct ServeStats
+{
+    uint64_t requestsAccepted = 0;
+    uint64_t requestsCompleted = 0;
+    uint64_t requestsRejected = 0;
+    uint64_t requestsDeadlineExceeded = 0;
+    uint64_t requestsUnknownScene = 0;
+    uint64_t requestsBadRequest = 0;
+    uint64_t tilesRendered = 0;
+    uint64_t tilesFromCache = 0;
+    uint64_t raysRendered = 0;
+    uint64_t chunksRendered = 0;
+    /** Chunks whose tiles came from more than one request. */
+    uint64_t crossRequestChunks = 0;
+    /** Highest simultaneous tile-queue depth observed. */
+    uint64_t queueDepthHighwater = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SERVE_SERVE_TYPES_HH

@@ -1,0 +1,83 @@
+#include "serve/tile_cache.hh"
+
+namespace instant3d {
+
+bool
+TileCache::lookup(const TileKey &key, std::vector<Vec3> &out)
+{
+    if (capacity == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = index.find(key);
+    if (it == index.end()) {
+        misses++;
+        return false;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    out = it->second->second;
+    hits++;
+    return true;
+}
+
+void
+TileCache::insert(const TileKey &key, std::vector<Vec3> pixels)
+{
+    if (capacity == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = index.find(key);
+    if (it != index.end()) {
+        // Deterministic rendering makes a re-render bit-identical;
+        // just refresh recency.
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    lru.emplace_front(key, std::move(pixels));
+    index[key] = lru.begin();
+    insertions++;
+    while (lru.size() > capacity) {
+        index.erase(lru.back().first);
+        lru.pop_back();
+        evictions++;
+    }
+}
+
+void
+TileCache::invalidateScene(const std::string &scene_id)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (auto it = lru.begin(); it != lru.end();) {
+        if (it->first.sceneId == scene_id) {
+            index.erase(it->first);
+            it = lru.erase(it);
+            invalidated++;
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+TileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    lru.clear();
+    index.clear();
+}
+
+TileCache::Stats
+TileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Stats s;
+    s.hits = hits;
+    s.misses = misses;
+    s.insertions = insertions;
+    s.evictions = evictions;
+    s.invalidated = invalidated;
+    s.entries = lru.size();
+    s.capacity = capacity;
+    return s;
+}
+
+} // namespace instant3d

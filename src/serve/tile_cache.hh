@@ -1,0 +1,133 @@
+/**
+ * @file
+ * LRU cache of rendered tiles, keyed by
+ * (scene id, scene generation, quantized camera, tile rect, quality).
+ *
+ * Because serving is deterministic, a cached tile is bit-identical to
+ * a fresh render of the same key -- a hit changes latency, never
+ * pixels. The scene *generation* in the key makes every entry of a
+ * re-registered scene unreachable immediately (the LRU then ages the
+ * dead entries out); invalidateScene() additionally reclaims their
+ * space eagerly.
+ */
+
+#ifndef INSTANT3D_SERVE_TILE_CACHE_HH
+#define INSTANT3D_SERVE_TILE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/vec3.hh"
+#include "serve/serve_types.hh"
+
+namespace instant3d {
+
+/** Identity of one rendered tile. */
+struct TileKey
+{
+    std::string sceneId;
+    uint64_t generation = 0;
+    uint64_t cameraKey = 0; //!< CameraSpec::hashKey() (bucket index).
+    CameraSpec camera;      //!< The quantized spec itself: equality
+                            //!< compares the real camera, so a 64-bit
+                            //!< hash collision can never serve another
+                            //!< viewpoint's pixels.
+    int x = 0, y = 0, w = 0, h = 0;
+    QualityTier quality = QualityTier::Full;
+
+    bool
+    operator==(const TileKey &o) const
+    {
+        auto veq = [](const Vec3 &a, const Vec3 &b) {
+            return a.x == b.x && a.y == b.y && a.z == b.z;
+        };
+        return generation == o.generation && cameraKey == o.cameraKey &&
+               x == o.x && y == o.y && w == o.w && h == o.h &&
+               quality == o.quality &&
+               veq(camera.eye, o.camera.eye) &&
+               veq(camera.target, o.camera.target) &&
+               veq(camera.up, o.camera.up) &&
+               camera.vfovDeg == o.camera.vfovDeg &&
+               camera.width == o.camera.width &&
+               camera.height == o.camera.height &&
+               sceneId == o.sceneId;
+    }
+};
+
+struct TileKeyHash
+{
+    size_t
+    operator()(const TileKey &k) const
+    {
+        uint64_t h = std::hash<std::string>{}(k.sceneId);
+        auto mix = [&h](uint64_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        mix(k.generation);
+        mix(k.cameraKey);
+        mix(static_cast<uint64_t>(k.x) << 32 |
+            static_cast<uint32_t>(k.y));
+        mix(static_cast<uint64_t>(k.w) << 32 |
+            static_cast<uint32_t>(k.h));
+        mix(static_cast<uint64_t>(k.quality));
+        return static_cast<size_t>(h);
+    }
+};
+
+/**
+ * Thread-safe LRU over rendered tile pixel blocks. Capacity 0 disables
+ * the cache entirely (every lookup misses, inserts are dropped).
+ */
+class TileCache
+{
+  public:
+    explicit TileCache(size_t capacity_tiles)
+        : capacity(capacity_tiles) {}
+
+    /**
+     * Copy the cached pixels for `key` into `out` (resized to w*h,
+     * row-major) and mark the entry most-recently used. Returns false
+     * on miss.
+     */
+    bool lookup(const TileKey &key, std::vector<Vec3> &out);
+
+    /** Insert (or refresh) a rendered tile, evicting LRU overflow. */
+    void insert(const TileKey &key, std::vector<Vec3> pixels);
+
+    /** Eagerly drop every entry of a scene (any generation). */
+    void invalidateScene(const std::string &scene_id);
+
+    void clear();
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+        uint64_t invalidated = 0;
+        size_t entries = 0;
+        size_t capacity = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    using Entry = std::pair<TileKey, std::vector<Vec3>>;
+
+    size_t capacity;
+    mutable std::mutex mtx;
+    std::list<Entry> lru; //!< Front = most recently used.
+    std::unordered_map<TileKey, std::list<Entry>::iterator, TileKeyHash>
+        index;
+    uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
+             invalidated = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SERVE_TILE_CACHE_HH

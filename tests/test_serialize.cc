@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Checkpoint round-trip coverage: bitwise save/load parity (field and
+ * occupancy grid), rejection of corrupt/truncated/mismatched files
+ * with the destination left untouched, and the mid-training
+ * Trainer::saveCheckpoint settling contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "nerf/serialize.hh"
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+
+namespace instant3d {
+namespace {
+
+Dataset
+tinyDataset(const std::string &scene_name = "materials")
+{
+    auto scene = makeSyntheticScene(scene_name);
+    DatasetConfig cfg;
+    cfg.numTrainViews = 6;
+    cfg.numTestViews = 2;
+    cfg.imageWidth = 20;
+    cfg.imageHeight = 20;
+    cfg.renderOpts.numSteps = 64;
+    return makeDataset(scene, cfg);
+}
+
+FieldConfig
+tinyField()
+{
+    HashEncodingConfig grid;
+    grid.numLevels = 4;
+    grid.featuresPerEntry = 2;
+    grid.log2TableSize = 12;
+    grid.baseResolution = 8;
+    grid.growthFactor = 1.6f;
+    FieldConfig cfg = FieldConfig::instant3dDefault(grid);
+    cfg.hiddenDim = 16;
+    return cfg;
+}
+
+TrainConfig
+tinyTrain()
+{
+    TrainConfig cfg;
+    cfg.raysPerBatch = 96;
+    cfg.samplesPerRay = 32;
+    cfg.adam.lr = 1e-2f;
+    return cfg;
+}
+
+/** All parameter vectors of a field, in group order. */
+std::vector<std::vector<float>>
+snapshotParams(NerfField &field)
+{
+    std::vector<std::vector<float>> out;
+    for (auto gid : field.paramGroups())
+        out.push_back(field.groupParams(gid));
+    return out;
+}
+
+void
+expectParamsEqual(NerfField &field,
+                  const std::vector<std::vector<float>> &expect)
+{
+    auto groups = field.paramGroups();
+    ASSERT_EQ(groups.size(), expect.size());
+    for (size_t g = 0; g < groups.size(); g++) {
+        const auto &params = field.groupParams(groups[g]);
+        ASSERT_EQ(params.size(), expect[g].size());
+        for (size_t i = 0; i < params.size(); i++)
+            ASSERT_EQ(params[i], expect[g][i])
+                << "group " << g << " param " << i;
+    }
+}
+
+/** Copy the first `bytes` bytes of `src` into `dst`. */
+void
+truncateFile(const std::string &src, const std::string &dst,
+             size_t bytes)
+{
+    std::ifstream in(src, std::ios::binary);
+    std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    ASSERT_LE(bytes, data.size());
+    std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(bytes));
+}
+
+size_t
+fileSize(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return static_cast<size_t>(in.tellg());
+}
+
+TEST(SerializeTest, SaveLoadBitwiseRoundTrip)
+{
+    Dataset ds = tinyDataset();
+    Trainer trainer(ds, tinyField(), tinyTrain());
+    for (int i = 0; i < 10; i++)
+        trainer.trainIteration();
+    trainer.syncParams();
+
+    const std::string path = "test_serialize_roundtrip.bin";
+    ASSERT_TRUE(saveField(trainer.field(), path));
+
+    // A fresh field with a different seed starts from different
+    // weights; after loadField it must match the saved ones bitwise.
+    NerfField loaded(tinyField(), /*seed=*/777);
+    ASSERT_TRUE(loadField(loaded, path));
+    expectParamsEqual(loaded, snapshotParams(trainer.field()));
+
+    EXPECT_EQ(fieldStorageBytes(loaded),
+              fieldStorageBytes(trainer.field()));
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OccupancyCheckpointRoundTrip)
+{
+    Dataset ds = tinyDataset();
+    TrainConfig tcfg = tinyTrain();
+    tcfg.useOccupancyGrid = true;
+    tcfg.occupancyUpdatePeriod = 8;
+    Trainer trainer(ds, tinyField(), tcfg);
+    for (int i = 0; i < 20; i++)
+        trainer.trainIteration();
+
+    const std::string path = "test_serialize_occ.bin";
+    ASSERT_TRUE(trainer.saveCheckpoint(path));
+
+    CheckpointInfo info = peekCheckpoint(path);
+    EXPECT_TRUE(info.valid);
+    EXPECT_TRUE(info.decoupled);
+    EXPECT_TRUE(info.hasOccupancy);
+    EXPECT_EQ(info.occResolution,
+              trainer.occupancyGrid()->resolution());
+
+    NerfField loaded(tinyField(), 777);
+    OccupancyGrid grid(trainer.occupancyGrid()->config());
+    ASSERT_TRUE(loadCheckpoint(loaded, &grid, path));
+    expectParamsEqual(loaded, snapshotParams(trainer.field()));
+    const OccupancyGrid *src = trainer.occupancyGrid();
+    ASSERT_EQ(grid.numCells(), src->numCells());
+    for (size_t c = 0; c < grid.numCells(); c++)
+        ASSERT_EQ(grid.cellDensity(c), src->cellDensity(c))
+            << "cell " << c;
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BadMagicRejectedFieldUntouched)
+{
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_badmagic.bin";
+    ASSERT_TRUE(saveField(source, path));
+
+    // Corrupt the magic word.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(0);
+        f.put('X');
+    }
+
+    NerfField dest(tinyField(), 2);
+    auto before = snapshotParams(dest);
+    EXPECT_FALSE(loadField(dest, path));
+    expectParamsEqual(dest, before);
+    EXPECT_FALSE(peekCheckpoint(path).valid);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedRejectedFieldUntouched)
+{
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_full.bin";
+    ASSERT_TRUE(saveField(source, path));
+    const size_t total = fileSize(path);
+    ASSERT_GT(total, 64u);
+
+    NerfField dest(tinyField(), 2);
+    auto before = snapshotParams(dest);
+
+    // Cut in the header, after the header, mid-group, and one byte
+    // short of complete; every prefix must be rejected cleanly.
+    const std::string cut = "test_serialize_truncated.bin";
+    for (size_t bytes : {size_t{3}, size_t{24}, total / 2, total - 1}) {
+        truncateFile(path, cut, bytes);
+        EXPECT_FALSE(loadField(dest, cut)) << "bytes=" << bytes;
+        expectParamsEqual(dest, before);
+    }
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected)
+{
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_shape.bin";
+    ASSERT_TRUE(saveField(source, path));
+
+    // Same mode, different table size -> group-size mismatch.
+    FieldConfig other = tinyField();
+    other.densityGrid.log2TableSize = 10;
+    other.colorGrid.log2TableSize = 8;
+    NerfField dest(other, 2);
+    auto before = snapshotParams(dest);
+    EXPECT_FALSE(loadField(dest, path));
+    expectParamsEqual(dest, before);
+
+    // Mode mismatch (coupled vs decoupled).
+    HashEncodingConfig grid;
+    grid.numLevels = 4;
+    grid.featuresPerEntry = 2;
+    grid.log2TableSize = 12;
+    grid.baseResolution = 8;
+    grid.growthFactor = 1.6f;
+    FieldConfig coupled = FieldConfig::ngpBaseline(grid);
+    coupled.hiddenDim = 16;
+    NerfField dest2(coupled, 3);
+    auto before2 = snapshotParams(dest2);
+    EXPECT_FALSE(loadField(dest2, path));
+    expectParamsEqual(dest2, before2);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OccupancyExpectationMismatchRejected)
+{
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_noocc.bin";
+    ASSERT_TRUE(saveField(source, path));
+
+    // Caller expects a grid but the file has none.
+    NerfField dest(tinyField(), 2);
+    OccupancyGridConfig ocfg;
+    OccupancyGrid grid(ocfg);
+    auto before = snapshotParams(dest);
+    EXPECT_FALSE(loadCheckpoint(dest, &grid, path));
+    expectParamsEqual(dest, before);
+
+    // Resolution mismatch between file and destination grid.
+    OccupancyGrid grid16{[] {
+        OccupancyGridConfig c;
+        c.resolution = 16;
+        return c;
+    }()};
+    const std::string occ_path = "test_serialize_occ32.bin";
+    OccupancyGrid grid32{[] {
+        OccupancyGridConfig c;
+        c.resolution = 32;
+        return c;
+    }()};
+    ASSERT_TRUE(saveCheckpoint(source, &grid32, occ_path));
+    EXPECT_FALSE(loadCheckpoint(dest, &grid16, occ_path));
+    expectParamsEqual(dest, before);
+
+    // A file *with* a grid loads fine when the caller ignores it.
+    EXPECT_TRUE(loadCheckpoint(dest, nullptr, occ_path));
+    expectParamsEqual(dest, snapshotParams(source));
+    std::remove(path.c_str());
+    std::remove(occ_path.c_str());
+}
+
+/**
+ * The sparse-optimizer checkpoint hazard: a mid-training checkpoint
+ * must observe settled (dense-Adam-equivalent) parameters, and taking
+ * one must not perturb the training trajectory.
+ */
+TEST(SerializeTest, MidTrainingCheckpointSettledAndNonPerturbing)
+{
+    Dataset ds = tinyDataset();
+    TrainConfig tcfg = tinyTrain();
+    tcfg.useOccupancyGrid = true;
+    tcfg.occupancyUpdatePeriod = 8;
+
+    Trainer checkpointed(ds, tinyField(), tcfg);
+    Trainer reference(ds, tinyField(), tcfg);
+    ASSERT_TRUE(checkpointed.sparseOptimizerActive());
+
+    for (int i = 0; i < 15; i++) {
+        checkpointed.trainIteration();
+        reference.trainIteration();
+    }
+
+    const std::string path = "test_serialize_midtrain.bin";
+    ASSERT_TRUE(checkpointed.saveCheckpoint(path));
+
+    // The checkpoint equals the settled live state...
+    NerfField loaded(tinyField(), 777);
+    OccupancyGrid grid(checkpointed.occupancyGrid()->config());
+    ASSERT_TRUE(loadCheckpoint(loaded, &grid, path));
+    checkpointed.syncParams();
+    expectParamsEqual(loaded, snapshotParams(checkpointed.field()));
+
+    // ...the restored model (field + occupancy grid) renders the same
+    // pixels as the live trainer at the checkpointed step...
+    const Camera &cam = ds.testViews[0].camera;
+    Image live = checkpointed.renderImage(cam);
+    VolumeRenderer renderer(checkpointed.renderer().config());
+    renderer.setOccupancyGrid(&grid);
+    Workspace ws;
+    for (int row = 0; row < cam.imageHeight(); row++) {
+        for (int col = 0; col < cam.imageWidth(); col++) {
+            ws.reset();
+            RayResult res = renderer.renderRayFast(
+                loaded, cam.pixelRay(col, row), ws);
+            const Vec3 &expect = live.at(col, row);
+            ASSERT_EQ(res.color.x, expect.x);
+            ASSERT_EQ(res.color.y, expect.y);
+            ASSERT_EQ(res.color.z, expect.z);
+        }
+    }
+
+    // ...and taking it did not change subsequent training one bit.
+    for (int i = 0; i < 10; i++) {
+        TrainStats a = checkpointed.trainIteration();
+        TrainStats b = reference.trainIteration();
+        ASSERT_EQ(a.loss, b.loss) << "iteration " << i;
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace instant3d

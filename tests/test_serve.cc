@@ -1,0 +1,598 @@
+/**
+ * @file
+ * Render-serving subsystem tests. The load-bearing contract: a served
+ * QualityTier::Full pixel is bit-identical to Trainer::renderImage of
+ * the same field and camera -- at 1/2/8 workers, across tile
+ * boundaries, under cache hits and misses, with interleaved
+ * multi-scene request mixes, and whether the model arrived via
+ * registerFromTrainer or a checkpoint file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "nerf/serialize.hh"
+#include "nerf/trainer.hh"
+#include "scene/scene.hh"
+#include "serve/render_service.hh"
+#include "serve/scene_registry.hh"
+
+namespace instant3d {
+namespace {
+
+Dataset
+tinyDataset(const std::string &scene_name)
+{
+    auto scene = makeSyntheticScene(scene_name);
+    DatasetConfig cfg;
+    cfg.numTrainViews = 6;
+    cfg.numTestViews = 2;
+    cfg.imageWidth = 20;
+    cfg.imageHeight = 20;
+    cfg.renderOpts.numSteps = 64;
+    return makeDataset(scene, cfg);
+}
+
+FieldConfig
+tinyField()
+{
+    HashEncodingConfig grid;
+    grid.numLevels = 4;
+    grid.featuresPerEntry = 2;
+    grid.log2TableSize = 12;
+    grid.baseResolution = 8;
+    grid.growthFactor = 1.6f;
+    FieldConfig cfg = FieldConfig::instant3dDefault(grid);
+    cfg.hiddenDim = 16;
+    return cfg;
+}
+
+TrainConfig
+tinyTrain(bool occupancy = true)
+{
+    TrainConfig cfg;
+    cfg.raysPerBatch = 96;
+    cfg.samplesPerRay = 32;
+    cfg.adam.lr = 1e-2f;
+    cfg.useOccupancyGrid = occupancy;
+    cfg.occupancyUpdatePeriod = 8;
+    return cfg;
+}
+
+/**
+ * A camera spec whose floats sit exactly on the 1/4096 quantization
+ * lattice, so quantized() is the identity and the trainer renders the
+ * same camera the service does.
+ */
+CameraSpec
+latticeCamera(int width = 40, int height = 40)
+{
+    CameraSpec spec;
+    spec.eye = {1.25f, 0.5f, 1.0f};
+    spec.target = {0.5f, 0.5f, 0.5f};
+    spec.up = {0.0f, 0.0f, 1.0f};
+    spec.vfovDeg = 45.0f;
+    spec.width = width;
+    spec.height = height;
+    return spec;
+}
+
+void
+expectImagesEqual(const Image &a, const Image &b)
+{
+    ASSERT_EQ(a.width(), b.width());
+    ASSERT_EQ(a.height(), b.height());
+    for (int row = 0; row < a.height(); row++) {
+        for (int col = 0; col < a.width(); col++) {
+            const Vec3 &pa = a.at(col, row);
+            const Vec3 &pb = b.at(col, row);
+            ASSERT_EQ(pa.x, pb.x) << "pixel (" << col << "," << row
+                                  << ")";
+            ASSERT_EQ(pa.y, pb.y);
+            ASSERT_EQ(pa.z, pb.z);
+        }
+    }
+}
+
+/** Shared fixture: one trained scene, slow-but-thorough setup once. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        lego = new Dataset(tinyDataset("lego"));
+        legoTrainer = new Trainer(*lego, tinyField(), tinyTrain());
+        for (int i = 0; i < 30; i++)
+            legoTrainer->trainIteration();
+
+        materials = new Dataset(tinyDataset("materials"));
+        materialsTrainer =
+            new Trainer(*materials, tinyField(), tinyTrain());
+        for (int i = 0; i < 30; i++)
+            materialsTrainer->trainIteration();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete legoTrainer;
+        delete lego;
+        delete materialsTrainer;
+        delete materials;
+        legoTrainer = materialsTrainer = nullptr;
+        lego = materials = nullptr;
+    }
+
+    static Dataset *lego;
+    static Trainer *legoTrainer;
+    static Dataset *materials;
+    static Trainer *materialsTrainer;
+};
+
+Dataset *ServeTest::lego = nullptr;
+Trainer *ServeTest::legoTrainer = nullptr;
+Dataset *ServeTest::materials = nullptr;
+Trainer *ServeTest::materialsTrainer = nullptr;
+
+TEST_F(ServeTest, RenderRaysMatchesRenderRayFastAnyBatching)
+{
+    NerfField &field = legoTrainer->field();
+    const VolumeRenderer &renderer = legoTrainer->renderer();
+    CameraSpec spec = latticeCamera(16, 16);
+    Camera cam = spec.makeCamera();
+
+    std::vector<Ray> rays;
+    for (int row = 0; row < 16; row++)
+        for (int col = 0; col < 16; col++)
+            rays.push_back(cam.pixelRay(col, row));
+
+    Workspace ref_ws;
+    std::vector<RayResult> expect(rays.size());
+    for (size_t r = 0; r < rays.size(); r++) {
+        ref_ws.reset();
+        expect[r] = renderer.renderRayFast(field, rays[r], ref_ws);
+    }
+
+    // Whole image in one call, tiny batches, and odd-size batches all
+    // reproduce the per-ray path bit-for-bit.
+    for (int batch : {256, 1, 7, 100}) {
+        Workspace ws;
+        std::vector<RayResult> got(rays.size());
+        for (size_t r0 = 0; r0 < rays.size();
+             r0 += static_cast<size_t>(batch)) {
+            size_t n = std::min(rays.size() - r0,
+                                static_cast<size_t>(batch));
+            ws.reset();
+            renderer.renderRays(field, rays.data() + r0,
+                                static_cast<int>(n), got.data() + r0,
+                                ws);
+        }
+        for (size_t r = 0; r < rays.size(); r++) {
+            ASSERT_EQ(got[r].color.x, expect[r].color.x)
+                << "batch " << batch << " ray " << r;
+            ASSERT_EQ(got[r].color.y, expect[r].color.y);
+            ASSERT_EQ(got[r].color.z, expect[r].color.z);
+            ASSERT_EQ(got[r].depth, expect[r].depth);
+            ASSERT_EQ(got[r].opacity, expect[r].opacity);
+        }
+    }
+}
+
+TEST_F(ServeTest, ServedBitIdenticalToRenderImageAcrossWorkerCounts)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+
+    CameraSpec spec = latticeCamera();
+    Image expect = legoTrainer->renderImage(spec.makeCamera());
+
+    for (int workers : {1, 2, 8}) {
+        RenderServiceConfig cfg;
+        cfg.workers = workers;
+        cfg.tilePixels = 16;
+        cfg.chunkRays = 512;
+        RenderService service(registry, cfg);
+
+        RenderRequest req;
+        req.sceneId = "lego";
+        req.camera = spec;
+        RenderResponse resp = service.render(req);
+        ASSERT_EQ(resp.status, RequestStatus::Ok)
+            << "workers=" << workers;
+        expectImagesEqual(resp.image, expect);
+        EXPECT_EQ(resp.tilesRendered, 9); // ceil(40/16)^2
+        EXPECT_EQ(resp.tilesFromCache, 0);
+    }
+}
+
+TEST_F(ServeTest, RoiTilesAssembleToFullImage)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.tilePixels = 8;
+    RenderService service(registry, cfg);
+
+    CameraSpec spec = latticeCamera();
+    Image expect = legoTrainer->renderImage(spec.makeCamera());
+
+    // Fetch an uneven patchwork of regions; each must equal the
+    // corresponding window of renderImage.
+    std::vector<TileRect> rois = {
+        {0, 0, 40, 40}, {8, 8, 16, 12}, {35, 0, 5, 40}, {0, 39, 40, 1}};
+    for (const auto &roi : rois) {
+        RenderRequest req;
+        req.sceneId = "lego";
+        req.camera = spec;
+        req.roi = roi;
+        RenderResponse resp = service.render(req);
+        ASSERT_EQ(resp.status, RequestStatus::Ok);
+        ASSERT_EQ(resp.image.width(), roi.w);
+        ASSERT_EQ(resp.image.height(), roi.h);
+        for (int y = 0; y < roi.h; y++) {
+            for (int x = 0; x < roi.w; x++) {
+                const Vec3 &pa = resp.image.at(x, y);
+                const Vec3 &pb = expect.at(roi.x + x, roi.y + y);
+                ASSERT_EQ(pa.x, pb.x)
+                    << "roi (" << roi.x << "," << roi.y << ") pixel ("
+                    << x << "," << y << ")";
+                ASSERT_EQ(pa.y, pb.y);
+                ASSERT_EQ(pa.z, pb.z);
+            }
+        }
+    }
+}
+
+TEST_F(ServeTest, InterleavedMultiSceneMixStaysBitExact)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    registry.registerFromTrainer("materials", *materialsTrainer);
+
+    CameraSpec spec = latticeCamera();
+    Image expect_lego = legoTrainer->renderImage(spec.makeCamera());
+    Image expect_mat =
+        materialsTrainer->renderImage(spec.makeCamera());
+
+    RenderServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.tilePixels = 16;
+    cfg.chunkRays = 1024;
+    cfg.cacheTiles = 64;
+    RenderService service(registry, cfg);
+
+    // Four client threads fire interleaved full/roi requests against
+    // both scenes; every Full-tier answer must match its trainer.
+    constexpr int per_thread = 6;
+    std::vector<std::thread> clients;
+    std::atomic<int> failures{0};
+    for (int c = 0; c < 4; c++) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < per_thread; i++) {
+                bool use_lego = (c + i) % 2 == 0;
+                RenderRequest req;
+                req.sceneId = use_lego ? "lego" : "materials";
+                req.camera = spec;
+                if (i % 3 == 1)
+                    req.roi = {16, 8, 16, 16};
+                RenderResponse resp = service.render(req);
+                if (resp.status != RequestStatus::Ok) {
+                    failures++;
+                    continue;
+                }
+                const Image &expect =
+                    use_lego ? expect_lego : expect_mat;
+                TileRect roi = req.roi.w
+                                   ? req.roi
+                                   : TileRect{0, 0, 40, 40};
+                for (int y = 0; y < roi.h && !failures; y++)
+                    for (int x = 0; x < roi.w; x++) {
+                        const Vec3 &pa = resp.image.at(x, y);
+                        const Vec3 &pb =
+                            expect.at(roi.x + x, roi.y + y);
+                        if (pa.x != pb.x || pa.y != pb.y ||
+                            pa.z != pb.z) {
+                            failures++;
+                            break;
+                        }
+                    }
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.requestsCompleted, 4u * per_thread);
+    EXPECT_EQ(stats.requestsRejected, 0u);
+    // Repeated cameras + the cache means part of the load was served
+    // from rendered tiles -- with identical bits (asserted above).
+    EXPECT_GT(stats.tilesFromCache, 0u);
+}
+
+TEST_F(ServeTest, CrossRequestCoalescingHappens)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tilePixels = 16;
+    cfg.chunkRays = 2048; // 8 tiles of 256 rays share one chunk
+    RenderService service(registry, cfg);
+
+    CameraSpec spec = latticeCamera();
+    // Burst of small single-tile requests: while the first chunk
+    // renders, the rest pile up in the queue and the next drain packs
+    // tiles from many requests into shared chunks.
+    std::vector<std::future<RenderResponse>> futures;
+    for (int i = 0; i < 24; i++) {
+        RenderRequest req;
+        req.sceneId = "lego";
+        req.camera = spec;
+        req.roi = {16 * (i % 2), 16 * ((i / 2) % 2), 16, 16};
+        futures.push_back(service.submit(req));
+    }
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, RequestStatus::Ok);
+
+    ServeStats stats = service.stats();
+    EXPECT_GT(stats.crossRequestChunks, 0u);
+    EXPECT_LT(stats.chunksRendered, stats.tilesRendered);
+}
+
+TEST_F(ServeTest, CacheHitsAreBitExactAndInvalidateOnReregister)
+{
+    SceneRegistry registry;
+    uint64_t gen1 = registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.cacheTiles = 128;
+    RenderService service(registry, cfg);
+
+    CameraSpec spec = latticeCamera();
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = spec;
+
+    RenderResponse first = service.render(req);
+    ASSERT_EQ(first.status, RequestStatus::Ok);
+    EXPECT_EQ(first.tilesFromCache, 0);
+
+    RenderResponse second = service.render(req);
+    ASSERT_EQ(second.status, RequestStatus::Ok);
+    EXPECT_EQ(second.tilesFromCache, second.tilesRendered +
+                                         second.tilesFromCache);
+    expectImagesEqual(second.image, first.image);
+
+    // Re-registration: train the model further and republish. The new
+    // generation's keys miss the old entries, so pixels update.
+    for (int i = 0; i < 10; i++)
+        legoTrainer->trainIteration();
+    uint64_t gen2 = registry.registerFromTrainer("lego", *legoTrainer);
+    EXPECT_GT(gen2, gen1);
+    service.invalidateScene("lego");
+
+    Image expect = legoTrainer->renderImage(spec.makeCamera());
+    RenderResponse third = service.render(req);
+    ASSERT_EQ(third.status, RequestStatus::Ok);
+    EXPECT_EQ(third.sceneGeneration, gen2);
+    EXPECT_EQ(third.tilesFromCache, 0);
+    expectImagesEqual(third.image, expect);
+}
+
+TEST_F(ServeTest, CheckpointRegistrationServesTrainerBits)
+{
+    const std::string path = "test_serve_ckpt.bin";
+    ASSERT_TRUE(legoTrainer->saveCheckpoint(path));
+
+    SceneSpec spec;
+    spec.field = legoTrainer->field().config();
+    spec.renderer = legoTrainer->renderer().config();
+    spec.useOccupancy = true;
+    spec.occupancy = legoTrainer->occupancyGrid()->config();
+
+    SceneRegistry registry;
+    ASSERT_GT(registry.registerFromCheckpoint("lego", spec, path), 0u);
+
+    RenderServiceConfig cfg;
+    cfg.workers = 2;
+    RenderService service(registry, cfg);
+
+    CameraSpec cam = latticeCamera();
+    Image expect = legoTrainer->renderImage(cam.makeCamera());
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = cam;
+    RenderResponse resp = service.render(req);
+    ASSERT_EQ(resp.status, RequestStatus::Ok);
+    expectImagesEqual(resp.image, expect);
+
+    // A corrupt checkpoint must not publish (nor clobber a live scene).
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        std::fputc('X', f);
+        std::fclose(f);
+    }
+    EXPECT_EQ(registry.registerFromCheckpoint("lego2", spec, path), 0u);
+    EXPECT_EQ(registry.acquire("lego2"), nullptr);
+    EXPECT_NE(registry.acquire("lego"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, QualityTiersAreDeterministicPerTier)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    CameraSpec spec = latticeCamera();
+
+    for (QualityTier tier :
+         {QualityTier::Half, QualityTier::Preview}) {
+        Image at1, at8;
+        for (int workers : {1, 8}) {
+            RenderServiceConfig cfg;
+            cfg.workers = workers;
+            RenderService service(registry, cfg);
+            RenderRequest req;
+            req.sceneId = "lego";
+            req.camera = spec;
+            req.quality = tier;
+            RenderResponse resp = service.render(req);
+            ASSERT_EQ(resp.status, RequestStatus::Ok);
+            (workers == 1 ? at1 : at8) = std::move(resp.image);
+        }
+        expectImagesEqual(at1, at8);
+    }
+}
+
+TEST_F(ServeTest, BackpressureRejectsWithRetryAfter)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tilePixels = 16;
+    cfg.maxQueueTiles = 4;
+    cfg.retryAfterMs = 7;
+    RenderService service(registry, cfg);
+
+    // Structurally unservable: 9 tiles can never fit a 4-tile window,
+    // so the answer is BadRequest, not a retry hint that cannot help.
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = latticeCamera();
+    EXPECT_EQ(service.render(req).status, RequestStatus::BadRequest);
+
+    // Transient overload: flood single-tile requests far faster than
+    // one worker drains them; once 4 tiles are outstanding the rest
+    // bounce with the configured retry-after backoff.
+    req.roi = {0, 0, 16, 16};
+    std::vector<std::future<RenderResponse>> futures;
+    for (int i = 0; i < 40; i++)
+        futures.push_back(service.submit(req));
+    uint64_t ok = 0, rejected = 0;
+    for (auto &f : futures) {
+        RenderResponse resp = f.get();
+        if (resp.status == RequestStatus::Ok) {
+            ok++;
+        } else {
+            ASSERT_EQ(resp.status, RequestStatus::Rejected);
+            EXPECT_EQ(resp.retryAfterMs, 7);
+            rejected++;
+        }
+    }
+    EXPECT_GT(ok, 0u);
+    EXPECT_GT(rejected, 0u);
+
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.requestsRejected, rejected);
+    EXPECT_EQ(stats.requestsCompleted, ok);
+    EXPECT_EQ(stats.requestsBadRequest, 1u);
+    EXPECT_LE(stats.queueDepthHighwater, 4u);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineDropsUnrenderedTiles)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    RenderService service(registry, cfg);
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = latticeCamera();
+    req.deadlineMs = 1e-6; // expired by the time the queue drains
+    RenderResponse resp = service.render(req);
+    EXPECT_EQ(resp.status, RequestStatus::DeadlineExceeded);
+    EXPECT_EQ(resp.tilesRendered, 0);
+    EXPECT_EQ(service.stats().requestsDeadlineExceeded, 1u);
+}
+
+TEST_F(ServeTest, UnknownSceneAndBadRequestAnswerImmediately)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    RenderService service(registry, cfg);
+
+    RenderRequest req;
+    req.sceneId = "nope";
+    req.camera = latticeCamera();
+    EXPECT_EQ(service.render(req).status, RequestStatus::UnknownScene);
+
+    req.sceneId = "lego";
+    req.roi = {30, 30, 20, 20}; // spills past the 40x40 image
+    EXPECT_EQ(service.render(req).status, RequestStatus::BadRequest);
+
+    req.roi = {};
+    req.camera.width = 0;
+    EXPECT_EQ(service.render(req).status, RequestStatus::BadRequest);
+
+    // An out-of-range quality tier must be refused, not index past
+    // the per-tier renderer table.
+    req.camera = latticeCamera();
+    req.quality = static_cast<QualityTier>(7);
+    EXPECT_EQ(service.render(req).status, RequestStatus::BadRequest);
+}
+
+TEST_F(ServeTest, RegistryKeepsOldGenerationAliveForReaders)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    ServedScenePtr held = registry.acquire("lego");
+    ASSERT_NE(held, nullptr);
+    uint64_t old_gen = held->generation();
+
+    registry.registerFromTrainer("lego", *legoTrainer);
+    ServedScenePtr fresh = registry.acquire("lego");
+    EXPECT_NE(fresh.get(), held.get());
+    EXPECT_GT(fresh->generation(), old_gen);
+
+    // The held generation still renders (its model is untouched).
+    Workspace ws;
+    Camera cam = latticeCamera().makeCamera();
+    Ray ray = cam.pixelRay(20, 20);
+    RayResult res;
+    held->renderer(QualityTier::Full)
+        .renderRays(held->field(), &ray, 1, &res, ws);
+    EXPECT_TRUE(std::isfinite(res.color.x));
+
+    EXPECT_TRUE(registry.unregister("lego"));
+    EXPECT_EQ(registry.acquire("lego"), nullptr);
+    EXPECT_FALSE(registry.unregister("lego"));
+}
+
+TEST(ServePoolTest, ConcurrentParallelForClientsSerialize)
+{
+    ThreadPool pool(4);
+    constexpr int tasks = 64;
+    std::vector<int> a(tasks, 0), b(tasks, 0);
+
+    // Two client threads race their own batches on one shared pool;
+    // each batch must run exactly once per task with no cross-talk.
+    std::thread ta([&] {
+        for (int rep = 0; rep < 20; rep++)
+            pool.parallelFor(tasks, [&](int t, int) { a[t]++; });
+    });
+    std::thread tb([&] {
+        for (int rep = 0; rep < 20; rep++)
+            pool.parallelFor(tasks, [&](int t, int) { b[t]++; });
+    });
+    ta.join();
+    tb.join();
+    for (int t = 0; t < tasks; t++) {
+        EXPECT_EQ(a[t], 20) << t;
+        EXPECT_EQ(b[t], 20) << t;
+    }
+}
+
+} // namespace
+} // namespace instant3d
