@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/fault_injection.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "nerf/trainer.hh"
@@ -303,6 +304,49 @@ main(int argc, char **argv)
                 overload_rejected++;
     }
 
+    // -------------------- overload again, with degradation enabled:
+    // the same 96-request burst against a 64-tile admission window,
+    // but with QoS degradation on and a deep degraded cap, so the
+    // service downshifts tiers instead of shedding load.
+    uint64_t degraded_submitted = 0, degraded_completed = 0;
+    uint64_t degraded_rejected = 0;
+    uint64_t degraded_per_tier[numQualityTiers] = {0, 0, 0};
+    uint64_t degraded_admissions = 0;
+    {
+        RenderServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.tilePixels = tile;
+        cfg.maxQueueTiles = 64;
+        cfg.retryAfterMs = 5;
+        cfg.degradeUnderLoad = true;
+        cfg.maxQueueTilesDegraded = 4096;
+        RenderService service(registry, cfg);
+        std::vector<std::future<RenderResponse>> fut;
+        for (int i = 0; i < 96; i++) {
+            RenderRequest req;
+            req.sceneId = "lego";
+            req.camera = cam;
+            fut.push_back(service.submit(req));
+            degraded_submitted++;
+        }
+        for (auto &f : fut) {
+            RenderResponse resp = f.get();
+            if (resp.status == RequestStatus::Ok) {
+                degraded_completed++;
+                degraded_per_tier[static_cast<int>(
+                    resp.servedQuality)]++;
+            } else if (resp.status == RequestStatus::Rejected) {
+                degraded_rejected++;
+            }
+        }
+        degraded_admissions = service.stats().admissionDegradations;
+    }
+    double degraded_completion_rate =
+        degraded_submitted
+            ? static_cast<double>(degraded_completed) /
+                  static_cast<double>(degraded_submitted)
+            : 0.0;
+
     // ------------------------------------------------------- report
     std::string json;
     char buf[2048];
@@ -374,10 +418,16 @@ main(int argc, char **argv)
         "  },\n"
         "  \"overload\": {\"submitted\": %llu, \"rejected\": %llu, "
         "\"retry_after_ms\": 5},\n"
-        "  \"speedups\": {\n"
-        "    \"served_vs_renderImage_1t\": %.3f\n"
-        "  }\n"
-        "}\n",
+        "  \"overload_degraded\": {\n"
+        "    \"submitted\": %llu,\n"
+        "    \"completed\": %llu,\n"
+        "    \"rejected\": %llu,\n"
+        "    \"served_full\": %llu,\n"
+        "    \"served_half\": %llu,\n"
+        "    \"served_preview\": %llu,\n"
+        "    \"admission_degradations\": %llu,\n"
+        "    \"completion_rate\": %.3f\n"
+        "  },\n",
         static_cast<unsigned long long>(open_cache.hits),
         static_cast<unsigned long long>(open_cache.misses),
         static_cast<unsigned long long>(open_cache.insertions),
@@ -385,7 +435,37 @@ main(int argc, char **argv)
         open_cache.entries,
         static_cast<unsigned long long>(overload_submitted),
         static_cast<unsigned long long>(overload_rejected),
-        served_vs_render_image);
+        static_cast<unsigned long long>(degraded_submitted),
+        static_cast<unsigned long long>(degraded_completed),
+        static_cast<unsigned long long>(degraded_rejected),
+        static_cast<unsigned long long>(degraded_per_tier[0]),
+        static_cast<unsigned long long>(degraded_per_tier[1]),
+        static_cast<unsigned long long>(degraded_per_tier[2]),
+        static_cast<unsigned long long>(degraded_admissions),
+        degraded_completion_rate);
+    json += buf;
+    json += "  \"fault_points\": {\n";
+    for (int p = 0; p < fault::numPoints; p++) {
+        auto point = static_cast<fault::Point>(p);
+        std::snprintf(buf, sizeof(buf),
+                      "    \"%s\": {\"hits\": %llu, \"fires\": %llu}%s\n",
+                      fault::pointName(point),
+                      static_cast<unsigned long long>(
+                          fault::hitCount(point)),
+                      static_cast<unsigned long long>(
+                          fault::fireCount(point)),
+                      p + 1 < fault::numPoints ? "," : "");
+        json += buf;
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "  },\n"
+        "  \"speedups\": {\n"
+        "    \"served_vs_renderImage_1t\": %.3f,\n"
+        "    \"overload_degraded_completion\": %.3f\n"
+        "  }\n"
+        "}\n",
+        served_vs_render_image, degraded_completion_rate);
     json += buf;
 
     std::fputs(json.c_str(), stdout);

@@ -3,7 +3,10 @@
  * Render-serving demo: train two small scenes, register them with a
  * SceneRegistry, fire a concurrent mixed request load (two scenes,
  * three quality tiers, full images and tiles) at a RenderService from
- * several client threads, and print the service + cache stats block.
+ * several client threads, then overload a degradation-enabled service
+ * with a burst and show the served-tier histogram, round-trip a scene
+ * through a crash-safe checkpoint (including the typed error a corrupt
+ * file produces), and print the service + cache stats block.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -11,10 +14,12 @@
  */
 
 #include <cstdio>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "nerf/serialize.hh"
 #include "nerf/trainer.hh"
 #include "scene/scene.hh"
 #include "serve/render_service.hh"
@@ -134,15 +139,106 @@ main(int argc, char **argv)
     std::printf("%d/%d requests served ok\n", ok_total,
                 4 * per_client);
 
-    // 3. The stats block.
+    // 3. Overload a degradation-enabled service: one worker, an
+    //    admission window of exactly one 9-tile frame, and a burst of
+    //    24 full-frame requests. Instead of shedding the burst, the
+    //    service serves the overflow at lower quality tiers.
+    std::printf("--- overload burst (degradation on) ---\n");
+    {
+        RenderServiceConfig ocfg;
+        ocfg.workers = 1;
+        ocfg.tilePixels = 16;
+        ocfg.maxQueueTiles = 9;
+        ocfg.degradeUnderLoad = true;
+        ocfg.maxQueueTilesDegraded = 512;
+        RenderService overload(registry, ocfg);
+
+        std::vector<std::future<RenderResponse>> burst;
+        for (int i = 0; i < 24; i++) {
+            RenderRequest req;
+            req.sceneId = "lego";
+            req.camera = demoCamera(i);
+            burst.push_back(overload.submit(req));
+        }
+        int tier_counts[numQualityTiers] = {0, 0, 0};
+        int burst_rejected = 0;
+        for (auto &f : burst) {
+            RenderResponse resp = f.get();
+            if (resp.status == RequestStatus::Ok)
+                tier_counts[static_cast<int>(resp.servedQuality)]++;
+            else if (resp.status == RequestStatus::Rejected)
+                burst_rejected++;
+        }
+        ServeStats os = overload.stats();
+        std::printf("served full %d, half %d, preview %d; "
+                    "rejected %d\n",
+                    tier_counts[0], tier_counts[1], tier_counts[2],
+                    burst_rejected);
+        std::printf("degraded requests: %llu "
+                    "(admission %llu, deadline %llu)\n",
+                    static_cast<unsigned long long>(
+                        os.requestsDegraded),
+                    static_cast<unsigned long long>(
+                        os.admissionDegradations),
+                    static_cast<unsigned long long>(
+                        os.deadlineDegradations));
+    }
+
+    // 4. Crash-safe checkpoint round trip: save (atomic tmp+rename,
+    //    CRC-sealed), republish through the registry, and show the
+    //    typed error a truncated copy produces.
+    std::printf("--- checkpoint round trip ---\n");
+    const std::string ckpt = "serve_demo_ckpt.bin";
+    CheckpointError err = lego_trainer->saveCheckpoint(ckpt);
+    std::printf("saveCheckpoint: %s\n", checkpointErrorName(err));
+    if (err == CheckpointError::None) {
+        SceneSpec spec;
+        spec.field = lego_trainer->field().config();
+        spec.renderer = lego_trainer->renderer().config();
+        spec.useOccupancy = true;
+        spec.occupancy = lego_trainer->occupancyGrid()->config();
+        uint64_t gen =
+            registry.registerFromCheckpoint("lego_restored", spec,
+                                            ckpt);
+        std::printf("registerFromCheckpoint: generation %llu\n",
+                    static_cast<unsigned long long>(gen));
+
+        // A corrupt copy is rejected with a typed error, not served.
+        const std::string bad = "serve_demo_ckpt_bad.bin";
+        if (std::FILE *in = std::fopen(ckpt.c_str(), "rb")) {
+            std::FILE *out = std::fopen(bad.c_str(), "wb");
+            for (int i = 0; i < 64; i++) // keep only the first 64 B
+                std::fputc(std::fgetc(in), out);
+            std::fclose(out);
+            std::fclose(in);
+            NerfField probe(spec.field, spec.seed);
+            CheckpointError bad_err =
+                loadCheckpoint(probe, nullptr, bad);
+            std::printf("truncated copy rejected: %s\n",
+                        checkpointErrorName(bad_err));
+            std::remove(bad.c_str());
+        }
+        std::remove(ckpt.c_str());
+    }
+
+    // 5. The stats block.
     ServeStats s = service.stats();
     TileCache::Stats cs = service.cacheStats();
     std::printf("--- service stats ---\n");
     std::printf("requests: accepted %llu, completed %llu, "
-                "rejected %llu\n",
+                "rejected %llu, degraded %llu\n",
                 static_cast<unsigned long long>(s.requestsAccepted),
                 static_cast<unsigned long long>(s.requestsCompleted),
-                static_cast<unsigned long long>(s.requestsRejected));
+                static_cast<unsigned long long>(s.requestsRejected),
+                static_cast<unsigned long long>(s.requestsDegraded));
+    std::printf("served per tier: full %llu, half %llu, "
+                "preview %llu\n",
+                static_cast<unsigned long long>(
+                    s.requestsServedPerTier[0]),
+                static_cast<unsigned long long>(
+                    s.requestsServedPerTier[1]),
+                static_cast<unsigned long long>(
+                    s.requestsServedPerTier[2]));
     std::printf("tiles: rendered %llu, from cache %llu\n",
                 static_cast<unsigned long long>(s.tilesRendered),
                 static_cast<unsigned long long>(s.tilesFromCache));

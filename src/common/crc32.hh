@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Incremental CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320).
+ *
+ * Used by the checkpoint format (v3) to detect torn writes and bit
+ * rot: the digest is accumulated over the header and payload as they
+ * stream to or from disk, so verification costs one extra pass over
+ * bytes that are already in cache.
+ */
+
+#ifndef INSTANT3D_COMMON_CRC32_HH
+#define INSTANT3D_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace instant3d {
+
+/** Streaming CRC-32 accumulator; value() is valid after any prefix. */
+class Crc32
+{
+  public:
+    void
+    update(const void *data, size_t n)
+    {
+        const unsigned char *p = static_cast<const unsigned char *>(data);
+        uint32_t c = ~crc;
+        for (size_t i = 0; i < n; i++)
+            c = table()[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+        crc = ~c;
+    }
+
+    uint32_t value() const { return crc; }
+
+  private:
+    static const uint32_t *
+    table()
+    {
+        static const std::array<uint32_t, 256> tbl = [] {
+            std::array<uint32_t, 256> t{};
+            for (uint32_t i = 0; i < 256; i++) {
+                uint32_t c = i;
+                for (int k = 0; k < 8; k++)
+                    c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+                t[i] = c;
+            }
+            return t;
+        }();
+        return tbl.data();
+    }
+
+    uint32_t crc = 0;
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_COMMON_CRC32_HH

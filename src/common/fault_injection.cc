@@ -1,0 +1,283 @@
+#include "common/fault_injection.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace instant3d {
+namespace fault {
+
+namespace detail {
+// Constant-initialized, so safe to touch from any static initializer
+// (including the env arming below).
+std::atomic<uint32_t> armedMask{0};
+} // namespace detail
+
+namespace {
+
+struct PointState
+{
+    Spec spec;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fires{0};
+};
+
+std::mutex &
+specMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+PointState *
+states()
+{
+    static PointState s[numPoints];
+    return s;
+}
+
+const char *const pointNames[numPoints] = {
+    "checkpoint.short_write", "checkpoint.short_read",
+    "checkpoint.fsync_fail",  "checkpoint.crc_flip",
+    "scheduler.stall",        "chunk.render_delay",
+};
+
+} // namespace
+
+const char *
+pointName(Point point)
+{
+    int i = static_cast<int>(point);
+    return i >= 0 && i < numPoints ? pointNames[i] : "invalid";
+}
+
+bool
+pointFromName(const std::string &name, Point &point)
+{
+    for (int i = 0; i < numPoints; i++) {
+        if (name == pointNames[i]) {
+            point = static_cast<Point>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+arm(Point point, const Spec &spec)
+{
+    const uint32_t bit = 1u << static_cast<int>(point);
+    std::lock_guard<std::mutex> lock(specMutex());
+    states()[static_cast<int>(point)].spec = spec;
+    if (spec.mode == Mode::Off)
+        detail::armedMask.fetch_and(~bit, std::memory_order_relaxed);
+    else
+        detail::armedMask.fetch_or(bit, std::memory_order_relaxed);
+}
+
+void
+disarm(Point point)
+{
+    arm(point, Spec{});
+}
+
+void
+disarmAll()
+{
+    std::lock_guard<std::mutex> lock(specMutex());
+    for (int i = 0; i < numPoints; i++)
+        states()[i].spec = Spec{};
+    detail::armedMask.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+hitCount(Point point)
+{
+    return states()[static_cast<int>(point)].hits.load(
+        std::memory_order_relaxed);
+}
+
+uint64_t
+fireCount(Point point)
+{
+    return states()[static_cast<int>(point)].fires.load(
+        std::memory_order_relaxed);
+}
+
+void
+resetCounts()
+{
+    for (int i = 0; i < numPoints; i++) {
+        states()[i].hits.store(0, std::memory_order_relaxed);
+        states()[i].fires.store(0, std::memory_order_relaxed);
+    }
+}
+
+int
+armedDelayMs(Point point)
+{
+    std::lock_guard<std::mutex> lock(specMutex());
+    const Spec &spec = states()[static_cast<int>(point)].spec;
+    return spec.mode == Mode::Off ? 0 : spec.delayMs;
+}
+
+bool
+detail::fireSlow(Point point)
+{
+    PointState &st = states()[static_cast<int>(point)];
+    // 1-based hit index: deterministic per point, so a (spec, hit)
+    // pair always decides the same way.
+    uint64_t hit = st.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    Spec spec;
+    {
+        std::lock_guard<std::mutex> lock(specMutex());
+        spec = st.spec;
+    }
+    bool fire = false;
+    switch (spec.mode) {
+    case Mode::Off:
+    case Mode::Never:
+        break;
+    case Mode::Always:
+        fire = true;
+        break;
+    case Mode::OneShot:
+        fire = spec.n != 0 && hit == spec.n;
+        break;
+    case Mode::EveryN:
+        fire = spec.n != 0 && hit % spec.n == 0;
+        break;
+    case Mode::Probability:
+        fire = Rng::forIndex(spec.seed,
+                             static_cast<uint64_t>(point), hit)
+                   .nextFloat() < spec.probability;
+        break;
+    }
+    if (fire)
+        st.fires.fetch_add(1, std::memory_order_relaxed);
+    return fire;
+}
+
+bool
+maybeDelay(Point point)
+{
+    if (!shouldFire(point))
+        return false;
+    int delay_ms = armedDelayMs(point);
+    if (delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+    return true;
+}
+
+namespace {
+
+/** Split `s` on `sep`, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        size_t end = s.find(sep, start);
+        if (end == std::string::npos)
+            end = s.size();
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+bool
+parseEntry(const std::string &entry)
+{
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos)
+        return false;
+    Point point;
+    if (!pointFromName(entry.substr(0, eq), point))
+        return false;
+
+    std::vector<std::string> tok = split(entry.substr(eq + 1), ':');
+    if (tok.empty())
+        return false;
+
+    Spec spec;
+    size_t i = 0;
+    try {
+        if (tok[0] == "always") {
+            spec.mode = Mode::Always;
+            i = 1;
+        } else if (tok[0] == "never") {
+            spec.mode = Mode::Never;
+            i = 1;
+        } else if (tok[0] == "hit" && tok.size() > 1) {
+            spec.mode = Mode::OneShot;
+            spec.n = std::stoull(tok[1]);
+            i = 2;
+        } else if (tok[0] == "every" && tok.size() > 1) {
+            spec.mode = Mode::EveryN;
+            spec.n = std::stoull(tok[1]);
+            i = 2;
+        } else if (tok[0] == "prob" && tok.size() > 1) {
+            spec.mode = Mode::Probability;
+            spec.probability = std::stod(tok[1]);
+            i = 2;
+        } else {
+            return false;
+        }
+        for (; i + 1 < tok.size(); i += 2) {
+            if (tok[i] == "seed")
+                spec.seed = std::stoull(tok[i + 1]);
+            else if (tok[i] == "delay")
+                spec.delayMs = std::stoi(tok[i + 1]);
+            else
+                return false;
+        }
+        if (i != tok.size()) // trailing key without a value
+            return false;
+    } catch (const std::exception &) {
+        return false;
+    }
+    arm(point, spec);
+    return true;
+}
+
+} // namespace
+
+bool
+armFromString(const std::string &config)
+{
+    bool all_ok = true;
+    for (const std::string &entry : split(config, ',')) {
+        if (!parseEntry(entry)) {
+            warn("fault_injection: unparseable INSTANT3D_FAULTS entry '" +
+                 entry + "' ignored");
+            all_ok = false;
+        }
+    }
+    return all_ok;
+}
+
+namespace {
+
+// Environment arming runs at static-initialization time, before
+// main(): armed points are live for the whole process without any
+// per-site initialization check.
+const bool envArmed = [] {
+    const char *env = std::getenv("INSTANT3D_FAULTS");
+    if (env && *env)
+        armFromString(env);
+    return true;
+}();
+
+} // namespace
+
+} // namespace fault
+} // namespace instant3d

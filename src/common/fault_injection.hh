@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving and checkpoint paths.
+ *
+ * A small catalog of *named fault points* sits on the failure-prone
+ * seams (checkpoint I/O, the render-service scheduler); each point is
+ * a call to fault::shouldFire() at the site where the real failure
+ * would surface. Tests and benches arm a point -- programmatically or
+ * via the INSTANT3D_FAULTS environment variable -- with a firing rule
+ * (always / the N-th hit / every N-th hit / seed-keyed probability),
+ * and the site then fails exactly as the real fault would: a short
+ * write, a failed fsync, a stalled scheduler. Firing is a pure
+ * function of (spec, per-point hit index), so a failing run replays
+ * bit-for-bit.
+ *
+ * Cost when disarmed: one relaxed atomic load per site. Compile with
+ * -DINSTANT3D_DISABLE_FAULT_INJECTION to turn every site into a
+ * constant-false no-op the optimizer deletes outright.
+ */
+
+#ifndef INSTANT3D_COMMON_FAULT_INJECTION_HH
+#define INSTANT3D_COMMON_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace instant3d {
+namespace fault {
+
+/** The fault-point catalog (see README "Failure semantics"). */
+enum class Point : uint8_t
+{
+    /** saveCheckpoint: an fwrite tears (prefix lands, call fails). */
+    CheckpointShortWrite = 0,
+    /** loadCheckpoint: an fread fails outright (transient EIO). */
+    CheckpointShortRead,
+    /** saveCheckpoint: the pre-publish fsync fails. */
+    CheckpointFsyncFail,
+    /** saveCheckpoint: the stored CRC word is corrupted (bit rot). */
+    CheckpointCrcFlip,
+    /** RenderService scheduler sleeps delayMs before each dispatch. */
+    SchedulerStall,
+    /** Each render chunk sleeps delayMs before rendering. */
+    ChunkRenderDelay,
+    Count
+};
+
+constexpr int numPoints = static_cast<int>(Point::Count);
+
+/** Stable name of a point ("checkpoint.short_write", ...). */
+const char *pointName(Point point);
+
+/** Reverse lookup; false when no point carries `name`. */
+bool pointFromName(const std::string &name, Point &point);
+
+/** When an armed point fires. */
+enum class Mode : uint8_t
+{
+    Off,         //!< Disarmed.
+    Never,       //!< Armed for counting only: hits recorded, no fires.
+    Always,      //!< Every hit fires.
+    OneShot,     //!< Fires exactly once, at 1-based hit index `n`.
+    EveryN,      //!< Fires on hits n, 2n, 3n, ...
+    Probability, //!< Hit h fires iff the (seed, point, h) draw < prob.
+};
+
+/** Firing rule for one point. */
+struct Spec
+{
+    Mode mode = Mode::Off;
+    uint64_t n = 0;           //!< OneShot hit index / EveryN period.
+    double probability = 0.0; //!< Probability mode only.
+    uint64_t seed = 0;        //!< Keys the Probability draws.
+    int delayMs = 0;          //!< Sleep for delay points (maybeDelay).
+};
+
+void arm(Point point, const Spec &spec);
+void disarm(Point point);
+void disarmAll();
+
+/**
+ * Hits (slow-path evaluations) and fires of a point. Hit counters
+ * only advance while at least one point is armed -- the disarmed fast
+ * path counts nothing.
+ */
+uint64_t hitCount(Point point);
+uint64_t fireCount(Point point);
+void resetCounts();
+
+/** Armed delayMs of a point (0 when disarmed or no delay set). */
+int armedDelayMs(Point point);
+
+/**
+ * Parse and arm a comma-separated config string (the INSTANT3D_FAULTS
+ * format, applied automatically at startup):
+ *
+ *   point=rule[,point=rule...]
+ *
+ * where rule is one of  always | never | hit:N | every:N |
+ * prob:P[:seed:S]  optionally suffixed with  :delay:MS .
+ * Example: "checkpoint.short_write=hit:3,scheduler.stall=always:delay:20"
+ * Unparseable entries are warned about and skipped; returns true when
+ * every entry parsed.
+ */
+bool armFromString(const std::string &config);
+
+namespace detail {
+extern std::atomic<uint32_t> armedMask;
+bool fireSlow(Point point);
+} // namespace detail
+
+/**
+ * The per-site check: does this hit of `point` fail? One relaxed
+ * atomic load when nothing is armed anywhere.
+ */
+inline bool
+shouldFire(Point point)
+{
+#ifdef INSTANT3D_DISABLE_FAULT_INJECTION
+    (void)point;
+    return false;
+#else
+    if (detail::armedMask.load(std::memory_order_relaxed) == 0)
+        return false;
+    return detail::fireSlow(point);
+#endif
+}
+
+/**
+ * shouldFire(), then sleep the point's armed delayMs when it fired.
+ * The convenience form for stall/delay points.
+ */
+bool maybeDelay(Point point);
+
+} // namespace fault
+} // namespace instant3d
+
+#endif // INSTANT3D_COMMON_FAULT_INJECTION_HH

@@ -8,15 +8,22 @@
  * skipping (and hence its rendered bits) exactly -- and reports its
  * wire size.
  *
- * Format (version 2): magic, version, field mode, per-group element
+ * Format (version 3): magic, version, field mode, per-group element
  * counts, occupancy presence + resolution, then raw little-endian
  * float32 parameters group by group, then (if present) the occupancy
- * grid's per-cell density estimates.
+ * grid's per-cell density estimates, then a CRC-32 over everything
+ * before it. Version-2 files (no CRC) remain readable.
+ *
+ * Crash safety: saves stream to `path + ".tmp"`, fsync, then publish
+ * by atomic rename, so the target path only ever holds the previous
+ * or the complete new checkpoint -- never a torn one.
  */
 
 #ifndef INSTANT3D_NERF_SERIALIZE_HH
 #define INSTANT3D_NERF_SERIALIZE_HH
 
+#include <cstdint>
+#include <ostream>
 #include <string>
 
 #include "nerf/field.hh"
@@ -25,34 +32,58 @@
 namespace instant3d {
 
 /**
- * Serialize all trainable parameters, plus the occupancy grid's cell
- * densities when `occ` is non-null. Returns false on I/O error.
+ * Why a checkpoint operation failed. Distinguishing transient I/O
+ * faults from structural mismatches lets callers (SceneRegistry) pick
+ * retry vs reject.
  */
-bool saveCheckpoint(NerfField &field, const OccupancyGrid *occ,
-                    const std::string &path);
+enum class CheckpointError : uint8_t
+{
+    None = 0,  //!< Success.
+    Io,        //!< open/read/write/fsync/rename failed (maybe transient).
+    Magic,     //!< Not a checkpoint file.
+    Version,   //!< Format version outside the readable range.
+    Shape,     //!< Mode/group/occupancy layout differs from the model.
+    Truncated, //!< File ends before the format says it should.
+    Crc,       //!< Stored CRC-32 does not match the payload.
+};
+
+/** Stable lower-case name of an error ("io", "crc", ...). */
+const char *checkpointErrorName(CheckpointError err);
+
+std::ostream &operator<<(std::ostream &os, CheckpointError err);
+
+/**
+ * Serialize all trainable parameters, plus the occupancy grid's cell
+ * densities when `occ` is non-null. The write is crash-safe: on any
+ * failure the temp file is removed and the target path is untouched.
+ */
+CheckpointError saveCheckpoint(NerfField &field, const OccupancyGrid *occ,
+                               const std::string &path);
 
 /**
  * Load a checkpoint into a field (and, if `occ` is non-null, an
- * occupancy grid) constructed with the *same* configuration. Returns
- * false on I/O error, bad magic/version, any group-shape mismatch, or
- * -- when `occ` is given -- a missing or resolution-mismatched
- * occupancy section; the field and grid are left unmodified in every
- * failure case. A checkpoint's occupancy section is skipped when `occ`
- * is null.
+ * occupancy grid) constructed with the *same* configuration. The field
+ * and grid are left unmodified in every failure case. A checkpoint's
+ * occupancy section is discarded when `occ` is null (a caller that
+ * passes an occupancy grid requires the file to carry one at the same
+ * resolution, since serving with a different skipping pattern would
+ * change rendered bits). Reads versions 2 (no CRC) and 3.
  */
-bool loadCheckpoint(NerfField &field, OccupancyGrid *occ,
-                    const std::string &path);
+CheckpointError loadCheckpoint(NerfField &field, OccupancyGrid *occ,
+                               const std::string &path);
 
 /** Serialize all trainable parameters (no occupancy section). */
-bool saveField(NerfField &field, const std::string &path);
+CheckpointError saveField(NerfField &field, const std::string &path);
 
 /** loadCheckpoint without an occupancy grid. */
-bool loadField(NerfField &field, const std::string &path);
+CheckpointError loadField(NerfField &field, const std::string &path);
 
 /** Header summary of a checkpoint file, for registry-side dispatch. */
 struct CheckpointInfo
 {
     bool valid = false;    //!< Magic/version recognized.
+    uint32_t version = 0;  //!< Format version of the file.
+    bool hasCrc = false;   //!< Version >= 3: payload is CRC-protected.
     bool decoupled = false;
     uint32_t numGroups = 0;
     bool hasOccupancy = false;

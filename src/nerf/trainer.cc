@@ -474,7 +474,7 @@ Trainer::syncParams()
     }
 }
 
-bool
+CheckpointError
 Trainer::saveCheckpoint(const std::string &path)
 {
     // The sparse lazy optimizer may defer updates to untouched grid

@@ -32,6 +32,7 @@
 #include "common/workspace.hh"
 #include "nerf/adam.hh"
 #include "nerf/renderer.hh"
+#include "nerf/serialize.hh"
 #include "scene/dataset.hh"
 
 namespace instant3d {
@@ -229,9 +230,10 @@ class Trainer
      * to snapshot a *training* model -- calling saveField() directly on
      * a live sparse-Adam trainer would bypass the settling step and
      * could observe parameters that still owe catch-up updates.
-     * Returns false on I/O error; never changes training results.
+     * Returns CheckpointError::None on success; never changes training
+     * results. The write is crash-safe (temp file + atomic rename).
      */
-    bool saveCheckpoint(const std::string &path);
+    CheckpointError saveCheckpoint(const std::string &path);
 
     /**
      * Entries currently in the sparse optimizers' sweep sets (all grid

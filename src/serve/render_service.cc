@@ -1,8 +1,10 @@
 #include "serve/render_service.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
+#include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -29,7 +31,19 @@ struct RenderService::Pending
     Camera camera;
     uint64_t cameraKey = 0;
     TileRect roi;
-    QualityTier tier = QualityTier::Full;
+    QualityTier tier = QualityTier::Full; //!< Requested tier.
+
+    /**
+     * Tier the request renders at. Set at admission (possibly degraded
+     * under queueMtx), optionally stepped down once more by the
+     * scheduler's deadline-risk check before any of the request's
+     * tiles dispatch; stable from then on. All writes are ordered
+     * before worker reads by the queue lock / pool handoff.
+     */
+    int servedTier = 0;
+    int minTier = 0; //!< Numeric max tier degradation may reach.
+    bool deadlineChecked = false; //!< Scheduler-only: risk check done.
+
     double submitT = 0.0;
     double deadlineMs = 0.0;
     std::atomic<double> firstDequeueT{0.0};
@@ -68,6 +82,12 @@ RenderService::RenderService(SceneRegistry &scene_registry,
     fatalIf(cfg.tilePixels < 1, "tilePixels must be positive");
     fatalIf(cfg.chunkRays < 1, "chunkRays must be positive");
     fatalIf(cfg.maxQueueTiles < 1, "maxQueueTiles must be positive");
+    fatalIf(cfg.maxQueueTilesDegraded != 0 &&
+                cfg.maxQueueTilesDegraded < cfg.maxQueueTiles,
+            "maxQueueTilesDegraded must be 0 (auto) or >= maxQueueTiles");
+    fatalIf(cfg.deadlineRiskFraction <= 0.0 ||
+                cfg.deadlineRiskFraction > 1.0,
+            "deadlineRiskFraction must be in (0, 1]");
     pool = std::make_unique<ThreadPool>(cfg.workers);
     workspaces.resize(pool->threadCount());
     scheduler = std::thread([this] { schedulerLoop(); });
@@ -101,7 +121,9 @@ RenderService::submit(const RenderRequest &request)
 
     if (request.camera.width < 1 || request.camera.height < 1 ||
         static_cast<int>(request.quality) < 0 ||
-        static_cast<int>(request.quality) >= numQualityTiers) {
+        static_cast<int>(request.quality) >= numQualityTiers ||
+        static_cast<int>(request.minQuality) < 0 ||
+        static_cast<int>(request.minQuality) >= numQualityTiers) {
         statBadRequest.fetch_add(1, std::memory_order_relaxed);
         completeNow(promise, RequestStatus::BadRequest, 0);
         return future;
@@ -154,6 +176,11 @@ RenderService::submit(const RenderRequest &request)
     req->cameraKey = spec.hashKey();
     req->roi = roi;
     req->tier = request.quality;
+    req->servedTier = static_cast<int>(request.quality);
+    // minQuality values *better* than the requested tier are clamped
+    // to it (a request cannot forbid the tier it asked for).
+    req->minTier = std::max(static_cast<int>(request.quality),
+                            static_cast<int>(request.minQuality));
     req->submitT = now();
     req->deadlineMs = request.deadlineMs;
     req->image = Image(roi.w, roi.h);
@@ -168,24 +195,58 @@ RenderService::submit(const RenderRequest &request)
             return future;
         }
         // Backpressure: bounded admission over *outstanding* tiles
-        // (queued + rendering), reject-with-retry-after.
-        if (outstandingTiles.load(std::memory_order_relaxed) +
-                tiles.size() >
-            static_cast<size_t>(cfg.maxQueueTiles)) {
-            statRejected.fetch_add(1, std::memory_order_relaxed);
-            completeNow(req->promise, RequestStatus::Rejected,
-                        cfg.retryAfterMs);
-            return future;
+        // (queued + rendering). Past maxQueueTiles the request is
+        // degraded one tier per full window of depth (when policy and
+        // the request's minQuality allow) or rejected with a
+        // load-proportional retry-after hint.
+        const size_t outstanding =
+            outstandingTiles.load(std::memory_order_relaxed);
+        const size_t depth = outstanding + tiles.size();
+        const size_t window = static_cast<size_t>(cfg.maxQueueTiles);
+        if (depth > window) {
+            bool admitted = false;
+            if (cfg.degradeUnderLoad) {
+                const size_t hard_cap =
+                    cfg.maxQueueTilesDegraded > 0
+                        ? static_cast<size_t>(cfg.maxQueueTilesDegraded)
+                        : 4 * window;
+                const int levels = static_cast<int>(std::min<size_t>(
+                    (depth - 1) / window, numQualityTiers - 1));
+                const int target = std::min(
+                    std::min(static_cast<int>(request.quality) + levels,
+                             numQualityTiers - 1),
+                    req->minTier);
+                if (depth <= hard_cap && target > req->servedTier) {
+                    req->servedTier = target;
+                    statAdmissionDegraded.fetch_add(
+                        1, std::memory_order_relaxed);
+                    admitted = true;
+                }
+            }
+            if (!admitted) {
+                const double scale =
+                    static_cast<double>(
+                        std::max(outstanding, window)) /
+                    static_cast<double>(window);
+                const int hint = std::max(
+                    1, static_cast<int>(
+                           std::ceil(cfg.retryAfterMs * scale)));
+                statRejected.fetch_add(1, std::memory_order_relaxed);
+                completeNow(req->promise, RequestStatus::Rejected,
+                            hint);
+                return future;
+            }
         }
         for (const auto &t : tiles)
             tileQueue.push_back({req, t});
-        uint64_t depth = outstandingTiles.fetch_add(
-                             tiles.size(), std::memory_order_relaxed) +
-                         tiles.size();
+        uint64_t new_depth =
+            outstandingTiles.fetch_add(tiles.size(),
+                                       std::memory_order_relaxed) +
+            tiles.size();
         uint64_t hw = statQueueHighwater.load(std::memory_order_relaxed);
-        while (depth > hw &&
+        while (new_depth > hw &&
                !statQueueHighwater.compare_exchange_weak(
-                   hw, depth, std::memory_order_relaxed)) {
+                   hw, new_depth, std::memory_order_relaxed)) {
         }
     }
     statAccepted.fetch_add(1, std::memory_order_relaxed);
@@ -233,6 +294,14 @@ RenderService::finishTile(const std::shared_ptr<Pending> &req,
     resp.queueMs =
         first > 0.0 ? (first - req->submitT) * 1e3 : 0.0;
     resp.totalMs = (t - req->submitT) * 1e3;
+    resp.servedQuality = static_cast<QualityTier>(req->servedTier);
+    resp.degradeLevels = req->servedTier - static_cast<int>(req->tier);
+    if (resp.status == RequestStatus::Ok) {
+        statServedTier[req->servedTier].fetch_add(
+            1, std::memory_order_relaxed);
+        if (resp.degradeLevels > 0)
+            statDegraded.fetch_add(1, std::memory_order_relaxed);
+    }
     if (resp.status == RequestStatus::DeadlineExceeded)
         statDeadline.fetch_add(1, std::memory_order_relaxed);
     statCompleted.fetch_add(1, std::memory_order_relaxed);
@@ -242,6 +311,10 @@ RenderService::finishTile(const std::shared_ptr<Pending> &req,
 void
 RenderService::renderChunk(const Chunk &chunk, int rank)
 {
+    // Armed in tests/benches to widen the in-flight window and make
+    // queue-depth scenarios reproducible on fast machines.
+    fault::maybeDelay(fault::Point::ChunkRenderDelay);
+
     Workspace &ws = workspaces[rank];
     ws.reset();
 
@@ -283,7 +356,8 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
             TileKey key{req->scene->id(), req->generation,
                         req->cameraKey, req->spec,
                         job.tile.x, job.tile.y, job.tile.w,
-                        job.tile.h, req->tier};
+                        job.tile.h,
+                        static_cast<QualityTier>(req->servedTier)};
             cache.insert(key, std::move(pixels));
         }
 
@@ -322,6 +396,10 @@ RenderService::schedulerLoop()
             return;
         }
 
+        // Armed in tests/benches to stall dispatch and let the
+        // admission queue build up deterministically.
+        fault::maybeDelay(fault::Point::SchedulerStall);
+
         const double t = now();
         std::vector<Chunk> chunks;
         // Open chunk per (scene, tier) coalescing key, so tiles from
@@ -344,11 +422,27 @@ RenderService::schedulerLoop()
                 finishTile(req, false, false);
                 continue;
             }
+            // Deadline-risk degradation, decided once per request at
+            // its first dequeue (all its tiles drain in one batch, so
+            // the tier is settled before any of them dispatch).
+            if (!req->deadlineChecked) {
+                req->deadlineChecked = true;
+                if (cfg.degradeUnderLoad && req->deadlineMs > 0.0 &&
+                    (t - req->submitT) * 1e3 >
+                        cfg.deadlineRiskFraction * req->deadlineMs &&
+                    req->servedTier < req->minTier) {
+                    req->servedTier++;
+                    statDeadlineDegraded.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            }
+            const QualityTier served =
+                static_cast<QualityTier>(req->servedTier);
 
             TileKey key{req->scene->id(), req->generation,
                         req->cameraKey, req->spec, job.tile.x,
                         job.tile.y, job.tile.w, job.tile.h,
-                        req->tier};
+                        served};
             std::vector<Vec3> pixels;
             if (cache.lookup(key, pixels)) {
                 for (int py = 0; py < job.tile.h; py++)
@@ -367,13 +461,13 @@ RenderService::schedulerLoop()
 
             const int tile_rays = job.tile.w * job.tile.h;
             auto ckey = std::make_pair(req->scene.get(),
-                                       static_cast<int>(req->tier));
+                                       req->servedTier);
             auto it = open.find(ckey);
             if (it == open.end() ||
                 chunks[it->second].rays + tile_rays > cfg.chunkRays) {
                 Chunk c;
                 c.scene = req->scene.get();
-                c.tier = req->tier;
+                c.tier = served;
                 open[ckey] = chunks.size();
                 chunks.push_back(std::move(c));
                 it = open.find(ckey);
@@ -428,6 +522,14 @@ RenderService::stats() const
         statCrossChunks.load(std::memory_order_relaxed);
     s.queueDepthHighwater =
         statQueueHighwater.load(std::memory_order_relaxed);
+    s.requestsDegraded = statDegraded.load(std::memory_order_relaxed);
+    s.admissionDegradations =
+        statAdmissionDegraded.load(std::memory_order_relaxed);
+    s.deadlineDegradations =
+        statDeadlineDegraded.load(std::memory_order_relaxed);
+    for (int t = 0; t < numQualityTiers; t++)
+        s.requestsServedPerTier[t] =
+            statServedTier[t].load(std::memory_order_relaxed);
     return s;
 }
 

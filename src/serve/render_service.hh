@@ -23,11 +23,17 @@
  *    same field and quantized camera.
  *  - Backpressure: when the admission queue holds more than
  *    maxQueueTiles tiles, submissions are rejected immediately with
- *    status Rejected and a retry-after hint, instead of growing the
- *    queue without bound.
+ *    status Rejected and a load-proportional retry-after hint, instead
+ *    of growing the queue without bound. With degradeUnderLoad, deep
+ *    queues instead *degrade*: the request is admitted at a lower
+ *    quality tier (one step per full maxQueueTiles of depth, never
+ *    below the request's minQuality) up to a hard tile ceiling.
  *  - Deadlines: a request whose deadline passes before its tiles are
  *    dequeued completes with DeadlineExceeded; remaining tiles are
- *    dropped (rendered ones stay in the partial image).
+ *    dropped (rendered ones stay in the partial image). With
+ *    degradeUnderLoad, a request that dequeues with most of its
+ *    deadline already spent queueing is first stepped down one tier
+ *    to improve its odds of finishing in time.
  */
 
 #ifndef INSTANT3D_SERVE_RENDER_SERVICE_HH
@@ -81,8 +87,37 @@ struct RenderServiceConfig
     /** LRU tile-cache capacity in tiles; 0 disables caching. */
     int cacheTiles = 0;
 
-    /** Retry-after hint (ms) attached to rejected requests. */
+    /**
+     * Base retry-after hint (ms) attached to rejected requests. The
+     * hint in the response is load-proportional: base scaled by
+     * outstanding tiles over maxQueueTiles (at least the base).
+     */
     int retryAfterMs = 5;
+
+    /**
+     * QoS degradation: when the admission queue is deep, serve
+     * requests at a lower quality tier (Full->Half->Preview, one step
+     * per full maxQueueTiles of depth, bounded by the request's
+     * minQuality) instead of rejecting them. Off by default -- the
+     * PR-5 reject-only behavior is unchanged unless opted in.
+     */
+    bool degradeUnderLoad = false;
+
+    /**
+     * Hard admission ceiling while degrading (outstanding tiles);
+     * beyond it requests are rejected even at the lowest tier.
+     * 0 = 4 * maxQueueTiles.
+     */
+    int maxQueueTilesDegraded = 0;
+
+    /**
+     * Deadline-risk degradation at dequeue: when a request's first
+     * tiles dequeue with more than this fraction of the deadline
+     * already spent queueing, the scheduler steps the request down one
+     * tier (within minQuality) to win back render time. Only active
+     * with degradeUnderLoad and a nonzero deadline.
+     */
+    double deadlineRiskFraction = 0.5;
 };
 
 /**
@@ -171,6 +206,9 @@ class RenderService
         statBadRequest{0}, statTilesRendered{0}, statTilesCached{0},
         statRays{0}, statChunks{0}, statCrossChunks{0},
         statQueueHighwater{0};
+    std::atomic<uint64_t> statDegraded{0}, statAdmissionDegraded{0},
+        statDeadlineDegraded{0},
+        statServedTier[numQualityTiers]{{0}, {0}, {0}};
 };
 
 } // namespace instant3d

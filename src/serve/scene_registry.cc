@@ -1,6 +1,8 @@
 #include "serve/scene_registry.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/logging.hh"
 #include "nerf/serialize.hh"
@@ -45,10 +47,23 @@ SceneRegistry::registerFromCheckpoint(const std::string &id,
         gen = nextGen++;
     }
     auto scene = std::make_shared<ServedScene>(id, gen, spec);
-    if (!loadCheckpoint(scene->field(), scene->occupancyForLoad(),
-                        path)) {
+
+    // Transient I/O errors (a loaded-down disk, an NFS hiccup) retry
+    // with exponential backoff; structural errors (wrong shape, CRC
+    // mismatch) are permanent and fail immediately.
+    CheckpointError err = CheckpointError::None;
+    for (int attempt = 0;; attempt++) {
+        err = loadCheckpoint(scene->field(), scene->occupancyForLoad(),
+                             path);
+        if (err != CheckpointError::Io || attempt >= spec.loadRetries)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            spec.loadRetryBackoffMs << attempt));
+    }
+    if (err != CheckpointError::None) {
         warn("SceneRegistry: could not load checkpoint '" + path +
-             "' for scene '" + id + "'");
+             "' for scene '" + id + "' (" +
+             checkpointErrorName(err) + ")");
         return 0;
     }
     return publish(id, std::move(scene));

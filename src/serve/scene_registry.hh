@@ -38,6 +38,15 @@ struct SceneSpec
     OccupancyGridConfig occupancy;
     uint64_t seed = 42;         //!< Field-construction seed (params are
                                 //!< overwritten by the checkpoint).
+
+    /**
+     * Extra load attempts after a *transient* checkpoint failure
+     * (CheckpointError::Io only -- structural errors like a shape or
+     * CRC mismatch never retry). Attempt k backs off
+     * loadRetryBackoffMs << k milliseconds first.
+     */
+    int loadRetries = 2;
+    int loadRetryBackoffMs = 2;
 };
 
 /**

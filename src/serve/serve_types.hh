@@ -133,6 +133,15 @@ struct RenderRequest
     QualityTier quality = QualityTier::Full;
 
     /**
+     * Worst tier the client will accept when the service degrades
+     * under load (see RenderServiceConfig::degradeUnderLoad). Must be
+     * `quality` or lower; Preview (the default) allows the full
+     * Full->Half->Preview ladder, while minQuality == quality opts the
+     * request out of degradation entirely (it is rejected instead).
+     */
+    QualityTier minQuality = QualityTier::Preview;
+
+    /**
      * Soft deadline in milliseconds from submission; 0 disables.
      * Checked when each tile is *dequeued*: tiles still queued past
      * the deadline are dropped and the request completes with
@@ -155,7 +164,22 @@ struct RenderResponse
     int tilesFromCache = 0; //!< Tiles served from the LRU tile cache.
     double queueMs = 0.0;   //!< Submission -> first tile dequeued.
     double totalMs = 0.0;   //!< Submission -> completion.
-    int retryAfterMs = 0;   //!< Backoff hint when status == Rejected.
+
+    /**
+     * Backoff hint when status == Rejected, scaled by the admission
+     * queue's current load (deeper queue -> longer hint).
+     */
+    int retryAfterMs = 0;
+
+    /**
+     * Tier the pixels were actually rendered at. Equals the requested
+     * tier unless QoS degradation stepped it down; the Full-tier
+     * bit-identity contract applies when servedQuality == Full.
+     */
+    QualityTier servedQuality = QualityTier::Full;
+
+    /** Tiers stepped down from the request (0 = served as asked). */
+    int degradeLevels = 0;
 };
 
 /** Cumulative service counters (RenderService::stats snapshot). */
@@ -175,6 +199,15 @@ struct ServeStats
     uint64_t crossRequestChunks = 0;
     /** Highest simultaneous tile-queue depth observed. */
     uint64_t queueDepthHighwater = 0;
+
+    /** Requests completed Ok at a tier below the one requested. */
+    uint64_t requestsDegraded = 0;
+    /** Tier step-downs decided at admission (deep queue). */
+    uint64_t admissionDegradations = 0;
+    /** Tier step-downs decided at dequeue (deadline at risk). */
+    uint64_t deadlineDegradations = 0;
+    /** Requests completed Ok, bucketed by the tier actually served. */
+    uint64_t requestsServedPerTier[numQualityTiers] = {0, 0, 0};
 };
 
 } // namespace instant3d

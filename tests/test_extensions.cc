@@ -214,10 +214,10 @@ TEST(SerializeTest, RoundTripsExactly)
 {
     NerfField field(tinyField(), 21);
     std::string path = ::testing::TempDir() + "/i3d_field.bin";
-    ASSERT_TRUE(saveField(field, path));
+    ASSERT_EQ(saveField(field, path), CheckpointError::None);
 
     NerfField loaded(tinyField(), 99); // different init
-    ASSERT_TRUE(loadField(loaded, path));
+    ASSERT_EQ(loadField(loaded, path), CheckpointError::None);
     for (auto gid : field.paramGroups()) {
         const auto &a = field.groupParams(gid);
         const auto &b = loaded.groupParams(gid);
@@ -232,7 +232,7 @@ TEST(SerializeTest, RejectsMismatchedArchitecture)
 {
     NerfField decoupled(tinyField(), 1);
     std::string path = ::testing::TempDir() + "/i3d_field2.bin";
-    ASSERT_TRUE(saveField(decoupled, path));
+    ASSERT_EQ(saveField(decoupled, path), CheckpointError::None);
 
     HashEncodingConfig grid;
     grid.numLevels = 4;
@@ -241,7 +241,7 @@ TEST(SerializeTest, RejectsMismatchedArchitecture)
     FieldConfig coupled_cfg = FieldConfig::ngpBaseline(grid);
     coupled_cfg.hiddenDim = 16;
     NerfField coupled(coupled_cfg, 1);
-    EXPECT_FALSE(loadField(coupled, path));
+    EXPECT_EQ(loadField(coupled, path), CheckpointError::Shape);
 
     // Same mode but different table size: also rejected.
     HashEncodingConfig other = grid;
@@ -249,7 +249,7 @@ TEST(SerializeTest, RejectsMismatchedArchitecture)
     FieldConfig small_cfg = FieldConfig::instant3dDefault(other);
     small_cfg.hiddenDim = 16;
     NerfField small(small_cfg, 1);
-    EXPECT_FALSE(loadField(small, path));
+    EXPECT_EQ(loadField(small, path), CheckpointError::Shape);
     std::remove(path.c_str());
 }
 
@@ -257,7 +257,7 @@ TEST(SerializeTest, FailureInjectionTruncatedFile)
 {
     NerfField field(tinyField(), 2);
     std::string path = ::testing::TempDir() + "/i3d_field3.bin";
-    ASSERT_TRUE(saveField(field, path));
+    ASSERT_EQ(saveField(field, path), CheckpointError::None);
 
     // Truncate the file and confirm the load fails without modifying
     // the destination field.
@@ -270,7 +270,7 @@ TEST(SerializeTest, FailureInjectionTruncatedFile)
 
     NerfField victim(tinyField(), 3);
     auto snapshot = victim.groupParams(ParamGroupId::DensityMlp);
-    EXPECT_FALSE(loadField(victim, path));
+    EXPECT_EQ(loadField(victim, path), CheckpointError::Truncated);
     const auto &after = victim.groupParams(ParamGroupId::DensityMlp);
     for (size_t i = 0; i < snapshot.size(); i++)
         ASSERT_FLOAT_EQ(snapshot[i], after[i]);
@@ -280,7 +280,8 @@ TEST(SerializeTest, FailureInjectionTruncatedFile)
 TEST(SerializeTest, MissingFileFailsGracefully)
 {
     NerfField field(tinyField(), 4);
-    EXPECT_FALSE(loadField(field, "/nonexistent/i3d.bin"));
+    EXPECT_EQ(loadField(field, "/nonexistent/i3d.bin"),
+              CheckpointError::Io);
 }
 
 TEST(SerializeTest, ModelSmallerThanImages)

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit coverage for the deterministic fault-injection layer: firing
+ * modes, hit/fire accounting, replay determinism of the seed-keyed
+ * probability mode, and the INSTANT3D_FAULTS config grammar.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fault_injection.hh"
+
+namespace instant3d {
+namespace {
+
+struct FaultGuard
+{
+    FaultGuard()
+    {
+        fault::disarmAll();
+        fault::resetCounts();
+    }
+    ~FaultGuard()
+    {
+        fault::disarmAll();
+        fault::resetCounts();
+    }
+};
+
+constexpr fault::Point kPoint = fault::Point::CheckpointShortWrite;
+constexpr fault::Point kOther = fault::Point::SchedulerStall;
+
+TEST(FaultInjectionTest, PointNamesRoundTrip)
+{
+    for (int i = 0; i < fault::numPoints; i++) {
+        auto p = static_cast<fault::Point>(i);
+        fault::Point back;
+        ASSERT_TRUE(fault::pointFromName(fault::pointName(p), back))
+            << fault::pointName(p);
+        EXPECT_EQ(back, p);
+    }
+    fault::Point dummy;
+    EXPECT_FALSE(fault::pointFromName("no.such.point", dummy));
+}
+
+TEST(FaultInjectionTest, DisarmedIsSilent)
+{
+    FaultGuard guard;
+    for (int i = 0; i < 100; i++)
+        EXPECT_FALSE(fault::shouldFire(kPoint));
+    // Fully disarmed: the fast path doesn't even count hits.
+    EXPECT_EQ(fault::hitCount(kPoint), 0u);
+    EXPECT_EQ(fault::fireCount(kPoint), 0u);
+}
+
+TEST(FaultInjectionTest, NeverModeCountsWithoutFiring)
+{
+    FaultGuard guard;
+    fault::Spec spec;
+    spec.mode = fault::Mode::Never;
+    fault::arm(kPoint, spec);
+    for (int i = 0; i < 10; i++)
+        EXPECT_FALSE(fault::shouldFire(kPoint));
+    EXPECT_EQ(fault::hitCount(kPoint), 10u);
+    EXPECT_EQ(fault::fireCount(kPoint), 0u);
+}
+
+TEST(FaultInjectionTest, OneShotFiresExactlyAtN)
+{
+    FaultGuard guard;
+    fault::Spec spec;
+    spec.mode = fault::Mode::OneShot;
+    spec.n = 4;
+    fault::arm(kPoint, spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 8; i++)
+        fired.push_back(fault::shouldFire(kPoint));
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true,
+                                        false, false, false, false}));
+    EXPECT_EQ(fault::fireCount(kPoint), 1u);
+}
+
+TEST(FaultInjectionTest, EveryNFiresPeriodically)
+{
+    FaultGuard guard;
+    fault::Spec spec;
+    spec.mode = fault::Mode::EveryN;
+    spec.n = 3;
+    fault::arm(kPoint, spec);
+    int fires = 0;
+    for (int i = 1; i <= 9; i++) {
+        bool f = fault::shouldFire(kPoint);
+        EXPECT_EQ(f, i % 3 == 0) << "hit " << i;
+        fires += f;
+    }
+    EXPECT_EQ(fires, 3);
+    EXPECT_EQ(fault::fireCount(kPoint), 3u);
+}
+
+TEST(FaultInjectionTest, ArmedPointsAreIndependent)
+{
+    FaultGuard guard;
+    fault::Spec spec;
+    spec.mode = fault::Mode::Always;
+    fault::arm(kPoint, spec);
+    EXPECT_TRUE(fault::shouldFire(kPoint));
+    // A different, disarmed point never fires (though its hits count
+    // while anything is armed).
+    EXPECT_FALSE(fault::shouldFire(kOther));
+    EXPECT_EQ(fault::hitCount(kOther), 1u);
+    EXPECT_EQ(fault::fireCount(kOther), 0u);
+
+    fault::disarm(kPoint);
+    EXPECT_FALSE(fault::shouldFire(kPoint));
+}
+
+TEST(FaultInjectionTest, ProbabilityModeReplaysBitForBit)
+{
+    FaultGuard guard;
+    fault::Spec spec;
+    spec.mode = fault::Mode::Probability;
+    spec.probability = 0.3;
+    spec.seed = 1234;
+    fault::arm(kPoint, spec);
+
+    std::vector<bool> run1;
+    for (int i = 0; i < 200; i++)
+        run1.push_back(fault::shouldFire(kPoint));
+
+    // Same seed, fresh counters: the identical firing sequence.
+    fault::resetCounts();
+    std::vector<bool> run2;
+    for (int i = 0; i < 200; i++)
+        run2.push_back(fault::shouldFire(kPoint));
+    EXPECT_EQ(run1, run2);
+
+    // The rate is in the right ballpark (very loose bounds).
+    int fires = 0;
+    for (bool f : run1)
+        fires += f;
+    EXPECT_GT(fires, 20);
+    EXPECT_LT(fires, 120);
+
+    // A different seed decorrelates the sequence.
+    spec.seed = 99;
+    fault::arm(kPoint, spec);
+    fault::resetCounts();
+    std::vector<bool> run3;
+    for (int i = 0; i < 200; i++)
+        run3.push_back(fault::shouldFire(kPoint));
+    EXPECT_NE(run1, run3);
+}
+
+TEST(FaultInjectionTest, MaybeDelayReportsFiring)
+{
+    FaultGuard guard;
+    EXPECT_FALSE(fault::maybeDelay(kOther));
+    fault::Spec spec;
+    spec.mode = fault::Mode::OneShot;
+    spec.n = 1;
+    spec.delayMs = 1;
+    fault::arm(kOther, spec);
+    EXPECT_TRUE(fault::maybeDelay(kOther));
+    EXPECT_FALSE(fault::maybeDelay(kOther));
+    EXPECT_EQ(fault::armedDelayMs(kOther), 1);
+    fault::disarm(kOther);
+    EXPECT_EQ(fault::armedDelayMs(kOther), 0);
+}
+
+TEST(FaultInjectionTest, ConfigStringGrammar)
+{
+    FaultGuard guard;
+    EXPECT_TRUE(fault::armFromString(
+        "checkpoint.short_write=hit:2,"
+        "scheduler.stall=always:delay:20,"
+        "checkpoint.crc_flip=prob:0.5:seed:7,"
+        "chunk.render_delay=every:4"));
+
+    EXPECT_FALSE(fault::shouldFire(kPoint));
+    EXPECT_TRUE(fault::shouldFire(kPoint)); // hit 2
+    EXPECT_EQ(fault::armedDelayMs(fault::Point::SchedulerStall), 20);
+    EXPECT_TRUE(fault::shouldFire(fault::Point::SchedulerStall));
+
+    // Unparseable entries are skipped without disturbing valid ones.
+    EXPECT_FALSE(fault::armFromString("scheduler.stall=banana"));
+    EXPECT_FALSE(fault::armFromString("no.such.point=always"));
+    EXPECT_FALSE(fault::armFromString("scheduler.stall=hit"));
+    EXPECT_FALSE(fault::armFromString("scheduler.stall=hit:3:delay"));
+    EXPECT_FALSE(fault::armFromString("garbage"));
+    EXPECT_TRUE(fault::shouldFire(fault::Point::SchedulerStall));
+}
+
+} // namespace
+} // namespace instant3d

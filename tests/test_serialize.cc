@@ -12,6 +12,7 @@
 #include <fstream>
 #include <vector>
 
+#include "common/fault_injection.hh"
 #include "nerf/serialize.hh"
 #include "nerf/trainer.hh"
 #include "scene/scene.hh"
@@ -110,12 +111,12 @@ TEST(SerializeTest, SaveLoadBitwiseRoundTrip)
     trainer.syncParams();
 
     const std::string path = "test_serialize_roundtrip.bin";
-    ASSERT_TRUE(saveField(trainer.field(), path));
+    ASSERT_EQ(saveField(trainer.field(), path), CheckpointError::None);
 
     // A fresh field with a different seed starts from different
     // weights; after loadField it must match the saved ones bitwise.
     NerfField loaded(tinyField(), /*seed=*/777);
-    ASSERT_TRUE(loadField(loaded, path));
+    ASSERT_EQ(loadField(loaded, path), CheckpointError::None);
     expectParamsEqual(loaded, snapshotParams(trainer.field()));
 
     EXPECT_EQ(fieldStorageBytes(loaded),
@@ -134,10 +135,12 @@ TEST(SerializeTest, OccupancyCheckpointRoundTrip)
         trainer.trainIteration();
 
     const std::string path = "test_serialize_occ.bin";
-    ASSERT_TRUE(trainer.saveCheckpoint(path));
+    ASSERT_EQ(trainer.saveCheckpoint(path), CheckpointError::None);
 
     CheckpointInfo info = peekCheckpoint(path);
     EXPECT_TRUE(info.valid);
+    EXPECT_EQ(info.version, 3u);
+    EXPECT_TRUE(info.hasCrc);
     EXPECT_TRUE(info.decoupled);
     EXPECT_TRUE(info.hasOccupancy);
     EXPECT_EQ(info.occResolution,
@@ -145,7 +148,7 @@ TEST(SerializeTest, OccupancyCheckpointRoundTrip)
 
     NerfField loaded(tinyField(), 777);
     OccupancyGrid grid(trainer.occupancyGrid()->config());
-    ASSERT_TRUE(loadCheckpoint(loaded, &grid, path));
+    ASSERT_EQ(loadCheckpoint(loaded, &grid, path), CheckpointError::None);
     expectParamsEqual(loaded, snapshotParams(trainer.field()));
     const OccupancyGrid *src = trainer.occupancyGrid();
     ASSERT_EQ(grid.numCells(), src->numCells());
@@ -159,7 +162,7 @@ TEST(SerializeTest, BadMagicRejectedFieldUntouched)
 {
     NerfField source(tinyField(), 1);
     const std::string path = "test_serialize_badmagic.bin";
-    ASSERT_TRUE(saveField(source, path));
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
 
     // Corrupt the magic word.
     {
@@ -171,7 +174,7 @@ TEST(SerializeTest, BadMagicRejectedFieldUntouched)
 
     NerfField dest(tinyField(), 2);
     auto before = snapshotParams(dest);
-    EXPECT_FALSE(loadField(dest, path));
+    EXPECT_EQ(loadField(dest, path), CheckpointError::Magic);
     expectParamsEqual(dest, before);
     EXPECT_FALSE(peekCheckpoint(path).valid);
     std::remove(path.c_str());
@@ -181,7 +184,7 @@ TEST(SerializeTest, TruncatedRejectedFieldUntouched)
 {
     NerfField source(tinyField(), 1);
     const std::string path = "test_serialize_full.bin";
-    ASSERT_TRUE(saveField(source, path));
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
     const size_t total = fileSize(path);
     ASSERT_GT(total, 64u);
 
@@ -193,7 +196,8 @@ TEST(SerializeTest, TruncatedRejectedFieldUntouched)
     const std::string cut = "test_serialize_truncated.bin";
     for (size_t bytes : {size_t{3}, size_t{24}, total / 2, total - 1}) {
         truncateFile(path, cut, bytes);
-        EXPECT_FALSE(loadField(dest, cut)) << "bytes=" << bytes;
+        EXPECT_EQ(loadField(dest, cut), CheckpointError::Truncated)
+            << "bytes=" << bytes;
         expectParamsEqual(dest, before);
     }
     std::remove(path.c_str());
@@ -204,7 +208,7 @@ TEST(SerializeTest, ShapeMismatchRejected)
 {
     NerfField source(tinyField(), 1);
     const std::string path = "test_serialize_shape.bin";
-    ASSERT_TRUE(saveField(source, path));
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
 
     // Same mode, different table size -> group-size mismatch.
     FieldConfig other = tinyField();
@@ -212,7 +216,7 @@ TEST(SerializeTest, ShapeMismatchRejected)
     other.colorGrid.log2TableSize = 8;
     NerfField dest(other, 2);
     auto before = snapshotParams(dest);
-    EXPECT_FALSE(loadField(dest, path));
+    EXPECT_EQ(loadField(dest, path), CheckpointError::Shape);
     expectParamsEqual(dest, before);
 
     // Mode mismatch (coupled vs decoupled).
@@ -226,7 +230,7 @@ TEST(SerializeTest, ShapeMismatchRejected)
     coupled.hiddenDim = 16;
     NerfField dest2(coupled, 3);
     auto before2 = snapshotParams(dest2);
-    EXPECT_FALSE(loadField(dest2, path));
+    EXPECT_EQ(loadField(dest2, path), CheckpointError::Shape);
     expectParamsEqual(dest2, before2);
     std::remove(path.c_str());
 }
@@ -235,14 +239,14 @@ TEST(SerializeTest, OccupancyExpectationMismatchRejected)
 {
     NerfField source(tinyField(), 1);
     const std::string path = "test_serialize_noocc.bin";
-    ASSERT_TRUE(saveField(source, path));
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
 
     // Caller expects a grid but the file has none.
     NerfField dest(tinyField(), 2);
     OccupancyGridConfig ocfg;
     OccupancyGrid grid(ocfg);
     auto before = snapshotParams(dest);
-    EXPECT_FALSE(loadCheckpoint(dest, &grid, path));
+    EXPECT_EQ(loadCheckpoint(dest, &grid, path), CheckpointError::Shape);
     expectParamsEqual(dest, before);
 
     // Resolution mismatch between file and destination grid.
@@ -257,12 +261,12 @@ TEST(SerializeTest, OccupancyExpectationMismatchRejected)
         c.resolution = 32;
         return c;
     }()};
-    ASSERT_TRUE(saveCheckpoint(source, &grid32, occ_path));
-    EXPECT_FALSE(loadCheckpoint(dest, &grid16, occ_path));
+    ASSERT_EQ(saveCheckpoint(source, &grid32, occ_path), CheckpointError::None);
+    EXPECT_EQ(loadCheckpoint(dest, &grid16, occ_path), CheckpointError::Shape);
     expectParamsEqual(dest, before);
 
     // A file *with* a grid loads fine when the caller ignores it.
-    EXPECT_TRUE(loadCheckpoint(dest, nullptr, occ_path));
+    ASSERT_EQ(loadCheckpoint(dest, nullptr, occ_path), CheckpointError::None);
     expectParamsEqual(dest, snapshotParams(source));
     std::remove(path.c_str());
     std::remove(occ_path.c_str());
@@ -290,12 +294,12 @@ TEST(SerializeTest, MidTrainingCheckpointSettledAndNonPerturbing)
     }
 
     const std::string path = "test_serialize_midtrain.bin";
-    ASSERT_TRUE(checkpointed.saveCheckpoint(path));
+    ASSERT_EQ(checkpointed.saveCheckpoint(path), CheckpointError::None);
 
     // The checkpoint equals the settled live state...
     NerfField loaded(tinyField(), 777);
     OccupancyGrid grid(checkpointed.occupancyGrid()->config());
-    ASSERT_TRUE(loadCheckpoint(loaded, &grid, path));
+    ASSERT_EQ(loadCheckpoint(loaded, &grid, path), CheckpointError::None);
     checkpointed.syncParams();
     expectParamsEqual(loaded, snapshotParams(checkpointed.field()));
 
@@ -324,6 +328,199 @@ TEST(SerializeTest, MidTrainingCheckpointSettledAndNonPerturbing)
         TrainStats b = reference.trainIteration();
         ASSERT_EQ(a.loss, b.loss) << "iteration " << i;
     }
+    std::remove(path.c_str());
+}
+
+// ---- Format v3: CRC, v2 compatibility, crash safety ----------------------
+
+/** Disarm + zero all fault points on entry and exit of a test. */
+struct FaultGuard
+{
+    FaultGuard()
+    {
+        fault::disarmAll();
+        fault::resetCounts();
+    }
+    ~FaultGuard()
+    {
+        fault::disarmAll();
+        fault::resetCounts();
+    }
+};
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+}
+
+/** Hand-write a version-2 (pre-CRC) checkpoint of `field`. */
+void
+writeV2Field(NerfField &field, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    auto groups = field.paramGroups();
+    uint32_t header[6] = {
+        0x49334446u, 2u,
+        static_cast<uint32_t>(field.mode() == FieldMode::Decoupled),
+        static_cast<uint32_t>(groups.size()), 0u, 0u};
+    ASSERT_EQ(std::fwrite(header, sizeof(header), 1, f), 1u);
+    for (auto gid : groups) {
+        const auto &p = field.groupParams(gid);
+        uint64_t n = p.size();
+        ASSERT_EQ(std::fwrite(&n, sizeof(n), 1, f), 1u);
+        ASSERT_EQ(std::fwrite(p.data(), sizeof(float), p.size(), f),
+                  p.size());
+    }
+    std::fclose(f);
+}
+
+TEST(SerializeTest, Version2CheckpointStillLoads)
+{
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_v2.bin";
+    writeV2Field(source, path);
+
+    CheckpointInfo info = peekCheckpoint(path);
+    EXPECT_TRUE(info.valid);
+    EXPECT_EQ(info.version, 2u);
+    EXPECT_FALSE(info.hasCrc);
+
+    NerfField loaded(tinyField(), 777);
+    ASSERT_EQ(loadField(loaded, path), CheckpointError::None);
+    expectParamsEqual(loaded, snapshotParams(source));
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptPayloadRejectedByCrc)
+{
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_bitrot.bin";
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
+
+    // Flip one payload byte: every structural check still passes (the
+    // shapes are intact), only the CRC can catch it.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekg(40);
+        char b = static_cast<char>(f.get());
+        f.seekp(40);
+        f.put(static_cast<char>(b ^ 0x01));
+    }
+
+    NerfField dest(tinyField(), 2);
+    auto before = snapshotParams(dest);
+    EXPECT_EQ(loadField(dest, path), CheckpointError::Crc);
+    expectParamsEqual(dest, before);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, InjectedCrcFlipRejectedOnLoad)
+{
+    FaultGuard guard;
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_crcflip.bin";
+
+    fault::Spec flip;
+    flip.mode = fault::Mode::Always;
+    fault::arm(fault::Point::CheckpointCrcFlip, flip);
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
+    EXPECT_EQ(fault::fireCount(fault::Point::CheckpointCrcFlip), 1u);
+    fault::disarmAll();
+
+    NerfField dest(tinyField(), 2);
+    auto before = snapshotParams(dest);
+    EXPECT_EQ(loadField(dest, path), CheckpointError::Crc);
+    expectParamsEqual(dest, before);
+    std::remove(path.c_str());
+}
+
+/**
+ * The acceptance-criteria crash test: kill the save at *every* write
+ * and at the fsync; the target path must hold the previous checkpoint
+ * bit-for-bit afterwards, with no temp file left behind.
+ */
+TEST(SerializeTest, KilledSaveNeverCorruptsTarget)
+{
+    FaultGuard guard;
+    NerfField previous(tinyField(), 1);
+    NerfField next(tinyField(), 2);
+    const std::string path = "test_serialize_crashsafe.bin";
+    const std::string tmp = path + ".tmp";
+
+    ASSERT_EQ(saveField(previous, path), CheckpointError::None);
+    const std::vector<char> golden = readAll(path);
+    ASSERT_FALSE(golden.empty());
+
+    // Count the save's write calls by arming the point in
+    // counting-only mode (hits recorded, nothing fires).
+    fault::Spec count_only;
+    count_only.mode = fault::Mode::Never;
+    fault::arm(fault::Point::CheckpointShortWrite, count_only);
+    ASSERT_EQ(saveField(previous, path), CheckpointError::None);
+    const uint64_t writes =
+        fault::hitCount(fault::Point::CheckpointShortWrite);
+    ASSERT_GE(writes, 4u); // header + >=1 group (2 writes) + CRC
+    ASSERT_EQ(readAll(path), golden);
+
+    // Tear write k, for every k.
+    for (uint64_t k = 1; k <= writes; k++) {
+        fault::resetCounts();
+        fault::Spec tear;
+        tear.mode = fault::Mode::OneShot;
+        tear.n = k;
+        fault::arm(fault::Point::CheckpointShortWrite, tear);
+        EXPECT_EQ(saveField(next, path), CheckpointError::Io)
+            << "write " << k;
+        EXPECT_EQ(readAll(path), golden) << "write " << k;
+        EXPECT_TRUE(readAll(tmp).empty())
+            << "temp file left after torn write " << k;
+    }
+
+    // Fail the pre-publish fsync.
+    fault::disarmAll();
+    fault::resetCounts();
+    fault::Spec sync_fail;
+    sync_fail.mode = fault::Mode::Always;
+    fault::arm(fault::Point::CheckpointFsyncFail, sync_fail);
+    EXPECT_EQ(saveField(next, path), CheckpointError::Io);
+    EXPECT_EQ(readAll(path), golden);
+    EXPECT_TRUE(readAll(tmp).empty());
+    fault::disarmAll();
+
+    // With faults gone the same save goes through and is loadable.
+    ASSERT_EQ(saveField(next, path), CheckpointError::None);
+    NerfField loaded(tinyField(), 777);
+    ASSERT_EQ(loadField(loaded, path), CheckpointError::None);
+    expectParamsEqual(loaded, snapshotParams(next));
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, InjectedShortReadReportsIo)
+{
+    FaultGuard guard;
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_shortread.bin";
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
+
+    fault::Spec fail_first;
+    fail_first.mode = fault::Mode::OneShot;
+    fail_first.n = 1;
+    fault::arm(fault::Point::CheckpointShortRead, fail_first);
+
+    NerfField dest(tinyField(), 2);
+    auto before = snapshotParams(dest);
+    EXPECT_EQ(loadField(dest, path), CheckpointError::Io);
+    expectParamsEqual(dest, before);
+    fault::disarmAll();
+
+    // Transient: the identical retry succeeds.
+    ASSERT_EQ(loadField(dest, path), CheckpointError::None);
+    expectParamsEqual(dest, snapshotParams(source));
     std::remove(path.c_str());
 }
 

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hh"
 #include "nerf/serialize.hh"
 #include "nerf/trainer.hh"
 #include "scene/scene.hh"
@@ -23,6 +24,29 @@
 
 namespace instant3d {
 namespace {
+
+/** Disarm + zero all fault points on entry and exit of a test. */
+struct FaultGuard
+{
+    FaultGuard()
+    {
+        fault::disarmAll();
+        fault::resetCounts();
+    }
+    ~FaultGuard()
+    {
+        fault::disarmAll();
+        fault::resetCounts();
+    }
+};
+
+/** Spin until `point` has been hit at least `hits` times. */
+void
+awaitHits(fault::Point point, uint64_t hits)
+{
+    while (fault::hitCount(point) < hits)
+        std::this_thread::yield();
+}
 
 Dataset
 tinyDataset(const std::string &scene_name)
@@ -390,7 +414,8 @@ TEST_F(ServeTest, CacheHitsAreBitExactAndInvalidateOnReregister)
 TEST_F(ServeTest, CheckpointRegistrationServesTrainerBits)
 {
     const std::string path = "test_serve_ckpt.bin";
-    ASSERT_TRUE(legoTrainer->saveCheckpoint(path));
+    ASSERT_EQ(legoTrainer->saveCheckpoint(path),
+              CheckpointError::None);
 
     SceneSpec spec;
     spec.field = legoTrainer->field().config();
@@ -483,7 +508,9 @@ TEST_F(ServeTest, BackpressureRejectsWithRetryAfter)
             ok++;
         } else {
             ASSERT_EQ(resp.status, RequestStatus::Rejected);
-            EXPECT_EQ(resp.retryAfterMs, 7);
+            // The hint is load-proportional: at least the base,
+            // growing with the queue depth at rejection time.
+            EXPECT_GE(resp.retryAfterMs, 7);
             rejected++;
         }
     }
@@ -568,6 +595,266 @@ TEST_F(ServeTest, RegistryKeepsOldGenerationAliveForReaders)
     EXPECT_TRUE(registry.unregister("lego"));
     EXPECT_EQ(registry.acquire("lego"), nullptr);
     EXPECT_FALSE(registry.unregister("lego"));
+}
+
+TEST_F(ServeTest, RegistryRetriesTransientLoadFailure)
+{
+    FaultGuard guard;
+    const std::string path = "test_serve_retry.bin";
+    ASSERT_EQ(legoTrainer->saveCheckpoint(path),
+              CheckpointError::None);
+
+    SceneSpec spec;
+    spec.field = legoTrainer->field().config();
+    spec.renderer = legoTrainer->renderer().config();
+    spec.useOccupancy = true;
+    spec.occupancy = legoTrainer->occupancyGrid()->config();
+    spec.loadRetryBackoffMs = 1;
+
+    SceneRegistry registry;
+
+    // A one-shot transient read failure: attempt 1 fails, the backoff
+    // retry loads clean.
+    fault::Spec fail_once;
+    fail_once.mode = fault::Mode::OneShot;
+    fail_once.n = 1;
+    fault::arm(fault::Point::CheckpointShortRead, fail_once);
+    EXPECT_GT(registry.registerFromCheckpoint("lego", spec, path), 0u);
+    EXPECT_EQ(fault::fireCount(fault::Point::CheckpointShortRead), 1u);
+
+    // Persistent I/O failure: every attempt dies on its first read;
+    // the budget (1 try + loadRetries) is spent, then the load fails.
+    fault::resetCounts();
+    fault::Spec fail_always;
+    fail_always.mode = fault::Mode::Always;
+    fault::arm(fault::Point::CheckpointShortRead, fail_always);
+    EXPECT_EQ(registry.registerFromCheckpoint("lego2", spec, path), 0u);
+    EXPECT_EQ(fault::hitCount(fault::Point::CheckpointShortRead),
+              1u + spec.loadRetries);
+    EXPECT_EQ(registry.acquire("lego2"), nullptr);
+
+    // Structural corruption is permanent -- exactly one attempt, no
+    // retry (the armed-but-never-firing point counts header reads).
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        std::fputc('X', f);
+        std::fclose(f);
+    }
+    fault::resetCounts();
+    fault::Spec count_only;
+    count_only.mode = fault::Mode::Never;
+    fault::arm(fault::Point::CheckpointShortRead, count_only);
+    EXPECT_EQ(registry.registerFromCheckpoint("lego3", spec, path), 0u);
+    EXPECT_EQ(fault::hitCount(fault::Point::CheckpointShortRead), 1u);
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, ShutdownResolvesQueuedAndInFlightFutures)
+{
+    FaultGuard guard;
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+
+    // Slow every chunk down so the scheduler is provably mid-dispatch
+    // when the service is destroyed, with later requests still queued.
+    fault::Spec slow;
+    slow.mode = fault::Mode::Always;
+    slow.delayMs = 50;
+    fault::arm(fault::Point::ChunkRenderDelay, slow);
+
+    std::vector<std::future<RenderResponse>> wave1, wave2;
+    {
+        RenderServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.tilePixels = 16;
+        RenderService service(registry, cfg);
+
+        RenderRequest req;
+        req.sceneId = "lego";
+        req.camera = latticeCamera();
+        req.roi = {0, 0, 16, 16};
+        for (int i = 0; i < 20; i++)
+            wave1.push_back(service.submit(req));
+
+        // Once a chunk is rendering, the scheduler is blocked inside
+        // its dispatch; everything submitted now stays queued until
+        // after the destructor has raised the stop flag.
+        awaitHits(fault::Point::ChunkRenderDelay, 1);
+        for (int i = 0; i < 10; i++)
+            wave2.push_back(service.submit(req));
+    } // ~RenderService: must resolve every future, never hang
+
+    int ok = 0, shutdown = 0;
+    for (auto &f : wave1) {
+        RequestStatus s = f.get().status;
+        ASSERT_TRUE(s == RequestStatus::Ok ||
+                    s == RequestStatus::Shutdown);
+        (s == RequestStatus::Ok ? ok : shutdown)++;
+    }
+    EXPECT_GT(ok, 0); // the in-flight chunk completed normally
+    for (auto &f : wave2)
+        EXPECT_EQ(f.get().status, RequestStatus::Shutdown);
+}
+
+TEST_F(ServeTest, DegradationServesInsteadOfRejecting)
+{
+    FaultGuard guard;
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tilePixels = 16;
+    cfg.maxQueueTiles = 4;
+    cfg.degradeUnderLoad = true;
+    RenderService service(registry, cfg);
+
+    CameraSpec spec = latticeCamera();
+    Image expect = legoTrainer->renderImage(spec.makeCamera());
+
+    // Stall the scheduler for one dispatch so the admission depths the
+    // fillers observe are an exact, machine-independent sequence.
+    fault::Spec stall;
+    stall.mode = fault::Mode::OneShot;
+    stall.n = 1;
+    stall.delayMs = 500;
+    fault::arm(fault::Point::SchedulerStall, stall);
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = spec;
+    req.roi = {0, 0, 16, 16};
+    auto trigger = service.submit(req); // depth 1: served Full
+    awaitHits(fault::Point::SchedulerStall, 1);
+
+    // Scheduler asleep, trigger tile outstanding: filler i sees depth
+    // 2+i. Window 4 => i 0-2 Full, 3-6 one step down, 7+ two steps.
+    std::vector<std::future<RenderResponse>> fillers;
+    for (int i = 0; i < 12; i++)
+        fillers.push_back(service.submit(req));
+
+    EXPECT_EQ(trigger.get().status, RequestStatus::Ok);
+    for (int i = 0; i < 12; i++) {
+        RenderResponse resp = fillers[i].get();
+        ASSERT_EQ(resp.status, RequestStatus::Ok) << "filler " << i;
+        QualityTier want = i < 3    ? QualityTier::Full
+                           : i < 7 ? QualityTier::Half
+                                   : QualityTier::Preview;
+        EXPECT_EQ(resp.servedQuality, want) << "filler " << i;
+        EXPECT_EQ(resp.degradeLevels, static_cast<int>(want))
+            << "filler " << i;
+        // Whenever Full is actually served, the bit-identity contract
+        // holds even under degradation pressure.
+        if (resp.servedQuality == QualityTier::Full)
+            for (int y = 0; y < 16; y++)
+                for (int x = 0; x < 16; x++) {
+                    ASSERT_EQ(resp.image.at(x, y).x,
+                              expect.at(x, y).x);
+                    ASSERT_EQ(resp.image.at(x, y).y,
+                              expect.at(x, y).y);
+                    ASSERT_EQ(resp.image.at(x, y).z,
+                              expect.at(x, y).z);
+                }
+    }
+
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.requestsRejected, 0u);
+    EXPECT_EQ(stats.requestsDegraded, 9u);
+    EXPECT_EQ(stats.admissionDegradations, 9u);
+    EXPECT_EQ(stats.deadlineDegradations, 0u);
+    EXPECT_EQ(stats.requestsServedPerTier[0], 4u); // trigger + 3
+    EXPECT_EQ(stats.requestsServedPerTier[1], 4u);
+    EXPECT_EQ(stats.requestsServedPerTier[2], 5u);
+}
+
+TEST_F(ServeTest, MinQualityBoundsDegradation)
+{
+    FaultGuard guard;
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tilePixels = 16;
+    cfg.maxQueueTiles = 4;
+    cfg.retryAfterMs = 7;
+    cfg.degradeUnderLoad = true;
+    RenderService service(registry, cfg);
+
+    fault::Spec stall;
+    stall.mode = fault::Mode::OneShot;
+    stall.n = 1;
+    stall.delayMs = 500;
+    fault::arm(fault::Point::SchedulerStall, stall);
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = latticeCamera();
+    req.roi = {0, 0, 16, 16};
+    std::vector<std::future<RenderResponse>> futures;
+    futures.push_back(service.submit(req)); // trigger
+    awaitHits(fault::Point::SchedulerStall, 1);
+    for (int i = 0; i < 9; i++)
+        futures.push_back(service.submit(req));
+    // 10 tiles outstanding now; both probes would degrade two tiers.
+
+    // minQuality == quality opts out of degradation -> Rejected, with
+    // the load-proportional hint: ceil(7 * 10/4) = 18.
+    RenderRequest strict = req;
+    strict.minQuality = QualityTier::Full;
+    RenderResponse a = service.render(strict);
+    EXPECT_EQ(a.status, RequestStatus::Rejected);
+    EXPECT_EQ(a.retryAfterMs, 18);
+
+    // minQuality Half caps the two-tier target at Half.
+    RenderRequest capped = req;
+    capped.minQuality = QualityTier::Half;
+    futures.push_back(service.submit(capped));
+    RenderResponse b = futures.back().get();
+    EXPECT_EQ(b.status, RequestStatus::Ok);
+    EXPECT_EQ(b.servedQuality, QualityTier::Half);
+    EXPECT_EQ(b.degradeLevels, 1);
+
+    for (size_t i = 0; i + 1 < futures.size(); i++)
+        EXPECT_EQ(futures[i].get().status, RequestStatus::Ok);
+    EXPECT_EQ(service.stats().requestsRejected, 1u);
+}
+
+TEST_F(ServeTest, DeadlineRiskDegradesOneTier)
+{
+    FaultGuard guard;
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.degradeUnderLoad = true;
+    cfg.deadlineRiskFraction = 0.5;
+    RenderService service(registry, cfg);
+
+    // The request dequeues with ~600 ms of its 1000 ms deadline spent
+    // queueing (past the 0.5 risk fraction, before expiry): the
+    // scheduler steps it down one tier to win back render time.
+    fault::Spec stall;
+    stall.mode = fault::Mode::OneShot;
+    stall.n = 1;
+    stall.delayMs = 600;
+    fault::arm(fault::Point::SchedulerStall, stall);
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = latticeCamera();
+    req.roi = {0, 0, 16, 16};
+    req.deadlineMs = 1000.0;
+    RenderResponse resp = service.render(req);
+    ASSERT_EQ(resp.status, RequestStatus::Ok);
+    EXPECT_EQ(resp.servedQuality, QualityTier::Half);
+    EXPECT_EQ(resp.degradeLevels, 1);
+
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.deadlineDegradations, 1u);
+    EXPECT_EQ(stats.admissionDegradations, 0u);
+    EXPECT_EQ(stats.requestsDegraded, 1u);
 }
 
 TEST(ServePoolTest, ConcurrentParallelForClientsSerialize)
