@@ -9,6 +9,13 @@
  * reporting throughput plus p50/p95/p99 latency per tier, cache and
  * backpressure counters.
  *
+ * A fleet mode then runs the same open-loop mix through a ShardRouter
+ * (4 shards x R=2): once unhedged and once hedged against an identical
+ * slow-replica stall schedule (per-tier latency with and without
+ * hedging), and once with a deterministic mid-run shard crash
+ * (availability under kill + failover counters). The `fleet` JSON
+ * block and the `fleet_kill_completion` speedup feed the smoke gate.
+ *
  * Usage: bench_serve [output.json] [open_loop_seconds]
  *
  * Emits BENCH_serve_latency.json (path = argv[1]).
@@ -30,6 +37,7 @@
 #include "nerf/trainer.hh"
 #include "serve/render_service.hh"
 #include "serve/scene_registry.hh"
+#include "serve/shard_router.hh"
 
 namespace instant3d {
 namespace {
@@ -347,6 +355,122 @@ main(int argc, char **argv)
                   static_cast<double>(degraded_submitted)
             : 0.0;
 
+    // ------------------------------------------------- fleet passes
+    // The same open-loop mix through a 4-shard x R=2 router, three
+    // times: unhedged and hedged against the same 5%-probability
+    // slow-replica stall spec (fixed seed -- the fault draws are a
+    // pure function of the per-point hit index), then unhedged with a
+    // deterministic mid-run shard crash to measure availability under
+    // kill and failover.
+    struct FleetPass
+    {
+        uint64_t submitted = 0, completed = 0, rejected = 0;
+        std::vector<double> tierMs[numQualityTiers];
+        FleetStats stats;
+    };
+    const double fleet_seconds = std::min(open_loop_seconds, 2.0);
+    const double fleet_rps = std::max(8.0, offered_rps);
+    constexpr int fleet_shards = 4, fleet_replication = 2;
+    constexpr int fleet_workers_per_shard = 2;
+
+    auto fleet_pass = [&](bool hedged, bool kill) {
+        FleetPass pass;
+        ShardRouterConfig fcfg;
+        fcfg.numShards = fleet_shards;
+        fcfg.replication = fleet_replication;
+        fcfg.routerThreads = 4;
+        fcfg.maxAttempts = 3;
+        fcfg.shard.workers = fleet_workers_per_shard;
+        fcfg.shard.tilePixels = tile;
+        fcfg.shard.chunkRays = 2048;
+        fcfg.shard.cacheTiles = 256;
+        fcfg.hedgeRequests = hedged;
+        // Above the typical render span, below the stall tail: hedges
+        // fire for stalled replicas, not for healthy ones.
+        fcfg.hedgeDelayMs = 120.0;
+        ShardRouter router(fcfg);
+        router.addScene("lego", *lego_trainer);
+        router.addScene("materials", *materials_trainer);
+
+        fault::disarmAll();
+        fault::resetCounts();
+        if (kill) {
+            fault::Spec crash;
+            crash.mode = fault::Mode::OneShot;
+            crash.n = 5; // the fifth dispatch crashes its shard
+            fault::arm(fault::Point::ShardCrash, crash);
+        } else {
+            fault::Spec stall;
+            stall.mode = fault::Mode::Probability;
+            stall.probability = 0.1;
+            stall.seed = 42;
+            stall.delayMs = 400; // the slow-replica tail to hedge away
+            fault::arm(fault::Point::ShardStall, stall);
+        }
+
+        struct Flight
+        {
+            std::future<RenderResponse> future;
+            int tier;
+        };
+        std::vector<Flight> flights;
+        flights.reserve(
+            static_cast<size_t>(fleet_rps * fleet_seconds) + 8);
+        Rng mix_rng(777);
+        auto start = std::chrono::steady_clock::now();
+        for (uint64_t i = 0;; i++) {
+            double due = static_cast<double>(i) / fleet_rps;
+            if (due > fleet_seconds)
+                break;
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(due));
+
+            RenderRequest req;
+            req.sceneId = mix_rng.nextU32(2) ? "materials" : "lego";
+            req.camera =
+                servingCamera(static_cast<int>(mix_rng.nextU32(8)),
+                              image_size);
+            int tier = static_cast<int>(mix_rng.nextU32(3));
+            req.quality = static_cast<QualityTier>(tier);
+            int size = sizes[mix_rng.nextU32(3)];
+            if (size < image_size) {
+                int off = static_cast<int>(
+                    mix_rng.nextU32(static_cast<uint32_t>(
+                        (image_size - size) / tile + 1))) * tile;
+                req.roi = {off, off, size, size};
+            }
+            flights.push_back({router.submit(req), tier});
+            pass.submitted++;
+        }
+        for (auto &fl : flights) {
+            RenderResponse resp = fl.future.get();
+            if (resp.status == RequestStatus::Ok) {
+                pass.completed++;
+                // totalMs is router-stamped: client-observed latency
+                // including queueing, retries, failover, hedging.
+                pass.tierMs[fl.tier].push_back(resp.totalMs);
+            } else if (resp.status == RequestStatus::Rejected) {
+                pass.rejected++;
+            }
+        }
+        for (auto &ms : pass.tierMs)
+            std::sort(ms.begin(), ms.end());
+        pass.stats = router.fleetStats();
+        fault::disarmAll();
+        return pass;
+    };
+
+    std::fprintf(stderr, "bench_serve: fleet passes...\n");
+    FleetPass fleet_unhedged = fleet_pass(false, false);
+    FleetPass fleet_hedged = fleet_pass(true, false);
+    FleetPass fleet_kill = fleet_pass(false, true);
+    fault::resetCounts();
+    double fleet_kill_completion =
+        fleet_kill.submitted
+            ? static_cast<double>(fleet_kill.completed) /
+                  static_cast<double>(fleet_kill.submitted)
+            : 0.0;
+
     // ------------------------------------------------------- report
     std::string json;
     char buf[2048];
@@ -444,6 +568,66 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(degraded_admissions),
         degraded_completion_rate);
     json += buf;
+
+    // Fleet block: per-tier latency with and without hedging over the
+    // same stall schedule, plus availability under the kill pass.
+    const char *tier_names[numQualityTiers] = {"full", "half",
+                                               "preview"};
+    auto fleet_block = [&](const char *name, const FleetPass &pass,
+                           bool last) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "    \"%s\": {\n"
+            "      \"submitted\": %llu,\n"
+            "      \"completed\": %llu,\n"
+            "      \"rejected\": %llu,\n"
+            "      \"failovers\": %llu,\n"
+            "      \"retries\": %llu,\n"
+            "      \"hedges_issued\": %llu,\n"
+            "      \"hedges_won\": %llu,\n"
+            "      \"shards_crashed\": %llu,\n"
+            "      \"latency_ms\": {\n",
+            name, static_cast<unsigned long long>(pass.submitted),
+            static_cast<unsigned long long>(pass.completed),
+            static_cast<unsigned long long>(pass.rejected),
+            static_cast<unsigned long long>(pass.stats.failovers),
+            static_cast<unsigned long long>(pass.stats.retries),
+            static_cast<unsigned long long>(pass.stats.hedgesIssued),
+            static_cast<unsigned long long>(pass.stats.hedgesWon),
+            static_cast<unsigned long long>(pass.stats.shardsCrashed));
+        json += buf;
+        for (int t = 0; t < numQualityTiers; t++) {
+            std::snprintf(
+                buf, sizeof(buf),
+                "        \"%s\": {\"count\": %zu, \"p50\": %.3f, "
+                "\"p95\": %.3f, \"p99\": %.3f}%s\n",
+                tier_names[t], pass.tierMs[t].size(),
+                percentile(pass.tierMs[t], 50),
+                percentile(pass.tierMs[t], 95),
+                percentile(pass.tierMs[t], 99),
+                t + 1 < numQualityTiers ? "," : "");
+            json += buf;
+        }
+        json += "      }\n";
+        json += last ? "    }\n" : "    },\n";
+    };
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"fleet\": {\n"
+        "    \"shards\": %d,\n"
+        "    \"replication\": %d,\n"
+        "    \"workers_per_shard\": %d,\n"
+        "    \"offered_rps\": %.2f,\n"
+        "    \"duration_s\": %.3f,\n"
+        "    \"kill_availability\": %.3f,\n",
+        fleet_shards, fleet_replication, fleet_workers_per_shard,
+        fleet_rps, fleet_seconds, fleet_kill_completion);
+    json += buf;
+    fleet_block("unhedged", fleet_unhedged, false);
+    fleet_block("hedged", fleet_hedged, false);
+    fleet_block("kill", fleet_kill, true);
+    json += "  },\n";
+
     json += "  \"fault_points\": {\n";
     for (int p = 0; p < fault::numPoints; p++) {
         auto point = static_cast<fault::Point>(p);
@@ -462,10 +646,12 @@ main(int argc, char **argv)
         "  },\n"
         "  \"speedups\": {\n"
         "    \"served_vs_renderImage_1t\": %.3f,\n"
-        "    \"overload_degraded_completion\": %.3f\n"
+        "    \"overload_degraded_completion\": %.3f,\n"
+        "    \"fleet_kill_completion\": %.3f\n"
         "  }\n"
         "}\n",
-        served_vs_render_image, degraded_completion_rate);
+        served_vs_render_image, degraded_completion_rate,
+        fleet_kill_completion);
     json += buf;
 
     std::fputs(json.c_str(), stdout);

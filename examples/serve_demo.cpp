@@ -4,9 +4,11 @@
  * SceneRegistry, fire a concurrent mixed request load (two scenes,
  * three quality tiers, full images and tiles) at a RenderService from
  * several client threads, then overload a degradation-enabled service
- * with a burst and show the served-tier histogram, round-trip a scene
- * through a crash-safe checkpoint (including the typed error a corrupt
- * file produces), and print the service + cache stats block.
+ * with a burst and show the served-tier histogram, run a sharded fleet
+ * (4 shards x R=2) through a mid-load shard crash to show failover and
+ * breaker counters, round-trip a scene through a crash-safe checkpoint
+ * (including the typed error a corrupt file produces), and print the
+ * service + cache stats block.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -19,11 +21,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hh"
 #include "nerf/serialize.hh"
 #include "nerf/trainer.hh"
 #include "scene/scene.hh"
 #include "serve/render_service.hh"
 #include "serve/scene_registry.hh"
+#include "serve/shard_router.hh"
 
 using namespace instant3d;
 
@@ -184,7 +188,86 @@ main(int argc, char **argv)
                         os.deadlineDegradations));
     }
 
-    // 4. Crash-safe checkpoint round trip: save (atomic tmp+rename,
+    // 4. Fault-tolerant fleet: both scenes placed on 2 of 4 shards by
+    //    rendezvous hashing, a mixed load in flight, and one shard
+    //    crashed mid-run via the deterministic `shard.crash` fault
+    //    point. Every request is expected to complete by failing over
+    //    to the surviving replica.
+    std::printf("--- sharded fleet (kill one shard mid-load) ---\n");
+    {
+        ShardRouterConfig rcfg;
+        rcfg.numShards = 4;
+        rcfg.replication = 2;
+        rcfg.routerThreads = 4;
+        rcfg.shard.workers = 2;
+        rcfg.shard.tilePixels = 16;
+        rcfg.shard.chunkRays = 2048;
+        rcfg.shard.cacheTiles = 128;
+        ShardRouter router(rcfg);
+        router.addScene("lego", *lego_trainer);
+        router.addScene("materials", *materials_trainer);
+        for (const char *id : {"lego", "materials"}) {
+            std::printf("scene %-9s -> shards [", id);
+            bool first = true;
+            for (int s : router.placement(id)) {
+                std::printf("%s%d", first ? "" : ", ", s);
+                first = false;
+            }
+            std::printf("]\n");
+        }
+
+        // The eighth router->shard dispatch crashes its shard.
+        fault::Spec crash;
+        crash.mode = fault::Mode::OneShot;
+        crash.n = 8;
+        fault::arm(fault::Point::ShardCrash, crash);
+
+        std::vector<std::future<RenderResponse>> flights;
+        for (int i = 0; i < 32; i++) {
+            RenderRequest req;
+            req.sceneId = i % 2 ? "materials" : "lego";
+            req.camera = demoCamera(i);
+            req.quality = static_cast<QualityTier>(i % 3);
+            flights.push_back(router.submit(req));
+        }
+        int fleet_status[4] = {0, 0, 0, 0}; // ok/rejected/deadline/other
+        for (auto &f : flights) {
+            switch (f.get().status) {
+            case RequestStatus::Ok: fleet_status[0]++; break;
+            case RequestStatus::Rejected: fleet_status[1]++; break;
+            case RequestStatus::DeadlineExceeded:
+                fleet_status[2]++;
+                break;
+            default: fleet_status[3]++; break;
+            }
+        }
+        fault::disarmAll();
+
+        std::printf("completed: %d ok, %d rejected, %d expired, "
+                    "%d other (of %d)\n",
+                    fleet_status[0], fleet_status[1], fleet_status[2],
+                    fleet_status[3], 32);
+        FleetStats fs = router.fleetStats();
+        std::printf("fleet: %llu routed, %llu failovers, "
+                    "%llu retries, %llu crashed, %llu hedges\n",
+                    static_cast<unsigned long long>(fs.requestsRouted),
+                    static_cast<unsigned long long>(fs.failovers),
+                    static_cast<unsigned long long>(fs.retries),
+                    static_cast<unsigned long long>(fs.shardsCrashed),
+                    static_cast<unsigned long long>(fs.hedgesIssued));
+        for (size_t s = 0; s < fs.shards.size(); s++) {
+            const ShardStats &ss = fs.shards[s];
+            std::printf("shard %zu: %-5s breaker=%-9s scenes=%zu "
+                        "dispatched=%llu served=%llu failed=%llu\n",
+                        s, ss.alive ? "alive" : "dead",
+                        breakerStateName(ss.breaker), ss.scenes,
+                        static_cast<unsigned long long>(ss.dispatched),
+                        static_cast<unsigned long long>(ss.served),
+                        static_cast<unsigned long long>(ss.failed));
+        }
+    }
+
+    // 5. Crash-safe checkpoint round trip: save (atomic tmp+rename,
     //    CRC-sealed), republish through the registry, and show the
     //    typed error a truncated copy produces.
     std::printf("--- checkpoint round trip ---\n");
@@ -221,7 +304,7 @@ main(int argc, char **argv)
         std::remove(ckpt.c_str());
     }
 
-    // 5. The stats block.
+    // 6. The stats block.
     ServeStats s = service.stats();
     TileCache::Stats cs = service.cacheStats();
     std::printf("--- service stats ---\n");

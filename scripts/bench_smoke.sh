@@ -91,3 +91,18 @@ awk -v s="$degraded" 'BEGIN {
     print "bench_smoke: overload_degraded_completion=" s " (>= 0.9 ok)"
 }'
 sed -n '/"overload_degraded"/,/^  },/p' BENCH_serve_latency.json
+
+# Regression gate: the sharded fleet must complete at least 90% of the
+# open-loop requests while a deterministic fault schedule crashes one
+# of its shards mid-run (measured 1.0 on the CI container -- with R=2
+# and failover every request survives a single shard loss).
+fleet=$(grep -o '"fleet_kill_completion": [0-9.]*' \
+            BENCH_serve_latency.json | awk '{print $2}')
+awk -v s="$fleet" 'BEGIN {
+    if (s == "" || s + 0 < 0.9) {
+        print "bench_smoke: FAIL fleet_kill_completion=" s " < 0.9"
+        exit 1
+    }
+    print "bench_smoke: fleet_kill_completion=" s " (>= 0.9 ok)"
+}'
+sed -n '/"fleet"/,/^  },/p' BENCH_serve_latency.json

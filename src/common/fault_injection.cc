@@ -45,6 +45,8 @@ const char *const pointNames[numPoints] = {
     "checkpoint.short_write", "checkpoint.short_read",
     "checkpoint.fsync_fail",  "checkpoint.crc_flip",
     "scheduler.stall",        "chunk.render_delay",
+    "shard.fail",             "shard.stall",
+    "shard.crash",
 };
 
 } // namespace

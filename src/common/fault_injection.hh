@@ -43,6 +43,16 @@ enum class Point : uint8_t
     SchedulerStall,
     /** Each render chunk sleeps delayMs before rendering. */
     ChunkRenderDelay,
+    /** ShardRouter dispatch: the chosen shard fails the request. */
+    ShardFail,
+    /**
+     * ShardRouter dispatch: the chosen shard's response is delayed
+     * delayMs (the request renders, but the router does not see the
+     * result before then -- a slow replica, not a dead one).
+     */
+    ShardStall,
+    /** ShardRouter dispatch: the chosen shard crashes (stops dead). */
+    ShardCrash,
     Count
 };
 

@@ -95,12 +95,21 @@ RenderService::RenderService(SceneRegistry &scene_registry,
 
 RenderService::~RenderService()
 {
+    stop();
+}
+
+void
+RenderService::stop()
+{
+    std::lock_guard<std::mutex> stop_lock(stopMtx);
     {
         std::lock_guard<std::mutex> lock(queueMtx);
         stopping = true;
     }
     queueCv.notify_all();
-    scheduler.join();
+    if (scheduler.joinable())
+        scheduler.join();
+    stoppedFlag.store(true, std::memory_order_release);
 }
 
 void

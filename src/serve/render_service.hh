@@ -149,6 +149,30 @@ class RenderService
     /** Eagerly drop a scene's cached tiles (any generation). */
     void invalidateScene(const std::string &scene_id);
 
+    /**
+     * Quiesce the service without destroying it: stop admitting
+     * requests and join the scheduler. Requests still queued when the
+     * stop lands resolve RequestStatus::Shutdown (exactly as the
+     * destructor always did -- the destructor is now a caller of this);
+     * the in-flight chunk renders to completion first. Idempotent and
+     * safe to call from any thread; submissions after (or racing) a
+     * stop answer Shutdown. A stopped service stays queryable (stats,
+     * cacheStats) so a router can retire a shard and still report it.
+     */
+    void stop();
+
+    /** True once stop() has completed (the scheduler has exited). */
+    bool stopped() const
+    { return stoppedFlag.load(std::memory_order_acquire); }
+
+    /**
+     * Tiles admitted but not yet retired (queued or rendering). Zero
+     * means the service is idle: a drain can wait on this after
+     * cutting off new admissions.
+     */
+    size_t outstandingTileCount() const
+    { return outstandingTiles.load(std::memory_order_acquire); }
+
     ServeStats stats() const;
     TileCache::Stats cacheStats() const { return cache.stats(); }
     int workerCount() const { return pool->threadCount(); }
@@ -196,6 +220,8 @@ class RenderService
     std::atomic<size_t> outstandingTiles{0};
     bool stopping = false;
     std::thread scheduler;
+    std::mutex stopMtx; //!< Serializes stop() callers (join is once).
+    std::atomic<bool> stoppedFlag{false};
 
     std::atomic<uint64_t> nextRequestId{1};
 

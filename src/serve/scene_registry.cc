@@ -104,10 +104,22 @@ SceneRegistry::registerFromTrainer(const std::string &id,
 }
 
 uint64_t
+SceneRegistry::publishShared(const std::string &id, ServedScenePtr scene)
+{
+    if (!scene)
+        return 0;
+    return publish(id, std::move(scene));
+}
+
+uint64_t
 SceneRegistry::publish(const std::string &id, ServedScenePtr scene)
 {
     uint64_t gen = scene->generation();
     std::lock_guard<std::mutex> lock(mtx);
+    // Externally-built generations (publishShared) must not collide
+    // with ones this registry mints later.
+    if (gen >= nextGen)
+        nextGen = gen + 1;
     // Generations must only move forward: if a concurrent registration
     // of the same id already published a newer scene while this one
     // was still loading, keep the newer one and report supersession.

@@ -124,6 +124,19 @@ class SceneRegistry
     uint64_t registerFromTrainer(const std::string &id,
                                  Trainer &trainer);
 
+    /**
+     * Publish an already-built scene under `id`, *sharing* the model:
+     * the registry holds another reference to the same ServedScene,
+     * not a copy. This is the fleet-replication seam -- a ShardRouter
+     * places one canonical scene on R shard registries, so every
+     * replica serves bit-identical pixels by construction and
+     * re-placement during drain or crash recovery is a pointer insert,
+     * not a model reload. Carries the scene's own generation; returns
+     * 0 (and keeps the incumbent) if a newer generation of `id` is
+     * already published here.
+     */
+    uint64_t publishShared(const std::string &id, ServedScenePtr scene);
+
     /** Ref-counted read access; nullptr when `id` is not registered. */
     ServedScenePtr acquire(const std::string &id) const;
 

@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/vec3.hh"
 #include "scene/camera.hh"
@@ -208,6 +209,80 @@ struct ServeStats
     uint64_t deadlineDegradations = 0;
     /** Requests completed Ok, bucketed by the tier actually served. */
     uint64_t requestsServedPerTier[numQualityTiers] = {0, 0, 0};
+};
+
+// ------------------------------------------------------------- fleet
+
+/**
+ * Typed outcome of one router->shard dispatch attempt. Ok resets a
+ * shard's consecutive-failure count; Failed/Timeout/Crashed advance it
+ * (and can open the circuit breaker); Rejected is backpressure from a
+ * healthy shard -- it triggers failover but never trips the breaker.
+ */
+enum class ShardOutcome : uint8_t
+{
+    Ok = 0,
+    Rejected, //!< Shard admission queue full (healthy but busy).
+    Timeout,  //!< No response within the per-attempt shard timeout.
+    Failed,   //!< Dispatch failed (shard error / draining / dead).
+    Crashed,  //!< Shard stopped while the request was on it.
+};
+
+/**
+ * Circuit-breaker state of one shard. Closed admits traffic; Open
+ * (entered after breakerFailureThreshold consecutive failures or
+ * timeouts) skips the shard until breakerOpenMs elapse; HalfOpen then
+ * admits exactly one probe request -- success closes the breaker,
+ * failure reopens it.
+ */
+enum class BreakerState : uint8_t
+{
+    Closed = 0,
+    Open,
+    HalfOpen,
+};
+
+inline const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+    }
+    return "invalid";
+}
+
+/** Per-shard slice of a FleetStats snapshot. */
+struct ShardStats
+{
+    bool alive = true;     //!< False once crashed or fully drained.
+    bool draining = false; //!< Drain in progress (no new admissions).
+    BreakerState breaker = BreakerState::Closed;
+    size_t scenes = 0;     //!< Scenes currently placed on this shard.
+    uint64_t dispatched = 0; //!< Requests the router sent here.
+    uint64_t served = 0;     //!< ... that completed Ok.
+    uint64_t failed = 0;     //!< Failed or crashed outcomes.
+    uint64_t rejected = 0;   //!< Backpressure rejections.
+    uint64_t timeouts = 0;   //!< Per-attempt timeouts.
+    uint64_t breakerOpens = 0;     //!< Closed/HalfOpen -> Open.
+    uint64_t breakerHalfOpens = 0; //!< Open -> HalfOpen.
+    uint64_t breakerCloses = 0;    //!< HalfOpen -> Closed.
+};
+
+/** Cumulative fleet counters (ShardRouter::fleetStats snapshot). */
+struct FleetStats
+{
+    uint64_t requestsRouted = 0;  //!< Requests entering the router.
+    uint64_t failovers = 0;       //!< Re-dispatches to another replica.
+    uint64_t retries = 0;         //!< Re-dispatches of any kind.
+    uint64_t hedgesIssued = 0;    //!< Second replicas dispatched.
+    uint64_t hedgesWon = 0;       //!< Hedge responses that won the race.
+    uint64_t shardsCrashed = 0;
+    uint64_t shardsDrained = 0;
+    /** Requests answered Rejected because no live replica was usable. */
+    uint64_t noReplicaAvailable = 0;
+    std::vector<ShardStats> shards;
 };
 
 } // namespace instant3d

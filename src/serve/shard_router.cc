@@ -1,0 +1,751 @@
+#include "serve/shard_router.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/fault_injection.hh"
+#include "common/stats.hh"
+
+namespace instant3d {
+
+namespace {
+
+/** FNV-1a over (scene id, shard index): the rendezvous weight. */
+uint64_t
+rendezvousWeight(const std::string &id, int s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : id) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ULL;
+    }
+    h ^= static_cast<uint64_t>(s) + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+    return h;
+}
+
+constexpr auto pollInterval = std::chrono::microseconds(300);
+
+} // namespace
+
+/**
+ * One failure domain: a private registry + service, plus the health
+ * state the router tracks about it. `mtx` guards the mutable health
+ * fields *and* serializes the submit handoff against drain/crash flag
+ * flips (so a drain that has set `draining` is guaranteed no further
+ * admissions). Lock order: placementMtx may be held while taking a
+ * shard mtx, never the reverse; two shard mutexes are never held at
+ * once.
+ */
+struct ShardRouter::Shard
+{
+    SceneRegistry registry;
+    std::unique_ptr<RenderService> service;
+
+    mutable std::mutex mtx;
+    bool alive = true;
+    bool draining = false;
+    BreakerState breaker = BreakerState::Closed;
+    int consecutiveFailures = 0;
+    double openedAt = 0.0;    //!< When the breaker last opened.
+    bool probeInFlight = false;
+
+    std::atomic<uint64_t> nDispatched{0}, nServed{0}, nFailed{0},
+        nRejected{0}, nTimeouts{0}, nBreakerOpens{0},
+        nBreakerHalfOpens{0}, nBreakerCloses{0};
+};
+
+/** One routed request waiting for a dispatcher. */
+struct ShardRouter::Job
+{
+    std::promise<RenderResponse> promise;
+    RenderRequest request;
+    double submitT = 0.0;
+};
+
+/**
+ * One router->shard dispatch. Either a live future from the shard's
+ * service, or an immediately-faulted outcome (fault injection or a
+ * dead/draining shard caught at handoff). `readyAfter` is the
+ * shard.stall mask: the response is not *observable* before that
+ * instant even if the future resolves earlier -- modeling a slow
+ * replica without blocking a dispatcher thread in a sleep.
+ */
+struct ShardRouter::Dispatch
+{
+    int shard = -1;
+    bool issued = false;
+    std::future<RenderResponse> fut;
+    double readyAfter = 0.0;
+    ShardOutcome fault = ShardOutcome::Ok; //!< Valid when !issued.
+    bool hedge = false;
+    double startT = 0.0;
+};
+
+ShardRouter::ShardRouter(const ShardRouterConfig &router_config)
+    : cfg(router_config)
+{
+    // The tried-set is a uint32_t bitmask, hence the 32-shard ceiling.
+    cfg.numShards = std::min(32, std::max(1, cfg.numShards));
+    cfg.replication = std::min(cfg.numShards,
+                               std::max(1, cfg.replication));
+    cfg.routerThreads = std::max(1, cfg.routerThreads);
+    cfg.maxAttempts = std::max(1, cfg.maxAttempts);
+    cfg.retryBackoffMs = std::max(0, cfg.retryBackoffMs);
+    cfg.shardTimeoutMs = std::max(0.0, cfg.shardTimeoutMs);
+    cfg.hedgeDelayMs = std::max(0.0, cfg.hedgeDelayMs);
+    cfg.breakerFailureThreshold =
+        std::max(1, cfg.breakerFailureThreshold);
+    cfg.breakerOpenMs = std::max(0.0, cfg.breakerOpenMs);
+
+    shards.reserve(static_cast<size_t>(cfg.numShards));
+    for (int s = 0; s < cfg.numShards; s++) {
+        auto shard = std::make_unique<Shard>();
+        shard->service = std::make_unique<RenderService>(
+            shard->registry, cfg.shard);
+        shards.push_back(std::move(shard));
+    }
+
+    dispatchers.reserve(static_cast<size_t>(cfg.routerThreads));
+    for (int t = 0; t < cfg.routerThreads; t++)
+        dispatchers.emplace_back([this] { dispatcherLoop(); });
+}
+
+ShardRouter::~ShardRouter()
+{
+    stopping.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(jobMtx);
+        jobStopping = true;
+    }
+    jobCv.notify_all();
+    for (auto &t : dispatchers)
+        t.join();
+    // Dispatchers drain the queue (routeOne answers Shutdown once
+    // `stopping` is set); anything left never reached a dispatcher.
+    for (auto &job : jobs) {
+        RenderResponse resp;
+        resp.status = RequestStatus::Shutdown;
+        job->promise.set_value(std::move(resp));
+    }
+    // Shard services stop in their destructors (queued shard requests
+    // resolve Shutdown; no router-side future is still waiting).
+}
+
+// ----------------------------------------------------------- scenes
+
+uint64_t
+ShardRouter::addScene(const std::string &id, Trainer &trainer)
+{
+    uint64_t gen = master.registerFromTrainer(id, trainer);
+    if (gen == 0)
+        return 0;
+    seedPlacement(id);
+    return gen;
+}
+
+uint64_t
+ShardRouter::addSceneFromCheckpoint(const std::string &id,
+                                    const SceneSpec &spec,
+                                    const std::string &path)
+{
+    uint64_t gen = master.registerFromCheckpoint(id, spec, path);
+    if (gen == 0)
+        return 0;
+    seedPlacement(id);
+    return gen;
+}
+
+std::vector<int>
+ShardRouter::rendezvousOrder(const std::string &id) const
+{
+    std::vector<int> order(shards.size());
+    for (size_t s = 0; s < shards.size(); s++)
+        order[s] = static_cast<int>(s);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        uint64_t wa = rendezvousWeight(id, a);
+        uint64_t wb = rendezvousWeight(id, b);
+        return wa != wb ? wa > wb : a < b;
+    });
+    return order;
+}
+
+void
+ShardRouter::seedPlacement(const std::string &id)
+{
+    ServedScenePtr scene = master.acquire(id);
+    if (!scene)
+        return;
+    std::vector<int> order = rendezvousOrder(id);
+
+    std::lock_guard<std::mutex> place_lock(placementMtx);
+    std::vector<int> placed;
+    for (int s : order) {
+        if (static_cast<int>(placed.size()) >= cfg.replication)
+            break;
+        Shard &shard = *shards[static_cast<size_t>(s)];
+        {
+            std::lock_guard<std::mutex> lock(shard.mtx);
+            if (!shard.alive || shard.draining)
+                continue;
+        }
+        shard.registry.publishShared(id, scene);
+        placed.push_back(s);
+    }
+    placements[id] = std::move(placed);
+}
+
+std::vector<int>
+ShardRouter::placementSnapshot(const std::string &id) const
+{
+    std::lock_guard<std::mutex> lock(placementMtx);
+    auto it = placements.find(id);
+    return it == placements.end() ? std::vector<int>{} : it->second;
+}
+
+std::vector<int>
+ShardRouter::placement(const std::string &id) const
+{
+    return placementSnapshot(id);
+}
+
+void
+ShardRouter::replaceScenesOf(int s)
+{
+    std::lock_guard<std::mutex> place_lock(placementMtx);
+    for (auto &kv : placements) {
+        auto &replicas = kv.second;
+        auto pos = std::find(replicas.begin(), replicas.end(), s);
+        if (pos == replicas.end())
+            continue;
+        replicas.erase(pos);
+
+        // Restore the replication factor on the next live shard in
+        // rendezvous preference order. Re-placement is a pointer
+        // insert of the canonical scene, not a model copy or reload.
+        for (int cand : rendezvousOrder(kv.first)) {
+            if (std::find(replicas.begin(), replicas.end(), cand) !=
+                replicas.end())
+                continue;
+            Shard &shard = *shards[static_cast<size_t>(cand)];
+            {
+                std::lock_guard<std::mutex> lock(shard.mtx);
+                if (!shard.alive || shard.draining)
+                    continue;
+            }
+            ServedScenePtr scene = master.acquire(kv.first);
+            if (scene) {
+                shard.registry.publishShared(kv.first, scene);
+                replicas.push_back(cand);
+            }
+            break;
+        }
+    }
+}
+
+// ----------------------------------------------------------- health
+
+void
+ShardRouter::recordOutcome(int s, ShardOutcome outcome)
+{
+    Shard &shard = *shards[static_cast<size_t>(s)];
+    switch (outcome) {
+    case ShardOutcome::Ok: shard.nServed.fetch_add(1); break;
+    case ShardOutcome::Rejected: shard.nRejected.fetch_add(1); break;
+    case ShardOutcome::Timeout: shard.nTimeouts.fetch_add(1); break;
+    case ShardOutcome::Failed:
+    case ShardOutcome::Crashed: shard.nFailed.fetch_add(1); break;
+    }
+
+    std::lock_guard<std::mutex> lock(shard.mtx);
+    shard.probeInFlight = false;
+    switch (outcome) {
+    case ShardOutcome::Ok:
+        shard.consecutiveFailures = 0;
+        if (shard.breaker == BreakerState::HalfOpen) {
+            shard.breaker = BreakerState::Closed;
+            shard.nBreakerCloses.fetch_add(1);
+        }
+        break;
+    case ShardOutcome::Rejected:
+        // Backpressure is breaker-neutral: a busy shard is not a sick
+        // shard. A rejected half-open probe neither closes nor reopens
+        // the breaker -- the next candidate pass probes again.
+        break;
+    case ShardOutcome::Timeout:
+    case ShardOutcome::Failed:
+    case ShardOutcome::Crashed:
+        shard.consecutiveFailures++;
+        if (shard.breaker == BreakerState::HalfOpen ||
+            (shard.breaker == BreakerState::Closed &&
+             shard.consecutiveFailures >= cfg.breakerFailureThreshold)) {
+            shard.breaker = BreakerState::Open;
+            shard.openedAt = monotonicSeconds();
+            shard.nBreakerOpens.fetch_add(1);
+        }
+        break;
+    }
+}
+
+int
+ShardRouter::pickReplica(const std::vector<int> &order, uint32_t tried)
+{
+    double now = monotonicSeconds();
+    for (int s : order) {
+        if (tried & (1u << s))
+            continue;
+        Shard &shard = *shards[static_cast<size_t>(s)];
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        if (!shard.alive || shard.draining)
+            continue;
+        switch (shard.breaker) {
+        case BreakerState::Closed:
+            return s;
+        case BreakerState::Open:
+            // Lazy Open -> HalfOpen at candidate selection: the
+            // cooldown has no timer thread; the first request to look
+            // at the shard after breakerOpenMs becomes the probe.
+            if (now - shard.openedAt >= cfg.breakerOpenMs / 1e3) {
+                shard.breaker = BreakerState::HalfOpen;
+                shard.nBreakerHalfOpens.fetch_add(1);
+                shard.probeInFlight = true;
+                return s;
+            }
+            break;
+        case BreakerState::HalfOpen:
+            if (!shard.probeInFlight) {
+                shard.probeInFlight = true;
+                return s;
+            }
+            break;
+        }
+    }
+    return -1;
+}
+
+// --------------------------------------------------------- dispatch
+
+ShardRouter::Dispatch
+ShardRouter::dispatchTo(int s, const RenderRequest &request)
+{
+    Dispatch d;
+    d.shard = s;
+    d.startT = monotonicSeconds();
+
+    // Fleet fault points, checked in dispatch order. A crash takes
+    // the whole shard down (scenes re-place; queued shard requests
+    // resolve Shutdown); a fail costs only this attempt; a stall
+    // delays observability of the response without holding a thread.
+    if (fault::shouldFire(fault::Point::ShardCrash)) {
+        crashShard(s, true);
+        d.fault = ShardOutcome::Crashed;
+        return d;
+    }
+    if (fault::shouldFire(fault::Point::ShardFail)) {
+        d.fault = ShardOutcome::Failed;
+        return d;
+    }
+    bool stalled = fault::shouldFire(fault::Point::ShardStall);
+
+    Shard &shard = *shards[static_cast<size_t>(s)];
+    {
+        // Submit under the shard mutex so a drain that has set
+        // `draining` is guaranteed to see no later admissions.
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        if (!shard.alive || shard.draining) {
+            d.fault = ShardOutcome::Failed;
+            return d;
+        }
+        d.fut = shard.service->submit(request);
+    }
+    shard.nDispatched.fetch_add(1);
+    d.issued = true;
+    if (stalled)
+        d.readyAfter = d.startT +
+            fault::armedDelayMs(fault::Point::ShardStall) / 1e3;
+    return d;
+}
+
+namespace {
+
+/** Router-side classification of a shard's response. */
+ShardOutcome
+classify(const RenderResponse &resp)
+{
+    switch (resp.status) {
+    case RequestStatus::Ok: return ShardOutcome::Ok;
+    case RequestStatus::Rejected: return ShardOutcome::Rejected;
+    case RequestStatus::Shutdown: return ShardOutcome::Crashed;
+    // UnknownScene from a *placed* replica is a placement anomaly,
+    // not a client error: fail over to a replica that has the scene.
+    case RequestStatus::UnknownScene: return ShardOutcome::Failed;
+    // Client-terminal statuses pass through; the shard answered, so
+    // they are health-neutral Ok outcomes for the breaker.
+    case RequestStatus::BadRequest:
+    case RequestStatus::DeadlineExceeded: return ShardOutcome::Ok;
+    }
+    return ShardOutcome::Failed;
+}
+
+bool
+requestTerminal(const RenderResponse &resp)
+{
+    return resp.status == RequestStatus::Ok ||
+           resp.status == RequestStatus::BadRequest ||
+           resp.status == RequestStatus::DeadlineExceeded;
+}
+
+RenderResponse
+statusResponse(RequestStatus status, double submit_t, int retry_ms)
+{
+    RenderResponse resp;
+    resp.status = status;
+    resp.retryAfterMs = retry_ms;
+    resp.totalMs = (monotonicSeconds() - submit_t) * 1e3;
+    return resp;
+}
+
+} // namespace
+
+RenderResponse
+ShardRouter::routeOne(const RenderRequest &request, double submit_t)
+{
+    std::vector<int> order = placementSnapshot(request.sceneId);
+    if (order.empty()) {
+        if (!master.acquire(request.sceneId))
+            return statusResponse(RequestStatus::UnknownScene,
+                                  submit_t, 0);
+        statNoReplica.fetch_add(1);
+        return statusResponse(RequestStatus::Rejected, submit_t,
+                              cfg.shard.retryAfterMs);
+    }
+
+    // Camera-keyed rotation of the replica preference order: the same
+    // viewpoint lands on the same replica while replicas are healthy,
+    // so the per-shard tile caches see coherent streams instead of
+    // each camera spraying across all R caches.
+    std::rotate(order.begin(),
+                order.begin() +
+                    static_cast<long>(request.camera.hashKey() %
+                                      order.size()),
+                order.end());
+
+    const double deadline_t = request.deadlineMs > 0.0
+        ? submit_t + request.deadlineMs / 1e3
+        : 0.0;
+    uint32_t tried = 0;
+    int attempts = 0;
+    bool hedged = false;
+    std::vector<Dispatch> active; // 1 primary + at most 1 hedge.
+    active.reserve(2);
+
+    auto expired = [&](double now) {
+        return deadline_t > 0.0 && now >= deadline_t;
+    };
+
+    while (true) {
+        if (stopping.load(std::memory_order_acquire))
+            return statusResponse(RequestStatus::Shutdown, submit_t, 0);
+        double now = monotonicSeconds();
+        if (expired(now) && active.empty())
+            return statusResponse(RequestStatus::DeadlineExceeded,
+                                  submit_t, 0);
+
+        if (active.empty()) {
+            // (Re-)dispatch. Attempt k >= 2 backs off exponentially,
+            // truncated to the remaining deadline.
+            if (attempts >= cfg.maxAttempts)
+                return statusResponse(RequestStatus::Rejected, submit_t,
+                                      cfg.shard.retryAfterMs);
+            if (attempts > 0 && cfg.retryBackoffMs > 0) {
+                double backoff =
+                    (cfg.retryBackoffMs << (attempts - 1)) / 1e3;
+                if (deadline_t > 0.0)
+                    backoff = std::min(backoff, deadline_t - now);
+                if (backoff > 0.0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(backoff));
+                if (expired(monotonicSeconds()))
+                    return statusResponse(
+                        RequestStatus::DeadlineExceeded, submit_t, 0);
+            }
+            int s = pickReplica(order, tried);
+            if (s < 0) {
+                // Placement may have shifted under us (a crash or
+                // drain re-placed the scene); refresh the snapshot
+                // once before giving up.
+                order = placementSnapshot(request.sceneId);
+                if (!order.empty())
+                    std::rotate(
+                        order.begin(),
+                        order.begin() +
+                            static_cast<long>(
+                                request.camera.hashKey() %
+                                order.size()),
+                        order.end());
+                s = pickReplica(order, tried);
+            }
+            if (s < 0) {
+                statNoReplica.fetch_add(1);
+                return statusResponse(RequestStatus::Rejected, submit_t,
+                                      cfg.shard.retryAfterMs);
+            }
+            tried |= 1u << s;
+            if (attempts > 0) {
+                statRetries.fetch_add(1);
+                statFailovers.fetch_add(1);
+            }
+            attempts++;
+            Dispatch d = dispatchTo(s, request);
+            if (!d.issued) {
+                recordOutcome(s, d.fault);
+                continue;
+            }
+            active.push_back(std::move(d));
+            continue;
+        }
+
+        // Poll the active dispatches (primary + possible hedge).
+        for (size_t i = 0; i < active.size();) {
+            Dispatch &d = active[i];
+            bool ready = now >= d.readyAfter &&
+                d.fut.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready;
+            if (ready) {
+                RenderResponse resp = d.fut.get();
+                ShardOutcome outcome = classify(resp);
+                recordOutcome(d.shard, outcome);
+                if (outcome == ShardOutcome::Crashed)
+                    crashShard(d.shard, true);
+                if (requestTerminal(resp)) {
+                    if (d.hedge)
+                        statHedgesWon.fetch_add(1);
+                    // Client-observed latency: the shard measured its
+                    // own queue+render span, but the client also paid
+                    // router queueing, backoff, failover, and the
+                    // hedge delay.
+                    resp.totalMs =
+                        (monotonicSeconds() - submit_t) * 1e3;
+                    // The losing dispatch (if any) is abandoned: its
+                    // shard still renders it, the future is dropped.
+                    return resp;
+                }
+                active.erase(active.begin() +
+                             static_cast<long>(i));
+                continue;
+            }
+            if (cfg.shardTimeoutMs > 0.0 &&
+                now - d.startT >= cfg.shardTimeoutMs / 1e3) {
+                recordOutcome(d.shard, ShardOutcome::Timeout);
+                active.erase(active.begin() +
+                             static_cast<long>(i));
+                continue;
+            }
+            i++;
+        }
+        if (active.empty())
+            continue; // Straight to the failover dispatch.
+
+        // Hedge: one extra replica per request, launched when the
+        // primary has produced nothing after hedgeDelayMs.
+        if (cfg.hedgeRequests && !hedged && active.size() == 1 &&
+            !active[0].hedge &&
+            now - active[0].startT >= cfg.hedgeDelayMs / 1e3) {
+            int s = pickReplica(order, tried);
+            if (s >= 0) {
+                tried |= 1u << s;
+                hedged = true;
+                Dispatch d = dispatchTo(s, request);
+                if (d.issued) {
+                    d.hedge = true;
+                    statHedgesIssued.fetch_add(1);
+                    active.push_back(std::move(d));
+                } else {
+                    recordOutcome(s, d.fault);
+                }
+            } else {
+                hedged = true; // No spare replica; stop asking.
+            }
+        }
+
+        std::this_thread::sleep_for(pollInterval);
+    }
+}
+
+// ------------------------------------------------------- lifecycle
+
+void
+ShardRouter::crashShard(int s, bool count_crash)
+{
+    Shard &shard = *shards[static_cast<size_t>(s)];
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        if (!shard.alive)
+            return;
+        shard.alive = false;
+    }
+    if (count_crash)
+        statCrashes.fetch_add(1);
+    // Queued requests on the dead shard resolve Shutdown; routing
+    // loops holding their futures classify that as Crashed and fail
+    // over. The in-flight chunk renders to completion first.
+    shard.service->stop();
+    replaceScenesOf(s);
+}
+
+void
+ShardRouter::killShard(int s)
+{
+    crashShard(s, true);
+}
+
+bool
+ShardRouter::drainShard(int s)
+{
+    Shard &shard = *shards[static_cast<size_t>(s)];
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        if (!shard.alive || shard.draining)
+            return false;
+        shard.draining = true; // dispatchTo admits nothing from here on
+    }
+    statDrains.fetch_add(1);
+
+    // Re-place first so requests routed during the drain already have
+    // a full replica set to land on.
+    replaceScenesOf(s);
+
+    // Let every queued and in-flight tile complete -- a drain fails no
+    // admitted request.
+    while (shard.service->outstandingTileCount() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    shard.service->stop();
+
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        shard.draining = false;
+        shard.alive = false; // Fully drained.
+    }
+    return true;
+}
+
+bool
+ShardRouter::shardAlive(int s) const
+{
+    Shard &shard = *shards[static_cast<size_t>(s)];
+    std::lock_guard<std::mutex> lock(shard.mtx);
+    return shard.alive;
+}
+
+const RenderService &
+ShardRouter::shardService(int s) const
+{
+    return *shards[static_cast<size_t>(s)]->service;
+}
+
+BreakerState
+ShardRouter::breakerState(int s) const
+{
+    Shard &shard = *shards[static_cast<size_t>(s)];
+    std::lock_guard<std::mutex> lock(shard.mtx);
+    return shard.breaker;
+}
+
+// ---------------------------------------------------------- client
+
+std::future<RenderResponse>
+ShardRouter::submit(const RenderRequest &request)
+{
+    statRouted.fetch_add(1);
+    auto job = std::make_unique<Job>();
+    job->request = request;
+    job->submitT = monotonicSeconds();
+    std::future<RenderResponse> fut = job->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(jobMtx);
+        if (jobStopping) {
+            RenderResponse resp;
+            resp.status = RequestStatus::Shutdown;
+            job->promise.set_value(std::move(resp));
+            return fut;
+        }
+        jobs.push_back(std::move(job));
+    }
+    jobCv.notify_one();
+    return fut;
+}
+
+RenderResponse
+ShardRouter::render(const RenderRequest &request)
+{
+    return submit(request).get();
+}
+
+void
+ShardRouter::dispatcherLoop()
+{
+    while (true) {
+        std::unique_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(jobMtx);
+            jobCv.wait(lock, [this] {
+                return jobStopping || !jobs.empty();
+            });
+            if (jobs.empty())
+                return; // jobStopping and the queue is drained.
+            job = std::move(jobs.front());
+            jobs.pop_front();
+        }
+        job->promise.set_value(routeOne(job->request, job->submitT));
+    }
+}
+
+// ----------------------------------------------------------- stats
+
+FleetStats
+ShardRouter::fleetStats() const
+{
+    FleetStats fs;
+    fs.requestsRouted = statRouted.load();
+    fs.failovers = statFailovers.load();
+    fs.retries = statRetries.load();
+    fs.hedgesIssued = statHedgesIssued.load();
+    fs.hedgesWon = statHedgesWon.load();
+    fs.shardsCrashed = statCrashes.load();
+    fs.shardsDrained = statDrains.load();
+    fs.noReplicaAvailable = statNoReplica.load();
+
+    std::vector<size_t> sceneCounts(shards.size(), 0);
+    {
+        std::lock_guard<std::mutex> lock(placementMtx);
+        for (const auto &kv : placements)
+            for (int s : kv.second)
+                sceneCounts[static_cast<size_t>(s)]++;
+    }
+
+    fs.shards.resize(shards.size());
+    for (size_t s = 0; s < shards.size(); s++) {
+        const Shard &shard = *shards[s];
+        ShardStats &ss = fs.shards[s];
+        {
+            std::lock_guard<std::mutex> lock(shard.mtx);
+            ss.alive = shard.alive;
+            ss.draining = shard.draining;
+            ss.breaker = shard.breaker;
+        }
+        ss.scenes = sceneCounts[s];
+        ss.dispatched = shard.nDispatched.load();
+        ss.served = shard.nServed.load();
+        ss.failed = shard.nFailed.load();
+        ss.rejected = shard.nRejected.load();
+        ss.timeouts = shard.nTimeouts.load();
+        ss.breakerOpens = shard.nBreakerOpens.load();
+        ss.breakerHalfOpens = shard.nBreakerHalfOpens.load();
+        ss.breakerCloses = shard.nBreakerCloses.load();
+    }
+    return fs;
+}
+
+} // namespace instant3d

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Fault-tolerant shard router: a fleet front end over N in-process
+ * RenderService shards.
+ *
+ * One RenderService is one failure domain -- a crash or stall takes
+ * every scene it serves down with it. The ShardRouter composes N
+ * services into a fleet that survives shard death, stalls, and
+ * overload:
+ *
+ *  - **Placement**: scenes are placed on R shards (replication factor)
+ *    by rendezvous (highest-random-weight) consistent hashing, so
+ *    placement is a pure function of (scene id, shard index) and
+ *    adding or removing a shard moves only the scenes that must move.
+ *    Replicas share one canonical ServedScene through the registry's
+ *    ref-count seam (SceneRegistry::publishShared), so every replica
+ *    serves bit-identical Full-tier pixels by construction.
+ *  - **Health / circuit breaker**: each shard carries a three-state
+ *    breaker (Closed -> Open after breakerFailureThreshold consecutive
+ *    Failed/Timeout/Crashed outcomes -> HalfOpen after breakerOpenMs,
+ *    admitting one probe -> Closed on probe success, Open on failure).
+ *    Backpressure rejections never trip the breaker: a busy shard is
+ *    not a sick shard.
+ *  - **Failover / retry**: a failed attempt re-dispatches to the next
+ *    live replica with exponential backoff, bounded by maxAttempts and
+ *    the request deadline (deadline-aware: the router gives up with
+ *    DeadlineExceeded rather than retrying into a dead deadline).
+ *  - **Hedging** (optional): when a dispatch has produced no response
+ *    after hedgeDelayMs, a second replica gets the same request and
+ *    the first response wins; the loser is abandoned (its work is the
+ *    classic hedging waste). Exactly one response reaches the client.
+ *  - **Drain**: drainShard() stops new admissions to a shard, re-places
+ *    its scenes on live replicas (restoring R where possible), lets
+ *    every queued and in-flight tile complete, then stops the shard --
+ *    no queued request is failed by a drain.
+ *
+ * Fleet fault points (`shard.fail`, `shard.stall`, `shard.crash`) are
+ * threaded through the dispatch path, so failover, breaker
+ * transitions, and hedge races replay deterministically under
+ * INSTANT3D_FAULTS (see common/fault_injection.hh).
+ *
+ * Determinism contract: a scene's replicas are one shared model, and
+ * every RenderService preserves the Full-tier bit-identity contract,
+ * so a Full-tier pixel served through the router is bit-identical to
+ * Trainer::renderImage regardless of replica choice, failover
+ * history, hedging, or drain timing.
+ */
+
+#ifndef INSTANT3D_SERVE_SHARD_ROUTER_HH
+#define INSTANT3D_SERVE_SHARD_ROUTER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/render_service.hh"
+#include "serve/scene_registry.hh"
+
+namespace instant3d {
+
+/** Fleet tuning knobs. */
+struct ShardRouterConfig
+{
+    /** Number of RenderService shards (failure domains); max 32. */
+    int numShards = 4;
+
+    /** Replicas per scene; clamped to numShards at placement time. */
+    int replication = 2;
+
+    /** Per-shard service configuration (workers, queue, cache...). */
+    RenderServiceConfig shard;
+
+    /**
+     * Router dispatcher threads. Each in-flight routed request
+     * occupies one dispatcher for its whole retry/hedge state machine,
+     * so this bounds router-level concurrency (shard-level concurrency
+     * is the shards' own admission queues).
+     */
+    int routerThreads = 2;
+
+    /** Dispatch attempts per request (first try + failovers). */
+    int maxAttempts = 3;
+
+    /**
+     * Backoff before retry attempt k is retryBackoffMs << (k-1),
+     * truncated to the request's remaining deadline.
+     */
+    int retryBackoffMs = 1;
+
+    /**
+     * Per-attempt shard timeout in ms; an attempt with no response in
+     * time counts a Timeout outcome and fails over. 0 disables (the
+     * router then waits on the shard indefinitely, or until the
+     * request deadline).
+     */
+    double shardTimeoutMs = 0.0;
+
+    /** Dispatch a hedge to a second replica after hedgeDelayMs. */
+    bool hedgeRequests = false;
+    double hedgeDelayMs = 20.0;
+
+    /** Consecutive failures/timeouts that open a shard's breaker. */
+    int breakerFailureThreshold = 3;
+
+    /** Open -> HalfOpen cooldown in ms. */
+    double breakerOpenMs = 100.0;
+};
+
+/**
+ * The fleet front end. Owns N shards (each a SceneRegistry +
+ * RenderService pair), a master registry of canonical scenes, and the
+ * dispatcher threads running the routing state machine.
+ */
+class ShardRouter
+{
+  public:
+    explicit ShardRouter(const ShardRouterConfig &router_config);
+    ~ShardRouter();
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    /**
+     * Snapshot a live trainer and place the scene on R shards.
+     * Returns the published generation (0 on failure).
+     */
+    uint64_t addScene(const std::string &id, Trainer &trainer);
+
+    /** Checkpoint-file variant of addScene (same retry semantics as
+     *  SceneRegistry::registerFromCheckpoint). */
+    uint64_t addSceneFromCheckpoint(const std::string &id,
+                                    const SceneSpec &spec,
+                                    const std::string &path);
+
+    /**
+     * Current replica set of a scene, in rendezvous preference order.
+     * Empty when the scene is unknown or every replica is gone.
+     */
+    std::vector<int> placement(const std::string &id) const;
+
+    /**
+     * Route a request: returns a future resolving once a replica
+     * serves it, every attempt is exhausted, or the deadline passes.
+     * Fleet-level failures surface as RequestStatus::Rejected with a
+     * retry hint (the condition is retryable: breakers half-open,
+     * crashed shards get their scenes re-placed).
+     */
+    std::future<RenderResponse> submit(const RenderRequest &request);
+
+    /** Blocking convenience wrapper: submit() and wait. */
+    RenderResponse render(const RenderRequest &request);
+
+    /**
+     * Gracefully drain shard `s`: stop new admissions, re-place its
+     * scenes on live replicas, wait for its queued + in-flight tiles
+     * to complete (no queued request is failed), then stop it. Blocks
+     * until the shard is idle. False when `s` is already dead or
+     * draining.
+     */
+    bool drainShard(int s);
+
+    /**
+     * Abrupt shard death (what the `shard.crash` fault point calls):
+     * the service stops dead -- its queued requests resolve Shutdown
+     * (the router's routing loop sees those as Crashed outcomes and
+     * fails over) -- and its scenes are re-placed on live shards.
+     */
+    void killShard(int s);
+
+    bool shardAlive(int s) const;
+    BreakerState breakerState(int s) const;
+
+    int numShards() const { return static_cast<int>(shards.size()); }
+
+    /** The shard's service, for stats and tests; never null. */
+    const RenderService &shardService(int s) const;
+
+    FleetStats fleetStats() const;
+
+  private:
+    struct Shard;
+    struct Job;
+    struct Dispatch;
+
+    void dispatcherLoop();
+    RenderResponse routeOne(const RenderRequest &request,
+                            double submit_t);
+    int pickReplica(const std::vector<int> &order, uint32_t tried);
+    Dispatch dispatchTo(int s, const RenderRequest &request);
+    void recordOutcome(int s, ShardOutcome outcome);
+    void crashShard(int s, bool count_crash);
+    void replaceScenesOf(int s);
+    void seedPlacement(const std::string &id);
+    std::vector<int> rendezvousOrder(const std::string &id) const;
+    std::vector<int> placementSnapshot(const std::string &id) const;
+
+    ShardRouterConfig cfg;
+    SceneRegistry master; //!< Canonical scenes (source for re-placement).
+
+    std::vector<std::unique_ptr<Shard>> shards;
+
+    mutable std::mutex placementMtx;
+    std::unordered_map<std::string, std::vector<int>> placements;
+
+    std::mutex jobMtx;
+    std::condition_variable jobCv;
+    std::deque<std::unique_ptr<Job>> jobs;
+    bool jobStopping = false;
+    std::atomic<bool> stopping{false};
+    std::vector<std::thread> dispatchers;
+
+    std::atomic<uint64_t> statRouted{0}, statFailovers{0},
+        statRetries{0}, statHedgesIssued{0}, statHedgesWon{0},
+        statCrashes{0}, statDrains{0}, statNoReplica{0};
+};
+
+} // namespace instant3d
+
+#endif // INSTANT3D_SERVE_SHARD_ROUTER_HH

@@ -696,6 +696,57 @@ TEST_F(ServeTest, ShutdownResolvesQueuedAndInFlightFutures)
         EXPECT_EQ(f.get().status, RequestStatus::Shutdown);
 }
 
+TEST_F(ServeTest, ExplicitStopIsIdempotentAndLeavesServiceQueryable)
+{
+    FaultGuard guard;
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+
+    fault::Spec slow;
+    slow.mode = fault::Mode::Always;
+    slow.delayMs = 20;
+    fault::arm(fault::Point::ChunkRenderDelay, slow);
+
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tilePixels = 16;
+    RenderService service(registry, cfg);
+    EXPECT_FALSE(service.stopped());
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = latticeCamera();
+    req.roi = {0, 0, 16, 16};
+    std::vector<std::future<RenderResponse>> futs;
+    for (int i = 0; i < 10; i++)
+        futs.push_back(service.submit(req));
+
+    // Concurrent stop() calls must serialize on one join, not race it.
+    std::thread other([&service] { service.stop(); });
+    service.stop();
+    other.join();
+    EXPECT_TRUE(service.stopped());
+
+    // Queued requests resolve Shutdown exactly as destruction always
+    // did; nothing hangs.
+    int ok = 0, shutdown = 0;
+    for (auto &f : futs) {
+        RequestStatus s = f.get().status;
+        ASSERT_TRUE(s == RequestStatus::Ok ||
+                    s == RequestStatus::Shutdown);
+        (s == RequestStatus::Ok ? ok : shutdown)++;
+    }
+
+    // A stopped service refuses new work but stays queryable.
+    EXPECT_EQ(service.render(req).status, RequestStatus::Shutdown);
+    EXPECT_EQ(service.outstandingTileCount(), 0u);
+    ServeStats stats = service.stats();
+    EXPECT_GE(stats.requestsAccepted, 10u);
+
+    service.stop(); // third call: still a no-op
+    EXPECT_TRUE(service.stopped());
+}
+
 TEST_F(ServeTest, DegradationServesInsteadOfRejecting)
 {
     FaultGuard guard;

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Direct unit tests of the TileCache LRU: eviction order, the
+ * generation-keyed staleness contract, eager scene invalidation, and
+ * the zero-capacity (disabled) edge. The cache is elsewhere only
+ * exercised end-to-end through the RenderService; these tests pin its
+ * semantics in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/tile_cache.hh"
+
+namespace instant3d {
+namespace {
+
+TileKey
+makeKey(const std::string &scene, uint64_t gen, int x,
+        QualityTier tier = QualityTier::Full)
+{
+    CameraSpec cam;
+    cam.eye = {1.0f, 0.0f, 0.0f};
+    cam.target = {0.0f, 0.0f, 0.0f};
+    cam.width = 32;
+    cam.height = 32;
+
+    TileKey key;
+    key.sceneId = scene;
+    key.generation = gen;
+    key.camera = cam.quantized();
+    key.cameraKey = cam.hashKey();
+    key.x = x;
+    key.y = 0;
+    key.w = 4;
+    key.h = 4;
+    key.quality = tier;
+    return key;
+}
+
+std::vector<Vec3>
+tilePixels(float v)
+{
+    return std::vector<Vec3>(16, Vec3{v, v, v});
+}
+
+TEST(TileCacheTest, LookupHitReturnsInsertedPixelsBitExact)
+{
+    TileCache cache(4);
+    TileKey key = makeKey("lego", 1, 0);
+    cache.insert(key, tilePixels(0.25f));
+
+    std::vector<Vec3> out;
+    ASSERT_TRUE(cache.lookup(key, out));
+    ASSERT_EQ(out.size(), 16u);
+    for (const Vec3 &p : out) {
+        EXPECT_EQ(p.x, 0.25f);
+        EXPECT_EQ(p.y, 0.25f);
+        EXPECT_EQ(p.z, 0.25f);
+    }
+
+    TileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(TileCacheTest, EvictionDropsLeastRecentlyUsed)
+{
+    TileCache cache(3);
+    for (int x = 0; x < 3; x++)
+        cache.insert(makeKey("lego", 1, x), tilePixels(0.1f * x));
+
+    // Touch tile 0 so tile 1 becomes the LRU entry, then overflow.
+    std::vector<Vec3> out;
+    ASSERT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+    cache.insert(makeKey("lego", 1, 3), tilePixels(0.9f));
+
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 1), out)); // evicted
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 2), out));
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 3), out));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(TileCacheTest, DuplicateInsertRefreshesRecencyWithoutGrowing)
+{
+    TileCache cache(2);
+    cache.insert(makeKey("lego", 1, 0), tilePixels(0.1f));
+    cache.insert(makeKey("lego", 1, 1), tilePixels(0.2f));
+
+    // Re-inserting tile 0 must refresh its recency (not add an entry),
+    // so the subsequent overflow evicts tile 1.
+    cache.insert(makeKey("lego", 1, 0), tilePixels(0.1f));
+    EXPECT_EQ(cache.stats().entries, 2u);
+    cache.insert(makeKey("lego", 1, 2), tilePixels(0.3f));
+
+    std::vector<Vec3> out;
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 1), out));
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 2), out));
+}
+
+TEST(TileCacheTest, GenerationChangeMakesOldEntriesUnreachable)
+{
+    TileCache cache(8);
+    cache.insert(makeKey("lego", 1, 0), tilePixels(0.5f));
+
+    // The re-registered scene's new generation misses: stale pixels
+    // can never serve the new model.
+    std::vector<Vec3> out;
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 2, 0), out));
+    // The old generation's entry still exists until aged out.
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+}
+
+TEST(TileCacheTest, InvalidateSceneDropsAllGenerationsOfThatSceneOnly)
+{
+    TileCache cache(8);
+    cache.insert(makeKey("lego", 1, 0), tilePixels(0.1f));
+    cache.insert(makeKey("lego", 2, 0), tilePixels(0.2f));
+    cache.insert(makeKey("materials", 1, 0), tilePixels(0.3f));
+
+    cache.invalidateScene("lego");
+
+    std::vector<Vec3> out;
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 2, 0), out));
+    EXPECT_TRUE(cache.lookup(makeKey("materials", 1, 0), out));
+    EXPECT_EQ(cache.stats().invalidated, 2u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(TileCacheTest, DistinctTiersAreDistinctEntries)
+{
+    TileCache cache(8);
+    cache.insert(makeKey("lego", 1, 0, QualityTier::Full),
+                 tilePixels(0.1f));
+    cache.insert(makeKey("lego", 1, 0, QualityTier::Preview),
+                 tilePixels(0.2f));
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    std::vector<Vec3> out;
+    ASSERT_TRUE(
+        cache.lookup(makeKey("lego", 1, 0, QualityTier::Preview), out));
+    EXPECT_EQ(out[0].x, 0.2f);
+}
+
+TEST(TileCacheTest, ZeroCapacityDisablesCaching)
+{
+    TileCache cache(0);
+    cache.insert(makeKey("lego", 1, 0), tilePixels(0.5f));
+
+    std::vector<Vec3> out;
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 0), out));
+    TileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.insertions, 0u);
+    EXPECT_EQ(stats.capacity, 0u);
+}
+
+TEST(TileCacheTest, ClearEmptiesEverything)
+{
+    TileCache cache(8);
+    cache.insert(makeKey("lego", 1, 0), tilePixels(0.1f));
+    cache.insert(makeKey("materials", 1, 0), tilePixels(0.2f));
+    cache.clear();
+
+    std::vector<Vec3> out;
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+} // namespace
+} // namespace instant3d
