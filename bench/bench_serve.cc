@@ -471,6 +471,198 @@ main(int argc, char **argv)
                   static_cast<double>(fleet_kill.submitted)
             : 0.0;
 
+    // ------------------------------------------------ capacity phase
+    // A scene working set ~8x the byte budget: 120 registered scenes
+    // against room for 15, so registration itself churns the LRU and
+    // a large fraction of the request mix lands on cold stubs. The
+    // mix skews 70% onto 16 hot scenes (which should stay warm under
+    // LRU) and 30% uniform (eviction + cold-start churn); ColdStart
+    // answers are retried per their load-aware hint in bounded
+    // rounds. The smoke gate wants completion >= 0.9.
+    std::fprintf(stderr, "bench_serve: capacity phase...\n");
+    constexpr int cap_scenes = 120;
+    constexpr int cap_budget_scenes = 15;
+    constexpr int cap_hot = 16;
+    uint64_t cap_submitted = 0, cap_completed = 0, cap_failed = 0;
+    uint64_t cap_cold_responses = 0, cap_retry_rounds = 0;
+    size_t cap_scene_bytes = 0, cap_budget = 0;
+    double cap_elapsed = 0.0, cap_rps = 0.0, cap_seconds = 0.0;
+    std::vector<double> cold_ms;
+    SceneRegistryStats cap_reg;
+    ServeStats cap_serve;
+    {
+        const std::string lego_ckpt = "BENCH_serve_capacity_lego.bin";
+        const std::string mat_ckpt =
+            "BENCH_serve_capacity_materials.bin";
+        if (lego_trainer->saveCheckpoint(lego_ckpt) !=
+                CheckpointError::None ||
+            materials_trainer->saveCheckpoint(mat_ckpt) !=
+                CheckpointError::None) {
+            std::fprintf(stderr,
+                         "bench_serve: capacity checkpoint save "
+                         "failed\n");
+            return 1;
+        }
+        auto spec_of = [](Trainer &t) {
+            SceneSpec s;
+            s.field = t.field().config();
+            s.renderer = t.renderer().config();
+            s.useOccupancy = true;
+            s.occupancy = t.occupancyGrid()->config();
+            s.loadRetryBackoffMs = 1;
+            return s;
+        };
+        SceneSpec lego_spec = spec_of(*lego_trainer);
+        SceneSpec mat_spec = spec_of(*materials_trainer);
+
+        // Probe one warm scene's accounted bytes to size the budget.
+        {
+            SceneRegistry probe;
+            probe.registerFromCheckpoint("probe", lego_spec,
+                                         lego_ckpt);
+            cap_scene_bytes = probe.stats().bytesWarm;
+        }
+        cap_budget = cap_scene_bytes * cap_budget_scenes;
+        SceneRegistryConfig rcfg;
+        rcfg.memoryBudgetBytes = cap_budget;
+        rcfg.maxConcurrentLoads = 2;
+        SceneRegistry registry(rcfg);
+
+        std::vector<std::string> ids;
+        ids.reserve(cap_scenes);
+        for (int i = 0; i < cap_scenes; i++) {
+            char idbuf[32];
+            std::snprintf(idbuf, sizeof(idbuf), "cap-%03d", i);
+            ids.emplace_back(idbuf);
+            uint64_t gen = registry.registerFromCheckpoint(
+                ids.back(), (i & 1) ? mat_spec : lego_spec,
+                (i & 1) ? mat_ckpt : lego_ckpt);
+            if (gen == 0) {
+                std::fprintf(stderr,
+                             "bench_serve: capacity registration "
+                             "failed at %s\n",
+                             ids.back().c_str());
+                return 1;
+            }
+        }
+
+        RenderServiceConfig cfg;
+        cfg.workers = 0; // auto
+        cfg.tilePixels = tile;
+        cfg.chunkRays = 2048;
+        cfg.cacheTiles = 256;
+        cfg.cacheBytes = 4ll << 20;
+        cfg.maxQueueTiles = 8192;
+        RenderService service(registry, cfg);
+
+        struct Flight
+        {
+            std::future<RenderResponse> future;
+            RenderRequest request;
+            double firstSubmit = 0.0;
+            bool sawCold = false;
+            bool resubmit = false;
+            bool settled = false;
+        };
+        cap_seconds = std::min(open_loop_seconds, 2.0);
+        cap_rps = std::max(24.0, offered_rps);
+        std::vector<Flight> flights;
+        flights.reserve(
+            static_cast<size_t>(cap_rps * cap_seconds) + 8);
+
+        Rng mix_rng(4242);
+        auto start = std::chrono::steady_clock::now();
+        double c0 = now();
+        for (uint64_t i = 0;; i++) {
+            double due = static_cast<double>(i) / cap_rps;
+            if (due > cap_seconds)
+                break;
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(due));
+
+            RenderRequest req;
+            uint32_t pick = mix_rng.nextU32(10);
+            size_t scene = pick < 7
+                ? mix_rng.nextU32(cap_hot)
+                : mix_rng.nextU32(cap_scenes);
+            req.sceneId = ids[scene];
+            req.camera =
+                servingCamera(static_cast<int>(mix_rng.nextU32(8)),
+                              image_size / 2);
+            req.quality = static_cast<QualityTier>(mix_rng.nextU32(3));
+            Flight fl;
+            fl.request = req;
+            fl.firstSubmit = now();
+            fl.future = service.submit(req);
+            flights.push_back(std::move(fl));
+            cap_submitted++;
+        }
+
+        // Drain with bounded retry rounds: ColdStart (and Rejected)
+        // responses re-submit after the largest hint seen that round.
+        for (int round = 0; round < 8; round++) {
+            int max_hint = 0;
+            size_t pending = 0;
+            for (auto &fl : flights) {
+                if (fl.settled)
+                    continue;
+                RenderResponse resp = fl.future.get();
+                switch (resp.status) {
+                case RequestStatus::Ok:
+                    cap_completed++;
+                    fl.settled = true;
+                    if (fl.sawCold)
+                        cold_ms.push_back(
+                            (now() - fl.firstSubmit) * 1e3);
+                    break;
+                case RequestStatus::ColdStart:
+                    cap_cold_responses++;
+                    fl.sawCold = true;
+                    fl.resubmit = true;
+                    pending++;
+                    max_hint =
+                        std::max(max_hint, resp.retryAfterMs);
+                    break;
+                case RequestStatus::Rejected:
+                    fl.resubmit = true;
+                    pending++;
+                    max_hint =
+                        std::max(max_hint, resp.retryAfterMs);
+                    break;
+                default:
+                    cap_failed++;
+                    fl.settled = true;
+                    break;
+                }
+            }
+            if (pending == 0)
+                break;
+            cap_retry_rounds++;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min(max_hint, 100)));
+            for (auto &fl : flights) {
+                if (fl.settled || !fl.resubmit)
+                    continue;
+                fl.resubmit = false;
+                fl.future = service.submit(fl.request);
+            }
+        }
+        for (auto &fl : flights)
+            if (!fl.settled)
+                cap_failed++;
+        cap_elapsed = now() - c0;
+        cap_serve = service.stats();
+        cap_reg = registry.stats();
+        std::remove(lego_ckpt.c_str());
+        std::remove(mat_ckpt.c_str());
+    }
+    std::sort(cold_ms.begin(), cold_ms.end());
+    double capacity_completion =
+        cap_submitted ? static_cast<double>(cap_completed) /
+                            static_cast<double>(cap_submitted)
+                      : 0.0;
+    double cold_start_p99_ms = percentile(cold_ms, 99);
+
     // ------------------------------------------------------- report
     std::string json;
     char buf[2048];
@@ -628,6 +820,72 @@ main(int argc, char **argv)
     fleet_block("kill", fleet_kill, true);
     json += "  },\n";
 
+    // Capacity block: the over-budget scene sweep with eviction and
+    // cold-start churn. capacity_completion and cold_start_p99_ms
+    // feed the smoke gate.
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"capacity\": {\n"
+        "    \"scenes\": %d,\n"
+        "    \"hot_scenes\": %d,\n"
+        "    \"scene_bytes\": %zu,\n"
+        "    \"budget_bytes\": %zu,\n"
+        "    \"overcommit\": %.2f,\n"
+        "    \"offered_rps\": %.2f,\n"
+        "    \"duration_s\": %.3f,\n"
+        "    \"elapsed_s\": %.3f,\n"
+        "    \"submitted\": %llu,\n"
+        "    \"completed\": %llu,\n"
+        "    \"failed\": %llu,\n"
+        "    \"cold_start_responses\": %llu,\n"
+        "    \"retry_rounds\": %llu,\n"
+        "    \"completion\": %.3f,\n",
+        cap_scenes, cap_hot, cap_scene_bytes, cap_budget,
+        cap_budget ? static_cast<double>(cap_scene_bytes) *
+                         cap_scenes / static_cast<double>(cap_budget)
+                   : 0.0,
+        cap_rps, cap_seconds, cap_elapsed,
+        static_cast<unsigned long long>(cap_submitted),
+        static_cast<unsigned long long>(cap_completed),
+        static_cast<unsigned long long>(cap_failed),
+        static_cast<unsigned long long>(cap_cold_responses),
+        static_cast<unsigned long long>(cap_retry_rounds),
+        capacity_completion);
+    json += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "    \"cold_start_latency_ms\": {\"count\": %zu, "
+        "\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
+        "    \"service\": {\"cold_start\": %llu, "
+        "\"completed\": %llu},\n"
+        "    \"registry\": {\n"
+        "      \"warm\": %zu,\n"
+        "      \"cold\": %zu,\n"
+        "      \"bytes_warm\": %zu,\n"
+        "      \"evictions\": %llu,\n"
+        "      \"evictions_while_referenced\": %llu,\n"
+        "      \"cold_loads_started\": %llu,\n"
+        "      \"reloads\": %llu,\n"
+        "      \"single_flight_joins\": %llu,\n"
+        "      \"load_failures\": %llu,\n"
+        "      \"ewma_load_ms\": %.3f\n"
+        "    }\n"
+        "  },\n",
+        cold_ms.size(), percentile(cold_ms, 50),
+        percentile(cold_ms, 95), cold_start_p99_ms,
+        static_cast<unsigned long long>(cap_serve.requestsColdStart),
+        static_cast<unsigned long long>(cap_serve.requestsCompleted),
+        cap_reg.warm, cap_reg.cold, cap_reg.bytesWarm,
+        static_cast<unsigned long long>(cap_reg.evictions),
+        static_cast<unsigned long long>(
+            cap_reg.evictionsWhileReferenced),
+        static_cast<unsigned long long>(cap_reg.coldLoadsStarted),
+        static_cast<unsigned long long>(cap_reg.reloads),
+        static_cast<unsigned long long>(cap_reg.singleFlightJoins),
+        static_cast<unsigned long long>(cap_reg.loadFailures),
+        cap_reg.ewmaLoadMs);
+    json += buf;
+
     json += "  \"fault_points\": {\n";
     for (int p = 0; p < fault::numPoints; p++) {
         auto point = static_cast<fault::Point>(p);
@@ -647,11 +905,14 @@ main(int argc, char **argv)
         "  \"speedups\": {\n"
         "    \"served_vs_renderImage_1t\": %.3f,\n"
         "    \"overload_degraded_completion\": %.3f,\n"
-        "    \"fleet_kill_completion\": %.3f\n"
+        "    \"fleet_kill_completion\": %.3f,\n"
+        "    \"capacity_completion\": %.3f,\n"
+        "    \"cold_start_p99_ms\": %.3f\n"
         "  }\n"
         "}\n",
         served_vs_render_image, degraded_completion_rate,
-        fleet_kill_completion);
+        fleet_kill_completion, capacity_completion,
+        cold_start_p99_ms);
     json += buf;
 
     std::fputs(json.c_str(), stdout);

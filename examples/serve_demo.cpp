@@ -304,7 +304,72 @@ main(int argc, char **argv)
         std::remove(ckpt.c_str());
     }
 
-    // 6. The stats block.
+    // 6. Capacity & eviction: eight checkpoint-backed scenes against
+    //    a byte budget sized for three. Registration churns the LRU
+    //    into cold stubs; a request for a cold scene answers
+    //    ColdStart (single-flight reload begun), and the blocking
+    //    render() absorbs it -- wait for warm, resubmit, same bits.
+    std::printf("--- capacity: 8 scenes, budget for 3 ---\n");
+    const std::string cap_ckpt = "serve_demo_capacity_ckpt.bin";
+    if (lego_trainer->saveCheckpoint(cap_ckpt) ==
+        CheckpointError::None) {
+        SceneSpec spec;
+        spec.field = lego_trainer->field().config();
+        spec.renderer = lego_trainer->renderer().config();
+        spec.useOccupancy = true;
+        spec.occupancy = lego_trainer->occupancyGrid()->config();
+
+        size_t scene_bytes = 0;
+        {
+            SceneRegistry probe;
+            probe.registerFromCheckpoint("probe", spec, cap_ckpt);
+            scene_bytes = probe.stats().bytesWarm;
+        }
+        SceneRegistryConfig rcfg;
+        rcfg.memoryBudgetBytes = 3 * scene_bytes + scene_bytes / 2;
+        rcfg.maxConcurrentLoads = 2;
+        SceneRegistry budgeted(rcfg);
+        for (int i = 0; i < 8; i++)
+            budgeted.registerFromCheckpoint(
+                "cap-" + std::to_string(i), spec, cap_ckpt);
+
+        SceneRegistryStats rs = budgeted.stats();
+        std::printf("registered %zu scenes (%zu KiB each) against a "
+                    "%zu KiB budget: %zu warm, %zu cold, "
+                    "%llu evictions\n",
+                    rs.scenes, scene_bytes / 1024,
+                    rcfg.memoryBudgetBytes / 1024, rs.warm, rs.cold,
+                    static_cast<unsigned long long>(rs.evictions));
+
+        RenderServiceConfig ccfg;
+        ccfg.workers = 2;
+        ccfg.tilePixels = 16;
+        RenderService cold_service(budgeted, ccfg);
+        RenderRequest req;
+        req.sceneId = "cap-0"; // the first-registered scene: LRU, cold
+        req.camera = demoCamera(0);
+        RenderResponse first = cold_service.submit(req).get();
+        std::printf("cold request: %s (retry after %d ms)\n",
+                    first.status == RequestStatus::ColdStart
+                        ? "ColdStart"
+                        : "unexpected status",
+                    first.retryAfterMs);
+        RenderResponse warmed = cold_service.render(req);
+        rs = budgeted.stats();
+        std::printf("blocking render: %s (cold loads %llu, reloads "
+                    "%llu, joins %llu, last load %.2f ms)\n",
+                    warmed.status == RequestStatus::Ok ? "ok"
+                                                       : "failed",
+                    static_cast<unsigned long long>(
+                        rs.coldLoadsStarted),
+                    static_cast<unsigned long long>(rs.reloads),
+                    static_cast<unsigned long long>(
+                        rs.singleFlightJoins),
+                    rs.lastLoadMs);
+        std::remove(cap_ckpt.c_str());
+    }
+
+    // 7. The stats block.
     ServeStats s = service.stats();
     TileCache::Stats cs = service.cacheStats();
     std::printf("--- service stats ---\n");

@@ -46,7 +46,8 @@ const char *const pointNames[numPoints] = {
     "checkpoint.fsync_fail",  "checkpoint.crc_flip",
     "scheduler.stall",        "chunk.render_delay",
     "shard.fail",             "shard.stall",
-    "shard.crash",
+    "shard.crash",            "checkpoint.stream_short_read",
+    "checkpoint.stream_stall",
 };
 
 } // namespace

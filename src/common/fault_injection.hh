@@ -53,6 +53,11 @@ enum class Point : uint8_t
     ShardStall,
     /** ShardRouter dispatch: the chosen shard crashes (stops dead). */
     ShardCrash,
+    /** Streaming loadCheckpoint: a payload chunk read fails (EIO). */
+    CheckpointStreamShortRead,
+    /** Streaming loadCheckpoint: each payload chunk read sleeps
+     *  delayMs first (a slow disk, not a dead one). */
+    CheckpointStreamStall,
     Count
 };
 

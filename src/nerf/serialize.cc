@@ -65,6 +65,59 @@ readBytes(std::FILE *f, void *data, size_t n, Crc32 *crc,
     return true;
 }
 
+/**
+ * Pull a payload section of `n` bytes into `dst` through a bounded
+ * buffer, feeding the running CRC chunk by chunk. Each chunk honors
+ * the streaming fault points: stream_stall sleeps before the read (a
+ * slow disk), stream_short_read fails it outright (transient EIO ->
+ * Io). A genuinely short file reports Truncated. Bit-identical to a
+ * single fread for any chunk size.
+ */
+bool
+readChunked(std::FILE *f, void *dst, size_t n, size_t chunk_bytes,
+            Crc32 *crc, CheckpointError &err)
+{
+    if (chunk_bytes == 0)
+        chunk_bytes = n; // whole section in one read
+    char *out = static_cast<char *>(dst);
+    for (size_t done = 0; done < n;) {
+        size_t take = std::min(n - done, chunk_bytes);
+        fault::maybeDelay(fault::Point::CheckpointStreamStall);
+        if (fault::shouldFire(fault::Point::CheckpointStreamShortRead)) {
+            err = CheckpointError::Io;
+            return false;
+        }
+        if (std::fread(out + done, 1, take, f) != take) {
+            err = CheckpointError::Truncated;
+            return false;
+        }
+        if (crc)
+            crc->update(out + done, take);
+        done += take;
+    }
+    return true;
+}
+
+/**
+ * readChunked into a scratch buffer: advances the file position and
+ * the CRC past `n` payload bytes without keeping them.
+ */
+bool
+skipChunked(std::FILE *f, size_t n, size_t chunk_bytes, Crc32 *crc,
+            CheckpointError &err)
+{
+    if (chunk_bytes == 0 || chunk_bytes > n)
+        chunk_bytes = n;
+    std::vector<char> scratch(std::max<size_t>(chunk_bytes, 1));
+    for (size_t done = 0; done < n;) {
+        size_t take = std::min(n - done, scratch.size());
+        if (!readChunked(f, scratch.data(), take, take, crc, err))
+            return false;
+        done += take;
+    }
+    return true;
+}
+
 /** Push buffered and kernel-cached bytes to stable storage. */
 bool
 flushAndSync(std::FILE *f)
@@ -195,7 +248,8 @@ saveCheckpoint(NerfField &field, const OccupancyGrid *occ,
 
 CheckpointError
 loadCheckpoint(NerfField &field, OccupancyGrid *occ,
-               const std::string &path)
+               const std::string &path,
+               const CheckpointStreamConfig &stream)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
@@ -230,7 +284,8 @@ loadCheckpoint(NerfField &field, OccupancyGrid *occ,
         return fail(CheckpointError::Shape);
 
     // Stage into temporaries so a mid-file failure cannot leave the
-    // field (or grid) half-loaded.
+    // field (or grid) half-loaded; payloads stream through a bounded
+    // buffer so a slow or failing disk surfaces per-chunk.
     std::vector<std::vector<float>> staged(groups.size());
     for (size_t g = 0; g < groups.size(); g++) {
         uint64_t n = 0;
@@ -239,8 +294,8 @@ loadCheckpoint(NerfField &field, OccupancyGrid *occ,
         if (n != field.groupParams(groups[g]).size())
             return fail(CheckpointError::Shape);
         staged[g].resize(n);
-        if (!readBytes(f, staged[g].data(), n * sizeof(float), &crc,
-                       err))
+        if (!readChunked(f, staged[g].data(), n * sizeof(float),
+                         stream.chunkBytes, &crc, err))
             return fail(err);
     }
 
@@ -252,8 +307,9 @@ loadCheckpoint(NerfField &field, OccupancyGrid *occ,
         if (cells != occ->numCells())
             return fail(CheckpointError::Shape);
         staged_density.resize(cells);
-        if (!readBytes(f, staged_density.data(), cells * sizeof(float),
-                       &crc, err))
+        if (!readChunked(f, staged_density.data(),
+                         cells * sizeof(float), stream.chunkBytes,
+                         &crc, err))
             return fail(err);
     } else if (file_has_occ && with_crc) {
         // No grid wanted, but the CRC covers the whole payload: read
@@ -261,15 +317,9 @@ loadCheckpoint(NerfField &field, OccupancyGrid *occ,
         uint64_t cells = 0;
         if (!readBytes(f, &cells, sizeof(cells), &crc, err))
             return fail(err);
-        std::vector<float> chunk(1u << 16);
-        for (uint64_t done = 0; done < cells;) {
-            uint64_t take =
-                std::min<uint64_t>(cells - done, chunk.size());
-            if (!readBytes(f, chunk.data(), take * sizeof(float), &crc,
-                           err))
-                return fail(err);
-            done += take;
-        }
+        if (!skipChunked(f, cells * sizeof(float), stream.chunkBytes,
+                         &crc, err))
+            return fail(err);
     }
 
     if (with_crc) {

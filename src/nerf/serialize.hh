@@ -61,6 +61,21 @@ CheckpointError saveCheckpoint(NerfField &field, const OccupancyGrid *occ,
                                const std::string &path);
 
 /**
+ * Tuning for the streaming load path. Payload sections (parameter
+ * groups, occupancy densities) are pulled through a bounded buffer of
+ * `chunkBytes`, feeding the CRC incrementally, instead of one fread
+ * per section -- so the loader's transient working set stays bounded
+ * and a slow or failing disk surfaces per-chunk (fault points
+ * `checkpoint.stream_short_read` / `checkpoint.stream_stall`).
+ */
+struct CheckpointStreamConfig
+{
+    /** Bounded-buffer size per payload read; 0 means "whole section
+     *  in one read" (the legacy staged loader's I/O pattern). */
+    size_t chunkBytes = 256u * 1024u;
+};
+
+/**
  * Load a checkpoint into a field (and, if `occ` is non-null, an
  * occupancy grid) constructed with the *same* configuration. The field
  * and grid are left unmodified in every failure case. A checkpoint's
@@ -68,9 +83,16 @@ CheckpointError saveCheckpoint(NerfField &field, const OccupancyGrid *occ,
  * passes an occupancy grid requires the file to carry one at the same
  * resolution, since serving with a different skipping pattern would
  * change rendered bits). Reads versions 2 (no CRC) and 3.
+ *
+ * Payload bytes stream through a bounded buffer (see
+ * CheckpointStreamConfig); restored params are bit-identical for any
+ * chunk size. Section-staged: commits to the field/grid only after
+ * the whole file (including CRC) has verified.
  */
 CheckpointError loadCheckpoint(NerfField &field, OccupancyGrid *occ,
-                               const std::string &path);
+                               const std::string &path,
+                               const CheckpointStreamConfig &stream =
+                                   CheckpointStreamConfig{});
 
 /** Serialize all trainable parameters (no occupancy section). */
 CheckpointError saveField(NerfField &field, const std::string &path);

@@ -77,7 +77,9 @@ struct RenderService::Pending
 RenderService::RenderService(SceneRegistry &scene_registry,
                              const RenderServiceConfig &service_config)
     : registry(scene_registry), cfg(service_config),
-      cache(static_cast<size_t>(std::max(0, service_config.cacheTiles)))
+      cache(static_cast<size_t>(std::max(0, service_config.cacheTiles)),
+            static_cast<size_t>(
+                std::max(0LL, service_config.cacheBytes)))
 {
     fatalIf(cfg.tilePixels < 1, "tilePixels must be positive");
     fatalIf(cfg.chunkRays < 1, "chunkRays must be positive");
@@ -138,12 +140,30 @@ RenderService::submit(const RenderRequest &request)
         return future;
     }
 
-    ServedScenePtr scene = registry.acquire(request.sceneId);
-    if (!scene) {
+    // Capacity-aware acquire: a warm scene is pinned by this request's
+    // shared_ptr for its whole lifetime (eviction can never drop an
+    // in-flight render); a cold scene answers ColdStart immediately --
+    // the acquire itself begins (or joins) the single-flight reload --
+    // so no client or router dispatcher thread ever blocks on a
+    // checkpoint load here.
+    AcquireOutcome acq = registry.acquireOrLoad(request.sceneId);
+    if (acq.state == SceneState::Absent) {
         statUnknownScene.fetch_add(1, std::memory_order_relaxed);
         completeNow(promise, RequestStatus::UnknownScene, 0);
         return future;
     }
+    if (acq.state == SceneState::Quarantined) {
+        statSceneUnavailable.fetch_add(1, std::memory_order_relaxed);
+        completeNow(promise, RequestStatus::SceneUnavailable, 0);
+        return future;
+    }
+    if (!acq.scene) { // Cold or Loading: reload in flight.
+        statColdStart.fetch_add(1, std::memory_order_relaxed);
+        completeNow(promise, RequestStatus::ColdStart,
+                    acq.retryAfterMs);
+        return future;
+    }
+    ServedScenePtr scene = std::move(acq.scene);
 
     // Snap the camera onto the quantization lattice up front: the
     // snapped camera is what gets rendered AND what keys the cache, so
@@ -266,7 +286,27 @@ RenderService::submit(const RenderRequest &request)
 RenderResponse
 RenderService::render(const RenderRequest &request)
 {
-    return submit(request).get();
+    const double t0 = now();
+    RenderResponse resp = submit(request).get();
+    // Blocking callers absorb cold starts: wait for the single-flight
+    // reload (bounded by the deadline when one is set, else until the
+    // load settles) and resubmit. The attempt cap only guards against
+    // a scene that keeps getting re-evicted between warm-up and
+    // resubmission under extreme budget pressure.
+    for (int attempt = 0;
+         resp.status == RequestStatus::ColdStart && attempt < 4;
+         attempt++) {
+        double wait_ms = 0.0; // 0 = until the load settles
+        if (request.deadlineMs > 0.0) {
+            wait_ms = request.deadlineMs - (now() - t0) * 1000.0;
+            if (wait_ms <= 0.0)
+                break;
+        }
+        if (!registry.awaitWarm(request.sceneId, wait_ms))
+            break;
+        resp = submit(request).get();
+    }
+    return resp;
 }
 
 void
@@ -523,6 +563,10 @@ RenderService::stats() const
         statUnknownScene.load(std::memory_order_relaxed);
     s.requestsBadRequest =
         statBadRequest.load(std::memory_order_relaxed);
+    s.requestsColdStart =
+        statColdStart.load(std::memory_order_relaxed);
+    s.requestsSceneUnavailable =
+        statSceneUnavailable.load(std::memory_order_relaxed);
     s.tilesRendered = statTilesRendered.load(std::memory_order_relaxed);
     s.tilesFromCache = statTilesCached.load(std::memory_order_relaxed);
     s.raysRendered = statRays.load(std::memory_order_relaxed);

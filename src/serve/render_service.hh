@@ -88,6 +88,14 @@ struct RenderServiceConfig
     int cacheTiles = 0;
 
     /**
+     * LRU tile-cache byte budget (pixel payload); 0 = unbounded.
+     * Tiles vary ~64x in size across roi/tier combinations, so a
+     * count cap alone cannot bound memory -- the byte budget is the
+     * primary bound and cacheTiles stays as a secondary entry cap.
+     */
+    long long cacheBytes = 0;
+
+    /**
      * Base retry-after hint (ms) attached to rejected requests. The
      * hint in the response is load-proportional: base scaled by
      * outstanding tiles over maxQueueTiles (at least the base).
@@ -143,7 +151,14 @@ class RenderService
      */
     std::future<RenderResponse> submit(const RenderRequest &request);
 
-    /** Blocking convenience wrapper: submit() and wait. */
+    /**
+     * Blocking convenience wrapper: submit() and wait. A ColdStart
+     * answer (scene evicted, single-flight reload begun) is absorbed
+     * here: the call waits for the reload -- bounded by the request's
+     * deadline when one is set, else until the load settles -- and
+     * resubmits, so blocking callers see Ok/terminal statuses only
+     * unless the deadline ran out while the scene was still cold.
+     */
     RenderResponse render(const RenderRequest &request);
 
     /** Eagerly drop a scene's cached tiles (any generation). */
@@ -229,7 +244,8 @@ class RenderService
     // snapshot for monitoring).
     std::atomic<uint64_t> statAccepted{0}, statCompleted{0},
         statRejected{0}, statDeadline{0}, statUnknownScene{0},
-        statBadRequest{0}, statTilesRendered{0}, statTilesCached{0},
+        statBadRequest{0}, statColdStart{0}, statSceneUnavailable{0},
+        statTilesRendered{0}, statTilesCached{0},
         statRays{0}, statChunks{0}, statCrossChunks{0},
         statQueueHighwater{0};
     std::atomic<uint64_t> statDegraded{0}, statAdmissionDegraded{0},

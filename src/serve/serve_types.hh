@@ -123,6 +123,10 @@ enum class RequestStatus : uint8_t
     UnknownScene,     //!< Scene id not registered.
     BadRequest,       //!< Malformed camera or out-of-bounds region.
     Shutdown,         //!< Service destroyed while the request was queued.
+    ColdStart,        //!< Scene evicted; reload begun -- retry after
+                      //!< retryAfterMs (or fail over to a warm replica).
+    SceneUnavailable, //!< Scene quarantined (structurally-bad
+                      //!< checkpoint); retrying here cannot succeed.
 };
 
 /** One render request against a registered scene. */
@@ -167,8 +171,10 @@ struct RenderResponse
     double totalMs = 0.0;   //!< Submission -> completion.
 
     /**
-     * Backoff hint when status == Rejected, scaled by the admission
-     * queue's current load (deeper queue -> longer hint).
+     * Backoff hint when status == Rejected (scaled by the admission
+     * queue's current load: deeper queue -> longer hint) or ColdStart
+     * (scaled by the registry's observed load time and reload-queue
+     * depth: a load-aware "come back when it's plausibly warm").
      */
     int retryAfterMs = 0;
 
@@ -192,6 +198,10 @@ struct ServeStats
     uint64_t requestsDeadlineExceeded = 0;
     uint64_t requestsUnknownScene = 0;
     uint64_t requestsBadRequest = 0;
+    /** Requests answered ColdStart (scene evicted, reload in flight). */
+    uint64_t requestsColdStart = 0;
+    /** Requests answered SceneUnavailable (quarantined checkpoint). */
+    uint64_t requestsSceneUnavailable = 0;
     uint64_t tilesRendered = 0;
     uint64_t tilesFromCache = 0;
     uint64_t raysRendered = 0;
@@ -226,6 +236,9 @@ enum class ShardOutcome : uint8_t
     Timeout,  //!< No response within the per-attempt shard timeout.
     Failed,   //!< Dispatch failed (shard error / draining / dead).
     Crashed,  //!< Shard stopped while the request was on it.
+    /** Shard is reloading the (evicted) scene: fail over to a warm
+     *  replica, breaker-neutral -- a cold cache is not a sick shard. */
+    ColdStart,
 };
 
 /**
@@ -268,6 +281,7 @@ struct ShardStats
     uint64_t breakerOpens = 0;     //!< Closed/HalfOpen -> Open.
     uint64_t breakerHalfOpens = 0; //!< Open -> HalfOpen.
     uint64_t breakerCloses = 0;    //!< HalfOpen -> Closed.
+    uint64_t coldStarts = 0;       //!< ColdStart outcomes from here.
 };
 
 /** Cumulative fleet counters (ShardRouter::fleetStats snapshot). */
@@ -282,6 +296,8 @@ struct FleetStats
     uint64_t shardsDrained = 0;
     /** Requests answered Rejected because no live replica was usable. */
     uint64_t noReplicaAvailable = 0;
+    /** Failovers taken because the placed replica was cold-starting. */
+    uint64_t coldStartFailovers = 0;
     std::vector<ShardStats> shards;
 };
 

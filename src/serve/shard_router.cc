@@ -41,6 +41,9 @@ constexpr auto pollInterval = std::chrono::microseconds(300);
  */
 struct ShardRouter::Shard
 {
+    explicit Shard(const SceneRegistryConfig &registry_config)
+        : registry(registry_config) {}
+
     SceneRegistry registry;
     std::unique_ptr<RenderService> service;
 
@@ -54,7 +57,7 @@ struct ShardRouter::Shard
 
     std::atomic<uint64_t> nDispatched{0}, nServed{0}, nFailed{0},
         nRejected{0}, nTimeouts{0}, nBreakerOpens{0},
-        nBreakerHalfOpens{0}, nBreakerCloses{0};
+        nBreakerHalfOpens{0}, nBreakerCloses{0}, nColdStarts{0};
 };
 
 /** One routed request waiting for a dispatcher. */
@@ -102,7 +105,7 @@ ShardRouter::ShardRouter(const ShardRouterConfig &router_config)
 
     shards.reserve(static_cast<size_t>(cfg.numShards));
     for (int s = 0; s < cfg.numShards; s++) {
-        auto shard = std::make_unique<Shard>();
+        auto shard = std::make_unique<Shard>(cfg.registry);
         shard->service = std::make_unique<RenderService>(
             shard->registry, cfg.shard);
         shards.push_back(std::move(shard));
@@ -257,6 +260,7 @@ ShardRouter::recordOutcome(int s, ShardOutcome outcome)
     case ShardOutcome::Timeout: shard.nTimeouts.fetch_add(1); break;
     case ShardOutcome::Failed:
     case ShardOutcome::Crashed: shard.nFailed.fetch_add(1); break;
+    case ShardOutcome::ColdStart: shard.nColdStarts.fetch_add(1); break;
     }
 
     std::lock_guard<std::mutex> lock(shard.mtx);
@@ -273,6 +277,11 @@ ShardRouter::recordOutcome(int s, ShardOutcome outcome)
         // Backpressure is breaker-neutral: a busy shard is not a sick
         // shard. A rejected half-open probe neither closes nor reopens
         // the breaker -- the next candidate pass probes again.
+        break;
+    case ShardOutcome::ColdStart:
+        // Breaker-neutral for the same reason: a shard reloading an
+        // evicted scene is healthy, just cold for this scene. The
+        // router fails over; the reload proceeds in the background.
         break;
     case ShardOutcome::Timeout:
     case ShardOutcome::Failed:
@@ -381,6 +390,12 @@ classify(const RenderResponse &resp)
     // UnknownScene from a *placed* replica is a placement anomaly,
     // not a client error: fail over to a replica that has the scene.
     case RequestStatus::UnknownScene: return ShardOutcome::Failed;
+    // The replica evicted the scene and is reloading it: fail over to
+    // a warm replica, breaker-neutral.
+    case RequestStatus::ColdStart: return ShardOutcome::ColdStart;
+    // Quarantined checkpoint on that replica: another replica's copy
+    // (shared canonical model or its own file) may still serve it.
+    case RequestStatus::SceneUnavailable: return ShardOutcome::Failed;
     // Client-terminal statuses pass through; the shard answered, so
     // they are health-neutral Ok outcomes for the breaker.
     case RequestStatus::BadRequest:
@@ -438,6 +453,10 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
     uint32_t tried = 0;
     int attempts = 0;
     bool hedged = false;
+    // Largest load-aware hint seen from a cold replica: if every
+    // replica turns out cold, the client's Rejected carries a "come
+    // back when a reload has plausibly finished" backoff.
+    int cold_hint = 0;
     std::vector<Dispatch> active; // 1 primary + at most 1 hedge.
     active.reserve(2);
 
@@ -457,8 +476,9 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
             // (Re-)dispatch. Attempt k >= 2 backs off exponentially,
             // truncated to the remaining deadline.
             if (attempts >= cfg.maxAttempts)
-                return statusResponse(RequestStatus::Rejected, submit_t,
-                                      cfg.shard.retryAfterMs);
+                return statusResponse(
+                    RequestStatus::Rejected, submit_t,
+                    std::max(cfg.shard.retryAfterMs, cold_hint));
             if (attempts > 0 && cfg.retryBackoffMs > 0) {
                 double backoff =
                     (cfg.retryBackoffMs << (attempts - 1)) / 1e3;
@@ -489,8 +509,9 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
             }
             if (s < 0) {
                 statNoReplica.fetch_add(1);
-                return statusResponse(RequestStatus::Rejected, submit_t,
-                                      cfg.shard.retryAfterMs);
+                return statusResponse(
+                    RequestStatus::Rejected, submit_t,
+                    std::max(cfg.shard.retryAfterMs, cold_hint));
             }
             tried |= 1u << s;
             if (attempts > 0) {
@@ -519,6 +540,12 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
                 recordOutcome(d.shard, outcome);
                 if (outcome == ShardOutcome::Crashed)
                     crashShard(d.shard, true);
+                if (outcome == ShardOutcome::ColdStart) {
+                    // The replica began (or joined) its reload when it
+                    // answered; the failover below goes to a warm one.
+                    statColdStartFailovers.fetch_add(1);
+                    cold_hint = std::max(cold_hint, resp.retryAfterMs);
+                }
                 if (requestTerminal(resp)) {
                     if (d.hedge)
                         statHedgesWon.fetch_add(1);
@@ -645,6 +672,12 @@ ShardRouter::shardService(int s) const
     return *shards[static_cast<size_t>(s)]->service;
 }
 
+SceneRegistry &
+ShardRouter::shardRegistry(int s)
+{
+    return shards[static_cast<size_t>(s)]->registry;
+}
+
 BreakerState
 ShardRouter::breakerState(int s) const
 {
@@ -716,6 +749,7 @@ ShardRouter::fleetStats() const
     fs.shardsCrashed = statCrashes.load();
     fs.shardsDrained = statDrains.load();
     fs.noReplicaAvailable = statNoReplica.load();
+    fs.coldStartFailovers = statColdStartFailovers.load();
 
     std::vector<size_t> sceneCounts(shards.size(), 0);
     {
@@ -744,6 +778,7 @@ ShardRouter::fleetStats() const
         ss.breakerOpens = shard.nBreakerOpens.load();
         ss.breakerHalfOpens = shard.nBreakerHalfOpens.load();
         ss.breakerCloses = shard.nBreakerCloses.load();
+        ss.coldStarts = shard.nColdStarts.load();
     }
     return fs;
 }

@@ -78,6 +78,15 @@ struct ShardRouterConfig
     RenderServiceConfig shard;
 
     /**
+     * Per-shard registry capacity policy (byte budget, loader cap).
+     * With a budget set, each shard evicts its own LRU scenes and
+     * cold-starts them back on demand; the router fails requests over
+     * to a warm replica while a cold one reloads. Defaults to
+     * unlimited (the pre-capacity fleet behavior).
+     */
+    SceneRegistryConfig registry;
+
+    /**
      * Router dispatcher threads. Each in-flight routed request
      * occupies one dispatcher for its whole retry/hedge state machine,
      * so this bounds router-level concurrency (shard-level concurrency
@@ -182,6 +191,10 @@ class ShardRouter
     /** The shard's service, for stats and tests; never null. */
     const RenderService &shardService(int s) const;
 
+    /** The shard's registry (capacity stats, manual eviction -- an
+     *  ops/test seam; placement itself stays router-driven). */
+    SceneRegistry &shardRegistry(int s);
+
     FleetStats fleetStats() const;
 
   private:
@@ -218,7 +231,8 @@ class ShardRouter
 
     std::atomic<uint64_t> statRouted{0}, statFailovers{0},
         statRetries{0}, statHedgesIssued{0}, statHedgesWon{0},
-        statCrashes{0}, statDrains{0}, statNoReplica{0};
+        statCrashes{0}, statDrains{0}, statNoReplica{0},
+        statColdStartFailovers{0};
 };
 
 } // namespace instant3d

@@ -33,9 +33,21 @@ TileCache::insert(const TileKey &key, std::vector<Vec3> pixels)
         return;
     }
     lru.emplace_front(key, std::move(pixels));
+    bytesHeld += entryBytes(lru.front());
     index[key] = lru.begin();
     insertions++;
-    while (lru.size() > capacity) {
+    evictOverflowLocked();
+}
+
+void
+TileCache::evictOverflowLocked()
+{
+    // Evict while over either bound. An over-budget lone tile evicts
+    // itself (holding one tile past the byte budget would defeat it).
+    while (!lru.empty() &&
+           (lru.size() > capacity ||
+            (maxBytes > 0 && bytesHeld > maxBytes))) {
+        bytesHeld -= entryBytes(lru.back());
         index.erase(lru.back().first);
         lru.pop_back();
         evictions++;
@@ -48,6 +60,7 @@ TileCache::invalidateScene(const std::string &scene_id)
     std::lock_guard<std::mutex> lock(mtx);
     for (auto it = lru.begin(); it != lru.end();) {
         if (it->first.sceneId == scene_id) {
+            bytesHeld -= entryBytes(*it);
             index.erase(it->first);
             it = lru.erase(it);
             invalidated++;
@@ -63,6 +76,7 @@ TileCache::clear()
     std::lock_guard<std::mutex> lock(mtx);
     lru.clear();
     index.clear();
+    bytesHeld = 0;
 }
 
 TileCache::Stats
@@ -77,6 +91,8 @@ TileCache::stats() const
     s.invalidated = invalidated;
     s.entries = lru.size();
     s.capacity = capacity;
+    s.bytesHeld = bytesHeld;
+    s.maxBytes = maxBytes;
     return s;
 }
 

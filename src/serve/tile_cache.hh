@@ -81,12 +81,18 @@ struct TileKeyHash
 /**
  * Thread-safe LRU over rendered tile pixel blocks. Capacity 0 disables
  * the cache entirely (every lookup misses, inserts are dropped).
+ *
+ * Two bounds evict together: `max_bytes` caps the held pixel payload
+ * (tiles vary ~64x in size across roi/tier combinations, so a count
+ * cap alone cannot bound memory) and `capacity_tiles` stays as a
+ * secondary entry-count cap. max_bytes == 0 means "no byte bound". A
+ * single tile larger than max_bytes is not retained at all.
  */
 class TileCache
 {
   public:
-    explicit TileCache(size_t capacity_tiles)
-        : capacity(capacity_tiles) {}
+    explicit TileCache(size_t capacity_tiles, size_t max_bytes = 0)
+        : capacity(capacity_tiles), maxBytes(max_bytes) {}
 
     /**
      * Copy the cached pixels for `key` into `out` (resized to w*h,
@@ -112,6 +118,8 @@ class TileCache
         uint64_t invalidated = 0;
         size_t entries = 0;
         size_t capacity = 0;
+        size_t bytesHeld = 0; //!< Pixel payload currently resident.
+        size_t maxBytes = 0;  //!< Byte budget (0 = unbounded).
     };
 
     Stats stats() const;
@@ -119,7 +127,14 @@ class TileCache
   private:
     using Entry = std::pair<TileKey, std::vector<Vec3>>;
 
+    static size_t entryBytes(const Entry &e)
+    { return e.second.size() * sizeof(Vec3); }
+
+    void evictOverflowLocked();
+
     size_t capacity;
+    size_t maxBytes;
+    size_t bytesHeld = 0;
     mutable std::mutex mtx;
     std::list<Entry> lru; //!< Front = most recently used.
     std::unordered_map<TileKey, std::list<Entry>::iterator, TileKeyHash>

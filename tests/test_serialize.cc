@@ -524,5 +524,148 @@ TEST(SerializeTest, InjectedShortReadReportsIo)
     std::remove(path.c_str());
 }
 
+// ---- Streaming loader ----------------------------------------------------
+
+/**
+ * The streaming path must be a pure I/O-pattern change: restored
+ * params and densities are bit-identical to the one-read-per-section
+ * staged loader for any chunk size, aligned or not.
+ */
+TEST(SerializeTest, StreamedLoadBitIdenticalForAnyChunkSize)
+{
+    NerfField source(tinyField(), 1);
+    OccupancyGridConfig ocfg;
+    OccupancyGrid grid(ocfg);
+    for (size_t c = 0; c < grid.numCells(); c++)
+        grid.setCellDensity(c, 0.25f + 0.001f * static_cast<float>(c % 97));
+    const std::string path = "test_serialize_stream.bin";
+    ASSERT_EQ(saveCheckpoint(source, &grid, path),
+              CheckpointError::None);
+
+    // Reference: the legacy staged I/O pattern (whole section per read).
+    NerfField staged_dest(tinyField(), 2);
+    OccupancyGrid staged_grid(ocfg);
+    CheckpointStreamConfig whole;
+    whole.chunkBytes = 0;
+    ASSERT_EQ(loadCheckpoint(staged_dest, &staged_grid, path, whole),
+              CheckpointError::None);
+    auto expect = snapshotParams(staged_dest);
+    expectParamsEqual(staged_dest, snapshotParams(source));
+
+    for (size_t chunk : {size_t(7), size_t(4096), size_t(1) << 20}) {
+        NerfField dest(tinyField(), 3);
+        OccupancyGrid dgrid(ocfg);
+        CheckpointStreamConfig scfg;
+        scfg.chunkBytes = chunk;
+        ASSERT_EQ(loadCheckpoint(dest, &dgrid, path, scfg),
+                  CheckpointError::None)
+            << "chunk " << chunk;
+        expectParamsEqual(dest, expect);
+        for (size_t c = 0; c < grid.numCells(); c++)
+            ASSERT_EQ(dgrid.cellDensity(c), staged_grid.cellDensity(c))
+                << "chunk " << chunk << " cell " << c;
+    }
+    std::remove(path.c_str());
+}
+
+/**
+ * The acceptance-criteria read-side sweep (mirror of
+ * KilledSaveNeverCorruptsTarget): enumerate every chunk read with the
+ * never-count mode, then kill the load at each one. Every failure
+ * must report Io and leave the destination field and grid untouched.
+ * The metadata reads (header, group counts, CRC word) get the same
+ * sweep through the legacy checkpoint.short_read point.
+ */
+TEST(SerializeTest, KilledStreamLoadNeverTouchesDestination)
+{
+    FaultGuard guard;
+    NerfField source(tinyField(), 1);
+    OccupancyGridConfig ocfg;
+    OccupancyGrid grid(ocfg);
+    for (size_t c = 0; c < grid.numCells(); c++)
+        grid.setCellDensity(c, 0.5f);
+    const std::string path = "test_serialize_streamkill.bin";
+    ASSERT_EQ(saveCheckpoint(source, &grid, path),
+              CheckpointError::None);
+
+    CheckpointStreamConfig scfg;
+    scfg.chunkBytes = 16384;
+
+    // Enumerate both read families in counting-only mode.
+    fault::Spec count_only;
+    count_only.mode = fault::Mode::Never;
+    fault::arm(fault::Point::CheckpointStreamShortRead, count_only);
+    fault::arm(fault::Point::CheckpointShortRead, count_only);
+    {
+        NerfField probe(tinyField(), 4);
+        OccupancyGrid pgrid(ocfg);
+        ASSERT_EQ(loadCheckpoint(probe, &pgrid, path, scfg),
+                  CheckpointError::None);
+    }
+    const uint64_t chunk_reads =
+        fault::hitCount(fault::Point::CheckpointStreamShortRead);
+    const uint64_t meta_reads =
+        fault::hitCount(fault::Point::CheckpointShortRead);
+    ASSERT_GE(chunk_reads, 2u);
+    ASSERT_GE(meta_reads, 3u); // header + >=1 group count + CRC word
+    fault::disarmAll();
+
+    NerfField dest(tinyField(), 5);
+    OccupancyGrid dgrid(ocfg);
+    for (size_t c = 0; c < dgrid.numCells(); c++)
+        dgrid.setCellDensity(c, 7.0f);
+    const auto before = snapshotParams(dest);
+
+    auto sweep = [&](fault::Point point, uint64_t sites) {
+        for (uint64_t k = 1; k <= sites; k++) {
+            fault::resetCounts();
+            fault::Spec kill;
+            kill.mode = fault::Mode::OneShot;
+            kill.n = k;
+            fault::arm(point, kill);
+            EXPECT_EQ(loadCheckpoint(dest, &dgrid, path, scfg),
+                      CheckpointError::Io)
+                << fault::pointName(point) << " site " << k;
+            expectParamsEqual(dest, before);
+            for (size_t c = 0; c < dgrid.numCells(); c++)
+                ASSERT_EQ(dgrid.cellDensity(c), 7.0f)
+                    << fault::pointName(point) << " site " << k;
+            fault::disarm(point);
+        }
+    };
+    sweep(fault::Point::CheckpointStreamShortRead, chunk_reads);
+    sweep(fault::Point::CheckpointShortRead, meta_reads);
+
+    // With faults gone the same destination loads clean.
+    ASSERT_EQ(loadCheckpoint(dest, &dgrid, path, scfg),
+              CheckpointError::None);
+    expectParamsEqual(dest, snapshotParams(source));
+    std::remove(path.c_str());
+}
+
+/** stream_stall delays each payload chunk but never changes bits. */
+TEST(SerializeTest, StreamStallDelaysChunksWithoutCorruption)
+{
+    FaultGuard guard;
+    NerfField source(tinyField(), 1);
+    const std::string path = "test_serialize_streamstall.bin";
+    ASSERT_EQ(saveField(source, path), CheckpointError::None);
+
+    fault::Spec stall;
+    stall.mode = fault::Mode::Always;
+    stall.delayMs = 1;
+    fault::arm(fault::Point::CheckpointStreamStall, stall);
+
+    NerfField dest(tinyField(), 2);
+    CheckpointStreamConfig scfg;
+    scfg.chunkBytes = size_t(1) << 16;
+    ASSERT_EQ(loadCheckpoint(dest, nullptr, path, scfg),
+              CheckpointError::None);
+    EXPECT_GE(fault::fireCount(fault::Point::CheckpointStreamStall),
+              1u);
+    expectParamsEqual(dest, snapshotParams(source));
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace instant3d

@@ -490,5 +490,69 @@ TEST_F(ShardRouterTest, DestructionResolvesOutstandingFutures)
     }
 }
 
+TEST_F(ShardRouterTest, ColdReplicaFailsOverToWarmWithoutBreakerTrip)
+{
+    FaultGuard guard;
+    const std::string path = "test_shard_router_cold.bin";
+    ASSERT_EQ(legoTrainer->saveCheckpoint(path),
+              CheckpointError::None);
+
+    SceneSpec spec;
+    spec.field = legoTrainer->field().config();
+    spec.renderer = legoTrainer->renderer().config();
+    spec.useOccupancy = true;
+    spec.occupancy = legoTrainer->occupancyGrid()->config();
+    spec.loadRetryBackoffMs = 1;
+
+    ShardRouter router(fleetConfig(4, 2));
+    ASSERT_GT(router.addSceneFromCheckpoint("lego", spec, path), 0u);
+
+    CameraSpec cam = latticeCamera();
+    Image expect = legoTrainer->renderImage(cam.makeCamera());
+
+    // Evict the scene from the replica the camera's rotation prefers,
+    // and stretch its reload so the request definitely arrives while
+    // the replica is still cold.
+    std::vector<int> order = router.placement("lego");
+    ASSERT_EQ(order.size(), 2u);
+    const int cold_shard = order[cam.hashKey() % order.size()];
+    fault::Spec stall;
+    stall.mode = fault::Mode::Always;
+    stall.delayMs = 20;
+    fault::arm(fault::Point::CheckpointStreamStall, stall);
+    ASSERT_TRUE(router.shardRegistry(cold_shard).evictScene("lego"));
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = cam;
+    RenderResponse resp = router.render(req);
+
+    // The cold replica answered ColdStart (kicking off its reload) and
+    // the router failed over to the warm replica: the client sees only
+    // Ok, bit-identical pixels.
+    ASSERT_EQ(resp.status, RequestStatus::Ok);
+    expectImagesEqual(resp.image, expect);
+    FleetStats fs = router.fleetStats();
+    EXPECT_GE(fs.coldStartFailovers, 1u);
+    EXPECT_GE(fs.shards[static_cast<size_t>(cold_shard)].coldStarts,
+              1u);
+    // A cold start is not a shard failure: the breaker stays Closed.
+    EXPECT_EQ(router.breakerState(cold_shard), BreakerState::Closed);
+
+    // The ColdStart answer began the reload; once the stall is gone
+    // the replica warms back under the same generation and serves the
+    // same bits directly.
+    fault::disarmAll();
+    ASSERT_NE(router.shardRegistry(cold_shard).awaitWarm("lego",
+                                                         30000.0),
+              nullptr);
+    EXPECT_EQ(router.shardRegistry(cold_shard).state("lego"),
+              SceneState::Warm);
+    RenderResponse warm = router.render(req);
+    ASSERT_EQ(warm.status, RequestStatus::Ok);
+    expectImagesEqual(warm.image, expect);
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace instant3d

@@ -175,5 +175,102 @@ TEST(TileCacheTest, ClearEmptiesEverything)
     EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+// ---- Byte budget ---------------------------------------------------------
+
+/** A tile of `pixels` Vec3s (tiles vary in size across roi/tier). */
+std::vector<Vec3>
+sizedTile(size_t pixels, float v)
+{
+    return std::vector<Vec3>(pixels, Vec3{v, v, v});
+}
+
+TEST(TileCacheTest, ByteBudgetEvictsLruBeforeCountCap)
+{
+    // Count cap 100 (never binding); budget fits three 16-pixel tiles.
+    TileCache cache(100, 3 * 16 * sizeof(Vec3));
+    for (int x = 0; x < 3; x++)
+        cache.insert(makeKey("lego", 1, x), sizedTile(16, 0.1f * x));
+
+    TileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_EQ(stats.bytesHeld, 3 * 16 * sizeof(Vec3));
+    EXPECT_EQ(stats.maxBytes, 3 * 16 * sizeof(Vec3));
+
+    // Touch tile 0, then overflow by bytes: tile 1 (LRU) must go even
+    // though the entry count is far under capacity.
+    std::vector<Vec3> out;
+    ASSERT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+    cache.insert(makeKey("lego", 1, 3), sizedTile(16, 0.9f));
+
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 1), out));
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 2), out));
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 3), out));
+    stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.bytesHeld, 3 * 16 * sizeof(Vec3));
+}
+
+TEST(TileCacheTest, OneLargeTileEvictsManySmall)
+{
+    TileCache cache(100, 64 * sizeof(Vec3));
+    for (int x = 0; x < 4; x++)
+        cache.insert(makeKey("lego", 1, x), sizedTile(16, 0.1f));
+    EXPECT_EQ(cache.stats().entries, 4u);
+
+    // A 48-pixel tile displaces three 16-pixel tiles at once.
+    cache.insert(makeKey("lego", 1, 9), sizedTile(48, 0.9f));
+    TileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 3u);
+    EXPECT_LE(stats.bytesHeld, stats.maxBytes);
+}
+
+TEST(TileCacheTest, OversizedLoneTileIsNotRetained)
+{
+    TileCache cache(100, 16 * sizeof(Vec3));
+    cache.insert(makeKey("lego", 1, 0), sizedTile(32, 0.5f));
+
+    // Holding one tile past the byte budget would defeat the budget:
+    // the over-sized tile evicts itself immediately.
+    std::vector<Vec3> out;
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 0), out));
+    TileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytesHeld, 0u);
+    EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(TileCacheTest, BytesHeldTracksInvalidationAndClear)
+{
+    TileCache cache(100, 0); // no byte bound; accounting still runs
+    cache.insert(makeKey("lego", 1, 0), sizedTile(16, 0.1f));
+    cache.insert(makeKey("lego", 2, 0), sizedTile(32, 0.2f));
+    cache.insert(makeKey("materials", 1, 0), sizedTile(8, 0.3f));
+    EXPECT_EQ(cache.stats().bytesHeld, (16 + 32 + 8) * sizeof(Vec3));
+
+    cache.invalidateScene("lego");
+    EXPECT_EQ(cache.stats().bytesHeld, 8 * sizeof(Vec3));
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().bytesHeld, 0u);
+}
+
+TEST(TileCacheTest, CountCapStillBindsUnderLooseByteBudget)
+{
+    // Byte budget is generous; the entry-count cap stays the binding
+    // secondary bound.
+    TileCache cache(2, 1 << 20);
+    for (int x = 0; x < 3; x++)
+        cache.insert(makeKey("lego", 1, x), sizedTile(16, 0.1f * x));
+
+    std::vector<Vec3> out;
+    EXPECT_FALSE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 1), out));
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 2), out));
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().bytesHeld, 2 * 16 * sizeof(Vec3));
+}
+
 } // namespace
 } // namespace instant3d
