@@ -663,6 +663,73 @@ main(int argc, char **argv)
                       : 0.0;
     double cold_start_p99_ms = percentile(cold_ms, 99);
 
+    // ------------------------------------------------- orbit phase
+    // A single paced viewer orbiting the lego scene at Preview tier
+    // with a coarse 1/64 camera lattice and speculative prefetch on:
+    // consecutive frames collapse onto shared lattice cells (cross-
+    // frame cache reuse) and the constant-velocity predictor
+    // pre-renders the next cell during the inter-frame gap. The
+    // smoke gate wants orbit_preview_hit_rate >= 0.5.
+    std::fprintf(stderr, "bench_serve: orbit phase...\n");
+    constexpr int orbit_frames = 120;
+    constexpr float orbit_lattice = 64.0f;
+    uint64_t orbit_tiles_cache = 0, orbit_tiles_rendered = 0;
+    ServeStats orbit_stats;
+    TileCache::Stats orbit_cache;
+    int orbit_workers = 0;
+    {
+        RenderServiceConfig cfg;
+        cfg.workers = 0; // auto
+        cfg.tilePixels = tile;
+        cfg.chunkRays = 2048;
+        cfg.cacheTiles = 1024;
+        cfg.cameraLattice[static_cast<int>(QualityTier::Preview)] =
+            orbit_lattice;
+        cfg.prefetch = true;
+        RenderService service(registry, cfg);
+        orbit_workers = service.workerCount();
+
+        RenderRequest req;
+        req.sceneId = "lego";
+        req.quality = QualityTier::Preview;
+        req.viewerId = "orbit";
+        for (int i = 0; i < orbit_frames; i++) {
+            double theta = 0.005 * static_cast<double>(i);
+            req.camera = servingCamera(0, image_size);
+            req.camera.eye = {
+                0.5f +
+                    0.75f * static_cast<float>(std::cos(theta)),
+                0.5f +
+                    0.75f * static_cast<float>(std::sin(theta)),
+                1.0f};
+            RenderResponse resp = service.render(req);
+            if (resp.status != RequestStatus::Ok) {
+                std::fprintf(stderr,
+                             "bench_serve: orbit render failed\n");
+                return 1;
+            }
+            orbit_tiles_cache += resp.tilesFromCache;
+            orbit_tiles_rendered += resp.tilesRendered;
+            // Frame pacing: the idle gap between frames is where the
+            // speculative tiles get rendered.
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        orbit_stats = service.stats();
+        orbit_cache = service.cacheStats();
+    }
+    double orbit_hit_rate =
+        (orbit_tiles_cache + orbit_tiles_rendered)
+            ? static_cast<double>(orbit_tiles_cache) /
+                  static_cast<double>(orbit_tiles_cache +
+                                      orbit_tiles_rendered)
+            : 0.0;
+    double prefetch_hit_rate =
+        orbit_stats.prefetchTilesRendered
+            ? static_cast<double>(orbit_stats.prefetchHits) /
+                  static_cast<double>(
+                      orbit_stats.prefetchTilesRendered)
+            : 0.0;
+
     // ------------------------------------------------------- report
     std::string json;
     char buf[2048];
@@ -886,6 +953,52 @@ main(int argc, char **argv)
         cap_reg.ewmaLoadMs);
     json += buf;
 
+    // Orbit block: cross-frame cache reuse on the coarse Preview
+    // lattice plus speculative-prefetch accounting.
+    const int pv_tier = static_cast<int>(QualityTier::Preview);
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"orbit\": {\n"
+        "    \"frames\": %d,\n"
+        "    \"workers\": %d,\n"
+        "    \"preview_lattice\": %.0f,\n"
+        "    \"tiles_from_cache\": %llu,\n"
+        "    \"tiles_rendered\": %llu,\n"
+        "    \"preview_hit_rate\": %.3f,\n"
+        "    \"cache_hits_preview\": %llu,\n"
+        "    \"cache_misses_preview\": %llu,\n"
+        "    \"prefetch\": {\n"
+        "      \"enqueued\": %llu,\n"
+        "      \"rendered\": %llu,\n"
+        "      \"cancelled\": %llu,\n"
+        "      \"insertions\": %llu,\n"
+        "      \"hits\": %llu,\n"
+        "      \"wasted\": %llu,\n"
+        "      \"hit_rate\": %.3f\n"
+        "    }\n"
+        "  },\n",
+        orbit_frames, orbit_workers,
+        static_cast<double>(orbit_lattice),
+        static_cast<unsigned long long>(orbit_tiles_cache),
+        static_cast<unsigned long long>(orbit_tiles_rendered),
+        orbit_hit_rate,
+        static_cast<unsigned long long>(
+            orbit_stats.cacheHitsPerTier[pv_tier]),
+        static_cast<unsigned long long>(
+            orbit_stats.cacheMissesPerTier[pv_tier]),
+        static_cast<unsigned long long>(
+            orbit_stats.prefetchTilesEnqueued),
+        static_cast<unsigned long long>(
+            orbit_stats.prefetchTilesRendered),
+        static_cast<unsigned long long>(
+            orbit_stats.prefetchTilesCancelled),
+        static_cast<unsigned long long>(
+            orbit_cache.prefetchInsertions),
+        static_cast<unsigned long long>(orbit_stats.prefetchHits),
+        static_cast<unsigned long long>(orbit_stats.prefetchWasted),
+        prefetch_hit_rate);
+    json += buf;
+
     json += "  \"fault_points\": {\n";
     for (int p = 0; p < fault::numPoints; p++) {
         auto point = static_cast<fault::Point>(p);
@@ -907,12 +1020,16 @@ main(int argc, char **argv)
         "    \"overload_degraded_completion\": %.3f,\n"
         "    \"fleet_kill_completion\": %.3f,\n"
         "    \"capacity_completion\": %.3f,\n"
-        "    \"cold_start_p99_ms\": %.3f\n"
+        "    \"cold_start_p99_ms\": %.3f,\n"
+        "    \"orbit_preview_hit_rate\": %.3f,\n"
+        "    \"prefetch_hit_rate\": %.3f,\n"
+        "    \"prefetch_waste\": %llu\n"
         "  }\n"
         "}\n",
         served_vs_render_image, degraded_completion_rate,
         fleet_kill_completion, capacity_completion,
-        cold_start_p99_ms);
+        cold_start_p99_ms, orbit_hit_rate, prefetch_hit_rate,
+        static_cast<unsigned long long>(orbit_stats.prefetchWasted));
     json += buf;
 
     std::fputs(json.c_str(), stdout);

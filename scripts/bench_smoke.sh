@@ -124,3 +124,23 @@ awk -v s="$capacity" 'BEGIN {
 }'
 grep -o '"cold_start_p99_ms": [0-9.]*' BENCH_serve_latency.json
 sed -n '/"capacity"/,/^  },/p' BENCH_serve_latency.json
+
+# Regression gate: the orbiting Preview viewer on the coarse 1/64
+# camera lattice must serve at least half its tiles from the
+# cross-frame tile cache (measured ~0.7 on the CI container --
+# consecutive frames collapse onto shared lattice cells and the
+# speculative prefetcher fills the next cell during frame gaps).
+# prefetch_hit_rate / prefetch_waste are recorded for trend-watching,
+# not gated -- closed-loop pacing decides how much speculation lands.
+orbit=$(grep -o '"orbit_preview_hit_rate": [0-9.]*' \
+            BENCH_serve_latency.json | awk '{print $2}')
+awk -v s="$orbit" 'BEGIN {
+    if (s == "" || s + 0 < 0.5) {
+        print "bench_smoke: FAIL orbit_preview_hit_rate=" s " < 0.5"
+        exit 1
+    }
+    print "bench_smoke: orbit_preview_hit_rate=" s " (>= 0.5 ok)"
+}'
+grep -o '"prefetch_hit_rate": [0-9.]*' BENCH_serve_latency.json
+grep -o '"prefetch_waste": [0-9]*' BENCH_serve_latency.json
+sed -n '/"orbit"/,/^  },/p' BENCH_serve_latency.json

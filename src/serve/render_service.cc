@@ -27,7 +27,8 @@ struct RenderService::Pending
     uint64_t id = 0;
     ServedScenePtr scene;
     uint64_t generation = 0;
-    CameraSpec spec; //!< Quantized.
+    CameraSpec rawSpec; //!< As submitted (pre-quantization).
+    CameraSpec spec;    //!< Quantized on the served tier's lattice.
     Camera camera;
     uint64_t cameraKey = 0;
     TileRect roi;
@@ -74,6 +75,33 @@ struct RenderService::Pending
     }
 };
 
+/**
+ * One predicted frame of one viewer, shared by its speculative tile
+ * jobs. Carries everything a render needs (the ServedScenePtr pins the
+ * model against eviction) plus the viewer epoch it was predicted at:
+ * a newer prediction for the same viewer bumps the shared epoch, which
+ * cancels still-queued tiles of this batch at dequeue.
+ */
+struct RenderService::PrefetchBatch
+{
+    ServedScenePtr scene;
+    uint64_t generation = 0;
+    CameraSpec spec; //!< Predicted, snapped on the tier's lattice.
+    Camera camera;
+    uint64_t cameraKey = 0;
+    QualityTier tier = QualityTier::Full;
+    uint64_t epoch = 0;
+    std::shared_ptr<std::atomic<uint64_t>> viewerEpoch;
+
+    explicit PrefetchBatch(const Camera &cam) : camera(cam) {}
+
+    bool
+    superseded() const
+    {
+        return viewerEpoch->load(std::memory_order_relaxed) != epoch;
+    }
+};
+
 RenderService::RenderService(SceneRegistry &scene_registry,
                              const RenderServiceConfig &service_config)
     : registry(scene_registry), cfg(service_config),
@@ -90,6 +118,18 @@ RenderService::RenderService(SceneRegistry &scene_registry,
     fatalIf(cfg.deadlineRiskFraction <= 0.0 ||
                 cfg.deadlineRiskFraction > 1.0,
             "deadlineRiskFraction must be in (0, 1]");
+    fatalIf(cfg.cameraLattice[0] != fullCameraLattice,
+            "Full-tier camera lattice is pinned to 1/4096 "
+            "(bit-identity contract)");
+    for (int t = 1; t < numQualityTiers; t++)
+        fatalIf(cfg.cameraLattice[t] <= 0.0f,
+                "camera lattice denominators must be positive");
+    fatalIf(cfg.prefetch && cfg.cacheTiles <= 0,
+            "prefetch renders into the tile cache; enable cacheTiles");
+    fatalIf(cfg.prefetch && cfg.maxPrefetchTiles < 1,
+            "maxPrefetchTiles must be positive with prefetch on");
+    fatalIf(cfg.prefetch && cfg.prefetchHistory < 2,
+            "prefetchHistory needs >= 2 specs for velocity");
     pool = std::make_unique<ThreadPool>(cfg.workers);
     workspaces.resize(pool->threadCount());
     scheduler = std::thread([this] { schedulerLoop(); });
@@ -165,10 +205,13 @@ RenderService::submit(const RenderRequest &request)
     }
     ServedScenePtr scene = std::move(acq.scene);
 
-    // Snap the camera onto the quantization lattice up front: the
-    // snapped camera is what gets rendered AND what keys the cache, so
-    // a cache hit is bit-exact for the camera actually served.
-    CameraSpec spec = request.camera.quantized();
+    // Snap the camera onto the *requested tier's* quantization lattice
+    // up front: the snapped camera is what gets rendered AND what keys
+    // the cache, so a cache hit is bit-exact for the camera actually
+    // served. If admission degrades the tier below, the spec is
+    // re-snapped from the raw camera onto the served tier's lattice.
+    CameraSpec spec = request.camera.quantized(
+        latticeFor(static_cast<int>(request.quality)));
     TileRect roi = request.roi;
     if (roi.w == 0) {
         roi = {0, 0, spec.width, spec.height};
@@ -201,8 +244,10 @@ RenderService::submit(const RenderRequest &request)
     req->id = nextRequestId.fetch_add(1, std::memory_order_relaxed);
     req->scene = std::move(scene);
     req->generation = req->scene->generation();
+    req->rawSpec = request.camera;
     req->spec = spec;
-    req->cameraKey = spec.hashKey();
+    req->cameraKey =
+        spec.hashKey(latticeFor(static_cast<int>(request.quality)));
     req->roi = roi;
     req->tier = request.quality;
     req->servedTier = static_cast<int>(request.quality);
@@ -217,6 +262,11 @@ RenderService::submit(const RenderRequest &request)
                          std::memory_order_relaxed);
     req->promise = std::move(promise);
 
+    // servedTier may be mutated by the scheduler (deadline-risk check)
+    // once the tiles are visible, so the predictor takes the admission
+    // tier captured under the lock rather than re-reading the shared
+    // field after publication.
+    int admitted_tier = req->servedTier;
     {
         std::lock_guard<std::mutex> lock(queueMtx);
         if (stopping) {
@@ -247,6 +297,13 @@ RenderService::submit(const RenderRequest &request)
                     req->minTier);
                 if (depth <= hard_cap && target > req->servedTier) {
                     req->servedTier = target;
+                    // Re-snap onto the served tier's lattice so the
+                    // rendered camera and the cache key agree with the
+                    // tier actually served.
+                    const float lat = latticeFor(target);
+                    req->spec = req->rawSpec.quantized(lat);
+                    req->cameraKey = req->rawSpec.hashKey(lat);
+                    req->camera = req->spec.makeCamera();
                     statAdmissionDegraded.fetch_add(
                         1, std::memory_order_relaxed);
                     admitted = true;
@@ -266,8 +323,19 @@ RenderService::submit(const RenderRequest &request)
                 return future;
             }
         }
-        for (const auto &t : tiles)
-            tileQueue.push_back({req, t});
+        // Two-level demand queue: deadline-bearing tiles go to the EDF
+        // level keyed by absolute deadline (one request's tiles share
+        // the key and stay contiguous), the rest keep arrival order.
+        if (req->deadlineMs > 0.0) {
+            const double deadline_at =
+                req->submitT + req->deadlineMs / 1e3;
+            for (const auto &t : tiles)
+                deadlineQueue.emplace(deadline_at,
+                                      TileJob{req, nullptr, t});
+        } else {
+            for (const auto &t : tiles)
+                fifoQueue.push_back({req, nullptr, t});
+        }
         uint64_t new_depth =
             outstandingTiles.fetch_add(tiles.size(),
                                        std::memory_order_relaxed) +
@@ -277,10 +345,128 @@ RenderService::submit(const RenderRequest &request)
                !statQueueHighwater.compare_exchange_weak(
                    hw, new_depth, std::memory_order_relaxed)) {
         }
+        admitted_tier = req->servedTier;
     }
     statAccepted.fetch_add(1, std::memory_order_relaxed);
     queueCv.notify_one();
+    maybeEnqueuePrefetch(request, req->scene, roi, admitted_tier);
     return future;
+}
+
+namespace {
+
+/** Viewer-map GC bound: least-recently-seen entries age out past it. */
+constexpr size_t kMaxTrackedViewers = 1024;
+
+bool
+specsEqual(const CameraSpec &a, const CameraSpec &b)
+{
+    auto veq = [](const Vec3 &u, const Vec3 &v) {
+        return u.x == v.x && u.y == v.y && u.z == v.z;
+    };
+    return veq(a.eye, b.eye) && veq(a.target, b.target) &&
+           veq(a.up, b.up) && a.vfovDeg == b.vfovDeg &&
+           a.width == b.width && a.height == b.height;
+}
+
+} // namespace
+
+void
+RenderService::maybeEnqueuePrefetch(const RenderRequest &request,
+                                    const ServedScenePtr &scene,
+                                    const TileRect &roi,
+                                    int served_tier)
+{
+    if (!cfg.prefetch || request.viewerId.empty())
+        return;
+
+    // Record the observation on the fine (1/4096) lattice -- tier
+    // switches must not perturb the velocity estimate -- then predict
+    // the next frame under constant velocity from the last two specs.
+    // Every observation bumps the viewer's epoch, superseding any
+    // still-queued prediction: even a viewer that stops moving
+    // invalidates the motion its old prediction extrapolated.
+    const CameraSpec seen = request.camera.quantized();
+    CameraSpec prev, last;
+    std::shared_ptr<std::atomic<uint64_t>> epoch_ptr;
+    uint64_t epoch = 0;
+    {
+        std::lock_guard<std::mutex> lock(viewerMtx);
+        ViewerState &vs = viewers[request.viewerId];
+        vs.lastTouch = ++viewerTouch;
+        vs.history.push_back(seen);
+        if (vs.history.size() >
+            static_cast<size_t>(cfg.prefetchHistory))
+            vs.history.erase(vs.history.begin());
+        epoch = vs.epoch->fetch_add(1, std::memory_order_relaxed) + 1;
+        epoch_ptr = vs.epoch;
+        if (viewers.size() > kMaxTrackedViewers) {
+            auto oldest = viewers.end();
+            for (auto it = viewers.begin(); it != viewers.end(); ++it)
+                if (it->first != request.viewerId &&
+                    (oldest == viewers.end() ||
+                     it->second.lastTouch < oldest->second.lastTouch))
+                    oldest = it;
+            if (oldest != viewers.end())
+                viewers.erase(oldest);
+        }
+        if (vs.history.size() < 2)
+            return;
+        prev = vs.history[vs.history.size() - 2];
+        last = vs.history.back();
+    }
+    if (specsEqual(prev, last))
+        return; // Static viewer: nothing to extrapolate.
+
+    CameraSpec pred = last;
+    pred.eye = last.eye + (last.eye - prev.eye);
+    pred.target = last.target + (last.target - prev.target);
+    pred.up = last.up + (last.up - prev.up);
+    pred.vfovDeg = last.vfovDeg + (last.vfovDeg - prev.vfovDeg);
+
+    const float lat = latticeFor(served_tier);
+    const CameraSpec spec = pred.quantized(lat);
+    // A prediction that lands in the current frame's lattice cell is
+    // already being rendered (and cached) by the demand request.
+    if (specsEqual(spec, request.camera.quantized(lat)))
+        return;
+
+    auto batch = std::make_shared<PrefetchBatch>(spec.makeCamera());
+    batch->scene = scene;
+    batch->generation = scene->generation();
+    batch->spec = spec;
+    batch->cameraKey = spec.hashKey(lat);
+    batch->tier = static_cast<QualityTier>(served_tier);
+    batch->epoch = epoch;
+    batch->viewerEpoch = std::move(epoch_ptr);
+
+    size_t enqueued = 0;
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        if (stopping)
+            return;
+        for (int ty = roi.y; ty < roi.y + roi.h; ty += cfg.tilePixels) {
+            int th = std::min(cfg.tilePixels, roi.y + roi.h - ty);
+            for (int tx = roi.x; tx < roi.x + roi.w;
+                 tx += cfg.tilePixels) {
+                int tw = std::min(cfg.tilePixels, roi.x + roi.w - tx);
+                prefetchQueue.push_back(
+                    {nullptr, batch, {tx, ty, tw, th}});
+                enqueued++;
+            }
+        }
+        // Bound the speculative backlog; the oldest predictions are
+        // the stalest, so they cancel first.
+        while (prefetchQueue.size() >
+               static_cast<size_t>(cfg.maxPrefetchTiles)) {
+            prefetchQueue.pop_front();
+            statPrefetchCancelled.fetch_add(1,
+                                            std::memory_order_relaxed);
+        }
+    }
+    statPrefetchEnqueued.fetch_add(enqueued,
+                                   std::memory_order_relaxed);
+    queueCv.notify_one();
 }
 
 RenderResponse
@@ -372,7 +558,8 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
 
     int off = 0;
     for (const auto &job : chunk.tiles) {
-        const Camera &cam = job.req->camera;
+        const Camera &cam =
+            job.req ? job.req->camera : job.pre->camera;
         for (int row = job.tile.y; row < job.tile.y + job.tile.h; row++)
             for (int col = job.tile.x; col < job.tile.x + job.tile.w;
                  col++)
@@ -386,6 +573,24 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
     const bool caching = cfg.cacheTiles > 0;
     off = 0;
     for (const auto &job : chunk.tiles) {
+        if (job.pre) {
+            // Speculative tile: pixels go to the cache only -- there
+            // is no pending request to answer.
+            const auto &pb = *job.pre;
+            std::vector<Vec3> pixels(static_cast<size_t>(job.tile.w) *
+                                     job.tile.h);
+            for (int py = 0; py < job.tile.h; py++)
+                for (int px = 0; px < job.tile.w; px++)
+                    pixels[static_cast<size_t>(py) * job.tile.w + px] =
+                        results[off++].color;
+            TileKey key{pb.scene->id(), pb.generation, pb.cameraKey,
+                        pb.spec, job.tile.x, job.tile.y, job.tile.w,
+                        job.tile.h, pb.tier};
+            cache.insert(key, std::move(pixels), /*prefetched=*/true);
+            statPrefetchRendered.fetch_add(1,
+                                           std::memory_order_relaxed);
+            continue;
+        }
         const auto &req = job.req;
         std::vector<Vec3> pixels;
         if (caching)
@@ -413,8 +618,14 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
         statTilesRendered.fetch_add(1, std::memory_order_relaxed);
         finishTile(req, true, false);
     }
-    statRays.fetch_add(static_cast<uint64_t>(chunk.rays),
-                       std::memory_order_relaxed);
+    // Prefetch rays are accounted separately so demand-side
+    // throughput metrics (rays/chunk) keep their meaning.
+    if (chunk.speculative)
+        statPrefetchRays.fetch_add(static_cast<uint64_t>(chunk.rays),
+                                   std::memory_order_relaxed);
+    else
+        statRays.fetch_add(static_cast<uint64_t>(chunk.rays),
+                           std::memory_order_relaxed);
 }
 
 void
@@ -426,19 +637,71 @@ RenderService::schedulerLoop()
         {
             std::unique_lock<std::mutex> lock(queueMtx);
             queueCv.wait(lock, [&] {
-                return stopping || !tileQueue.empty();
+                return stopping || !deadlineQueue.empty() ||
+                       !fifoQueue.empty() || !prefetchQueue.empty();
             });
             stop_now = stopping;
-            drained.assign(
-                std::make_move_iterator(tileQueue.begin()),
-                std::make_move_iterator(tileQueue.end()));
-            tileQueue.clear();
-            // outstandingTiles stays up: drained tiles are still
-            // in flight until finishTile() retires them.
+            if (stop_now) {
+                // Take everything: demand tiles resolve Shutdown
+                // below; speculative tiles are simply dropped.
+                for (auto &kv : deadlineQueue)
+                    drained.push_back(std::move(kv.second));
+                deadlineQueue.clear();
+                drained.insert(
+                    drained.end(),
+                    std::make_move_iterator(fifoQueue.begin()),
+                    std::make_move_iterator(fifoQueue.end()));
+                fifoQueue.clear();
+                statPrefetchCancelled.fetch_add(
+                    prefetchQueue.size(), std::memory_order_relaxed);
+                prefetchQueue.clear();
+            } else {
+                // Budget-bounded pull in priority order: the EDF level
+                // (earliest absolute deadline first) ahead of the FIFO
+                // level, so an urgent late arrival overtakes queued
+                // no-deadline tiles at the next pass. Speculative
+                // tiles dispatch only when no demand tile is queued,
+                // and at most one chunk's worth per pass so a demand
+                // arrival waits behind a single prefetch chunk at
+                // worst.
+                const long budget =
+                    static_cast<long>(pool->threadCount()) *
+                    cfg.chunkRays;
+                long rays = 0;
+                while (!deadlineQueue.empty() && rays < budget) {
+                    auto it = deadlineQueue.begin();
+                    rays += static_cast<long>(it->second.tile.w) *
+                            it->second.tile.h;
+                    drained.push_back(std::move(it->second));
+                    deadlineQueue.erase(it);
+                }
+                while (!fifoQueue.empty() && rays < budget) {
+                    TileJob &front = fifoQueue.front();
+                    rays += static_cast<long>(front.tile.w) *
+                            front.tile.h;
+                    drained.push_back(std::move(front));
+                    fifoQueue.pop_front();
+                }
+                if (drained.empty()) {
+                    long spec_rays = 0;
+                    while (!prefetchQueue.empty() &&
+                           spec_rays < cfg.chunkRays) {
+                        TileJob &front = prefetchQueue.front();
+                        spec_rays += static_cast<long>(front.tile.w) *
+                                     front.tile.h;
+                        drained.push_back(std::move(front));
+                        prefetchQueue.pop_front();
+                    }
+                }
+            }
+            // outstandingTiles stays up: drained demand tiles are
+            // still in flight until finishTile() retires them.
         }
 
         if (stop_now) {
             for (auto &job : drained) {
+                if (!job.req)
+                    continue;
                 job.req->markFailed(RequestStatus::Shutdown);
                 finishTile(job.req, false, false);
             }
@@ -453,9 +716,48 @@ RenderService::schedulerLoop()
         std::vector<Chunk> chunks;
         // Open chunk per (scene, tier) coalescing key, so tiles from
         // different requests to the same model pack into one stream.
+        // A pass is all-demand or all-speculative, so a chunk never
+        // mixes the two classes.
         std::map<std::pair<ServedScene *, int>, size_t> open;
+        auto packTile = [&](ServedScene *sc, QualityTier tier,
+                            bool speculative, TileJob &&job) {
+            const int tile_rays = job.tile.w * job.tile.h;
+            auto ckey = std::make_pair(sc, static_cast<int>(tier));
+            auto it = open.find(ckey);
+            if (it == open.end() ||
+                chunks[it->second].rays + tile_rays > cfg.chunkRays) {
+                Chunk c;
+                c.scene = sc;
+                c.tier = tier;
+                c.speculative = speculative;
+                open[ckey] = chunks.size();
+                chunks.push_back(std::move(c));
+                it = open.find(ckey);
+            }
+            Chunk &c = chunks[it->second];
+            c.rays += tile_rays;
+            c.tiles.push_back(std::move(job));
+        };
 
         for (auto &job : drained) {
+            if (job.pre) {
+                // Speculative tile: cancel (never render) when a newer
+                // prediction for the viewer superseded this batch or
+                // demand traffic already rendered the key.
+                const auto &pb = *job.pre;
+                TileKey key{pb.scene->id(), pb.generation,
+                            pb.cameraKey, pb.spec, job.tile.x,
+                            job.tile.y, job.tile.w, job.tile.h,
+                            pb.tier};
+                if (pb.superseded() || cache.contains(key)) {
+                    statPrefetchCancelled.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue;
+                }
+                ServedScene *sc = pb.scene.get();
+                packTile(sc, pb.tier, true, std::move(job));
+                continue;
+            }
             const auto &req = job.req;
             double expected = 0.0;
             req->firstDequeueT.compare_exchange_strong(
@@ -472,8 +774,12 @@ RenderService::schedulerLoop()
                 continue;
             }
             // Deadline-risk degradation, decided once per request at
-            // its first dequeue (all its tiles drain in one batch, so
-            // the tier is settled before any of them dispatch).
+            // its first dequeue. Only the scheduler thread runs this,
+            // and the scheduler blocks in the dispatch below until the
+            // pass's chunks complete -- so the tier (and the re-snap
+            // onto its lattice) is settled before any of the request's
+            // tiles dispatch, even when a large request's tiles pull
+            // across several passes.
             if (!req->deadlineChecked) {
                 req->deadlineChecked = true;
                 if (cfg.degradeUnderLoad && req->deadlineMs > 0.0 &&
@@ -481,6 +787,10 @@ RenderService::schedulerLoop()
                         cfg.deadlineRiskFraction * req->deadlineMs &&
                     req->servedTier < req->minTier) {
                     req->servedTier++;
+                    const float lat = latticeFor(req->servedTier);
+                    req->spec = req->rawSpec.quantized(lat);
+                    req->cameraKey = req->rawSpec.hashKey(lat);
+                    req->camera = req->spec.makeCamera();
                     statDeadlineDegraded.fetch_add(
                         1, std::memory_order_relaxed);
                 }
@@ -508,32 +818,21 @@ RenderService::schedulerLoop()
                 continue;
             }
 
-            const int tile_rays = job.tile.w * job.tile.h;
-            auto ckey = std::make_pair(req->scene.get(),
-                                       req->servedTier);
-            auto it = open.find(ckey);
-            if (it == open.end() ||
-                chunks[it->second].rays + tile_rays > cfg.chunkRays) {
-                Chunk c;
-                c.scene = req->scene.get();
-                c.tier = served;
-                open[ckey] = chunks.size();
-                chunks.push_back(std::move(c));
-                it = open.find(ckey);
-            }
-            Chunk &c = chunks[it->second];
-            c.rays += tile_rays;
-            c.tiles.push_back(std::move(job));
+            ServedScene *sc = req->scene.get();
+            packTile(sc, served, false, std::move(job));
         }
 
         if (!chunks.empty()) {
             for (const auto &c : chunks) {
+                if (c.speculative)
+                    continue; // Demand-side coalescing metrics only.
                 statChunks.fetch_add(1, std::memory_order_relaxed);
                 uint64_t distinct = 0;
                 uint64_t last_id = 0;
                 for (const auto &tj : c.tiles) {
                     if (distinct == 0 || tj.req->id != last_id) {
-                        // Tiles of one request are queued contiguously,
+                        // Tiles of one request are queued contiguously
+                        // (EDF keeps equal deadlines in arrival order),
                         // so id changes count distinct requests.
                         distinct++;
                         last_id = tj.req->id;
@@ -583,6 +882,21 @@ RenderService::stats() const
     for (int t = 0; t < numQualityTiers; t++)
         s.requestsServedPerTier[t] =
             statServedTier[t].load(std::memory_order_relaxed);
+    s.prefetchTilesEnqueued =
+        statPrefetchEnqueued.load(std::memory_order_relaxed);
+    s.prefetchTilesRendered =
+        statPrefetchRendered.load(std::memory_order_relaxed);
+    s.prefetchTilesCancelled =
+        statPrefetchCancelled.load(std::memory_order_relaxed);
+    s.prefetchRaysRendered =
+        statPrefetchRays.load(std::memory_order_relaxed);
+    const TileCache::Stats cs = cache.stats();
+    for (int t = 0; t < numQualityTiers; t++) {
+        s.cacheHitsPerTier[t] = cs.tierHits[t];
+        s.cacheMissesPerTier[t] = cs.tierMisses[t];
+    }
+    s.prefetchHits = cs.prefetchHits;
+    s.prefetchWasted = cs.prefetchWasted;
     return s;
 }
 

@@ -5,15 +5,21 @@
  *
  * Requests enter through submit() (async, future-based) or render()
  * (blocking). Each accepted request is split into fixed-size tiles
- * that join a bounded admission queue; a scheduler thread drains the
- * queue in arrival order, answers tiles from the LRU cache, groups the
- * misses by (scene, quality tier), and packs them into render chunks
- * of up to chunkRays rays -- **coalescing tiles from different
+ * that join a bounded admission queue; a scheduler thread dequeues in
+ * two-level priority order -- earliest-deadline-first among
+ * deadline-bearing requests, then arrival order for the rest, with
+ * speculative prefetch tiles strictly last (dispatched only when no
+ * demand tile is queued) -- answers tiles from the LRU cache, groups
+ * the misses by (scene, quality tier), and packs them into render
+ * chunks of up to chunkRays rays -- **coalescing tiles from different
  * requests into the same chunk**, so the stream kernels
  * (NerfField::queryStream via VolumeRenderer::renderRays) run at full
  * batch width even when individual requests are small. Chunks execute
  * on the shared ThreadPool; per-rank Workspace arenas keep the hot
- * path allocation-free.
+ * path allocation-free. Each pass pulls at most a worker-count-scaled
+ * ray budget so a late-arriving urgent request overtakes queued
+ * non-deadline tiles at the next pass instead of waiting out a full
+ * queue drain.
  *
  * Contracts:
  *  - Determinism: every ray is composited independently in t order, so
@@ -43,9 +49,12 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hh"
@@ -126,6 +135,48 @@ struct RenderServiceConfig
      * with degradeUnderLoad and a nonzero deadline.
      */
     double deadlineRiskFraction = 0.5;
+
+    /**
+     * Camera quantization lattice denominator per quality tier
+     * (snap = round(v * L) / L; index by static_cast<int>(tier)).
+     * Full is pinned to fullCameraLattice (1/4096) -- the bit-identity
+     * contract is stated against it -- and validated at construction.
+     * Half/Preview default to the same fine lattice; coarser values
+     * (e.g. 1024, 256) collapse nearby viewpoints of a moving viewer
+     * onto one cache key, trading exact camera placement for
+     * cross-frame cache reuse at the preview tiers. The tile cache
+     * keys on the snapped spec, so a hit is still bit-exact for the
+     * (coarsely snapped) camera actually rendered.
+     */
+    float cameraLattice[numQualityTiers] = {
+        fullCameraLattice, fullCameraLattice, fullCameraLattice};
+
+    /**
+     * Speculative tile prefetch: predict each viewer's next camera
+     * (constant-velocity extrapolation over its last few quantized
+     * specs, keyed by RenderRequest::viewerId) and render the
+     * predicted frame's tiles straight into the tile cache when the
+     * workers are otherwise idle. Prefetch is strictly lowest
+     * priority -- dispatched only when no demand tile is queued -- and
+     * queued predictions are cancelled when a newer prediction for the
+     * same viewer supersedes them or demand traffic already rendered
+     * the tile. Requires cacheTiles > 0. Never changes pixels: a
+     * prefetched tile is bit-identical to the demand render it
+     * replaces.
+     */
+    bool prefetch = false;
+
+    /**
+     * Bound on queued prefetch tiles; enqueueing past it cancels the
+     * oldest queued predictions first (they are the stalest).
+     */
+    int maxPrefetchTiles = 256;
+
+    /**
+     * Quantized (1/4096) camera specs remembered per viewer for the
+     * motion predictor; 2 suffice for constant velocity.
+     */
+    int prefetchHistory = 4;
 };
 
 /**
@@ -194,11 +245,17 @@ class RenderService
 
   private:
     struct Pending;
+    struct PrefetchBatch;
 
-    /** One tile of one pending request. */
+    /**
+     * One tile of work. Demand tiles carry `req` (the pending request
+     * they answer); speculative tiles carry `pre` instead and render
+     * into the cache only -- exactly one of the two is set.
+     */
     struct TileJob
     {
         std::shared_ptr<Pending> req;
+        std::shared_ptr<PrefetchBatch> pre;
         TileRect tile; //!< Absolute pixel coordinates.
     };
 
@@ -208,8 +265,25 @@ class RenderService
         ServedScene *scene = nullptr;
         QualityTier tier = QualityTier::Full;
         int rays = 0;
+        bool speculative = false; //!< All-prefetch chunk.
         std::vector<TileJob> tiles;
     };
+
+    /** Per-viewer motion-predictor state (guarded by viewerMtx). */
+    struct ViewerState
+    {
+        /** Last few 1/4096-quantized specs, most recent last. */
+        std::vector<CameraSpec> history;
+        /** Bumped per enqueued prediction; queued prefetch batches
+         *  with an older epoch are superseded and cancel at dequeue.
+         *  Shared so the scheduler checks without the viewer map. */
+        std::shared_ptr<std::atomic<uint64_t>> epoch =
+            std::make_shared<std::atomic<uint64_t>>(0);
+        uint64_t lastTouch = 0; //!< For least-recently-seen GC.
+    };
+
+    float latticeFor(int tier) const
+    { return cfg.cameraLattice[tier]; }
 
     void schedulerLoop();
     void renderChunk(const Chunk &chunk, int rank);
@@ -217,6 +291,16 @@ class RenderService
                     bool from_cache);
     static void completeNow(std::promise<RenderResponse> &promise,
                             RequestStatus status, int retry_after_ms);
+
+    /**
+     * Motion-predictor hook, called once per admitted request that
+     * names a viewerId: records the observation and, when the last two
+     * observations imply motion, enqueues the predicted next frame's
+     * tiles at background priority.
+     */
+    void maybeEnqueuePrefetch(const RenderRequest &request,
+                              const ServedScenePtr &scene,
+                              const TileRect &roi, int served_tier);
 
     SceneRegistry &registry;
     RenderServiceConfig cfg;
@@ -226,17 +310,32 @@ class RenderService
 
     std::mutex queueMtx;
     std::condition_variable queueCv;
-    std::deque<TileJob> tileQueue;
+    /**
+     * Demand admission queue, two levels: deadline-bearing tiles
+     * sorted by absolute deadline (EDF; multimap preserves arrival
+     * order among equal deadlines, so one request's tiles stay
+     * contiguous), then no-deadline tiles in arrival order. The
+     * scheduler empties the EDF level before touching the FIFO level.
+     */
+    std::multimap<double, TileJob> deadlineQueue;
+    std::deque<TileJob> fifoQueue;
+    /** Speculative tiles: dispatched only when demand is empty. */
+    std::deque<TileJob> prefetchQueue;
     /**
      * Tiles outstanding: enqueued at submit, decremented as each tile
      * reaches finishTile() -- so tiles being *rendered* still count
      * against the admission cap, not just tiles sitting in the queue.
+     * Demand only; prefetch tiles never count against admission.
      */
     std::atomic<size_t> outstandingTiles{0};
     bool stopping = false;
     std::thread scheduler;
     std::mutex stopMtx; //!< Serializes stop() callers (join is once).
     std::atomic<bool> stoppedFlag{false};
+
+    std::mutex viewerMtx;
+    std::unordered_map<std::string, ViewerState> viewers;
+    uint64_t viewerTouch = 0;
 
     std::atomic<uint64_t> nextRequestId{1};
 
@@ -251,6 +350,9 @@ class RenderService
     std::atomic<uint64_t> statDegraded{0}, statAdmissionDegraded{0},
         statDeadlineDegraded{0},
         statServedTier[numQualityTiers]{{0}, {0}, {0}};
+    std::atomic<uint64_t> statPrefetchEnqueued{0},
+        statPrefetchRendered{0}, statPrefetchCancelled{0},
+        statPrefetchRays{0};
 };
 
 } // namespace instant3d

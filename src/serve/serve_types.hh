@@ -29,11 +29,23 @@
 namespace instant3d {
 
 /**
+ * Camera quantization lattice denominator of the Full quality tier.
+ * Full is pinned to 1/4096: the bit-identity contract ("a served Full
+ * pixel equals Trainer::renderImage of the same quantized camera")
+ * is stated against this lattice, so it is a constant, not a knob.
+ * Lower tiers may snap onto coarser, configurable lattices (see
+ * RenderServiceConfig::cameraLattice) so a moving viewer re-hits
+ * cached tiles across frames.
+ */
+constexpr float fullCameraLattice = 4096.0f;
+
+/**
  * Value-type camera description, quantizable for cache keying. The
- * service snaps every request's spec onto a 1/4096 lattice *before*
- * building the Camera, so near-identical viewpoints share rendered
- * tiles and a cache hit is still bit-exact for the camera actually
- * rendered.
+ * service snaps every request's spec onto a lattice *before* building
+ * the Camera, so near-identical viewpoints share rendered tiles and a
+ * cache hit is still bit-exact for the camera actually rendered. The
+ * lattice denominator is per quality tier: Full always uses
+ * fullCameraLattice (1/4096); preview tiers may use coarser lattices.
  */
 struct CameraSpec
 {
@@ -44,12 +56,12 @@ struct CameraSpec
     int width = 0;  //!< Full image width in pixels.
     int height = 0; //!< Full image height in pixels.
 
-    /** Snap all float fields onto the 1/4096 lattice. */
+    /** Snap all float fields onto the 1/`lattice` lattice. */
     CameraSpec
-    quantized() const
+    quantized(float lattice = fullCameraLattice) const
     {
-        auto q = [](float v) {
-            return std::round(v * 4096.0f) / 4096.0f;
+        auto q = [lattice](float v) {
+            return std::round(v * lattice) / lattice;
         };
         CameraSpec s = *this;
         s.eye = {q(eye.x), q(eye.y), q(eye.z)};
@@ -66,11 +78,15 @@ struct CameraSpec
         return Camera(eye, target, up, vfovDeg, width, height);
     }
 
-    /** FNV-1a over the quantized fields (cache keying). */
+    /**
+     * FNV-1a over the quantized fields (cache keying). The integer
+     * snap uses the *same* `lattice` as quantized(), so the key and
+     * the rendered camera can never drift onto different lattices.
+     */
     uint64_t
-    hashKey() const
+    hashKey(float lattice = fullCameraLattice) const
     {
-        CameraSpec s = quantized();
+        CameraSpec s = quantized(lattice);
         uint64_t h = 1469598103934665603ULL;
         auto mix = [&h](int32_t v) {
             for (int b = 0; b < 4; b++) {
@@ -79,7 +95,7 @@ struct CameraSpec
             }
         };
         auto mixf = [&](float v) {
-            mix(static_cast<int32_t>(std::lround(v * 4096.0f)));
+            mix(static_cast<int32_t>(std::lround(v * lattice)));
         };
         mixf(s.eye.x); mixf(s.eye.y); mixf(s.eye.z);
         mixf(s.target.x); mixf(s.target.y); mixf(s.target.z);
@@ -157,6 +173,16 @@ struct RenderRequest
      * load-shedding knob, not a render-abort guarantee.
      */
     double deadlineMs = 0.0;
+
+    /**
+     * Stable identity of the viewer (client session) issuing this
+     * request; empty opts out. With speculative prefetch enabled, the
+     * service keeps the last few quantized camera specs per viewerId
+     * and extrapolates the camera path (constant velocity) to render
+     * the *predicted* next frame's tiles into the cache during idle
+     * worker time. Purely a scheduling hint: it never changes pixels.
+     */
+    std::string viewerId;
 };
 
 /** Answer to one RenderRequest. */
@@ -219,6 +245,26 @@ struct ServeStats
     uint64_t deadlineDegradations = 0;
     /** Requests completed Ok, bucketed by the tier actually served. */
     uint64_t requestsServedPerTier[numQualityTiers] = {0, 0, 0};
+
+    /** Tile-cache hits bucketed by the tier of the looked-up key. */
+    uint64_t cacheHitsPerTier[numQualityTiers] = {0, 0, 0};
+    /** Tile-cache misses bucketed by the tier of the looked-up key. */
+    uint64_t cacheMissesPerTier[numQualityTiers] = {0, 0, 0};
+
+    // Speculative prefetch accounting (zero unless cfg.prefetch).
+    /** Predicted tiles enqueued at background priority. */
+    uint64_t prefetchTilesEnqueued = 0;
+    /** Predicted tiles actually rendered into the cache. */
+    uint64_t prefetchTilesRendered = 0;
+    /** Predicted tiles cancelled before rendering (superseded by a
+     *  newer prediction, already cached, or over the queue bound). */
+    uint64_t prefetchTilesCancelled = 0;
+    /** Rays spent on prefetch renders (excluded from raysRendered). */
+    uint64_t prefetchRaysRendered = 0;
+    /** Prefetched cache entries later hit by >= 1 demand lookup. */
+    uint64_t prefetchHits = 0;
+    /** Prefetched cache entries dropped without ever being hit. */
+    uint64_t prefetchWasted = 0;
 };
 
 // ------------------------------------------------------------- fleet
@@ -298,6 +344,18 @@ struct FleetStats
     uint64_t noReplicaAvailable = 0;
     /** Failovers taken because the placed replica was cold-starting. */
     uint64_t coldStartFailovers = 0;
+
+    // Fleet-wide cache/prefetch aggregates (summed over live shards):
+    // the per-tier lattice and prefetch effects are per-shard-service
+    // counters, surfaced here so a fleet operator sees one number.
+    uint64_t cacheHitsPerTier[numQualityTiers] = {0, 0, 0};
+    uint64_t cacheMissesPerTier[numQualityTiers] = {0, 0, 0};
+    uint64_t prefetchTilesEnqueued = 0;
+    uint64_t prefetchTilesRendered = 0;
+    uint64_t prefetchTilesCancelled = 0;
+    uint64_t prefetchHits = 0;
+    uint64_t prefetchWasted = 0;
+
     std::vector<ShardStats> shards;
 };
 

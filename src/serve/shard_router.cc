@@ -440,11 +440,18 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
     // Camera-keyed rotation of the replica preference order: the same
     // viewpoint lands on the same replica while replicas are healthy,
     // so the per-shard tile caches see coherent streams instead of
-    // each camera spraying across all R caches.
+    // each camera spraying across all R caches. The key is hashed on
+    // the requested tier's lattice (the same one the shard caches key
+    // on), so with a coarse preview lattice every viewpoint in a cell
+    // prefers the same replica -- a cell's cached tiles live in one
+    // cache instead of being re-rendered in all R of them.
+    const float route_lattice =
+        cfg.shard.cameraLattice[static_cast<int>(request.quality)];
     std::rotate(order.begin(),
                 order.begin() +
-                    static_cast<long>(request.camera.hashKey() %
-                                      order.size()),
+                    static_cast<long>(
+                        request.camera.hashKey(route_lattice) %
+                        order.size()),
                 order.end());
 
     const double deadline_t = request.deadlineMs > 0.0
@@ -502,7 +509,8 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
                         order.begin(),
                         order.begin() +
                             static_cast<long>(
-                                request.camera.hashKey() %
+                                request.camera.hashKey(
+                                    route_lattice) %
                                 order.size()),
                         order.end());
                 s = pickReplica(order, tried);
@@ -779,6 +787,21 @@ ShardRouter::fleetStats() const
         ss.breakerHalfOpens = shard.nBreakerHalfOpens.load();
         ss.breakerCloses = shard.nBreakerCloses.load();
         ss.coldStarts = shard.nColdStarts.load();
+
+        // Cache/prefetch passthrough: the per-tier lattice and the
+        // speculative prefetch live inside each shard's service;
+        // surface their counters as fleet-wide sums (stopped shards
+        // stay queryable, so crashed/drained shards still report).
+        const ServeStats svc = shard.service->stats();
+        for (int t = 0; t < numQualityTiers; t++) {
+            fs.cacheHitsPerTier[t] += svc.cacheHitsPerTier[t];
+            fs.cacheMissesPerTier[t] += svc.cacheMissesPerTier[t];
+        }
+        fs.prefetchTilesEnqueued += svc.prefetchTilesEnqueued;
+        fs.prefetchTilesRendered += svc.prefetchTilesRendered;
+        fs.prefetchTilesCancelled += svc.prefetchTilesCancelled;
+        fs.prefetchHits += svc.prefetchHits;
+        fs.prefetchWasted += svc.prefetchWasted;
     }
     return fs;
 }

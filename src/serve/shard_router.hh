@@ -74,7 +74,15 @@ struct ShardRouterConfig
     /** Replicas per scene; clamped to numShards at placement time. */
     int replication = 2;
 
-    /** Per-shard service configuration (workers, queue, cache...). */
+    /**
+     * Per-shard service configuration (workers, queue, cache,
+     * per-tier camera lattices, speculative prefetch...). The
+     * lattice/prefetch knobs flow through unchanged to every shard;
+     * the router additionally keys its replica-affinity rotation on
+     * the requested tier's lattice so one coarse preview cell sticks
+     * to one replica's cache, and fleetStats() sums the per-shard
+     * cache/prefetch counters fleet-wide.
+     */
     RenderServiceConfig shard;
 
     /**

@@ -7,20 +7,37 @@ TileCache::lookup(const TileKey &key, std::vector<Vec3> &out)
 {
     if (capacity == 0)
         return false;
+    const int tier = static_cast<int>(key.quality);
     std::lock_guard<std::mutex> lock(mtx);
     auto it = index.find(key);
     if (it == index.end()) {
         misses++;
+        tierMisses[tier]++;
         return false;
     }
     lru.splice(lru.begin(), lru, it->second);
-    out = it->second->second;
+    Entry &e = *it->second;
+    out = e.pixels;
     hits++;
+    tierHits[tier]++;
+    if (e.prefetched && !e.everHit)
+        prefetchHits++; // First demand hit on a speculative entry.
+    e.everHit = true;
     return true;
 }
 
+bool
+TileCache::contains(const TileKey &key) const
+{
+    if (capacity == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mtx);
+    return index.find(key) != index.end();
+}
+
 void
-TileCache::insert(const TileKey &key, std::vector<Vec3> pixels)
+TileCache::insert(const TileKey &key, std::vector<Vec3> pixels,
+                  bool prefetched)
 {
     if (capacity == 0)
         return;
@@ -28,15 +45,25 @@ TileCache::insert(const TileKey &key, std::vector<Vec3> pixels)
     auto it = index.find(key);
     if (it != index.end()) {
         // Deterministic rendering makes a re-render bit-identical;
-        // just refresh recency.
+        // just refresh recency (and keep the original entry's
+        // prefetch accounting flags).
         lru.splice(lru.begin(), lru, it->second);
         return;
     }
-    lru.emplace_front(key, std::move(pixels));
+    lru.push_front(Entry{key, std::move(pixels), prefetched, false});
     bytesHeld += entryBytes(lru.front());
     index[key] = lru.begin();
     insertions++;
+    if (prefetched)
+        prefetchInsertions++;
     evictOverflowLocked();
+}
+
+void
+TileCache::noteDropLocked(const Entry &e)
+{
+    if (e.prefetched && !e.everHit)
+        prefetchWasted++;
 }
 
 void
@@ -47,8 +74,9 @@ TileCache::evictOverflowLocked()
     while (!lru.empty() &&
            (lru.size() > capacity ||
             (maxBytes > 0 && bytesHeld > maxBytes))) {
+        noteDropLocked(lru.back());
         bytesHeld -= entryBytes(lru.back());
-        index.erase(lru.back().first);
+        index.erase(lru.back().key);
         lru.pop_back();
         evictions++;
     }
@@ -59,9 +87,10 @@ TileCache::invalidateScene(const std::string &scene_id)
 {
     std::lock_guard<std::mutex> lock(mtx);
     for (auto it = lru.begin(); it != lru.end();) {
-        if (it->first.sceneId == scene_id) {
+        if (it->key.sceneId == scene_id) {
+            noteDropLocked(*it);
             bytesHeld -= entryBytes(*it);
-            index.erase(it->first);
+            index.erase(it->key);
             it = lru.erase(it);
             invalidated++;
         } else {
@@ -74,6 +103,8 @@ void
 TileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mtx);
+    for (const Entry &e : lru)
+        noteDropLocked(e);
     lru.clear();
     index.clear();
     bytesHeld = 0;
@@ -89,6 +120,13 @@ TileCache::stats() const
     s.insertions = insertions;
     s.evictions = evictions;
     s.invalidated = invalidated;
+    for (int t = 0; t < numQualityTiers; t++) {
+        s.tierHits[t] = tierHits[t];
+        s.tierMisses[t] = tierMisses[t];
+    }
+    s.prefetchInsertions = prefetchInsertions;
+    s.prefetchHits = prefetchHits;
+    s.prefetchWasted = prefetchWasted;
     s.entries = lru.size();
     s.capacity = capacity;
     s.bytesHeld = bytesHeld;

@@ -5,7 +5,10 @@
  *
  * Because serving is deterministic, a cached tile is bit-identical to
  * a fresh render of the same key -- a hit changes latency, never
- * pixels. The scene *generation* in the key makes every entry of a
+ * pixels. The camera in the key is quantized on the *serving tier's*
+ * lattice (Full: 1/4096; preview tiers may be coarser), so nearby
+ * viewpoints of a moving viewer collapse onto one preview key while
+ * Full keys stay exact. The scene *generation* in the key makes every entry of a
  * re-registered scene unreachable immediately (the LRU then ages the
  * dead entries out); invalidateScene() additionally reclaims their
  * space eagerly.
@@ -97,12 +100,28 @@ class TileCache
     /**
      * Copy the cached pixels for `key` into `out` (resized to w*h,
      * row-major) and mark the entry most-recently used. Returns false
-     * on miss.
+     * on miss. Hit/miss counters are bucketed by `key.quality` as well
+     * as aggregated; a first hit on a speculatively prefetched entry
+     * counts it as a prefetch hit.
      */
     bool lookup(const TileKey &key, std::vector<Vec3> &out);
 
-    /** Insert (or refresh) a rendered tile, evicting LRU overflow. */
-    void insert(const TileKey &key, std::vector<Vec3> pixels);
+    /**
+     * Insert (or refresh) a rendered tile, evicting LRU overflow.
+     * `prefetched` marks a speculative insert for hit/waste
+     * accounting: an entry inserted on the prefetch path that is later
+     * dropped (evicted or invalidated) without ever serving a lookup
+     * counts as wasted. Refreshing an existing entry keeps its flags.
+     */
+    void insert(const TileKey &key, std::vector<Vec3> pixels,
+                bool prefetched = false);
+
+    /**
+     * Key-presence probe that neither touches LRU recency nor counts
+     * toward hit/miss stats -- used by the prefetch scheduler to
+     * cancel predicted tiles that demand traffic already rendered.
+     */
+    bool contains(const TileKey &key) const;
 
     /** Eagerly drop every entry of a scene (any generation). */
     void invalidateScene(const std::string &scene_id);
@@ -116,6 +135,18 @@ class TileCache
         uint64_t insertions = 0;
         uint64_t evictions = 0;
         uint64_t invalidated = 0;
+        /** Hits/misses bucketed by the looked-up key's quality tier
+         *  (hits == sum of tierHits, likewise misses) -- the coarser
+         *  preview lattices are measured per tier, not guessed. */
+        uint64_t tierHits[numQualityTiers] = {0, 0, 0};
+        uint64_t tierMisses[numQualityTiers] = {0, 0, 0};
+        /** Entries inserted by the speculative prefetch path. */
+        uint64_t prefetchInsertions = 0;
+        /** Prefetched entries that served at least one lookup. */
+        uint64_t prefetchHits = 0;
+        /** Prefetched entries dropped (evicted/invalidated/cleared)
+         *  without ever serving a lookup. */
+        uint64_t prefetchWasted = 0;
         size_t entries = 0;
         size_t capacity = 0;
         size_t bytesHeld = 0; //!< Pixel payload currently resident.
@@ -125,12 +156,19 @@ class TileCache
     Stats stats() const;
 
   private:
-    using Entry = std::pair<TileKey, std::vector<Vec3>>;
+    struct Entry
+    {
+        TileKey key;
+        std::vector<Vec3> pixels;
+        bool prefetched = false; //!< Inserted by the prefetch path.
+        bool everHit = false;    //!< Served at least one lookup.
+    };
 
     static size_t entryBytes(const Entry &e)
-    { return e.second.size() * sizeof(Vec3); }
+    { return e.pixels.size() * sizeof(Vec3); }
 
     void evictOverflowLocked();
+    void noteDropLocked(const Entry &e);
 
     size_t capacity;
     size_t maxBytes;
@@ -141,6 +179,10 @@ class TileCache
         index;
     uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
              invalidated = 0;
+    uint64_t tierHits[numQualityTiers] = {0, 0, 0};
+    uint64_t tierMisses[numQualityTiers] = {0, 0, 0};
+    uint64_t prefetchInsertions = 0, prefetchHits = 0,
+             prefetchWasted = 0;
 };
 
 } // namespace instant3d

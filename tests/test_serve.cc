@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -906,6 +907,259 @@ TEST_F(ServeTest, DeadlineRiskDegradesOneTier)
     EXPECT_EQ(stats.deadlineDegradations, 1u);
     EXPECT_EQ(stats.admissionDegradations, 0u);
     EXPECT_EQ(stats.requestsDegraded, 1u);
+}
+
+TEST_F(ServeTest, CoarsePreviewLatticeSharesCacheWithinCell)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.cacheTiles = 128;
+    cfg.cameraLattice[static_cast<int>(QualityTier::Preview)] =
+        256.0f;
+    RenderService service(registry, cfg);
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.quality = QualityTier::Preview;
+    req.camera = latticeCamera();
+
+    // Seed the cache at the cell anchored on eye.x == 1.25.
+    RenderResponse first = service.render(req);
+    ASSERT_EQ(first.status, RequestStatus::Ok);
+    EXPECT_EQ(first.tilesFromCache, 0);
+
+    // Sub-cell perturbation (0.4/256 < half a 1/256 cell): snaps to
+    // the same coarse camera, so every tile comes from cache.
+    req.camera.eye.x = 1.25f + 0.4f / 256.0f;
+    RenderResponse second = service.render(req);
+    ASSERT_EQ(second.status, RequestStatus::Ok);
+    EXPECT_EQ(second.tilesRendered, 0);
+    EXPECT_GT(second.tilesFromCache, 0);
+    expectImagesEqual(second.image, first.image);
+
+    // Exactly one lattice step apart: a different cell, a miss.
+    req.camera.eye.x = 1.25f + 1.0f / 256.0f;
+    RenderResponse third = service.render(req);
+    ASSERT_EQ(third.status, RequestStatus::Ok);
+    EXPECT_EQ(third.tilesFromCache, 0);
+    EXPECT_GT(third.tilesRendered, 0);
+
+    // The Full tier still keys on the fine 1/4096 lattice and its
+    // stats land in its own bucket, untouched by preview traffic.
+    RenderRequest full;
+    full.sceneId = "lego";
+    full.camera = latticeCamera();
+    Image expect = legoTrainer->renderImage(full.camera.makeCamera());
+    RenderResponse fresp = service.render(full);
+    ASSERT_EQ(fresp.status, RequestStatus::Ok);
+    expectImagesEqual(fresp.image, expect);
+
+    ServeStats stats = service.stats();
+    const int pv = static_cast<int>(QualityTier::Preview);
+    const int fl = static_cast<int>(QualityTier::Full);
+    EXPECT_GT(stats.cacheHitsPerTier[pv], 0u);
+    EXPECT_GT(stats.cacheMissesPerTier[pv], 0u);
+    EXPECT_EQ(stats.cacheHitsPerTier[fl], 0u);
+    EXPECT_GT(stats.cacheMissesPerTier[fl], 0u);
+}
+
+TEST_F(ServeTest, FullTierBitIdentityUnderCoarseLatticeAndPrefetch)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.cacheTiles = 256;
+    cfg.cameraLattice[static_cast<int>(QualityTier::Preview)] = 64.0f;
+    cfg.cameraLattice[static_cast<int>(QualityTier::Half)] = 1024.0f;
+    cfg.prefetch = true;
+    RenderService service(registry, cfg);
+
+    CameraSpec spec = latticeCamera();
+    Image expect = legoTrainer->renderImage(spec.makeCamera());
+
+    // Interleave a moving Preview viewer (feeding the predictor) with
+    // Full and Half requests in mixed arrival order: no combination
+    // of coarse-lattice traffic, prefetch state, or cache warmth may
+    // perturb a Full-tier pixel.
+    for (int round = 0; round < 3; round++) {
+        RenderRequest pv;
+        pv.sceneId = "lego";
+        pv.quality = QualityTier::Preview;
+        pv.viewerId = "roamer";
+        pv.camera = spec;
+        pv.camera.eye.x =
+            1.25f + static_cast<float>(round) / 64.0f;
+        std::future<RenderResponse> pvf = service.submit(pv);
+
+        RenderRequest full;
+        full.sceneId = "lego";
+        full.camera = spec;
+        std::future<RenderResponse> fullf = service.submit(full);
+
+        RenderRequest half = full;
+        half.quality = QualityTier::Half;
+        std::future<RenderResponse> halff = service.submit(half);
+
+        ASSERT_EQ(pvf.get().status, RequestStatus::Ok);
+        ASSERT_EQ(halff.get().status, RequestStatus::Ok);
+        RenderResponse fresp = fullf.get();
+        ASSERT_EQ(fresp.status, RequestStatus::Ok);
+        ASSERT_EQ(fresp.servedQuality, QualityTier::Full);
+        expectImagesEqual(fresp.image, expect);
+    }
+}
+
+TEST_F(ServeTest, PrefetchRendersPredictedFrameIntoCache)
+{
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.tilePixels = 16;
+    cfg.cacheTiles = 256;
+    cfg.prefetch = true;
+    RenderService service(registry, cfg);
+
+    // Constant-velocity pan in steps of 1/16 along eye.x: every step
+    // sits exactly on the Full 1/4096 lattice, so the predicted third
+    // frame is the exact camera the viewer will ask for.
+    CameraSpec spec = latticeCamera(32, 32); // 2x2 tiles of 16px
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.viewerId = "panner";
+    req.camera = spec;
+
+    ASSERT_EQ(service.render(req).status, RequestStatus::Ok);
+    req.camera.eye.x = 1.25f + 1.0f / 16.0f;
+    ASSERT_EQ(service.render(req).status, RequestStatus::Ok);
+
+    // Two observations of uniform motion: the predictor enqueues the
+    // extrapolated frame, and the idle workers render it into cache.
+    EXPECT_GE(service.stats().prefetchTilesEnqueued, 4u);
+    for (int spin = 0; spin < 20000; spin++) {
+        if (service.stats().prefetchTilesRendered >= 4)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(service.stats().prefetchTilesRendered, 4u);
+
+    // The viewer arrives where predicted: served wholly from cache,
+    // still bit-identical to the trainer's ground truth.
+    req.camera.eye.x = 1.25f + 2.0f / 16.0f;
+    Image expect = legoTrainer->renderImage(req.camera.makeCamera());
+    RenderResponse resp = service.render(req);
+    ASSERT_EQ(resp.status, RequestStatus::Ok);
+    EXPECT_EQ(resp.tilesRendered, 0);
+    EXPECT_EQ(resp.tilesFromCache, 4);
+    expectImagesEqual(resp.image, expect);
+    EXPECT_GT(service.stats().prefetchHits, 0u);
+}
+
+TEST_F(ServeTest, DeadlineSortedDequeueServesUrgentFirst)
+{
+    FaultGuard guard;
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tilePixels = 16;
+    cfg.chunkRays = 256; // one 16x16 tile per scheduler pass
+    RenderService service(registry, cfg);
+
+    // Hold the scheduler after it pulls the trigger job, queue three
+    // rivals, and let each later pass render exactly one tile with a
+    // visible 10 ms floor so dequeue order separates cleanly in
+    // queueMs.
+    fault::Spec stall;
+    stall.mode = fault::Mode::OneShot;
+    stall.n = 1;
+    stall.delayMs = 300;
+    fault::arm(fault::Point::SchedulerStall, stall);
+    fault::Spec slow;
+    slow.mode = fault::Mode::Always;
+    slow.delayMs = 10;
+    fault::arm(fault::Point::ChunkRenderDelay, slow);
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = latticeCamera();
+    req.roi = {0, 0, 16, 16};
+    auto trigger = service.submit(req);
+    awaitHits(fault::Point::SchedulerStall, 1);
+
+    // Arrival order: FIFO filler, lax deadline, tight deadline. EDF
+    // must dequeue them in the exact reverse: tight, lax, then FIFO.
+    auto fifo = service.submit(req);
+    RenderRequest lax = req;
+    lax.deadlineMs = 8000.0;
+    auto laxf = service.submit(lax);
+    RenderRequest tight = req;
+    tight.deadlineMs = 3000.0;
+    auto tightf = service.submit(tight);
+
+    EXPECT_EQ(trigger.get().status, RequestStatus::Ok);
+    RenderResponse rt = tightf.get();
+    RenderResponse rl = laxf.get();
+    RenderResponse rf = fifo.get();
+    ASSERT_EQ(rt.status, RequestStatus::Ok);
+    ASSERT_EQ(rl.status, RequestStatus::Ok);
+    ASSERT_EQ(rf.status, RequestStatus::Ok);
+    EXPECT_LT(rt.queueMs, rl.queueMs);
+    EXPECT_LT(rl.queueMs, rf.queueMs);
+}
+
+TEST_F(ServeTest, DeadlineDownshiftResnapsOntoCoarserLattice)
+{
+    FaultGuard guard;
+    SceneRegistry registry;
+    registry.registerFromTrainer("lego", *legoTrainer);
+    RenderServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.tilePixels = 16;
+    cfg.cacheTiles = 128;
+    cfg.degradeUnderLoad = true;
+    cfg.deadlineRiskFraction = 0.5;
+    cfg.cameraLattice[static_cast<int>(QualityTier::Preview)] =
+        256.0f;
+    RenderService service(registry, cfg);
+
+    fault::Spec stall;
+    stall.mode = fault::Mode::OneShot;
+    stall.n = 1;
+    stall.delayMs = 600;
+    fault::arm(fault::Point::SchedulerStall, stall);
+
+    // A Half request burns past the risk fraction while queued and is
+    // downshifted to Preview at dequeue. The downshift must re-snap
+    // the raw camera onto Preview's coarse lattice, so the rendered
+    // tile is keyed at the 1/256 cell anchor -- not at the finer cell
+    // the Half lattice picked at admission.
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.quality = QualityTier::Half;
+    req.camera = latticeCamera();
+    req.camera.eye.x = 1.25f + 0.4f / 256.0f;
+    req.roi = {0, 0, 16, 16};
+    req.deadlineMs = 1000.0;
+    RenderResponse resp = service.render(req);
+    ASSERT_EQ(resp.status, RequestStatus::Ok);
+    ASSERT_EQ(resp.servedQuality, QualityTier::Preview);
+    EXPECT_EQ(service.stats().deadlineDegradations, 1u);
+
+    // A native Preview request at the cell anchor finds that tile.
+    RenderRequest probe;
+    probe.sceneId = "lego";
+    probe.quality = QualityTier::Preview;
+    probe.camera = latticeCamera();
+    probe.roi = {0, 0, 16, 16};
+    RenderResponse hit = service.render(probe);
+    ASSERT_EQ(hit.status, RequestStatus::Ok);
+    EXPECT_EQ(hit.tilesRendered, 0);
+    EXPECT_EQ(hit.tilesFromCache, 1);
+    expectImagesEqual(hit.image, resp.image);
 }
 
 TEST(ServePoolTest, ConcurrentParallelForClientsSerialize)

@@ -554,5 +554,52 @@ TEST_F(ShardRouterTest, ColdReplicaFailsOverToWarmWithoutBreakerTrip)
     std::remove(path.c_str());
 }
 
+TEST_F(ShardRouterTest, FleetStatsAggregateCacheAndPrefetchCounters)
+{
+    FaultGuard guard;
+    // Per-tier lattice + prefetch knobs flow through the shared
+    // per-shard config; the fleet snapshot must sum the resulting
+    // shard-local cache counters.
+    ShardRouterConfig cfg = fleetConfig(2, 2);
+    cfg.shard.cacheTiles = 128;
+    cfg.shard.cameraLattice[static_cast<int>(QualityTier::Preview)] =
+        256.0f;
+    cfg.shard.prefetch = true;
+    ShardRouter router(cfg);
+    ASSERT_GT(router.addScene("lego", *legoTrainer), 0u);
+
+    RenderRequest req;
+    req.sceneId = "lego";
+    req.camera = latticeCamera(32, 32);
+    req.quality = QualityTier::Preview;
+    req.viewerId = "orbiter";
+    // Nearby viewpoints inside one coarse preview cell: the camera-
+    // affinity rotation keys on the preview lattice, so they all land
+    // on the same replica and the repeats hit its cache.
+    for (int i = 0; i < 4; i++) {
+        req.camera.eye.x = 1.25f + 0.1f * static_cast<float>(i) / 256.0f;
+        ASSERT_EQ(router.render(req).status, RequestStatus::Ok);
+    }
+    // Then stride a full preview cell per frame: the predictor sees
+    // cell-crossing motion and enqueues the next cell's tiles
+    // (sub-cell motion above predicts the *current* cell and is
+    // rightly skipped).
+    for (int j = 1; j <= 3; j++) {
+        req.camera.eye.x = 1.25f + static_cast<float>(j) / 256.0f;
+        ASSERT_EQ(router.render(req).status, RequestStatus::Ok);
+    }
+
+    FleetStats fs = router.fleetStats();
+    const int preview = static_cast<int>(QualityTier::Preview);
+    EXPECT_GT(fs.cacheHitsPerTier[preview], 0u);
+    EXPECT_GT(fs.cacheMissesPerTier[preview], 0u);
+    EXPECT_EQ(fs.cacheHitsPerTier[static_cast<int>(QualityTier::Full)],
+              0u);
+    // The moving viewer armed the predictor on whichever shard served
+    // it; enqueue alone is deterministic (rendering may still be in
+    // flight when the snapshot is taken).
+    EXPECT_GT(fs.prefetchTilesEnqueued, 0u);
+}
+
 } // namespace
 } // namespace instant3d

@@ -272,5 +272,108 @@ TEST(TileCacheTest, CountCapStillBindsUnderLooseByteBudget)
     EXPECT_EQ(cache.stats().bytesHeld, 2 * 16 * sizeof(Vec3));
 }
 
+TEST(TileCacheTest, HitAndMissCountersAreBucketedPerTier)
+{
+    TileCache cache(8);
+    cache.insert(makeKey("lego", 1, 0, QualityTier::Full),
+                 tilePixels(0.1f));
+    cache.insert(makeKey("lego", 1, 0, QualityTier::Preview),
+                 tilePixels(0.2f));
+
+    std::vector<Vec3> out;
+    EXPECT_TRUE(
+        cache.lookup(makeKey("lego", 1, 0, QualityTier::Full), out));
+    EXPECT_TRUE(
+        cache.lookup(makeKey("lego", 1, 0, QualityTier::Preview), out));
+    EXPECT_TRUE(
+        cache.lookup(makeKey("lego", 1, 0, QualityTier::Preview), out));
+    EXPECT_FALSE(
+        cache.lookup(makeKey("lego", 1, 1, QualityTier::Half), out));
+    EXPECT_FALSE(
+        cache.lookup(makeKey("lego", 1, 1, QualityTier::Preview), out));
+
+    TileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.tierHits[static_cast<int>(QualityTier::Full)], 1u);
+    EXPECT_EQ(stats.tierHits[static_cast<int>(QualityTier::Half)], 0u);
+    EXPECT_EQ(stats.tierHits[static_cast<int>(QualityTier::Preview)],
+              2u);
+    EXPECT_EQ(stats.tierMisses[static_cast<int>(QualityTier::Half)],
+              1u);
+    EXPECT_EQ(stats.tierMisses[static_cast<int>(QualityTier::Preview)],
+              1u);
+    // The per-tier buckets partition the aggregates exactly.
+    EXPECT_EQ(stats.tierHits[0] + stats.tierHits[1] + stats.tierHits[2],
+              stats.hits);
+    EXPECT_EQ(stats.tierMisses[0] + stats.tierMisses[1] +
+                  stats.tierMisses[2],
+              stats.misses);
+}
+
+TEST(TileCacheTest, PrefetchHitAndWasteAccounting)
+{
+    TileCache cache(2);
+    // Prefetched entry that demand later hits: one prefetch hit,
+    // counted once however many times it is re-read.
+    cache.insert(makeKey("lego", 1, 0), tilePixels(0.1f), true);
+    std::vector<Vec3> out;
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_TRUE(cache.lookup(makeKey("lego", 1, 0), out));
+    EXPECT_EQ(cache.stats().prefetchInsertions, 1u);
+    EXPECT_EQ(cache.stats().prefetchHits, 1u);
+    EXPECT_EQ(cache.stats().prefetchWasted, 0u);
+
+    // Two more prefetched entries overflow the hit one out; evicting
+    // an entry that *was* hit is not waste, evicting an unhit one is.
+    cache.insert(makeKey("lego", 1, 1), tilePixels(0.2f), true);
+    cache.insert(makeKey("lego", 1, 2), tilePixels(0.3f), true);
+    EXPECT_EQ(cache.stats().prefetchWasted, 0u); // Hit entry evicted.
+    cache.insert(makeKey("lego", 1, 3), tilePixels(0.4f), true);
+    EXPECT_EQ(cache.stats().prefetchWasted, 1u); // Unhit tile 1 gone.
+
+    // Invalidation and clear() count unhit prefetched entries too.
+    cache.invalidateScene("lego");
+    EXPECT_EQ(cache.stats().prefetchWasted, 3u);
+
+    // Demand insertions never enter the prefetch accounting.
+    cache.insert(makeKey("lego", 1, 4), tilePixels(0.5f));
+    cache.clear();
+    TileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.prefetchInsertions, 4u);
+    EXPECT_EQ(stats.prefetchWasted, 3u);
+}
+
+TEST(TileCacheTest, CoarseLatticeCollapsesNearbyCamerasExactly)
+{
+    // Satellite contract: quantized() and hashKey() derive from the
+    // same lattice constant, so two cameras in one coarse cell agree
+    // on both the snapped spec and the key, and cameras one lattice
+    // step apart agree on neither.
+    CameraSpec a;
+    a.eye = {1.25f, 0.5f, 1.0f};
+    a.target = {0.5f, 0.5f, 0.5f};
+    a.width = 64;
+    a.height = 64;
+
+    const float lattice = 256.0f; // Cell width 1/256.
+    CameraSpec b = a;
+    b.eye.x += 0.4f / lattice; // Same cell: under half a step away.
+    CameraSpec c = a;
+    c.eye.x += 1.0f / lattice; // Exactly one step: different cell.
+
+    EXPECT_EQ(a.hashKey(lattice), b.hashKey(lattice));
+    EXPECT_NE(a.hashKey(lattice), c.hashKey(lattice));
+    EXPECT_EQ(a.quantized(lattice).eye.x, b.quantized(lattice).eye.x);
+    EXPECT_NE(a.quantized(lattice).eye.x, c.quantized(lattice).eye.x);
+
+    // On the fine 1/4096 lattice the same three cameras all differ --
+    // coarsening is strictly a per-tier opt-in.
+    EXPECT_NE(a.hashKey(), b.hashKey());
+    EXPECT_NE(a.hashKey(), c.hashKey());
+
+    // And the default-lattice key is unchanged from hashing with the
+    // full lattice passed explicitly (the hardcoded-4096 fix).
+    EXPECT_EQ(a.hashKey(), a.hashKey(fullCameraLattice));
+}
+
 } // namespace
 } // namespace instant3d
