@@ -24,6 +24,8 @@
 #include "common/fault_injection.hh"
 #include "nerf/serialize.hh"
 #include "nerf/trainer.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "scene/scene.hh"
 #include "serve/render_service.hh"
 #include "serve/scene_registry.hh"
@@ -369,7 +371,78 @@ main(int argc, char **argv)
         std::remove(cap_ckpt.c_str());
     }
 
-    // 7. The stats block.
+    // 7. Observability: the slow-request log and the telemetry page.
+    //    A small fleet serves requests while the `shard.stall` fault
+    //    point delays every third dispatch far past the trace ring's
+    //    slow threshold; each stalled request dumps its per-span
+    //    breakdown through warn() at completion, and the slowest
+    //    ringed trace is re-printed here, alongside an excerpt of the
+    //    Prometheus-style metrics page and the Perfetto export size.
+    std::printf("--- slow-request tracing (stall fault armed) ---\n");
+    {
+        obs::TraceRing &ring = obs::TraceRing::global();
+        ring.clear();
+        ring.setSlowThresholdMs(25.0);
+
+        ShardRouterConfig rcfg;
+        rcfg.numShards = 2;
+        rcfg.replication = 1; // no failover: the stall must be felt
+        rcfg.routerThreads = 2;
+        rcfg.shard.workers = 2;
+        rcfg.shard.tilePixels = 16;
+        rcfg.shard.cacheTiles = 0;
+        ShardRouter slow_router(rcfg);
+        slow_router.addScene("lego", *lego_trainer);
+
+        fault::Spec stall;
+        stall.mode = fault::Mode::EveryN;
+        stall.n = 3;
+        stall.delayMs = 60;
+        fault::arm(fault::Point::ShardStall, stall);
+        for (int i = 0; i < 6; i++) {
+            RenderRequest req;
+            req.sceneId = "lego";
+            req.camera = demoCamera(i);
+            slow_router.render(req);
+        }
+        fault::disarmAll();
+
+        std::printf("slow threshold %.0f ms: %llu traces completed, "
+                    "%llu slow\n",
+                    ring.slowThresholdMs(),
+                    static_cast<unsigned long long>(
+                        ring.completedCount()),
+                    static_cast<unsigned long long>(ring.slowCount()));
+        obs::RequestTracePtr slowest;
+        for (const auto &t : ring.traces())
+            if (!slowest || t->totalMs() > slowest->totalMs())
+                slowest = t;
+        if (slowest)
+            std::printf("slowest request breakdown:\n%s",
+                        slowest->summary().c_str());
+        ring.setSlowThresholdMs(0.0);
+
+        std::string page = obs::MetricsRegistry::global()
+                               .snapshot()
+                               .prometheusText();
+        std::printf("--- metrics page (first 10 lines) ---\n");
+        int lines = 0;
+        size_t pos = 0;
+        while (lines < 10 && pos < page.size()) {
+            size_t nl = page.find('\n', pos);
+            if (nl == std::string::npos)
+                nl = page.size();
+            std::printf("%.*s\n", static_cast<int>(nl - pos),
+                        page.c_str() + pos);
+            pos = nl + 1;
+            lines++;
+        }
+        std::printf("chrome trace export: %zu bytes "
+                    "(load in ui.perfetto.dev)\n",
+                    ring.exportChromeTrace().size());
+    }
+
+    // 8. The stats block.
     ServeStats s = service.stats();
     TileCache::Stats cs = service.cacheStats();
     std::printf("--- service stats ---\n");

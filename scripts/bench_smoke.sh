@@ -144,3 +144,29 @@ awk -v s="$orbit" 'BEGIN {
 grep -o '"prefetch_hit_rate": [0-9.]*' BENCH_serve_latency.json
 grep -o '"prefetch_waste": [0-9]*' BENCH_serve_latency.json
 sed -n '/"orbit"/,/^  },/p' BENCH_serve_latency.json
+
+# Regression gate: the telemetry layer (metrics + span tracing) must
+# cost at most 2% of closed-loop serving throughput against the same
+# path with recording disabled (measured ~0% on the CI container --
+# the disarmed/armed delta is a handful of relaxed atomics and a few
+# span appends per request). The block also records the mergeable
+# histogram's p50/p95/p99 against the exact tracker; within_one_bucket
+# asserts the documented fidelity bound.
+grep -q '"telemetry"' BENCH_serve_latency.json || {
+    echo "bench_smoke: FAIL telemetry block missing"
+    exit 1
+}
+telem=$(grep -o '"telemetry_overhead": [0-9.]*' \
+            BENCH_serve_latency.json | awk '{print $2}')
+awk -v s="$telem" 'BEGIN {
+    if (s == "" || s + 0 > 0.02) {
+        print "bench_smoke: FAIL telemetry_overhead=" s " > 0.02"
+        exit 1
+    }
+    print "bench_smoke: telemetry_overhead=" s " (<= 0.02 ok)"
+}'
+grep -q '"within_one_bucket": true' BENCH_serve_latency.json || {
+    echo "bench_smoke: FAIL histogram percentiles out of bucket bound"
+    exit 1
+}
+sed -n '/"telemetry"/,/^  },/p' BENCH_serve_latency.json

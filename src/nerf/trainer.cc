@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "nerf/serialize.hh"
+#include "obs/telemetry.hh"
 
 namespace instant3d {
 
@@ -17,6 +18,31 @@ double
 tick()
 {
     return monotonicSeconds();
+}
+
+/** Per-phase latency histograms ("train.phase.*_ms"), resolved once;
+ *  registry references are stable for the process lifetime. */
+struct PhaseHistograms
+{
+    obs::LatencyHistogram *occRefresh, *march, *forward, *backward,
+        *reduce, *optimizer, *zeroGrad;
+};
+
+const PhaseHistograms &
+phaseHistograms()
+{
+    static const PhaseHistograms h = [] {
+        auto &m = obs::MetricsRegistry::global();
+        return PhaseHistograms{
+            &m.histogram("train.phase.occ_refresh_ms"),
+            &m.histogram("train.phase.march_ms"),
+            &m.histogram("train.phase.forward_ms"),
+            &m.histogram("train.phase.backward_ms"),
+            &m.histogram("train.phase.reduce_ms"),
+            &m.histogram("train.phase.optimizer_ms"),
+            &m.histogram("train.phase.zero_grad_ms")};
+    }();
+    return h;
 }
 
 } // namespace
@@ -132,13 +158,20 @@ Trainer::trainIteration()
     // so real surfaces exist before anything is skipped). Serial, on
     // the trainer's own stream; refresh() amortizes via the partial
     // probe subset when the grid config enables it.
+    // Phase timing has two consumers: TrainStats::phases (opt-in via
+    // collectPhaseTimes, unchanged) and the train.phase.*_ms telemetry
+    // histograms (gated on obs::enabled()). Either one arms the
+    // clock reads.
     const bool timed = cfg.collectPhaseTimes;
+    const bool phase_telem = obs::enabled();
+    const bool phased = timed || phase_telem;
+    const PhaseHistograms &ph = phaseHistograms();
     if (occupancyPtr && iter > 0 &&
         iter % cfg.occupancyUpdatePeriod == 0) {
-        const double t0 = timed ? tick() : 0.0;
+        obs::ScopedTimer timer(
+            timed ? &stats.phases.occRefresh : nullptr,
+            phase_telem ? ph.occRefresh : nullptr);
         occupancyPtr->refresh(*fieldPtr, rng);
-        if (timed)
-            stats.phases.occRefresh += tick() - t0;
     }
 
     uint64_t points_before = fieldPtr->queryCount();
@@ -198,7 +231,7 @@ Trainer::trainIteration()
         double backward = 0.0;
     };
     std::vector<ChunkPhases> chunkPhases;
-    if (timed)
+    if (phased)
         chunkPhases.assign(static_cast<size_t>(num_chunks), {});
 
     const uint64_t it = static_cast<uint64_t>(iter);
@@ -235,18 +268,18 @@ Trainer::trainIteration()
 
             // Step 3a: march against the occupancy grid; only the
             // surviving samples enter the stream.
-            double t0 = timed ? tick() : 0.0;
+            double t0 = phased ? tick() : 0.0;
             SampleStream stream;
             rendererPtr->marchRays(rays, nr, rngs, stream, ws);
 
             // Steps 3b-4: one field query over the stream + per-ray
             // compositing.
-            double t1 = timed ? tick() : 0.0;
+            double t1 = phased ? tick() : 0.0;
             StreamRecord srec;
             RayResult *results = ws.alloc<RayResult>(nr);
             rendererPtr->renderStream(*fieldPtr, stream, results, &srec,
                                       ws, trace);
-            if (timed) {
+            if (phased) {
                 chunkPhases[c].march += t1 - t0;
                 chunkPhases[c].forward += tick() - t1;
             }
@@ -263,12 +296,12 @@ Trainer::trainIteration()
 
             // Step 6: stream backward into this chunk's shard,
             // optionally merging duplicate grid writes first.
-            double t2 = timed ? tick() : 0.0;
+            double t2 = phased ? tick() : 0.0;
             rendererPtr->backwardStream(
                 *fieldPtr, stream, srec, d_colors, stats.densityUpdated,
                 stats.colorUpdated, &shard, ws, trace,
                 merge ? &mergers[c] : nullptr);
-            if (timed)
+            if (phased)
                 chunkPhases[c].backward += tick() - t2;
             chunkLoss[c] = loss_acc;
             return;
@@ -288,11 +321,11 @@ Trainer::trainIteration()
             // Steps 3-4: batched field query + compositing. The
             // per-ray path marches inside renderRayBatch, so its cost
             // lands in the forward phase.
-            double t0 = timed ? tick() : 0.0;
+            double t0 = phased ? tick() : 0.0;
             RayBatchRecord rec;
             RayResult result = rendererPtr->renderRayBatch(
                 *fieldPtr, ray, &ray_rng, &rec, ws, trace);
-            double t1 = timed ? tick() : 0.0;
+            double t1 = phased ? tick() : 0.0;
 
             // Step 5: squared-error loss.
             Vec3 err = result.color - gt;
@@ -306,7 +339,7 @@ Trainer::trainIteration()
                                           stats.densityUpdated,
                                           stats.colorUpdated, &shard,
                                           ws, trace);
-            if (timed) {
+            if (phased) {
                 chunkPhases[c].forward += t1 - t0;
                 chunkPhases[c].backward += tick() - t1;
             }
@@ -330,60 +363,82 @@ Trainer::trainIteration()
     }
 
     // Deterministic reduction: shards in fixed chunk order.
-    double t_reduce = timed ? tick() : 0.0;
     double loss_acc = 0.0;
-    for (int c = 0; c < num_chunks; c++) {
-        fieldPtr->reduceGradients(shards[c]);
-        loss_acc += chunkLoss[c];
-        if (merge) {
-            stats.gridGradWrites += mergers[c].density.pushedWrites() +
-                                    mergers[c].color.pushedWrites();
-            stats.gridGradWritesMerged +=
-                mergers[c].density.uniqueEntries() +
-                mergers[c].color.uniqueEntries();
+    {
+        obs::ScopedTimer timer(timed ? &stats.phases.reduce : nullptr,
+                               phase_telem ? ph.reduce : nullptr);
+        for (int c = 0; c < num_chunks; c++) {
+            fieldPtr->reduceGradients(shards[c]);
+            loss_acc += chunkLoss[c];
+            if (merge) {
+                stats.gridGradWrites +=
+                    mergers[c].density.pushedWrites() +
+                    mergers[c].color.pushedWrites();
+                stats.gridGradWritesMerged +=
+                    mergers[c].density.uniqueEntries() +
+                    mergers[c].color.uniqueEntries();
+            }
         }
     }
 
     // Apply optimizer steps to the branches due this iteration: sparse
     // groups step only the dirty union the reduction just assembled.
-    double t_opt = timed ? tick() : 0.0;
-    for (size_t g = 0; g < groups.size(); g++) {
-        bool is_color = groups[g] == ParamGroupId::ColorGrid ||
-                        groups[g] == ParamGroupId::ColorMlp;
-        bool due = is_color ? stats.colorUpdated : stats.densityUpdated;
-        if (!due)
-            continue;
-        if (optimizers[g]->sparseEnabled()) {
-            const auto &dirty = fieldPtr->dirtyEntries(groups[g]);
-            auto &params = fieldPtr->groupParams(groups[g]);
-            // stepSparse settles the whole active set as it goes, so
-            // the next forward pass reads exactly the dense-trajectory
-            // parameters without a separate catch-up.
-            optimizers[g]->stepSparse(
-                params, fieldPtr->groupGrads(groups[g]), dirty);
-            stats.sparseEntriesStepped += dirty.size();
-        } else {
-            optimizers[g]->step(fieldPtr->groupParams(groups[g]),
-                                fieldPtr->groupGrads(groups[g]));
+    {
+        obs::ScopedTimer timer(
+            timed ? &stats.phases.optimizer : nullptr,
+            phase_telem ? ph.optimizer : nullptr);
+        for (size_t g = 0; g < groups.size(); g++) {
+            bool is_color = groups[g] == ParamGroupId::ColorGrid ||
+                            groups[g] == ParamGroupId::ColorMlp;
+            bool due =
+                is_color ? stats.colorUpdated : stats.densityUpdated;
+            if (!due)
+                continue;
+            if (optimizers[g]->sparseEnabled()) {
+                const auto &dirty = fieldPtr->dirtyEntries(groups[g]);
+                auto &params = fieldPtr->groupParams(groups[g]);
+                // stepSparse settles the whole active set as it goes,
+                // so the next forward pass reads exactly the
+                // dense-trajectory parameters without a separate
+                // catch-up.
+                optimizers[g]->stepSparse(
+                    params, fieldPtr->groupGrads(groups[g]), dirty);
+                stats.sparseEntriesStepped += dirty.size();
+            } else {
+                optimizers[g]->step(fieldPtr->groupParams(groups[g]),
+                                    fieldPtr->groupGrads(groups[g]));
+            }
         }
     }
 
     // O(touched) clear when every grid scatter went through a touch
     // list (any batched path); full scan otherwise.
-    double t_zero = timed ? tick() : 0.0;
-    if (sparseActive)
-        fieldPtr->zeroGradDirty();
-    else
-        fieldPtr->zeroGrad();
+    {
+        obs::ScopedTimer timer(
+            timed ? &stats.phases.zeroGrad : nullptr,
+            phase_telem ? ph.zeroGrad : nullptr);
+        if (sparseActive)
+            fieldPtr->zeroGradDirty();
+        else
+            fieldPtr->zeroGrad();
+    }
 
-    if (timed) {
-        stats.phases.zeroGrad += tick() - t_zero;
-        stats.phases.optimizer += t_zero - t_opt;
-        stats.phases.reduce += t_opt - t_reduce;
+    if (phased) {
+        ChunkPhases total;
         for (const ChunkPhases &p : chunkPhases) {
-            stats.phases.march += p.march;
-            stats.phases.forward += p.forward;
-            stats.phases.backward += p.backward;
+            total.march += p.march;
+            total.forward += p.forward;
+            total.backward += p.backward;
+        }
+        if (timed) {
+            stats.phases.march += total.march;
+            stats.phases.forward += total.forward;
+            stats.phases.backward += total.backward;
+        }
+        if (phase_telem) {
+            ph.march->record(total.march * 1e3);
+            ph.forward->record(total.forward * 1e3);
+            ph.backward->record(total.backward * 1e3);
         }
     }
 

@@ -7,6 +7,8 @@
 #include "common/fault_injection.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 
 namespace instant3d {
 
@@ -55,6 +57,14 @@ struct RenderService::Pending
     std::atomic<int> tilesRendered{0};
     std::atomic<int> tilesCached{0};
     std::promise<RenderResponse> promise;
+
+    /**
+     * TraceContext: adopted from the request (router-owned) or begun
+     * here when this service is the first tracing-aware layer, in
+     * which case ownsTrace is set and finishTile() completes it.
+     */
+    obs::RequestTracePtr trace;
+    bool ownsTrace = false;
 
     explicit Pending(const Camera &cam) : camera(cam) {}
 
@@ -132,12 +142,51 @@ RenderService::RenderService(SceneRegistry &scene_registry,
             "prefetchHistory needs >= 2 specs for velocity");
     pool = std::make_unique<ThreadPool>(cfg.workers);
     workspaces.resize(pool->threadCount());
+
+    obsGroup = obs::nextTrackGroup();
+    obs::TraceRing::global().setTrackName(
+        obsGroup, "render-service-" + std::to_string(obsGroup));
+    auto &metrics = obs::MetricsRegistry::global();
+    histQueueMs = &metrics.histogram("serve.queue_ms");
+    histTotalMs = &metrics.histogram("serve.total_ms");
+    histChunkMs = &metrics.histogram("serve.chunk_render_ms");
+    obsCollector = metrics.addCollector(
+        [this](obs::MetricsSink &sink) { collectMetrics(sink); });
+
     scheduler = std::thread([this] { schedulerLoop(); });
 }
 
 RenderService::~RenderService()
 {
+    // Deregister first: removeCollector synchronizes against an
+    // in-flight snapshot, so no collector can touch a dying service.
+    obs::MetricsRegistry::global().removeCollector(obsCollector);
     stop();
+}
+
+void
+RenderService::collectMetrics(obs::MetricsSink &sink) const
+{
+    const ServeStats s = stats();
+    sink.counter("serve.requests_accepted", s.requestsAccepted);
+    sink.counter("serve.requests_completed", s.requestsCompleted);
+    sink.counter("serve.requests_rejected", s.requestsRejected);
+    sink.counter("serve.requests_deadline_exceeded",
+                 s.requestsDeadlineExceeded);
+    sink.counter("serve.requests_cold_start", s.requestsColdStart);
+    sink.counter("serve.requests_degraded", s.requestsDegraded);
+    sink.counter("serve.tiles_rendered", s.tilesRendered);
+    sink.counter("serve.tiles_from_cache", s.tilesFromCache);
+    sink.counter("serve.rays_rendered", s.raysRendered);
+    sink.counter("serve.chunks_rendered", s.chunksRendered);
+    sink.counter("serve.cross_request_chunks", s.crossRequestChunks);
+    sink.counter("serve.prefetch_tiles_rendered",
+                 s.prefetchTilesRendered);
+    sink.gauge("serve.outstanding_tiles",
+               static_cast<double>(outstandingTileCount()));
+    const TileCache::Stats cs = cache.stats();
+    sink.gauge("serve.cache_entries", static_cast<double>(cs.entries));
+    sink.gauge("serve.cache_bytes", static_cast<double>(cs.bytesHeld));
 }
 
 void
@@ -180,6 +229,27 @@ RenderService::submit(const RenderRequest &request)
         return future;
     }
 
+    // TraceContext: adopt the router's trace, or begin one here --
+    // this service is then the first tracing-aware layer, owns the
+    // trace, and completes it (in finishTile for admitted requests,
+    // via finishEarly below otherwise).
+    obs::RequestTracePtr trace = request.trace;
+    bool owns_trace = false;
+    if (!trace) {
+        trace = obs::beginTrace(request.sceneId); // null when disabled
+        owns_trace = trace != nullptr;
+    }
+    obs::ScopedSpan admission(trace.get(), "serve.admission", obsGroup,
+                              0);
+    auto finishEarly = [&](const char *status) {
+        if (!trace)
+            return;
+        trace->note("status", status);
+        if (owns_trace)
+            obs::TraceRing::global().complete(
+                trace, (now() - trace->beginT()) * 1e3);
+    };
+
     // Capacity-aware acquire: a warm scene is pinned by this request's
     // shared_ptr for its whole lifetime (eviction can never drop an
     // in-flight render); a cold scene answers ColdStart immediately --
@@ -189,16 +259,19 @@ RenderService::submit(const RenderRequest &request)
     AcquireOutcome acq = registry.acquireOrLoad(request.sceneId);
     if (acq.state == SceneState::Absent) {
         statUnknownScene.fetch_add(1, std::memory_order_relaxed);
+        finishEarly("unknown_scene");
         completeNow(promise, RequestStatus::UnknownScene, 0);
         return future;
     }
     if (acq.state == SceneState::Quarantined) {
         statSceneUnavailable.fetch_add(1, std::memory_order_relaxed);
+        finishEarly("scene_unavailable");
         completeNow(promise, RequestStatus::SceneUnavailable, 0);
         return future;
     }
     if (!acq.scene) { // Cold or Loading: reload in flight.
         statColdStart.fetch_add(1, std::memory_order_relaxed);
+        finishEarly("cold_start");
         completeNow(promise, RequestStatus::ColdStart,
                     acq.retryAfterMs);
         return future;
@@ -219,6 +292,7 @@ RenderService::submit(const RenderRequest &request)
     if (roi.w < 1 || roi.h < 1 || roi.x < 0 || roi.y < 0 ||
         roi.x + roi.w > spec.width || roi.y + roi.h > spec.height) {
         statBadRequest.fetch_add(1, std::memory_order_relaxed);
+        finishEarly("bad_request");
         completeNow(promise, RequestStatus::BadRequest, 0);
         return future;
     }
@@ -236,6 +310,7 @@ RenderService::submit(const RenderRequest &request)
     // can ever admit it, so don't pretend the overload is transient.
     if (tiles.size() > static_cast<size_t>(cfg.maxQueueTiles)) {
         statBadRequest.fetch_add(1, std::memory_order_relaxed);
+        finishEarly("bad_request");
         completeNow(promise, RequestStatus::BadRequest, 0);
         return future;
     }
@@ -261,6 +336,8 @@ RenderService::submit(const RenderRequest &request)
     req->remaining.store(static_cast<int>(tiles.size()),
                          std::memory_order_relaxed);
     req->promise = std::move(promise);
+    req->trace = trace;
+    req->ownsTrace = owns_trace;
 
     // servedTier may be mutated by the scheduler (deadline-risk check)
     // once the tiles are visible, so the predictor takes the admission
@@ -270,6 +347,7 @@ RenderService::submit(const RenderRequest &request)
     {
         std::lock_guard<std::mutex> lock(queueMtx);
         if (stopping) {
+            finishEarly("shutdown");
             completeNow(req->promise, RequestStatus::Shutdown, 0);
             return future;
         }
@@ -306,6 +384,12 @@ RenderService::submit(const RenderRequest &request)
                     req->camera = req->spec.makeCamera();
                     statAdmissionDegraded.fetch_add(
                         1, std::memory_order_relaxed);
+                    if (trace)
+                        trace->note(
+                            "admission_degraded",
+                            std::to_string(
+                                target -
+                                static_cast<int>(request.quality)));
                     admitted = true;
                 }
             }
@@ -318,6 +402,7 @@ RenderService::submit(const RenderRequest &request)
                     1, static_cast<int>(
                            std::ceil(cfg.retryAfterMs * scale)));
                 statRejected.fetch_add(1, std::memory_order_relaxed);
+                finishEarly("rejected");
                 completeNow(req->promise, RequestStatus::Rejected,
                             hint);
                 return future;
@@ -492,6 +577,11 @@ RenderService::render(const RenderRequest &request)
             break;
         resp = submit(request).get();
     }
+    // The blocking caller's latency includes every cold-start wait and
+    // resubmission above, not just the final attempt's queue-to-finish
+    // time -- restamp totalMs end-to-end (mirroring what ShardRouter
+    // does for routed requests).
+    resp.totalMs = (now() - t0) * 1e3;
     return resp;
 }
 
@@ -540,6 +630,18 @@ RenderService::finishTile(const std::shared_ptr<Pending> &req,
     if (resp.status == RequestStatus::DeadlineExceeded)
         statDeadline.fetch_add(1, std::memory_order_relaxed);
     statCompleted.fetch_add(1, std::memory_order_relaxed);
+    histTotalMs->record(resp.totalMs);
+    if (req->trace) {
+        req->trace->note("status", requestStatusName(resp.status));
+        req->trace->note("served_tier",
+                         std::to_string(req->servedTier));
+        if (resp.degradeLevels > 0)
+            req->trace->note("degrade_levels",
+                             std::to_string(resp.degradeLevels));
+        if (req->ownsTrace)
+            obs::TraceRing::global().complete(req->trace,
+                                              resp.totalMs);
+    }
     req->promise.set_value(std::move(resp));
 }
 
@@ -549,6 +651,9 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
     // Armed in tests/benches to widen the in-flight window and make
     // queue-depth scenarios reproducible on fast machines.
     fault::maybeDelay(fault::Point::ChunkRenderDelay);
+
+    const bool tracing = obs::enabled();
+    const double chunk_t0 = tracing ? now() : 0.0;
 
     Workspace &ws = workspaces[rank];
     ws.reset();
@@ -569,6 +674,12 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
     chunk.scene->renderer(chunk.tier)
         .renderRays(chunk.scene->field(), rays, chunk.rays, results,
                     ws);
+
+    const double t_rendered = tracing ? now() : 0.0;
+    // When tracing, demand tiles retire *after* the chunk's spans
+    // attach to their traces below, so a service-owned trace never
+    // completes with its last render span still missing.
+    std::vector<std::shared_ptr<Pending>> finished;
 
     const bool caching = cfg.cacheTiles > 0;
     off = 0;
@@ -616,7 +727,10 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
         }
 
         statTilesRendered.fetch_add(1, std::memory_order_relaxed);
-        finishTile(req, true, false);
+        if (tracing)
+            finished.push_back(req);
+        else
+            finishTile(req, true, false);
     }
     // Prefetch rays are accounted separately so demand-side
     // throughput metrics (rays/chunk) keep their meaning.
@@ -626,6 +740,53 @@ RenderService::renderChunk(const Chunk &chunk, int rank)
     else
         statRays.fetch_add(static_cast<uint64_t>(chunk.rays),
                            std::memory_order_relaxed);
+
+    if (tracing) {
+        const double t_done = now();
+        histChunkMs->record((t_rendered - chunk_t0) * 1e3);
+
+        // One render + scatter span per distinct participating
+        // request; one request's tiles are contiguous in the chunk,
+        // so a pointer change marks a new request.
+        obs::RequestTrace *last_trace = nullptr;
+        for (const auto &job : chunk.tiles) {
+            if (!job.req || !job.req->trace ||
+                job.req->trace.get() == last_trace)
+                continue;
+            last_trace = job.req->trace.get();
+            obs::TraceSpan render_span;
+            render_span.name = "serve.render_chunk";
+            render_span.beginT = chunk_t0;
+            render_span.endT = t_rendered;
+            render_span.trackGroup = obsGroup;
+            render_span.track = rank + 1;
+            render_span.args = {{"rays", std::to_string(chunk.rays)}};
+            last_trace->addSpan(std::move(render_span));
+            obs::TraceSpan scatter_span;
+            scatter_span.name = "serve.cache_scatter";
+            scatter_span.beginT = t_rendered;
+            scatter_span.endT = t_done;
+            scatter_span.trackGroup = obsGroup;
+            scatter_span.track = rank + 1;
+            last_trace->addSpan(std::move(scatter_span));
+        }
+        for (const auto &req : finished)
+            finishTile(req, true, false);
+
+        // The request-less worker-activity span goes last: it only
+        // feeds the Perfetto timeline, so the global ring lock stays
+        // off the client-wakeup critical path above.
+        obs::TraceSpan act;
+        act.name = chunk.speculative ? "serve.prefetch_chunk"
+                                     : "serve.render_chunk";
+        act.beginT = chunk_t0;
+        act.endT = t_done;
+        act.trackGroup = obsGroup;
+        act.track = rank + 1; // tid 0 is the scheduler.
+        act.args = {{"rays", std::to_string(chunk.rays)},
+                    {"tiles", std::to_string(chunk.tiles.size())}};
+        obs::TraceRing::global().recordActivity(std::move(act));
+    }
 }
 
 void
@@ -760,8 +921,21 @@ RenderService::schedulerLoop()
             }
             const auto &req = job.req;
             double expected = 0.0;
-            req->firstDequeueT.compare_exchange_strong(
-                expected, t, std::memory_order_relaxed);
+            if (req->firstDequeueT.compare_exchange_strong(
+                    expected, t, std::memory_order_relaxed)) {
+                // First dequeue of this request: its admission-queue
+                // wait is settled.
+                histQueueMs->record((t - req->submitT) * 1e3);
+                if (req->trace) {
+                    obs::TraceSpan span;
+                    span.name = "serve.queue_wait";
+                    span.beginT = req->submitT;
+                    span.endT = t;
+                    span.trackGroup = obsGroup;
+                    span.track = 0; // Scheduler track.
+                    req->trace->addSpan(std::move(span));
+                }
+            }
 
             if (req->failed()) {
                 finishTile(req, false, false);
@@ -793,6 +967,8 @@ RenderService::schedulerLoop()
                     req->camera = req->spec.makeCamera();
                     statDeadlineDegraded.fetch_add(
                         1, std::memory_order_relaxed);
+                    if (req->trace)
+                        req->trace->note("deadline_degraded", "1");
                 }
             }
             const QualityTier served =
@@ -822,6 +998,7 @@ RenderService::schedulerLoop()
             packTile(sc, served, false, std::move(job));
         }
 
+        const bool tracing = obs::enabled();
         if (!chunks.empty()) {
             for (const auto &c : chunks) {
                 if (c.speculative)
@@ -845,6 +1022,17 @@ RenderService::schedulerLoop()
             pool->parallelFor(
                 static_cast<int>(chunks.size()),
                 [&](int c, int rank) { renderChunk(chunks[c], rank); });
+        }
+        if (tracing && !drained.empty()) {
+            obs::TraceSpan pass;
+            pass.name = "serve.scheduler_pass";
+            pass.beginT = t;
+            pass.endT = now();
+            pass.trackGroup = obsGroup;
+            pass.track = 0;
+            pass.args = {{"tiles", std::to_string(drained.size())},
+                         {"chunks", std::to_string(chunks.size())}};
+            obs::TraceRing::global().recordActivity(std::move(pass));
         }
     }
 }

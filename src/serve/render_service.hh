@@ -64,6 +64,11 @@
 
 namespace instant3d {
 
+namespace obs {
+class LatencyHistogram;
+class MetricsSink;
+} // namespace obs
+
 /** Service tuning knobs. */
 struct RenderServiceConfig
 {
@@ -302,6 +307,9 @@ class RenderService
                               const ServedScenePtr &scene,
                               const TileRect &roi, int served_tier);
 
+    /** Snapshot-time metrics collector (mirrors stats()). */
+    void collectMetrics(obs::MetricsSink &sink) const;
+
     SceneRegistry &registry;
     RenderServiceConfig cfg;
     std::unique_ptr<ThreadPool> pool;
@@ -353,6 +361,16 @@ class RenderService
     std::atomic<uint64_t> statPrefetchEnqueued{0},
         statPrefetchRendered{0}, statPrefetchCancelled{0},
         statPrefetchRays{0};
+
+    // Telemetry (src/obs/): this instance's Perfetto track group, the
+    // metrics-collector registration handle, and hot-path histogram
+    // pointers (registry references are stable for the process
+    // lifetime, so they are resolved once in the constructor).
+    int obsGroup = 0;
+    uint64_t obsCollector = 0;
+    obs::LatencyHistogram *histQueueMs = nullptr;
+    obs::LatencyHistogram *histTotalMs = nullptr;
+    obs::LatencyHistogram *histChunkMs = nullptr;
 };
 
 } // namespace instant3d

@@ -5,17 +5,19 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "obs/telemetry.hh"
 
 namespace instant3d {
 
 namespace {
 
+/** All registry timing rides the one process clock (common/stats.hh),
+ *  so load latencies compare directly against serve/router spans. */
 double
 nowMs()
 {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    return monotonicSeconds() * 1e3;
 }
 
 bool
@@ -150,6 +152,9 @@ SceneRegistry::registerFromCheckpoint(const std::string &id,
         return 0;
     }
     double ms = nowMs() - t0;
+    obs::MetricsRegistry::global()
+        .histogram("registry.load_ms")
+        .record(ms);
     {
         std::lock_guard<std::mutex> lock(mtx);
         statLastLoadMs = ms;
@@ -366,6 +371,10 @@ SceneRegistry::performLoad(const std::string &id)
     scene->setSourcePath(path);
     CheckpointError err = loadWithRetries(*scene, spec, path);
     double ms = nowMs() - t0;
+    if (err == CheckpointError::None)
+        obs::MetricsRegistry::global()
+            .histogram("registry.load_ms")
+            .record(ms);
 
     std::vector<ServedScenePtr> graveyard;
     {
@@ -453,16 +462,14 @@ SceneRegistry::acquireOrLoad(const std::string &id, double max_wait_ms)
     // Bounded wait for the reload to settle (the caller's deadline is
     // the bound). Re-find the entry after every wake: the map may
     // rehash, and the id may be unregistered while we sleep.
-    auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::milli>(max_wait_ms));
-    cv.wait_until(lock, deadline, [&] {
-        auto it2 = entries.find(id);
-        return stopping || it2 == entries.end() ||
-               it2->second.scene != nullptr || !it2->second.loading ||
-               it2->second.quarantined;
-    });
+    cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(max_wait_ms),
+        [&] {
+            auto it2 = entries.find(id);
+            return stopping || it2 == entries.end() ||
+                   it2->second.scene != nullptr ||
+                   !it2->second.loading || it2->second.quarantined;
+        });
     auto it2 = entries.find(id);
     if (it2 == entries.end()) {
         out.scene = nullptr;
@@ -497,13 +504,9 @@ SceneRegistry::awaitWarm(const std::string &id, double max_wait_ms)
     if (max_wait_ms <= 0.0) {
         cv.wait(lock, settled);
     } else {
-        cv.wait_until(
+        cv.wait_for(
             lock,
-            std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double, std::milli>(
-                        max_wait_ms)),
+            std::chrono::duration<double, std::milli>(max_wait_ms),
             settled);
     }
     auto it = entries.find(id);

@@ -19,6 +19,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@
 #include "scene/image.hh"
 
 namespace instant3d {
+
+namespace obs {
+class RequestTrace;
+} // namespace obs
 
 /**
  * Camera quantization lattice denominator of the Full quality tier.
@@ -145,6 +150,23 @@ enum class RequestStatus : uint8_t
                       //!< checkpoint); retrying here cannot succeed.
 };
 
+/** Stable lowercase name of a request status (logs, trace notes). */
+inline const char *
+requestStatusName(RequestStatus s)
+{
+    switch (s) {
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::DeadlineExceeded: return "deadline_exceeded";
+    case RequestStatus::UnknownScene: return "unknown_scene";
+    case RequestStatus::BadRequest: return "bad_request";
+    case RequestStatus::Shutdown: return "shutdown";
+    case RequestStatus::ColdStart: return "cold_start";
+    case RequestStatus::SceneUnavailable: return "scene_unavailable";
+    }
+    return "invalid";
+}
+
 /** One render request against a registered scene. */
 struct RenderRequest
 {
@@ -183,6 +205,15 @@ struct RenderRequest
      * worker time. Purely a scheduling hint: it never changes pixels.
      */
     std::string viewerId;
+
+    /**
+     * Telemetry TraceContext (see obs/trace.hh). Null on client
+     * requests: the first tracing-aware layer the request enters
+     * (router or service) begins a trace when telemetry is enabled,
+     * and that same layer completes it; intermediate layers only
+     * append their spans. Never affects pixels.
+     */
+    std::shared_ptr<obs::RequestTrace> trace;
 };
 
 /** Answer to one RenderRequest. */
@@ -286,6 +317,21 @@ enum class ShardOutcome : uint8_t
      *  replica, breaker-neutral -- a cold cache is not a sick shard. */
     ColdStart,
 };
+
+/** Stable lowercase name of a shard outcome (logs, trace spans). */
+inline const char *
+shardOutcomeName(ShardOutcome o)
+{
+    switch (o) {
+    case ShardOutcome::Ok: return "ok";
+    case ShardOutcome::Rejected: return "rejected";
+    case ShardOutcome::Timeout: return "timeout";
+    case ShardOutcome::Failed: return "failed";
+    case ShardOutcome::Crashed: return "crashed";
+    case ShardOutcome::ColdStart: return "cold_start";
+    }
+    return "invalid";
+}
 
 /**
  * Circuit-breaker state of one shard. Closed admits traffic; Open

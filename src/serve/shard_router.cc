@@ -6,6 +6,8 @@
 
 #include "common/fault_injection.hh"
 #include "common/stats.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 
 namespace instant3d {
 
@@ -66,6 +68,8 @@ struct ShardRouter::Job
     std::promise<RenderResponse> promise;
     RenderRequest request;
     double submitT = 0.0;
+    /** The router began request.trace (and so completes it). */
+    bool ownsTrace = false;
 };
 
 /**
@@ -111,6 +115,27 @@ ShardRouter::ShardRouter(const ShardRouterConfig &router_config)
         shards.push_back(std::move(shard));
     }
 
+    obsGroup = obs::nextTrackGroup();
+    obs::TraceRing::global().setTrackName(
+        obsGroup, "shard-router-" + std::to_string(obsGroup));
+    auto &metrics = obs::MetricsRegistry::global();
+    histRouteMs = &metrics.histogram("router.total_ms");
+    // The collector mirrors only the router's own atomics; per-shard
+    // serve counters are already collected by each shard's service.
+    obsCollector = metrics.addCollector([this](obs::MetricsSink &sink) {
+        sink.counter("router.requests_routed", statRouted.load());
+        sink.counter("router.failovers", statFailovers.load());
+        sink.counter("router.retries", statRetries.load());
+        sink.counter("router.hedges_issued", statHedgesIssued.load());
+        sink.counter("router.hedges_won", statHedgesWon.load());
+        sink.counter("router.shards_crashed", statCrashes.load());
+        sink.counter("router.shards_drained", statDrains.load());
+        sink.counter("router.no_replica_available",
+                     statNoReplica.load());
+        sink.counter("router.cold_start_failovers",
+                     statColdStartFailovers.load());
+    });
+
     dispatchers.reserve(static_cast<size_t>(cfg.routerThreads));
     for (int t = 0; t < cfg.routerThreads; t++)
         dispatchers.emplace_back([this] { dispatcherLoop(); });
@@ -118,6 +143,7 @@ ShardRouter::ShardRouter(const ShardRouterConfig &router_config)
 
 ShardRouter::~ShardRouter()
 {
+    obs::MetricsRegistry::global().removeCollector(obsCollector);
     stopping.store(true, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lock(jobMtx);
@@ -427,6 +453,17 @@ statusResponse(RequestStatus status, double submit_t, int retry_ms)
 RenderResponse
 ShardRouter::routeOne(const RenderRequest &request, double submit_t)
 {
+    // Router queue wait: client submit() to dispatcher pickup.
+    if (request.trace) {
+        obs::TraceSpan span;
+        span.name = "router.queue_wait";
+        span.beginT = submit_t;
+        span.endT = monotonicSeconds();
+        span.trackGroup = obsGroup;
+        span.track = 0;
+        request.trace->addSpan(std::move(span));
+    }
+
     std::vector<int> order = placementSnapshot(request.sceneId);
     if (order.empty()) {
         if (!master.acquire(request.sceneId))
@@ -469,6 +506,25 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
 
     auto expired = [&](double now) {
         return deadline_t > 0.0 && now >= deadline_t;
+    };
+
+    // One span per dispatch, closed when the router resolves it
+    // (response, fault, timeout, or abandonment of a hedge loser).
+    auto traceDispatch = [&](const Dispatch &d, const char *outcome) {
+        if (!request.trace)
+            return;
+        obs::TraceSpan span;
+        span.name = "router.dispatch";
+        span.beginT = d.startT;
+        span.endT = monotonicSeconds();
+        span.trackGroup = obsGroup;
+        span.track = 0;
+        span.args = {{"shard", std::to_string(d.shard)},
+                     {"attempt", std::to_string(attempts)},
+                     {"outcome", outcome}};
+        if (d.hedge)
+            span.args.emplace_back("hedge", "1");
+        request.trace->addSpan(std::move(span));
     };
 
     while (true) {
@@ -529,6 +585,7 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
             attempts++;
             Dispatch d = dispatchTo(s, request);
             if (!d.issued) {
+                traceDispatch(d, shardOutcomeName(d.fault));
                 recordOutcome(s, d.fault);
                 continue;
             }
@@ -545,6 +602,7 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
             if (ready) {
                 RenderResponse resp = d.fut.get();
                 ShardOutcome outcome = classify(resp);
+                traceDispatch(d, shardOutcomeName(outcome));
                 recordOutcome(d.shard, outcome);
                 if (outcome == ShardOutcome::Crashed)
                     crashShard(d.shard, true);
@@ -555,6 +613,17 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
                     cold_hint = std::max(cold_hint, resp.retryAfterMs);
                 }
                 if (requestTerminal(resp)) {
+                    if (request.trace) {
+                        for (size_t j = 0; j < active.size(); j++)
+                            if (j != i)
+                                traceDispatch(active[j], "abandoned");
+                        if (d.hedge)
+                            request.trace->note("hedge_won", "1");
+                        if (attempts > 1)
+                            request.trace->note(
+                                "failovers",
+                                std::to_string(attempts - 1));
+                    }
                     if (d.hedge)
                         statHedgesWon.fetch_add(1);
                     // Client-observed latency: the shard measured its
@@ -573,6 +642,7 @@ ShardRouter::routeOne(const RenderRequest &request, double submit_t)
             }
             if (cfg.shardTimeoutMs > 0.0 &&
                 now - d.startT >= cfg.shardTimeoutMs / 1e3) {
+                traceDispatch(d, "timeout");
                 recordOutcome(d.shard, ShardOutcome::Timeout);
                 active.erase(active.begin() +
                              static_cast<long>(i));
@@ -702,6 +772,13 @@ ShardRouter::submit(const RenderRequest &request)
     statRouted.fetch_add(1);
     auto job = std::make_unique<Job>();
     job->request = request;
+    // The router is the first tracing-aware layer for routed requests:
+    // it begins the trace here and completes it in dispatcherLoop.
+    // Shards it dispatches to see a non-null trace and only append.
+    if (!job->request.trace) {
+        job->request.trace = obs::beginTrace(request.sceneId);
+        job->ownsTrace = job->request.trace != nullptr;
+    }
     job->submitT = monotonicSeconds();
     std::future<RenderResponse> fut = job->promise.get_future();
     {
@@ -709,6 +786,12 @@ ShardRouter::submit(const RenderRequest &request)
         if (jobStopping) {
             RenderResponse resp;
             resp.status = RequestStatus::Shutdown;
+            if (job->request.trace) {
+                job->request.trace->note("status", "shutdown");
+                if (job->ownsTrace)
+                    obs::TraceRing::global().complete(
+                        job->request.trace, 0.0);
+            }
             job->promise.set_value(std::move(resp));
             return fut;
         }
@@ -739,7 +822,16 @@ ShardRouter::dispatcherLoop()
             job = std::move(jobs.front());
             jobs.pop_front();
         }
-        job->promise.set_value(routeOne(job->request, job->submitT));
+        RenderResponse resp = routeOne(job->request, job->submitT);
+        histRouteMs->record(resp.totalMs);
+        if (job->request.trace) {
+            job->request.trace->note("status",
+                                     requestStatusName(resp.status));
+            if (job->ownsTrace)
+                obs::TraceRing::global().complete(job->request.trace,
+                                                  resp.totalMs);
+        }
+        job->promise.set_value(std::move(resp));
     }
 }
 

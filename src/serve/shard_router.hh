@@ -241,6 +241,12 @@ class ShardRouter
         statRetries{0}, statHedgesIssued{0}, statHedgesWon{0},
         statCrashes{0}, statDrains{0}, statNoReplica{0},
         statColdStartFailovers{0};
+
+    // Telemetry (src/obs/): the router's Perfetto track group, its
+    // metrics-collector handle, and the routed-latency histogram.
+    int obsGroup = 0;
+    uint64_t obsCollector = 0;
+    obs::LatencyHistogram *histRouteMs = nullptr;
 };
 
 } // namespace instant3d

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Direct unit tests of the common/stats toolkit: RunningStats merge
+ * associativity, Histogram under/overflow and fractionInRange edges,
+ * and PercentileTracker boundary percentiles. These containers back
+ * the trace analyzer, the benches, and (by cross-check) the obs
+ * histograms, but were previously only exercised indirectly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace instant3d {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulatorIsAllZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance)
+{
+    RunningStats s;
+    s.add(7.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation)
+{
+    std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+    RunningStats s;
+    double sum = 0.0;
+    for (double x : xs) {
+        s.add(x);
+        sum += x;
+    }
+    double mean = sum / xs.size();
+    double m2 = 0.0;
+    for (double x : xs)
+        m2 += (x - mean) * (x - mean);
+    double var = m2 / (xs.size() - 1);
+
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 32.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequentialAccumulation)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 100; i++)
+        xs.push_back(std::sin(i * 0.37) * 10.0 + i * 0.01);
+
+    RunningStats whole;
+    for (double x : xs)
+        whole.add(x);
+
+    RunningStats a, b;
+    for (size_t i = 0; i < xs.size(); i++)
+        (i < 37 ? a : b).add(xs[i]);
+    a.merge(b);
+
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeIsAssociativeAcrossSplits)
+{
+    // (a + b) + c and a + (b + c) over three uneven shards agree --
+    // the parallel-reduction contract the trainer's chunk reduce
+    // relies on.
+    std::vector<double> xs;
+    for (int i = 0; i < 90; i++)
+        xs.push_back((i % 7) * 1.25 - 3.0);
+
+    auto fill = [&](size_t lo, size_t hi) {
+        RunningStats s;
+        for (size_t i = lo; i < hi; i++)
+            s.add(xs[i]);
+        return s;
+    };
+    RunningStats a = fill(0, 10), b = fill(10, 55), c = fill(55, 90);
+
+    RunningStats left = a;
+    left.merge(b);
+    left.merge(c);
+
+    RunningStats bc = b;
+    bc.merge(c);
+    RunningStats right = a;
+    right.merge(bc);
+
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_NEAR(left.mean(), right.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), right.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), right.min());
+    EXPECT_DOUBLE_EQ(left.max(), right.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentityBothWays)
+{
+    RunningStats s;
+    s.add(3.0);
+    s.add(5.0);
+
+    RunningStats copy = s, empty;
+    copy.merge(empty);
+    EXPECT_EQ(copy.count(), 2u);
+    EXPECT_NEAR(copy.mean(), 4.0, 1e-12);
+
+    RunningStats other;
+    other.merge(s);
+    EXPECT_EQ(other.count(), 2u);
+    EXPECT_NEAR(other.mean(), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(other.min(), 3.0);
+    EXPECT_DOUBLE_EQ(other.max(), 5.0);
+}
+
+TEST(HistogramTest, SamplesLandInExpectedBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);  // bin 0
+    h.add(5.5);  // bin 5
+    h.add(9.99); // bin 9
+
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflowCount(), 0u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 1.0);
+    EXPECT_DOUBLE_EQ(h.binLeft(5), 5.0);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesSaturateUnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.001);
+    h.add(-100.0);
+    h.add(2.0);
+
+    EXPECT_EQ(h.underflowCount(), 2u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.totalCount(), 3u);
+    for (int b = 0; b < h.numBins(); b++)
+        EXPECT_EQ(h.binCount(b), 0u);
+}
+
+TEST(HistogramTest, FractionInRangeCountsBinCenters)
+{
+    Histogram h(0.0, 4.0, 4); // centers at 0.5, 1.5, 2.5, 3.5
+    h.add(0.5);
+    h.add(1.5);
+    h.add(2.5);
+    h.add(3.5);
+
+    EXPECT_DOUBLE_EQ(h.fractionInRange(0.0, 4.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionInRange(1.0, 3.0), 0.5);
+    // Interval touching exactly one bin center.
+    EXPECT_DOUBLE_EQ(h.fractionInRange(2.5, 2.5), 0.25);
+    // Interval between centers covers nothing.
+    EXPECT_DOUBLE_EQ(h.fractionInRange(2.6, 3.4), 0.0);
+}
+
+TEST(HistogramTest, FractionInRangeDenominatorIncludesOutOfRange)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(0.5);
+    h.add(-1.0); // underflow still counts in the denominator
+    h.add(9.0);  // overflow too
+
+    EXPECT_DOUBLE_EQ(h.fractionInRange(0.0, 4.0), 0.5);
+}
+
+TEST(HistogramTest, FractionInRangeEmptyHistogramIsZero)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_DOUBLE_EQ(h.fractionInRange(0.0, 1.0), 0.0);
+}
+
+TEST(PercentileTrackerTest, BoundaryPercentilesAreMinAndMax)
+{
+    PercentileTracker t;
+    for (double x : {5.0, 1.0, 3.0, 2.0, 4.0})
+        t.add(x);
+
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(t.percentile(100.0), 5.0);
+    EXPECT_DOUBLE_EQ(t.percentile(50.0), 3.0);
+}
+
+TEST(PercentileTrackerTest, SingleSampleIsEveryPercentile)
+{
+    PercentileTracker t;
+    t.add(42.0);
+    EXPECT_DOUBLE_EQ(t.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(t.percentile(37.0), 42.0);
+    EXPECT_DOUBLE_EQ(t.percentile(100.0), 42.0);
+}
+
+TEST(PercentileTrackerTest, InterpolatesBetweenOrderStatistics)
+{
+    PercentileTracker t;
+    t.add(0.0);
+    t.add(10.0);
+    // Rank for p=25 over two samples: 0.25 * (2 - 1) = 0.25.
+    EXPECT_NEAR(t.percentile(25.0), 2.5, 1e-12);
+    EXPECT_NEAR(t.percentile(75.0), 7.5, 1e-12);
+}
+
+} // namespace
+} // namespace instant3d
